@@ -1,0 +1,15 @@
+//! **Figure 11** — SQLShare session-level ((a)–(e)) and pair-level
+//! ((f)–(l)) workload analysis.
+//!
+//! Reproduction targets (Section 5.3.2/5.3.3): ~68% of sessions use ≥2
+//! templates and ~55% change templates twice; at the pair level ~62% of
+//! pairs change template (clearly above SDSS), with smaller per-property
+//! increase rates than SDSS.
+
+use qrec_bench::{dataset, session_pair_figure, write_results};
+
+fn main() {
+    let data = dataset("sqlshare");
+    let results = session_pair_figure(&data, "Figure 11");
+    write_results("fig11", &results);
+}

@@ -1,0 +1,416 @@
+//! The paper's comparison methods (Section 6.2.3): `popular`,
+//! `naive Q_i`, and the QueRIE collaborative-filtering framework.
+
+use crate::predict::{FragmentPredictor, PerKind, TemplatePredictor};
+use qrec_sql::{FragmentKind, FragmentSet, Template};
+use qrec_workload::{OwnedPair, QueryRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// `popular`: predicts the globally most frequent fragments / templates
+/// of the training workload, ignoring the input query entirely.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PopularBaseline {
+    ranked: PerKind<Vec<String>>,
+    /// Average per-query set size per kind, used for set prediction.
+    avg_set_size: PerKind<usize>,
+    templates: Vec<Template>,
+}
+
+impl PopularBaseline {
+    /// Fit frequency tables on training pairs (both sides contribute,
+    /// they are all workload queries).
+    pub fn fit(train: &[OwnedPair]) -> Self {
+        let mut counts: PerKind<HashMap<&str, usize>> = PerKind::default();
+        let mut sizes: PerKind<(usize, usize)> = PerKind::default(); // (sum, n)
+        let mut tpl_counts: HashMap<&Template, usize> = HashMap::new();
+        for p in train {
+            for q in [&p.current, &p.next] {
+                for kind in FragmentKind::ALL {
+                    let set = q.fragments.of(kind);
+                    let (sum, n) = *sizes.get(kind);
+                    *sizes.get_mut(kind) = (sum + set.len(), n + 1);
+                    for f in set {
+                        *counts.get_mut(kind).entry(f.as_str()).or_insert(0) += 1;
+                    }
+                }
+            }
+            *tpl_counts.entry(&p.next.template).or_insert(0) += 1;
+        }
+        let ranked = counts.map(|_, c| {
+            let mut v: Vec<(&str, usize)> = c.iter().map(|(&f, &n)| (f, n)).collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            v.into_iter().map(|(f, _)| f.to_string()).collect()
+        });
+        let avg_set_size = sizes.map(|_, &(sum, n)| {
+            if n == 0 {
+                0
+            } else {
+                (sum as f64 / n as f64).round() as usize
+            }
+        });
+        let mut tpls: Vec<(Template, usize)> = tpl_counts
+            .into_iter()
+            .map(|(t, c)| (t.clone(), c))
+            .collect();
+        tpls.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        PopularBaseline {
+            ranked,
+            avg_set_size,
+            templates: tpls.into_iter().map(|(t, _)| t).collect(),
+        }
+    }
+
+    /// The popularity-ranked fragments of one kind.
+    pub fn ranked(&self, kind: FragmentKind) -> &[String] {
+        self.ranked.get(kind)
+    }
+}
+
+impl FragmentPredictor for PopularBaseline {
+    fn name(&self) -> String {
+        "popular".into()
+    }
+
+    fn predict_set(&mut self, _q: &QueryRecord) -> FragmentSet {
+        // Top `avg_set_size(kind)` fragments per kind.
+        let mut out = FragmentSet::default();
+        for kind in FragmentKind::ALL {
+            let k = *self.avg_set_size.get(kind);
+            for f in self.ranked.get(kind).iter().take(k) {
+                out.of_mut(kind).insert(f.clone());
+            }
+        }
+        out
+    }
+
+    fn predict_n(&mut self, _q: &QueryRecord, n: usize) -> PerKind<Vec<String>> {
+        self.ranked.map(|_, r| r.iter().take(n).cloned().collect())
+    }
+}
+
+impl TemplatePredictor for PopularBaseline {
+    fn name(&self) -> String {
+        "popular".into()
+    }
+
+    fn predict_templates(&mut self, _q: &QueryRecord, n: usize) -> Vec<Template> {
+        self.templates.iter().take(n).cloned().collect()
+    }
+}
+
+/// `naive Q_i`: predicts that the next query keeps the current query's
+/// fragments and template. The paper's anchor baseline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NaiveQi {
+    /// Global fragment popularity, used only to order `Q_i`'s fragments
+    /// in the N-fragments setting.
+    popularity: PerKind<HashMap<String, usize>>,
+}
+
+impl NaiveQi {
+    /// Fit the (only) auxiliary statistic: fragment popularity.
+    pub fn fit(train: &[OwnedPair]) -> Self {
+        let mut popularity: PerKind<HashMap<String, usize>> = PerKind::default();
+        for p in train {
+            for q in [&p.current, &p.next] {
+                for kind in FragmentKind::ALL {
+                    for f in q.fragments.of(kind) {
+                        *popularity.get_mut(kind).entry(f.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        NaiveQi { popularity }
+    }
+}
+
+impl FragmentPredictor for NaiveQi {
+    fn name(&self) -> String {
+        "naive-Qi".into()
+    }
+
+    fn predict_set(&mut self, q: &QueryRecord) -> FragmentSet {
+        q.fragments.clone()
+    }
+
+    fn predict_n(&mut self, q: &QueryRecord, n: usize) -> PerKind<Vec<String>> {
+        PerKind::from_fn(|kind| {
+            let mut frags: Vec<&String> = q.fragments.of(kind).iter().collect();
+            frags.sort_by_key(|f| {
+                std::cmp::Reverse(self.popularity.get(kind).get(*f).copied().unwrap_or(0))
+            });
+            frags.into_iter().take(n).cloned().collect()
+        })
+    }
+}
+
+impl TemplatePredictor for NaiveQi {
+    fn name(&self) -> String {
+        "naive-Qi".into()
+    }
+
+    fn predict_templates(&mut self, q: &QueryRecord, n: usize) -> Vec<Template> {
+        if n == 0 {
+            Vec::new()
+        } else {
+            vec![q.template.clone()]
+        }
+    }
+}
+
+/// The QueRIE framework (binary fragment-based collaborative filtering,
+/// Section 6.2.3): represent each workload query as a binary vector over
+/// its tables and columns, retrieve the queries most cosine-similar to
+/// `Q_i`, and recommend their fragments and templates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Querie {
+    /// Unique workload queries: (feature set, fragments, template).
+    items: Vec<QuerieItem>,
+    /// How many neighbours to aggregate.
+    pub k: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuerieItem {
+    features: BTreeSet<String>,
+    fragments: FragmentSet,
+    template: Template,
+}
+
+fn feature_vector(q: &QueryRecord) -> BTreeSet<String> {
+    // Hand-picked features, exactly as QueRIE: tables and attributes.
+    q.fragments
+        .tables
+        .iter()
+        .map(|t| format!("t:{t}"))
+        .chain(q.fragments.columns.iter().map(|c| format!("c:{c}")))
+        .collect()
+}
+
+fn cosine(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    inter / ((a.len() as f64).sqrt() * (b.len() as f64).sqrt())
+}
+
+impl Querie {
+    /// Index the unique queries of the training workload.
+    pub fn fit(train: &[OwnedPair], k: usize) -> Self {
+        let mut seen = BTreeSet::new();
+        let mut items = Vec::new();
+        for p in train {
+            for q in [&p.current, &p.next] {
+                if seen.insert(q.canonical.clone()) {
+                    items.push(QuerieItem {
+                        features: feature_vector(q),
+                        fragments: q.fragments.clone(),
+                        template: q.template.clone(),
+                    });
+                }
+            }
+        }
+        Querie { items, k }
+    }
+
+    /// Number of indexed queries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Top-k most similar indexed queries to `q`.
+    fn neighbours(&self, q: &QueryRecord) -> Vec<(f64, &QuerieItem)> {
+        let fv = feature_vector(q);
+        let mut scored: Vec<(f64, &QuerieItem)> = self
+            .items
+            .iter()
+            .map(|item| (cosine(&fv, &item.features), item))
+            .filter(|(s, _)| *s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.k);
+        scored
+    }
+}
+
+impl FragmentPredictor for Querie {
+    fn name(&self) -> String {
+        "querie".into()
+    }
+
+    fn predict_set(&mut self, q: &QueryRecord) -> FragmentSet {
+        // Fragment set of the single most similar workload query.
+        match self.neighbours(q).first() {
+            Some((_, item)) => item.fragments.clone(),
+            None => FragmentSet::default(),
+        }
+    }
+
+    fn predict_n(&mut self, q: &QueryRecord, n: usize) -> PerKind<Vec<String>> {
+        let neigh = self.neighbours(q);
+        PerKind::from_fn(|kind| {
+            let mut weights: HashMap<&str, f64> = HashMap::new();
+            for (sim, item) in &neigh {
+                for f in item.fragments.of(kind) {
+                    *weights.entry(f.as_str()).or_insert(0.0) += sim;
+                }
+            }
+            let mut ranked: Vec<(&str, f64)> = weights.into_iter().collect();
+            ranked.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(b.0))
+            });
+            ranked
+                .into_iter()
+                .take(n)
+                .map(|(f, _)| f.to_string())
+                .collect()
+        })
+    }
+}
+
+impl TemplatePredictor for Querie {
+    fn name(&self) -> String {
+        "querie".into()
+    }
+
+    fn predict_templates(&mut self, q: &QueryRecord, n: usize) -> Vec<Template> {
+        let neigh = self.neighbours(q);
+        let mut weights: HashMap<&Template, f64> = HashMap::new();
+        for (sim, item) in &neigh {
+            *weights.entry(&item.template).or_insert(0.0) += sim;
+        }
+        let mut ranked: Vec<(&Template, f64)> = weights.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        ranked.into_iter().take(n).map(|(t, _)| t.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: &str, b: &str) -> OwnedPair {
+        OwnedPair {
+            current: QueryRecord::new(a).unwrap(),
+            next: QueryRecord::new(b).unwrap(),
+            session_id: 0,
+            dataset: 0,
+        }
+    }
+
+    fn train() -> Vec<OwnedPair> {
+        vec![
+            pair("SELECT ra FROM SpecObj", "SELECT ra, z FROM SpecObj"),
+            pair(
+                "SELECT ra, z FROM SpecObj",
+                "SELECT ra FROM SpecObj WHERE z > 1",
+            ),
+            pair("SELECT g FROM PhotoObj", "SELECT g, r FROM PhotoObj"),
+            pair("SELECT ra FROM SpecObj", "SELECT ra FROM SpecObj"),
+        ]
+    }
+
+    #[test]
+    fn popular_ranks_by_frequency() {
+        let mut p = PopularBaseline::fit(&train());
+        let q = QueryRecord::new("SELECT x FROM y").unwrap();
+        let top = p.predict_n(&q, 2);
+        assert_eq!(
+            top.table,
+            vec!["SpecObj".to_string(), "PhotoObj".to_string()]
+        );
+        assert_eq!(top.column[0], "ra");
+        // Set prediction uses average set sizes.
+        let set = p.predict_set(&q);
+        assert!(set.tables.contains("SpecObj"));
+        assert_eq!(set.tables.len(), 1); // avg table count per query = 1
+    }
+
+    #[test]
+    fn popular_templates_most_frequent_first() {
+        let mut p = PopularBaseline::fit(&train());
+        let q = QueryRecord::new("SELECT x FROM y").unwrap();
+        let t = p.predict_templates(&q, 2);
+        assert!(!t.is_empty());
+        // Next-templates: "SELECT Column, Column FROM Table" x2, others x1.
+        assert_eq!(t[0].statement(), "SELECT Column, Column FROM Table");
+    }
+
+    #[test]
+    fn naive_qi_echoes_current_query() {
+        let mut n = NaiveQi::fit(&train());
+        let q = QueryRecord::new("SELECT ra, petror FROM SpecObj WHERE z > 1").unwrap();
+        let set = n.predict_set(&q);
+        assert_eq!(set, q.fragments);
+        let top = n.predict_n(&q, 1);
+        // "ra" is more popular than "petror" in the train workload.
+        assert_eq!(top.column, vec!["ra".to_string()]);
+        let tpl = n.predict_templates(&q, 3);
+        assert_eq!(tpl, vec![q.template.clone()]);
+    }
+
+    #[test]
+    fn querie_retrieves_similar_queries() {
+        let mut qr = Querie::fit(&train(), 3);
+        assert!(qr.len() >= 4);
+        // A query touching SpecObj/ra should retrieve SpecObj items.
+        let q = QueryRecord::new("SELECT ra FROM SpecObj WHERE ra > 0").unwrap();
+        let set = qr.predict_set(&q);
+        assert!(set.tables.contains("SpecObj"));
+        assert!(!set.tables.contains("PhotoObj"));
+        let top = qr.predict_n(&q, 2);
+        assert!(top.column.contains(&"ra".to_string()));
+        let tpls = qr.predict_templates(&q, 2);
+        assert!(!tpls.is_empty());
+    }
+
+    #[test]
+    fn querie_structure_blind() {
+        // Example 2 of the paper: QueRIE ranks by shared tables/columns,
+        // not by structure — a structurally different query with the same
+        // fragments is retrieved first.
+        let train = vec![
+            pair(
+                "SELECT TOP 10 ra FROM SpecObj WHERE z BETWEEN 1 AND 2",
+                "SELECT TOP 10 ra FROM SpecObj WHERE z BETWEEN 1 AND 2",
+            ),
+            pair("SELECT petror FROM PhotoObj", "SELECT petror FROM PhotoObj"),
+        ];
+        let mut qr = Querie::fit(&train, 1);
+        let q = QueryRecord::new("SELECT ra, z FROM SpecObj").unwrap();
+        let set = qr.predict_set(&q);
+        assert!(set.tables.contains("SpecObj"));
+    }
+
+    #[test]
+    fn querie_no_neighbours_returns_empty() {
+        let mut qr = Querie::fit(&train(), 3);
+        let q = QueryRecord::new("SELECT zzz FROM Unknown").unwrap();
+        assert!(qr.predict_set(&q).is_empty());
+        assert!(qr.predict_templates(&q, 3).is_empty());
+    }
+
+    #[test]
+    fn baselines_handle_empty_training() {
+        let mut p = PopularBaseline::fit(&[]);
+        let q = QueryRecord::new("SELECT a FROM t").unwrap();
+        assert!(p.predict_set(&q).is_empty());
+        assert!(p.predict_templates(&q, 5).is_empty());
+        let mut qr = Querie::fit(&[], 3);
+        assert!(qr.is_empty());
+        assert!(qr.predict_set(&q).is_empty());
+    }
+}

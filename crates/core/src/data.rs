@@ -1,0 +1,234 @@
+//! Dataset preparation: vocabulary building, pair encoding (seq-aware vs
+//! seq-less), and template class extraction.
+
+use qrec_nn::trainer::{EncodedPair, LabeledSeq};
+use qrec_sql::Template;
+use qrec_workload::{OwnedPair, Vocab};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Whether a model is trained on real pairs or on reconstruction
+/// (the paper's seq-aware / seq-less ablation, Section 6.1 (3)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeqMode {
+    /// Trained on `(Q_i, Q_{i+1})` — uses the preceding-query signal.
+    Aware,
+    /// Trained on `(Q_i, Q_i)` — an autoencoder that ignores sequence.
+    Less,
+}
+
+impl SeqMode {
+    /// Label used in reports (`"seq-aware"` / `"seq-less"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SeqMode::Aware => "seq-aware",
+            SeqMode::Less => "seq-less",
+        }
+    }
+}
+
+/// Build the token vocabulary from the *training* pairs only (no test
+/// leakage), keeping tokens with at least `min_count` occurrences.
+pub fn build_vocab(train: &[OwnedPair], min_count: usize) -> Vocab {
+    let seqs: Vec<&[String]> = train
+        .iter()
+        .flat_map(|p| [p.current.tokens.as_slice(), p.next.tokens.as_slice()])
+        .collect();
+    Vocab::build(seqs, min_count)
+}
+
+/// Encode pairs for seq2seq training. In [`SeqMode::Less`] the target is
+/// the source itself (reconstruction).
+pub fn encode_pairs(pairs: &[OwnedPair], vocab: &Vocab, mode: SeqMode) -> Vec<EncodedPair> {
+    pairs
+        .iter()
+        .map(|p| {
+            let src = vocab.encode(&p.current.tokens);
+            let tgt = match mode {
+                SeqMode::Aware => vocab.encode(&p.next.tokens),
+                SeqMode::Less => src.clone(),
+            };
+            EncodedPair { src, tgt }
+        })
+        .collect()
+}
+
+/// The frozen set of template classes (Definition 6's classification
+/// label space): templates of next-queries in the training pairs with at
+/// least `min_support` occurrences, most frequent first.
+///
+/// Serialises as the plain class list (the index is rebuilt on load, and
+/// JSON maps cannot key on templates anyway).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<Template>", into = "Vec<Template>")]
+pub struct TemplateClasses {
+    classes: Vec<Template>,
+    index: HashMap<Template, usize>,
+}
+
+impl From<Vec<Template>> for TemplateClasses {
+    fn from(classes: Vec<Template>) -> Self {
+        let index = classes
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        TemplateClasses { classes, index }
+    }
+}
+
+impl From<TemplateClasses> for Vec<Template> {
+    fn from(tc: TemplateClasses) -> Self {
+        tc.classes
+    }
+}
+
+impl TemplateClasses {
+    /// Extract classes from training pairs.
+    pub fn from_pairs(train: &[OwnedPair], min_support: usize) -> Self {
+        let mut counts: HashMap<&Template, usize> = HashMap::new();
+        for p in train {
+            *counts.entry(&p.next.template).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(Template, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_support)
+            .map(|(t, c)| (t.clone(), c))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let classes: Vec<Template> = ranked.into_iter().map(|(t, _)| t).collect();
+        let index = classes
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        TemplateClasses { classes, index }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if no class survived the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Class index of a template, if it is a class.
+    pub fn index_of(&self, t: &Template) -> Option<usize> {
+        self.index.get(t).copied()
+    }
+
+    /// The template of a class index.
+    pub fn template(&self, class: usize) -> &Template {
+        &self.classes[class]
+    }
+
+    /// All class templates, most frequent first.
+    pub fn templates(&self) -> &[Template] {
+        &self.classes
+    }
+}
+
+/// Encode template-classification examples: `Q_i` tokens labelled with
+/// the class of `template(Q_{i+1})`. Pairs whose next-template is not a
+/// class are dropped (they cannot be learned; evaluation still counts
+/// them as misses).
+pub fn encode_labeled(
+    pairs: &[OwnedPair],
+    vocab: &Vocab,
+    classes: &TemplateClasses,
+) -> Vec<LabeledSeq> {
+    pairs
+        .iter()
+        .filter_map(|p| {
+            classes.index_of(&p.next.template).map(|label| LabeledSeq {
+                src: vocab.encode(&p.current.tokens),
+                label,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrec_workload::QueryRecord;
+
+    fn pair(a: &str, b: &str) -> OwnedPair {
+        OwnedPair {
+            current: QueryRecord::new(a).unwrap(),
+            next: QueryRecord::new(b).unwrap(),
+            session_id: 0,
+            dataset: 0,
+        }
+    }
+
+    #[test]
+    fn vocab_built_from_both_sides() {
+        let pairs = vec![pair("SELECT a FROM t", "SELECT b FROM t")];
+        let v = build_vocab(&pairs, 1);
+        assert!(v.contains("a") && v.contains("b") && v.contains("SELECT"));
+    }
+
+    #[test]
+    fn seq_modes_differ_in_target() {
+        let pairs = vec![pair("SELECT a FROM t", "SELECT b FROM t")];
+        let v = build_vocab(&pairs, 1);
+        let aware = encode_pairs(&pairs, &v, SeqMode::Aware);
+        let less = encode_pairs(&pairs, &v, SeqMode::Less);
+        assert_eq!(aware[0].src, less[0].src);
+        assert_eq!(less[0].tgt, less[0].src);
+        assert_ne!(aware[0].tgt, aware[0].src);
+    }
+
+    #[test]
+    fn template_classes_respect_support() {
+        let pairs = vec![
+            pair("SELECT a FROM t", "SELECT b FROM t"),
+            pair("SELECT c FROM u", "SELECT d FROM u"),
+            pair("SELECT c FROM u", "SELECT d FROM u WHERE d > 1"),
+        ];
+        let classes = TemplateClasses::from_pairs(&pairs, 2);
+        assert_eq!(classes.len(), 1); // only "SELECT Column FROM Table"
+        let t = classes.template(0).clone();
+        assert_eq!(t.statement(), "SELECT Column FROM Table");
+        assert_eq!(classes.index_of(&t), Some(0));
+    }
+
+    #[test]
+    fn labeled_encoding_drops_out_of_class_pairs() {
+        let pairs = vec![
+            pair("SELECT a FROM t", "SELECT b FROM t"),
+            pair("SELECT c FROM u", "SELECT d FROM u"),
+            pair("SELECT c FROM u", "SELECT d FROM u WHERE d > 1"),
+        ];
+        let v = build_vocab(&pairs, 1);
+        let classes = TemplateClasses::from_pairs(&pairs, 2);
+        let labeled = encode_labeled(&pairs, &v, &classes);
+        assert_eq!(labeled.len(), 2);
+        assert!(labeled.iter().all(|l| l.label == 0));
+    }
+
+    #[test]
+    fn classes_ordered_by_frequency() {
+        let pairs = vec![
+            pair("SELECT a FROM t", "SELECT b FROM t WHERE b > 1"),
+            pair("SELECT a FROM t", "SELECT b FROM t"),
+            pair("SELECT x FROM u", "SELECT y FROM u"),
+        ];
+        let classes = TemplateClasses::from_pairs(&pairs, 1);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes.template(0).statement(), "SELECT Column FROM Table");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let classes = TemplateClasses::from_pairs(&[], 1);
+        assert!(classes.is_empty());
+        let v = build_vocab(&[], 1);
+        assert!(encode_labeled(&[], &v, &classes).is_empty());
+        assert!(encode_pairs(&[], &v, SeqMode::Aware).is_empty());
+    }
+}

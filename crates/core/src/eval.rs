@@ -1,0 +1,180 @@
+//! Evaluation harness: runs predictors over test pairs and computes the
+//! paper's metrics (Section 6.2.5, Table 4).
+
+use crate::metrics::{rank_of, RankMetrics, SetMetrics};
+use crate::predict::{FragmentPredictor, PerKind, TemplatePredictor};
+use qrec_sql::FragmentKind;
+use qrec_workload::OwnedPair;
+use std::collections::BTreeSet;
+
+/// Evaluate fragment-*set* prediction: the predictor outputs all the
+/// fragments it expects in `Q_{i+1}`; metrics are micro-averaged per
+/// fragment kind (Table 5).
+pub fn eval_fragment_set(
+    predictor: &mut dyn FragmentPredictor,
+    pairs: &[OwnedPair],
+) -> PerKind<SetMetrics> {
+    let mut metrics: PerKind<SetMetrics> = PerKind::default();
+    for p in pairs {
+        let predicted = predictor.predict_set(&p.current);
+        for kind in FragmentKind::ALL {
+            metrics
+                .get_mut(kind)
+                .record(predicted.of(kind), p.next.fragments.of(kind));
+        }
+    }
+    metrics
+}
+
+/// Evaluate *N-fragments* prediction (Figure 12): the predictor outputs
+/// up to `n` ranked fragments per kind; the actual set is the next
+/// query's fragments.
+pub fn eval_n_fragments(
+    predictor: &mut dyn FragmentPredictor,
+    pairs: &[OwnedPair],
+    n: usize,
+) -> PerKind<SetMetrics> {
+    let mut metrics: PerKind<SetMetrics> = PerKind::default();
+    for p in pairs {
+        let predicted = predictor.predict_n(&p.current, n);
+        for kind in FragmentKind::ALL {
+            let pred_set: BTreeSet<String> = predicted.get(kind).iter().cloned().collect();
+            metrics
+                .get_mut(kind)
+                .record(&pred_set, p.next.fragments.of(kind));
+        }
+    }
+    metrics
+}
+
+/// Evaluate N-fragments prediction for several values of `n` at once,
+/// asking the predictor for its ranking only once per pair (decoding is
+/// the expensive step for the deep models). Returns one metric set per
+/// entry of `ns`, in order.
+pub fn eval_n_fragments_curve(
+    predictor: &mut dyn FragmentPredictor,
+    pairs: &[OwnedPair],
+    ns: &[usize],
+) -> Vec<PerKind<SetMetrics>> {
+    let max_n = ns.iter().copied().max().unwrap_or(0);
+    let mut out: Vec<PerKind<SetMetrics>> = vec![PerKind::default(); ns.len()];
+    for p in pairs {
+        let ranked = predictor.predict_n(&p.current, max_n);
+        for (i, &n) in ns.iter().enumerate() {
+            for kind in FragmentKind::ALL {
+                let pred_set: BTreeSet<String> = ranked.get(kind).iter().take(n).cloned().collect();
+                out[i]
+                    .get_mut(kind)
+                    .record(&pred_set, p.next.fragments.of(kind));
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate N-templates prediction (Table 6 at `n = 1`, Figure 13 for
+/// `n ∈ [1, 5]`): accuracy, MRR, NDCG of the true next template in the
+/// ranked list.
+pub fn eval_templates(
+    predictor: &mut dyn TemplatePredictor,
+    pairs: &[OwnedPair],
+    n: usize,
+) -> RankMetrics {
+    let mut metrics = RankMetrics::default();
+    for p in pairs {
+        let ranked = predictor.predict_templates(&p.current, n);
+        metrics.record(rank_of(&ranked, &p.next.template, n));
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{NaiveQi, PopularBaseline, Querie};
+    use qrec_workload::QueryRecord;
+
+    fn pair(a: &str, b: &str) -> OwnedPair {
+        OwnedPair {
+            current: QueryRecord::new(a).unwrap(),
+            next: QueryRecord::new(b).unwrap(),
+            session_id: 0,
+            dataset: 0,
+        }
+    }
+
+    fn pairs() -> Vec<OwnedPair> {
+        vec![
+            pair("SELECT ra FROM SpecObj", "SELECT ra, z FROM SpecObj"),
+            pair("SELECT ra, z FROM SpecObj", "SELECT ra, z FROM SpecObj"),
+            pair(
+                "SELECT g FROM PhotoObj",
+                "SELECT g FROM PhotoObj WHERE g > 1",
+            ),
+        ]
+    }
+
+    #[test]
+    fn naive_qi_recall_reflects_fragment_overlap() {
+        let data = pairs();
+        let mut naive = NaiveQi::fit(&data);
+        let m = eval_fragment_set(&mut naive, &data);
+        // Tables never change within these pairs → perfect table metrics.
+        assert_eq!(m.table.precision(), 1.0);
+        assert_eq!(m.table.recall(), 1.0);
+        // Columns: pair 1 misses "z" (recall < 1), others exact.
+        assert!(m.column.recall() < 1.0);
+        assert!(m.column.precision() > 0.5);
+    }
+
+    #[test]
+    fn n_fragments_precision_drops_with_larger_n() {
+        let data = pairs();
+        let mut popular = PopularBaseline::fit(&data);
+        let m1 = eval_n_fragments(&mut popular, &data, 1);
+        let m3 = eval_n_fragments(&mut popular, &data, 3);
+        // More predictions → recall can only grow, precision only drop.
+        assert!(m3.column.recall() >= m1.column.recall());
+        assert!(m3.column.precision() <= m1.column.precision() + 1e-12);
+    }
+
+    #[test]
+    fn template_eval_accuracy_and_mrr() {
+        let data = pairs();
+        // naive Q_i predicts template(Q_i): correct only for pair 2.
+        let mut naive = NaiveQi::fit(&data);
+        let m = eval_templates(&mut naive, &data, 1);
+        assert_eq!(m.count(), 3);
+        assert!((m.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.mrr() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn template_eval_rank_aware_at_larger_n() {
+        let data = pairs();
+        let mut popular = PopularBaseline::fit(&data);
+        let m1 = eval_templates(&mut popular, &data, 1);
+        let m5 = eval_templates(&mut popular, &data, 5);
+        assert!(m5.accuracy() >= m1.accuracy());
+        assert!(m5.mrr() >= m1.mrr());
+    }
+
+    #[test]
+    fn querie_evaluates_without_panicking() {
+        let data = pairs();
+        let mut qr = Querie::fit(&data, 5);
+        let m = eval_fragment_set(&mut qr, &data);
+        assert!(m.table.f1() > 0.0);
+        let t = eval_templates(&mut qr, &data, 3);
+        assert!(t.accuracy() >= 0.0);
+    }
+
+    #[test]
+    fn empty_test_set_is_safe() {
+        let mut naive = NaiveQi::fit(&[]);
+        let m = eval_fragment_set(&mut naive, &[]);
+        assert_eq!(m.table.f1(), 1.0); // vacuously perfect: nothing predicted, nothing expected
+        let t = eval_templates(&mut naive, &[], 1);
+        assert_eq!(t.count(), 0);
+    }
+}

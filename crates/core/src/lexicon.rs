@@ -1,0 +1,196 @@
+//! Fragment lexicon: classifying vocabulary tokens into fragment kinds.
+//!
+//! Decoded token sequences are turned into fragment sets by looking each
+//! token up in a lexicon built from the training workload's fragment
+//! sets. This is the token-level equivalent of parsing the generated
+//! statement and extracting its fragments (Section 4.2.2), and is robust
+//! to model outputs that are not quite grammatical.
+
+use qrec_sql::fragments::NUM_TOKEN;
+use qrec_sql::{FragmentKind, FragmentSet};
+use qrec_workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Maps token spellings to the fragment kinds they are known to denote.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FragmentLexicon {
+    kinds: HashMap<String, Vec<FragmentKind>>,
+}
+
+impl FragmentLexicon {
+    /// Build a lexicon from every fragment observed in a workload.
+    pub fn from_workload(workload: &Workload) -> Self {
+        let mut lex = FragmentLexicon::default();
+        for session in &workload.sessions {
+            for q in &session.queries {
+                lex.add_fragments(&q.fragments);
+            }
+        }
+        lex
+    }
+
+    /// Register one query's fragment sets.
+    pub fn add_fragments(&mut self, fragments: &FragmentSet) {
+        for kind in FragmentKind::ALL {
+            for f in fragments.of(kind) {
+                let entry = self.kinds.entry(f.clone()).or_default();
+                if !entry.contains(&kind) {
+                    entry.push(kind);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct fragment spellings known.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if no fragments are known.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kinds a raw *fragment* spelling denotes.
+    pub fn kinds_of(&self, fragment: &str) -> &[FragmentKind] {
+        self.kinds.get(fragment).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Normalise a *sequence token* into fragment spelling space:
+    /// `'FULL'` → `FULL` (string literals carry quotes in token space),
+    /// `<NUM>` stays as is.
+    pub fn token_to_fragment(token: &str) -> &str {
+        if token.len() >= 2 && token.starts_with('\'') && token.ends_with('\'') {
+            &token[1..token.len() - 1]
+        } else {
+            token
+        }
+    }
+
+    /// Classify one sequence token; returns the kinds it may denote.
+    pub fn classify_token(&self, token: &str) -> &[FragmentKind] {
+        if token == NUM_TOKEN {
+            // <NUM> is always a literal even if the lexicon never saw it.
+            return &[FragmentKind::Literal];
+        }
+        self.kinds_of(Self::token_to_fragment(token))
+    }
+
+    /// Extract the fragment set denoted by a decoded token sequence.
+    pub fn fragments_of_tokens<'a>(
+        &self,
+        tokens: impl IntoIterator<Item = &'a str>,
+    ) -> FragmentSet {
+        let mut out = FragmentSet::default();
+        for t in tokens {
+            let frag = Self::token_to_fragment(t);
+            for &kind in self.classify_token(t) {
+                out.of_mut(kind).insert(frag.to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrec_workload::gen::{generate, WorkloadProfile};
+    use qrec_workload::QueryRecord;
+    use qrec_workload::{Session, Workload};
+
+    fn tiny_workload() -> Workload {
+        let mut w = Workload::new("t");
+        w.sessions.push(Session {
+            id: 0,
+            dataset: 0,
+            queries: vec![
+                QueryRecord::new("SELECT gene FROM Experiments WHERE kind = 'RNA'").unwrap(),
+                QueryRecord::new("SELECT COUNT(gene) FROM Experiments WHERE n > 5").unwrap(),
+            ],
+        });
+        w
+    }
+
+    #[test]
+    fn lexicon_learns_kinds() {
+        let lex = FragmentLexicon::from_workload(&tiny_workload());
+        assert_eq!(lex.kinds_of("Experiments"), &[FragmentKind::Table]);
+        assert_eq!(lex.kinds_of("gene"), &[FragmentKind::Column]);
+        assert_eq!(lex.kinds_of("COUNT"), &[FragmentKind::Function]);
+        assert_eq!(lex.kinds_of("RNA"), &[FragmentKind::Literal]);
+        assert!(lex.kinds_of("unseen").is_empty());
+    }
+
+    #[test]
+    fn token_normalisation() {
+        assert_eq!(FragmentLexicon::token_to_fragment("'RNA'"), "RNA");
+        assert_eq!(FragmentLexicon::token_to_fragment("gene"), "gene");
+        assert_eq!(FragmentLexicon::token_to_fragment("<NUM>"), "<NUM>");
+        assert_eq!(FragmentLexicon::token_to_fragment("''"), "");
+    }
+
+    #[test]
+    fn num_token_always_literal() {
+        let lex = FragmentLexicon::default();
+        assert_eq!(lex.classify_token("<NUM>"), &[FragmentKind::Literal]);
+    }
+
+    #[test]
+    fn fragments_of_tokens_classifies_sequence() {
+        let lex = FragmentLexicon::from_workload(&tiny_workload());
+        let toks = [
+            "SELECT",
+            "gene",
+            "FROM",
+            "Experiments",
+            "WHERE",
+            "kind",
+            "=",
+            "'RNA'",
+            "<NUM>",
+        ];
+        let f = lex.fragments_of_tokens(toks.iter().copied());
+        assert!(f.tables.contains("Experiments"));
+        assert!(f.columns.contains("gene") && f.columns.contains("kind"));
+        assert!(f.literals.contains("RNA"));
+        assert!(f.literals.contains("<NUM>"));
+        // SQL keywords are not fragments.
+        assert!(!f.columns.contains("SELECT"));
+    }
+
+    #[test]
+    fn ambiguous_spellings_keep_all_kinds() {
+        let mut w = Workload::new("t");
+        w.sessions.push(Session {
+            id: 0,
+            dataset: 0,
+            queries: vec![
+                // "sample" appears as both a table and a column.
+                QueryRecord::new("SELECT sample FROM Runs").unwrap(),
+                QueryRecord::new("SELECT x FROM sample").unwrap(),
+            ],
+        });
+        let lex = FragmentLexicon::from_workload(&w);
+        let kinds = lex.kinds_of("sample");
+        assert!(kinds.contains(&FragmentKind::Table));
+        assert!(kinds.contains(&FragmentKind::Column));
+    }
+
+    #[test]
+    fn generated_workload_covers_all_kinds() {
+        let (w, _) = generate(&WorkloadProfile::tiny(), 3);
+        let lex = FragmentLexicon::from_workload(&w);
+        assert!(lex.len() > 10);
+        let mut seen = [false; 4];
+        for kinds in FragmentKind::ALL {
+            let any = w
+                .sessions
+                .iter()
+                .any(|s| s.queries.iter().any(|q| !q.fragments.of(kinds).is_empty()));
+            seen[kinds as usize] = any;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+}

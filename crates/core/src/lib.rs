@@ -1,0 +1,79 @@
+//! # qrec-core — workload-aware query recommendation
+//!
+//! The paper's contribution (EDBT 2023, Lai et al.): next-query
+//! prediction split into **next template prediction** and **next
+//! fragment prediction**, solved with seq2seq models trained on query
+//! pairs mined from workloads, plus a fine-tuned template classifier.
+//!
+//! * [`data`] — vocabulary, pair encoding, seq-aware/seq-less modes,
+//!   template classes.
+//! * [`lexicon`] — token → fragment-kind classification learned from the
+//!   workload.
+//! * [`model`] — architecture selection (Transformer / ConvS2S / GRU).
+//! * [`recommender`] — step 1 + step 4: the trained seq2seq fragment
+//!   recommender with greedy / beam / diverse / stochastic decoding and
+//!   search-tree fragment-probability aggregation.
+//! * [`template_clf`] — steps 2 + 3: the template classifier, fine-tuned
+//!   from the recommender's encoder or trained from scratch.
+//! * [`baselines`] — `popular`, `naive Q_i`, and QueRIE.
+//! * [`metrics`] / [`eval`] — Table 4's metrics and the evaluation
+//!   harness over test pairs.
+//! * [`tuning`] — the paper's per-dataset hyper-parameter grid search
+//!   selected by validation loss (Section 6.2.4).
+//!
+//! ## End-to-end sketch
+//!
+//! ```no_run
+//! use qrec_core::prelude::*;
+//! use qrec_workload::gen::{generate, WorkloadProfile};
+//! use qrec_workload::Split;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let (workload, _catalog) = generate(&WorkloadProfile::sdss(), 1);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let split = Split::paper(workload.pairs(), &mut rng);
+//!
+//! // Step 1: train the seq2seq recommender on (Q_i, Q_{i+1}) pairs.
+//! let cfg = RecommenderConfig::new(Arch::Transformer, SeqMode::Aware);
+//! let (mut rec, _report) = Recommender::train(&split, &workload, cfg);
+//!
+//! // Step 2: fine-tune a template classifier from its encoder.
+//! let (mut clf, _) = TemplateModel::train_fine_tuned(&rec, &split, TemplateClfConfig::default());
+//!
+//! // Steps 3-4: online recommendation for the user's current query.
+//! let q = &split.test[0].current;
+//! let fragments = rec.predict_n(q, 5);
+//! let templates = clf.predict_templates(q, 3);
+//! println!("suggest tables {:?} and templates {templates:?}", fragments.table);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod data;
+pub mod eval;
+pub mod lexicon;
+pub mod metrics;
+pub mod model;
+pub mod predict;
+pub mod recommender;
+pub mod session;
+pub mod template_clf;
+pub mod tuning;
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::baselines::{NaiveQi, PopularBaseline, Querie};
+    pub use crate::data::{SeqMode, TemplateClasses};
+    pub use crate::eval::{eval_fragment_set, eval_n_fragments, eval_templates};
+    pub use crate::lexicon::FragmentLexicon;
+    pub use crate::metrics::{RankMetrics, SetMetrics};
+    pub use crate::model::{AnyModel, Arch, SizePreset};
+    pub use crate::predict::{FragmentPredictor, PerKind, TemplatePredictor};
+    pub use crate::recommender::{Recommender, RecommenderConfig};
+    pub use crate::session::SessionContext;
+    pub use crate::template_clf::{TemplateClfConfig, TemplateModel};
+}
+
+pub use prelude::*;

@@ -1,0 +1,233 @@
+//! Evaluation metrics (Table 4 of the paper).
+//!
+//! Fragment prediction uses micro-averaged precision / recall / F1 over
+//! the test pairs; template prediction uses top-N accuracy and the
+//! rank-aware MRR and NDCG.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Micro-averaged precision/recall/F1 accumulator for set prediction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SetMetrics {
+    /// Σ |predicted ∩ actual|
+    pub hits: usize,
+    /// Σ |predicted|
+    pub predicted: usize,
+    /// Σ |actual|
+    pub actual: usize,
+}
+
+impl SetMetrics {
+    /// Record one test pair's predicted and actual sets.
+    pub fn record(&mut self, predicted: &BTreeSet<String>, actual: &BTreeSet<String>) {
+        self.hits += predicted.intersection(actual).count();
+        self.predicted += predicted.len();
+        self.actual += actual.len();
+    }
+
+    /// Micro precision `Σ|∩| / Σ|pred|` (1.0 when nothing was predicted
+    /// and nothing was expected, 0.0 when predictions exist but none hit).
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            if self.actual == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.hits as f64 / self.predicted as f64
+        }
+    }
+
+    /// Micro recall `Σ|∩| / Σ|actual|`.
+    pub fn recall(&self) -> f64 {
+        if self.actual == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.actual as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &SetMetrics) {
+        self.hits += other.hits;
+        self.predicted += other.predicted;
+        self.actual += other.actual;
+    }
+}
+
+/// Rank-aware accumulator for template prediction: top-N accuracy, MRR,
+/// and NDCG, computed from the rank of the true class in the prediction
+/// list (`None` = not present).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankMetrics {
+    n: usize,
+    hits: usize,
+    mrr_sum: f64,
+    ndcg_sum: f64,
+}
+
+impl RankMetrics {
+    /// Record one example; `rank` is 1-based position of the true label
+    /// in the top-N list, or `None` if absent.
+    pub fn record(&mut self, rank: Option<usize>) {
+        self.n += 1;
+        if let Some(r) = rank {
+            debug_assert!(r >= 1);
+            self.hits += 1;
+            self.mrr_sum += 1.0 / r as f64;
+            self.ndcg_sum += 1.0 / ((r as f64) + 1.0).log2();
+        }
+    }
+
+    /// Number of recorded examples.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Top-N accuracy: fraction of examples whose label appeared at all.
+    pub fn accuracy(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.n as f64
+        }
+    }
+
+    /// Mean reciprocal rank (missing label contributes 0, i.e. rank ∞).
+    pub fn mrr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mrr_sum / self.n as f64
+        }
+    }
+
+    /// NDCG with a single relevant item per example (ideal DCG = 1).
+    pub fn ndcg(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.ndcg_sum / self.n as f64
+        }
+    }
+}
+
+/// Find the 1-based rank of `target` in `ranked`, considering only the
+/// first `n` entries.
+pub fn rank_of<T: PartialEq>(ranked: &[T], target: &T, n: usize) -> Option<usize> {
+    ranked
+        .iter()
+        .take(n)
+        .position(|x| x == target)
+        .map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn set_metrics_basic() {
+        let mut m = SetMetrics::default();
+        m.record(&set(&["a", "b", "c"]), &set(&["b", "c", "d", "e"]));
+        assert_eq!(m.hits, 2);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        let f1 = m.f1();
+        assert!((f1 - (2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_metrics_micro_averages_across_pairs() {
+        let mut m = SetMetrics::default();
+        m.record(&set(&["a"]), &set(&["a"])); // perfect, small
+        m.record(&set(&["x", "y", "z", "w"]), &set(&["q"])); // bad, big
+                                                             // Micro: hits 1, predicted 5, actual 2.
+        assert!((m.precision() - 0.2).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_metrics_edge_cases() {
+        let empty = SetMetrics::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+
+        let mut m = SetMetrics::default();
+        m.record(&set(&[]), &set(&["a"]));
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn set_metrics_merge() {
+        let mut a = SetMetrics::default();
+        a.record(&set(&["a"]), &set(&["a"]));
+        let mut b = SetMetrics::default();
+        b.record(&set(&["b"]), &set(&["c"]));
+        a.merge(&b);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.predicted, 2);
+        assert_eq!(a.actual, 2);
+    }
+
+    #[test]
+    fn rank_metrics_accuracy_and_mrr() {
+        let mut m = RankMetrics::default();
+        m.record(Some(1));
+        m.record(Some(2));
+        m.record(None);
+        assert_eq!(m.count(), 3);
+        assert!((m.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.mrr() - (1.0 + 0.5) / 3.0).abs() < 1e-12);
+        // NDCG: rank 1 → 1, rank 2 → 1/log2(3).
+        let expect = (1.0 + 1.0 / 3f64.log2()) / 3.0;
+        assert!((m.ndcg() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_metrics_empty() {
+        let m = RankMetrics::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.mrr(), 0.0);
+        assert_eq!(m.ndcg(), 0.0);
+    }
+
+    #[test]
+    fn rank_of_respects_cutoff() {
+        let ranked = vec!["a", "b", "c"];
+        assert_eq!(rank_of(&ranked, &"b", 3), Some(2));
+        assert_eq!(rank_of(&ranked, &"c", 2), None);
+        assert_eq!(rank_of(&ranked, &"z", 3), None);
+        assert_eq!(rank_of(&ranked, &"a", 1), Some(1));
+    }
+
+    #[test]
+    fn mrr_bounded_by_accuracy() {
+        let mut m = RankMetrics::default();
+        for r in [Some(1), Some(3), Some(5), None, Some(2)] {
+            m.record(r);
+        }
+        assert!(m.mrr() <= m.accuracy() + 1e-12);
+        assert!(m.ndcg() <= m.accuracy() + 1e-12);
+        assert!(m.mrr() <= m.ndcg() + 1e-12, "NDCG decays slower than MRR");
+    }
+}

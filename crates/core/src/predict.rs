@@ -1,0 +1,99 @@
+//! Prediction interfaces shared by the deep models and the baselines.
+
+use qrec_sql::{FragmentKind, FragmentSet, Template};
+use qrec_workload::QueryRecord;
+use serde::{Deserialize, Serialize};
+
+/// A value per fragment kind.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerKind<T> {
+    /// Tables.
+    pub table: T,
+    /// Columns.
+    pub column: T,
+    /// Functions.
+    pub function: T,
+    /// Literals.
+    pub literal: T,
+}
+
+impl<T> PerKind<T> {
+    /// Access by kind.
+    pub fn get(&self, kind: FragmentKind) -> &T {
+        match kind {
+            FragmentKind::Table => &self.table,
+            FragmentKind::Column => &self.column,
+            FragmentKind::Function => &self.function,
+            FragmentKind::Literal => &self.literal,
+        }
+    }
+
+    /// Mutable access by kind.
+    pub fn get_mut(&mut self, kind: FragmentKind) -> &mut T {
+        match kind {
+            FragmentKind::Table => &mut self.table,
+            FragmentKind::Column => &mut self.column,
+            FragmentKind::Function => &mut self.function,
+            FragmentKind::Literal => &mut self.literal,
+        }
+    }
+
+    /// Build from a function of kind.
+    pub fn from_fn(mut f: impl FnMut(FragmentKind) -> T) -> Self {
+        PerKind {
+            table: f(FragmentKind::Table),
+            column: f(FragmentKind::Column),
+            function: f(FragmentKind::Function),
+            literal: f(FragmentKind::Literal),
+        }
+    }
+
+    /// Map each kind's value.
+    pub fn map<U>(&self, mut f: impl FnMut(FragmentKind, &T) -> U) -> PerKind<U> {
+        PerKind {
+            table: f(FragmentKind::Table, &self.table),
+            column: f(FragmentKind::Column, &self.column),
+            function: f(FragmentKind::Function, &self.function),
+            literal: f(FragmentKind::Literal, &self.literal),
+        }
+    }
+}
+
+/// Fragment prediction interface (Definition 7, both flavours).
+///
+/// `&mut self` because the deep predictors carry decoding RNG state.
+pub trait FragmentPredictor {
+    /// Method label for reports.
+    fn name(&self) -> String;
+
+    /// Fragment-*set* prediction: all fragments expected in `Q_{i+1}`.
+    fn predict_set(&mut self, q: &QueryRecord) -> FragmentSet;
+
+    /// *N-fragments* prediction: up to `n` ranked fragments per kind.
+    fn predict_n(&mut self, q: &QueryRecord, n: usize) -> PerKind<Vec<String>>;
+}
+
+/// Template prediction interface (Definition 6).
+pub trait TemplatePredictor {
+    /// Method label for reports.
+    fn name(&self) -> String;
+
+    /// Up to `n` ranked templates for `template(Q_{i+1})`.
+    fn predict_templates(&mut self, q: &QueryRecord, n: usize) -> Vec<Template>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kind_accessors() {
+        let mut p: PerKind<usize> = PerKind::from_fn(|k| k as usize);
+        assert_eq!(*p.get(FragmentKind::Table), 0);
+        assert_eq!(*p.get(FragmentKind::Literal), 3);
+        *p.get_mut(FragmentKind::Column) = 42;
+        assert_eq!(p.column, 42);
+        let doubled = p.map(|_, v| v * 2);
+        assert_eq!(doubled.column, 84);
+    }
+}

@@ -1,0 +1,152 @@
+//! Online session context for interactive recommendation.
+//!
+//! Definitions 6 and 7 allow predictions from the whole current session
+//! `S* = (Q'_1 … Q'_i)`; the paper's solution uses only `Q'_i` but notes
+//! that seq2seq inputs extend naturally by concatenating the preceding
+//! queries into one sequence (Section 2). [`SessionContext`] implements
+//! that: it accumulates the user's queries and exposes either the last
+//! query or a windowed concatenation as model input.
+
+use crate::predict::PerKind;
+use crate::recommender::Recommender;
+use qrec_nn::Strategy;
+use qrec_sql::ParseError;
+use qrec_workload::QueryRecord;
+
+/// Separator token placed between concatenated queries. Out-of-vocabulary
+/// by construction, so it encodes as `<UNK>` — a consistent boundary
+/// marker for the model.
+pub const SEP_TOKEN: &str = "<SEP>";
+
+/// A live user session: the queries issued so far, oldest first.
+#[derive(Debug, Clone, Default)]
+pub struct SessionContext {
+    history: Vec<QueryRecord>,
+    window: usize,
+}
+
+impl SessionContext {
+    /// A context that feeds models the last `window` queries
+    /// (`window = 1` reproduces the paper's configuration).
+    pub fn new(window: usize) -> Self {
+        SessionContext {
+            history: Vec::new(),
+            window: window.max(1),
+        }
+    }
+
+    /// Record the next query the user ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if the statement is not valid SQL in the
+    /// `qrec` dialect (the session is left unchanged).
+    pub fn push_sql(&mut self, sql: &str) -> Result<(), ParseError> {
+        let record = QueryRecord::new(sql)?;
+        self.history.push(record);
+        Ok(())
+    }
+
+    /// Record an already-parsed query.
+    pub fn push(&mut self, record: QueryRecord) {
+        self.history.push(record);
+    }
+
+    /// Number of queries recorded.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True if the session has no queries yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The most recent query, if any.
+    pub fn last(&self) -> Option<&QueryRecord> {
+        self.history.last()
+    }
+
+    /// The full history, oldest first.
+    pub fn history(&self) -> &[QueryRecord] {
+        &self.history
+    }
+
+    /// The model input tokens: the last `window` queries concatenated
+    /// with [`SEP_TOKEN`] boundaries (just the last query when
+    /// `window = 1`).
+    pub fn input_tokens(&self) -> Vec<String> {
+        let n = self.history.len();
+        let start = n.saturating_sub(self.window);
+        let mut out = Vec::new();
+        for (i, q) in self.history[start..].iter().enumerate() {
+            if i > 0 {
+                out.push(SEP_TOKEN.to_string());
+            }
+            out.extend(q.tokens.iter().cloned());
+        }
+        out
+    }
+
+    /// Recommend up to `n` fragments per kind for the next query, using
+    /// the windowed context. Returns `None` when the session is empty.
+    pub fn recommend_fragments(
+        &self,
+        rec: &mut Recommender,
+        n: usize,
+        strategy: Strategy,
+    ) -> Option<PerKind<Vec<String>>> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let tokens = self.input_tokens();
+        let ranked = rec.ranked_fragments_for_tokens(&tokens, strategy);
+        Some(ranked.map(|_, r| r.iter().take(n).cloned().collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_window() {
+        let mut ctx = SessionContext::new(2);
+        assert!(ctx.is_empty());
+        ctx.push_sql("SELECT a FROM t").unwrap();
+        ctx.push_sql("SELECT b FROM t").unwrap();
+        ctx.push_sql("SELECT c FROM t").unwrap();
+        assert_eq!(ctx.len(), 3);
+        assert_eq!(ctx.last().unwrap().sql, "SELECT c FROM t");
+        let toks = ctx.input_tokens();
+        // Window 2: queries b and c with one separator.
+        assert_eq!(toks.iter().filter(|t| *t == SEP_TOKEN).count(), 1);
+        assert!(toks.contains(&"b".to_string()));
+        assert!(toks.contains(&"c".to_string()));
+        assert!(!toks.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn window_one_is_last_query_only() {
+        let mut ctx = SessionContext::new(1);
+        ctx.push_sql("SELECT a FROM t").unwrap();
+        ctx.push_sql("SELECT b FROM u").unwrap();
+        let toks = ctx.input_tokens();
+        assert!(!toks.contains(&SEP_TOKEN.to_string()));
+        assert_eq!(toks, ctx.last().unwrap().tokens);
+    }
+
+    #[test]
+    fn invalid_sql_leaves_session_unchanged() {
+        let mut ctx = SessionContext::new(1);
+        ctx.push_sql("SELECT a FROM t").unwrap();
+        assert!(ctx.push_sql("NOT SQL").is_err());
+        assert_eq!(ctx.len(), 1);
+    }
+
+    #[test]
+    fn zero_window_clamps_to_one() {
+        let ctx = SessionContext::new(0);
+        assert_eq!(ctx.window, 1);
+    }
+}

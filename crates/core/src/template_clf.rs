@@ -1,0 +1,339 @@
+//! Next template prediction (Sections 4.1.2 and 4.2.1): a classifier
+//! over template classes, optionally fine-tuned from a trained seq2seq
+//! encoder.
+
+use crate::data::{build_vocab, encode_labeled, SeqMode, TemplateClasses};
+use crate::model::{AnyModel, Arch, SizePreset};
+use crate::predict::TemplatePredictor;
+use crate::recommender::Recommender;
+use qrec_nn::classifier::{classify, ClassifierHead};
+use qrec_nn::params::Params;
+use qrec_nn::trainer::{train_classifier, TrainConfig, TrainReport};
+use qrec_sql::Template;
+use qrec_workload::{QueryRecord, Split, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Template classifier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemplateClfConfig {
+    /// Hidden width of the two-layer head (the paper tunes in
+    /// `[300, 2000]`; scaled down here).
+    pub hidden: usize,
+    /// Head dropout.
+    pub dropout: f32,
+    /// Keep templates with at least this many training occurrences as
+    /// classes (Section 5.4.1 uses 3).
+    pub min_support: usize,
+    /// Training settings.
+    pub train: TrainConfig,
+}
+
+impl Default for TemplateClfConfig {
+    fn default() -> Self {
+        TemplateClfConfig {
+            hidden: 128,
+            dropout: 0.1,
+            min_support: 3,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+impl TemplateClfConfig {
+    /// Tiny settings for tests.
+    pub fn test() -> Self {
+        TemplateClfConfig {
+            hidden: 32,
+            dropout: 0.0,
+            min_support: 1,
+            train: TrainConfig {
+                epochs: 5,
+                batch_size: 8,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// A trained template classification model: encoder + two-layer head.
+pub struct TemplateModel {
+    name: String,
+    model: AnyModel,
+    head: ClassifierHead,
+    params: Params,
+    vocab: Vocab,
+    classes: TemplateClasses,
+    rng: StdRng,
+}
+
+impl TemplateModel {
+    /// Fine-tuned construction (step 2): clone the trained seq2seq
+    /// parameter store, append a classification head, and continue
+    /// training everything on the labelled pairs.
+    pub fn train_fine_tuned(
+        rec: &Recommender,
+        split: &Split,
+        cfg: TemplateClfConfig,
+    ) -> (Self, TrainReport) {
+        use qrec_nn::seq2seq::Seq2Seq;
+        let vocab = rec.vocab().clone();
+        let classes = TemplateClasses::from_pairs(&split.train, cfg.min_support);
+        let mut params = rec.params().clone();
+        let mut rng = StdRng::seed_from_u64(cfg.train.seed);
+        let model = rec.model().clone();
+        let head = ClassifierHead::new(
+            &mut params,
+            model.d_model(),
+            cfg.hidden,
+            classes.len().max(1),
+            cfg.dropout,
+            &mut rng,
+        );
+        let name = format!("{}-tuned", rec.config().label());
+        Self::finish_training(name, model, head, params, vocab, classes, split, cfg, rng)
+    }
+
+    /// Non-fine-tuned ablation: same architecture, freshly initialised
+    /// encoder, trained only on the classification objective.
+    pub fn train_from_scratch(
+        arch: Arch,
+        size: SizePreset,
+        seq_label: SeqMode,
+        split: &Split,
+        cfg: TemplateClfConfig,
+        vocab_min_count: usize,
+        seed: u64,
+    ) -> (Self, TrainReport) {
+        let vocab = build_vocab(&split.train, vocab_min_count);
+        let classes = TemplateClasses::from_pairs(&split.train, cfg.min_support);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let model = AnyModel::build(arch, size, vocab.len(), &mut params, &mut rng);
+        use qrec_nn::seq2seq::Seq2Seq;
+        let head = ClassifierHead::new(
+            &mut params,
+            model.d_model(),
+            cfg.hidden,
+            classes.len().max(1),
+            cfg.dropout,
+            &mut rng,
+        );
+        let name = format!("{} {} untuned", seq_label.label(), arch.label());
+        Self::finish_training(name, model, head, params, vocab, classes, split, cfg, rng)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_training(
+        name: String,
+        model: AnyModel,
+        head: ClassifierHead,
+        mut params: Params,
+        vocab: Vocab,
+        classes: TemplateClasses,
+        split: &Split,
+        cfg: TemplateClfConfig,
+        rng: StdRng,
+    ) -> (Self, TrainReport) {
+        let train_data = encode_labeled(&split.train, &vocab, &classes);
+        let val_data = encode_labeled(&split.val, &vocab, &classes);
+        let report = train_classifier(
+            &model,
+            &head,
+            &mut params,
+            &train_data,
+            &val_data,
+            &cfg.train,
+        );
+        (
+            TemplateModel {
+                name,
+                model,
+                head,
+                params,
+                vocab,
+                classes,
+                rng,
+            },
+            report,
+        )
+    }
+
+    /// Reassemble a classifier from previously trained parts (model
+    /// caching in the experiment harness).
+    pub fn from_parts(
+        name: String,
+        model: AnyModel,
+        head: ClassifierHead,
+        params: Params,
+        vocab: Vocab,
+        classes: TemplateClasses,
+        seed: u64,
+    ) -> Self {
+        TemplateModel {
+            name,
+            model,
+            head,
+            params,
+            vocab,
+            classes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Decompose into serialisable parts: `(name, model, head, params,
+    /// vocab, classes)`.
+    pub fn parts(
+        &self,
+    ) -> (
+        &str,
+        &AnyModel,
+        &ClassifierHead,
+        &Params,
+        &Vocab,
+        &TemplateClasses,
+    ) {
+        (
+            &self.name,
+            &self.model,
+            &self.head,
+            &self.params,
+            &self.vocab,
+            &self.classes,
+        )
+    }
+
+    /// The class label space.
+    pub fn classes(&self) -> &TemplateClasses {
+        &self.classes
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.params.scalar_count()
+    }
+
+    /// Ranked `(template, probability)` predictions.
+    pub fn predict_ranked(&mut self, q: &QueryRecord, n: usize) -> Vec<(Template, f32)> {
+        if self.classes.is_empty() {
+            return Vec::new();
+        }
+        let src = self.vocab.encode(&q.tokens);
+        let ranked = classify(&self.model, &self.head, &self.params, &src, &mut self.rng);
+        ranked
+            .into_iter()
+            .take(n)
+            .map(|(class, p)| (self.classes.template(class).clone(), p))
+            .collect()
+    }
+}
+
+impl TemplatePredictor for TemplateModel {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn predict_templates(&mut self, q: &QueryRecord, n: usize) -> Vec<Template> {
+        self.predict_ranked(q, n)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recommender::RecommenderConfig;
+    use qrec_workload::gen::{generate, WorkloadProfile};
+
+    fn tiny_split() -> (qrec_workload::Workload, Split) {
+        let (w, _) = generate(&WorkloadProfile::tiny(), 33);
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = Split::paper(w.pairs(), &mut rng);
+        (w, split)
+    }
+
+    #[test]
+    fn from_scratch_classifier_trains_and_predicts() {
+        let (_w, split) = tiny_split();
+        let cfg = TemplateClfConfig::test();
+        let (mut clf, report) = TemplateModel::train_from_scratch(
+            Arch::Transformer,
+            SizePreset::Test,
+            SeqMode::Aware,
+            &split,
+            cfg,
+            1,
+            9,
+        );
+        assert!(!report.epoch_losses.is_empty());
+        assert!(clf.classes().len() > 1);
+        let q = &split.test.first().expect("test pairs").current;
+        let preds = clf.predict_templates(q, 3);
+        assert!(preds.len() <= 3 && !preds.is_empty());
+        // Probabilities ranked descending.
+        let ranked = clf.predict_ranked(q, 5);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn fine_tuned_classifier_builds_on_recommender() {
+        let (w, split) = tiny_split();
+        let rcfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+        let (rec, _) = Recommender::train(&split, &w, rcfg);
+        let pre_params = rec.params().scalar_count();
+        let (mut clf, report) =
+            TemplateModel::train_fine_tuned(&rec, &split, TemplateClfConfig::test());
+        assert!(clf.param_count() > pre_params, "head params appended");
+        assert!(!report.epoch_losses.is_empty());
+        assert!(clf.name().contains("tuned"));
+        let q = &split.test.first().expect("test pairs").current;
+        assert!(!clf.predict_templates(q, 2).is_empty());
+    }
+
+    #[test]
+    fn classifier_beats_chance_on_train_data() {
+        let (_w, split) = tiny_split();
+        let cfg = TemplateClfConfig {
+            train: TrainConfig {
+                epochs: 10,
+                batch_size: 8,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+            ..TemplateClfConfig::test()
+        };
+        let (mut clf, _) = TemplateModel::train_from_scratch(
+            Arch::Transformer,
+            SizePreset::Test,
+            SeqMode::Aware,
+            &split,
+            cfg,
+            1,
+            9,
+        );
+        let k = clf.classes().len() as f64;
+        let mut hits = 0usize;
+        let mut n = 0usize;
+        for p in split.train.iter().take(60) {
+            if let Some(label) = clf.classes().index_of(&p.next.template) {
+                n += 1;
+                let pred = clf.predict_templates(&p.current, 1);
+                if !pred.is_empty() && clf.classes().index_of(&pred[0]) == Some(label) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(n > 10);
+        let acc = hits as f64 / n as f64;
+        assert!(
+            acc > 1.5 / k,
+            "train accuracy {acc} should beat chance 1/{k}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the recommendation layer: baseline and
+//! metric invariants that must hold on any workload.
+
+use proptest::prelude::*;
+use qrec_core::prelude::*;
+use qrec_workload::gen::{generate, WorkloadProfile};
+use qrec_workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_split(seed: u64) -> (qrec_workload::Workload, Split) {
+    let mut p = WorkloadProfile::tiny();
+    p.sessions = 20;
+    let (w, _) = generate(&p, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let split = Split::paper(w.pairs(), &mut rng);
+    (w, split)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every baseline: F1 values are bounded, recall is monotone in
+    /// N, and precision·recall ordering is internally consistent.
+    #[test]
+    fn baseline_metrics_invariants(seed in 0u64..500) {
+        let (_w, split) = tiny_split(seed);
+        if split.test.is_empty() {
+            return Ok(());
+        }
+        let mut methods: Vec<Box<dyn FragmentPredictor>> = vec![
+            Box::new(NaiveQi::fit(&split.train)),
+            Box::new(PopularBaseline::fit(&split.train)),
+            Box::new(Querie::fit(&split.train, 5)),
+        ];
+        for m in methods.iter_mut() {
+            let m1 = eval_n_fragments(m.as_mut(), &split.test, 1);
+            let m5 = eval_n_fragments(m.as_mut(), &split.test, 5);
+            for kind in qrec_sql::FragmentKind::ALL {
+                let (a, b) = (m1.get(kind), m5.get(kind));
+                prop_assert!((0.0..=1.0).contains(&a.f1()));
+                prop_assert!((0.0..=1.0).contains(&b.f1()));
+                // Larger N can only add predictions → recall grows.
+                prop_assert!(b.recall() + 1e-12 >= a.recall(),
+                    "recall must be monotone in N for {}", m.name());
+            }
+        }
+    }
+
+    /// naive-Qi template accuracy always equals the test template-same
+    /// rate (the Section 5.4.2 anchor identity), on any workload.
+    #[test]
+    fn naive_anchor_identity(seed in 0u64..500) {
+        let (_w, split) = tiny_split(seed);
+        if split.test.is_empty() {
+            return Ok(());
+        }
+        let mut naive = NaiveQi::fit(&split.train);
+        let acc = eval_templates(&mut naive, &split.test, 1).accuracy();
+        let same = split
+            .test
+            .iter()
+            .filter(|p| p.current.template == p.next.template)
+            .count() as f64
+            / split.test.len() as f64;
+        prop_assert!((acc - same).abs() < 1e-12);
+    }
+
+    /// Template metrics are rank-consistent: accuracy ≥ NDCG ≥ MRR at
+    /// every N, and all grow monotonically with N.
+    #[test]
+    fn template_metric_ordering(seed in 0u64..500, n1 in 1usize..3, extra in 1usize..4) {
+        let (_w, split) = tiny_split(seed);
+        if split.test.is_empty() {
+            return Ok(());
+        }
+        let n2 = n1 + extra;
+        let mut popular = PopularBaseline::fit(&split.train);
+        let a = eval_templates(&mut popular, &split.test, n1);
+        let b = eval_templates(&mut popular, &split.test, n2);
+        prop_assert!(b.accuracy() + 1e-12 >= a.accuracy());
+        prop_assert!(b.mrr() + 1e-12 >= a.mrr());
+        for m in [&a, &b] {
+            prop_assert!(m.accuracy() + 1e-12 >= m.ndcg());
+            prop_assert!(m.ndcg() + 1e-12 >= m.mrr());
+        }
+    }
+
+    /// The fragment lexicon classifies every fragment the workload's own
+    /// queries contain (closure property).
+    #[test]
+    fn lexicon_closure(seed in 0u64..500) {
+        let (w, _) = tiny_split(seed);
+        let lex = FragmentLexicon::from_workload(&w);
+        for s in &w.sessions {
+            for q in &s.queries {
+                for (kind, frag) in q.fragments.iter() {
+                    prop_assert!(
+                        lex.kinds_of(frag).contains(&kind),
+                        "lexicon missing {kind:?} {frag:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// QueRIE retrieval is reflexive-ish: querying with a training query
+    /// itself retrieves fragments overlapping that query's own.
+    #[test]
+    fn querie_self_retrieval(seed in 0u64..200) {
+        let (_w, split) = tiny_split(seed);
+        let Some(p) = split.train.first() else { return Ok(()); };
+        if p.current.fragments.tables.is_empty() {
+            return Ok(());
+        }
+        let mut qr = Querie::fit(&split.train, 3);
+        let set = qr.predict_set(&p.current);
+        let overlap = set
+            .tables
+            .intersection(&p.current.fragments.tables)
+            .count();
+        prop_assert!(overlap > 0, "self-retrieval must share tables");
+    }
+}

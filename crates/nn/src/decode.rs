@@ -1,0 +1,568 @@
+//! Decoding strategies for online recommendation (Section 4.2.2):
+//! greedy decoding for fragment-*set* prediction, and beam search /
+//! diverse beam search / stochastic sampling for *N-fragments*
+//! prediction.
+//!
+//! All strategies operate through [`Seq2Seq::decode`]'s causal interface
+//! and return [`Hypothesis`] lists carrying per-token probabilities, from
+//! which the recommender aggregates fragment probabilities over the
+//! partial search tree exactly as the paper describes.
+
+use crate::params::{Binding, Fwd, Params};
+use crate::seq2seq::Seq2Seq;
+use qrec_tensor::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Padding token id (never emitted).
+pub const PAD: usize = 0;
+/// Start-of-sequence id, mirroring `qrec_workload::vocab` (never emitted).
+pub const SOS: usize = 1;
+/// End-of-sequence id.
+pub const EOS: usize = 2;
+
+/// Zero out tokens a decoder must never emit (`<PAD>`, `<SOS>`).
+fn suppress_specials(probs: &mut [f32]) {
+    if probs.len() > PAD {
+        probs[PAD] = 0.0;
+    }
+    if probs.len() > SOS {
+        probs[SOS] = 0.0;
+    }
+}
+
+/// One decoded candidate sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypothesis {
+    /// Emitted token ids (no `<SOS>`, no `<EOS>`).
+    pub ids: Vec<usize>,
+    /// Probability of each emitted token at its step, aligned with `ids`.
+    pub token_probs: Vec<f32>,
+    /// Sum of log-probabilities (including the final `<EOS>` if finished).
+    pub log_prob: f32,
+    /// Whether the hypothesis emitted `<EOS>` before the length cap.
+    pub finished: bool,
+}
+
+/// The decoding strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Pick the argmax token each step; returns one hypothesis.
+    Greedy,
+    /// Standard beam search with the given width.
+    Beam {
+        /// Beam width `B`.
+        width: usize,
+    },
+    /// Diverse beam search: `groups` groups, Hamming diversity penalty
+    /// subtracted from the log-score of tokens earlier groups picked at
+    /// the same step (Vijayakumar et al.).
+    DiverseBeam {
+        /// Total beam width (divided across groups).
+        width: usize,
+        /// Number of diversity groups.
+        groups: usize,
+        /// Penalty strength λ.
+        penalty: f32,
+    },
+    /// Stochastic decoding: `samples` independent rollouts, sampling each
+    /// step from the distribution with low-probability tokens zeroed
+    /// (the paper's variant of nucleus-style filtering).
+    Sampling {
+        /// Number of rollouts.
+        samples: usize,
+        /// Tokens with probability below this are never sampled.
+        min_prob: f32,
+    },
+}
+
+/// Decode candidate next-query token sequences for `src`.
+///
+/// `max_len` caps emitted length. Returns hypotheses sorted by
+/// descending log-probability (deduplicated on token ids).
+pub fn decode<M: Seq2Seq + ?Sized>(
+    model: &M,
+    params: &Params,
+    src: &[usize],
+    strategy: Strategy,
+    max_len: usize,
+    rng: &mut StdRng,
+) -> Vec<Hypothesis> {
+    let mut dec = Decoder::new(model, params, rng);
+    let mut hyps = match strategy {
+        Strategy::Greedy => vec![dec.greedy(src, max_len)],
+        Strategy::Beam { width } => dec.beam(src, max_len, width, 1, 0.0),
+        Strategy::DiverseBeam {
+            width,
+            groups,
+            penalty,
+        } => dec.beam(src, max_len, width, groups.max(1), penalty),
+        Strategy::Sampling { samples, min_prob } => dec.sample(src, max_len, samples, min_prob),
+    };
+    hyps.sort_by(|a, b| {
+        b.log_prob
+            .partial_cmp(&a.log_prob)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    hyps.dedup_by(|a, b| a.ids == b.ids);
+    hyps
+}
+
+/// Incremental decoder: one graph per step batchlet, recomputing the
+/// prefix (sequence lengths here are short, so O(L²) re-encoding is
+/// cheaper than maintaining per-architecture caches).
+struct Decoder<'m, M: Seq2Seq + ?Sized> {
+    model: &'m M,
+    params: &'m Params,
+    rng: &'m mut StdRng,
+    /// Encoder output cached per source sequence: decoding re-queries the
+    /// decoder many times against the same, frozen encoder state.
+    enc_cache: Option<(Vec<usize>, Tensor)>,
+}
+
+impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
+    fn new(model: &'m M, params: &'m Params, rng: &'m mut StdRng) -> Self {
+        Decoder {
+            model,
+            params,
+            rng,
+            enc_cache: None,
+        }
+    }
+
+    fn encoder_output(&mut self, src: &[usize]) -> Tensor {
+        if let Some((cached_src, enc)) = &self.enc_cache {
+            if cached_src == src {
+                return enc.clone();
+            }
+        }
+        let mut graph = Graph::new();
+        let mut bind = Binding::new(self.params.len());
+        let mut fwd = Fwd {
+            graph: &mut graph,
+            params: self.params,
+            bind: &mut bind,
+            rng: self.rng,
+            training: false,
+        };
+        let enc = self.model.encode(&mut fwd, src);
+        let out = graph.value(enc).clone();
+        self.enc_cache = Some((src.to_vec(), out.clone()));
+        out
+    }
+
+    /// Next-token probability distribution after `prefix` (which starts
+    /// with `<SOS>`).
+    fn next_probs(&mut self, src: &[usize], prefix: &[usize]) -> Vec<f32> {
+        let enc_val = self.encoder_output(src);
+        let mut graph = Graph::new();
+        let mut bind = Binding::new(self.params.len());
+        let mut fwd = Fwd {
+            graph: &mut graph,
+            params: self.params,
+            bind: &mut bind,
+            rng: self.rng,
+            training: false,
+        };
+        let enc = fwd.constant(enc_val);
+        let logits = self.model.decode_last_logits(&mut fwd, enc, prefix);
+        graph.value(logits).softmax_rows().into_data()
+    }
+
+    fn greedy(&mut self, src: &[usize], max_len: usize) -> Hypothesis {
+        let mut prefix = vec![SOS];
+        let mut hyp = Hypothesis {
+            ids: Vec::new(),
+            token_probs: Vec::new(),
+            log_prob: 0.0,
+            finished: false,
+        };
+        for _ in 0..max_len {
+            let mut probs = self.next_probs(src, &prefix);
+            suppress_specials(&mut probs);
+            let (tok, p) = argmax(&probs);
+            hyp.log_prob += p.max(1e-12).ln();
+            if tok == EOS {
+                hyp.finished = true;
+                break;
+            }
+            hyp.ids.push(tok);
+            hyp.token_probs.push(p);
+            prefix.push(tok);
+        }
+        hyp
+    }
+
+    /// Beam search; with `groups > 1` runs diverse beam search.
+    fn beam(
+        &mut self,
+        src: &[usize],
+        max_len: usize,
+        width: usize,
+        groups: usize,
+        penalty: f32,
+    ) -> Vec<Hypothesis> {
+        let width = width.max(1);
+        let groups = groups.min(width);
+        let group_width = width.div_ceil(groups);
+
+        #[derive(Clone)]
+        struct Live {
+            prefix: Vec<usize>, // starts with SOS
+            hyp: Hypothesis,
+        }
+        let root = Live {
+            prefix: vec![SOS],
+            hyp: Hypothesis {
+                ids: Vec::new(),
+                token_probs: Vec::new(),
+                log_prob: 0.0,
+                finished: false,
+            },
+        };
+        // One beam per group.
+        let mut beams: Vec<Vec<Live>> = vec![vec![root]; groups];
+        let mut done: Vec<Hypothesis> = Vec::new();
+
+        for _step in 0..max_len {
+            let mut chosen_this_step: Vec<usize> = Vec::new();
+            for beam in beams.iter_mut() {
+                if beam.is_empty() {
+                    continue;
+                }
+                let mut candidates: Vec<(f32, usize, usize)> = Vec::new(); // (score, live idx, token)
+                let mut probs_cache: Vec<Vec<f32>> = Vec::with_capacity(beam.len());
+                for (li, live) in beam.iter().enumerate() {
+                    let mut probs = self.next_probs(src, &live.prefix);
+                    suppress_specials(&mut probs);
+                    for (tok, &p) in probs.iter().enumerate() {
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        let mut score = live.hyp.log_prob + p.max(1e-12).ln();
+                        if penalty > 0.0 {
+                            let count = chosen_this_step.iter().filter(|&&t| t == tok).count();
+                            score -= penalty * count as f32;
+                        }
+                        candidates.push((score, li, tok));
+                    }
+                    probs_cache.push(probs);
+                }
+                candidates
+                    .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                // Standard beam step: the top `group_width` candidates each
+                // take one slot; an EOS candidate retires its hypothesis.
+                let mut next: Vec<Live> = Vec::with_capacity(group_width);
+                for (_score, li, tok) in candidates.into_iter().take(group_width) {
+                    let live = &beam[li];
+                    let p = probs_cache[li][tok];
+                    let mut hyp = live.hyp.clone();
+                    hyp.log_prob += p.max(1e-12).ln();
+                    if tok == EOS {
+                        hyp.finished = true;
+                        done.push(hyp);
+                        continue;
+                    }
+                    hyp.ids.push(tok);
+                    hyp.token_probs.push(p);
+                    let mut prefix = live.prefix.clone();
+                    prefix.push(tok);
+                    chosen_this_step.push(tok);
+                    next.push(Live { prefix, hyp });
+                }
+                *beam = next;
+            }
+            if beams.iter().all(|b| b.is_empty()) || done.len() >= width * 2 {
+                break;
+            }
+        }
+        // Unfinished survivors still count as candidates.
+        for beam in beams {
+            for live in beam {
+                done.push(live.hyp);
+            }
+        }
+        done
+    }
+
+    fn sample(
+        &mut self,
+        src: &[usize],
+        max_len: usize,
+        samples: usize,
+        min_prob: f32,
+    ) -> Vec<Hypothesis> {
+        let mut out = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut prefix = vec![SOS];
+            let mut hyp = Hypothesis {
+                ids: Vec::new(),
+                token_probs: Vec::new(),
+                log_prob: 0.0,
+                finished: false,
+            };
+            for _ in 0..max_len {
+                let mut probs = self.next_probs(src, &prefix);
+                suppress_specials(&mut probs);
+                // The paper zeroes low-score tokens before sampling.
+                let mut total = 0.0f32;
+                for p in probs.iter_mut() {
+                    if *p < min_prob {
+                        *p = 0.0;
+                    }
+                    total += *p;
+                }
+                if total <= 0.0 {
+                    // Degenerate distribution: fall back to argmax.
+                    probs = self.next_probs(src, &prefix);
+                    suppress_specials(&mut probs);
+                    let (tok, p) = argmax(&probs);
+                    hyp.log_prob += p.max(1e-12).ln();
+                    if tok == EOS {
+                        hyp.finished = true;
+                        break;
+                    }
+                    hyp.ids.push(tok);
+                    hyp.token_probs.push(p);
+                    prefix.push(tok);
+                    continue;
+                }
+                let mut u = self.rng.gen_range(0.0..total);
+                let mut tok = probs.len() - 1;
+                for (i, &p) in probs.iter().enumerate() {
+                    if u < p {
+                        tok = i;
+                        break;
+                    }
+                    u -= p;
+                }
+                let p = probs[tok] / total;
+                hyp.log_prob += p.max(1e-12).ln();
+                if tok == EOS {
+                    hyp.finished = true;
+                    break;
+                }
+                hyp.ids.push(tok);
+                hyp.token_probs.push(p);
+                prefix.push(tok);
+            }
+            out.push(hyp);
+        }
+        out
+    }
+}
+
+fn argmax(probs: &[f32]) -> (usize, f32) {
+    let mut best = 0;
+    let mut best_p = f32::NEG_INFINITY;
+    for (i, &p) in probs.iter().enumerate() {
+        if p > best_p {
+            best_p = p;
+            best = i;
+        }
+    }
+    (best, best_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::{Adam, AdamConfig};
+    use crate::params::forward_backward;
+    use crate::transformer::{Transformer, TransformerConfig};
+    use rand::SeedableRng;
+
+    /// Train a tiny model to copy its input; decoding should then emit
+    /// the source sequence.
+    fn trained_copy_model() -> (Params, Transformer) {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = Transformer::new(&mut params, TransformerConfig::test(10), &mut rng);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 3e-3,
+                ..AdamConfig::default()
+            },
+            &params,
+        );
+        let seqs: Vec<Vec<usize>> = vec![
+            vec![SOS, 4, 5, 6, EOS],
+            vec![SOS, 7, 8, EOS],
+            vec![SOS, 9, 4, 7, EOS],
+        ];
+        for _ in 0..60 {
+            for s in &seqs {
+                let src = s.clone();
+                let tgt_in = &s[..s.len() - 1];
+                let tgt_out = &s[1..];
+                forward_backward(&mut params, &mut StdRng::seed_from_u64(0), |fwd| {
+                    let enc = model.encode(fwd, &src);
+                    let logits = model.decode(fwd, enc, tgt_in);
+                    fwd.graph.cross_entropy(logits, tgt_out)
+                });
+                adam.step(&mut params, 1.0);
+            }
+        }
+        (params, model)
+    }
+
+    #[test]
+    fn greedy_decodes_copy_task() {
+        let (params, model) = trained_copy_model();
+        let mut rng = StdRng::seed_from_u64(0);
+        let hyps = decode(
+            &model,
+            &params,
+            &[SOS, 4, 5, 6, EOS],
+            Strategy::Greedy,
+            10,
+            &mut rng,
+        );
+        assert_eq!(hyps.len(), 1);
+        assert_eq!(hyps[0].ids, vec![4, 5, 6]);
+        assert!(hyps[0].finished);
+        assert_eq!(hyps[0].ids.len(), hyps[0].token_probs.len());
+        assert!(hyps[0]
+            .token_probs
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn beam_width_one_matches_greedy() {
+        let (params, model) = trained_copy_model();
+        let src = [SOS, 7, 8, EOS];
+        let g = decode(
+            &model,
+            &params,
+            &src,
+            Strategy::Greedy,
+            10,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let b = decode(
+            &model,
+            &params,
+            &src,
+            Strategy::Beam { width: 1 },
+            10,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(g[0].ids, b[0].ids);
+    }
+
+    #[test]
+    fn beam_returns_multiple_ranked_hypotheses() {
+        let (params, model) = trained_copy_model();
+        let hyps = decode(
+            &model,
+            &params,
+            &[SOS, 9, 4, 7, EOS],
+            Strategy::Beam { width: 4 },
+            10,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert!(hyps.len() >= 2, "beam should keep alternatives");
+        for w in hyps.windows(2) {
+            assert!(w[0].log_prob >= w[1].log_prob, "must be sorted");
+        }
+        // The top hypothesis is the copy.
+        assert_eq!(hyps[0].ids, vec![9, 4, 7]);
+    }
+
+    #[test]
+    fn diverse_beam_spreads_tokens() {
+        let (params, model) = trained_copy_model();
+        let plain = decode(
+            &model,
+            &params,
+            &[SOS, 4, 5, 6, EOS],
+            Strategy::Beam { width: 4 },
+            10,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let diverse = decode(
+            &model,
+            &params,
+            &[SOS, 4, 5, 6, EOS],
+            Strategy::DiverseBeam {
+                width: 4,
+                groups: 2,
+                penalty: 2.0,
+            },
+            10,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let first_tokens = |hs: &[Hypothesis]| {
+            hs.iter()
+                .filter_map(|h| h.ids.first().copied())
+                .collect::<std::collections::HashSet<_>>()
+        };
+        assert!(
+            first_tokens(&diverse).len() >= first_tokens(&plain).len(),
+            "diversity penalty should not reduce first-token variety"
+        );
+    }
+
+    #[test]
+    fn sampling_respects_min_prob() {
+        let (params, model) = trained_copy_model();
+        // With a very high min_prob only the argmax survives, so sampling
+        // degenerates to greedy.
+        let hyps = decode(
+            &model,
+            &params,
+            &[SOS, 4, 5, 6, EOS],
+            Strategy::Sampling {
+                samples: 3,
+                min_prob: 0.9,
+            },
+            10,
+            &mut StdRng::seed_from_u64(1),
+        );
+        // After dedup all samples collapse to the same (greedy) sequence.
+        assert_eq!(hyps.len(), 1);
+        assert_eq!(hyps[0].ids, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn sampling_produces_variety_with_low_threshold() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Untrained model → near-uniform distributions → diverse samples.
+        let model = Transformer::new(&mut params, TransformerConfig::test(30), &mut rng);
+        let hyps = decode(
+            &model,
+            &params,
+            &[SOS, 4, EOS],
+            Strategy::Sampling {
+                samples: 6,
+                min_prob: 0.0,
+            },
+            6,
+            &mut rng,
+        );
+        assert!(
+            hyps.len() >= 2,
+            "expected varied samples, got {}",
+            hyps.len()
+        );
+    }
+
+    #[test]
+    fn max_len_caps_unfinished_hypotheses() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Transformer::new(&mut params, TransformerConfig::test(30), &mut rng);
+        let hyps = decode(
+            &model,
+            &params,
+            &[SOS, 4, EOS],
+            Strategy::Greedy,
+            4,
+            &mut rng,
+        );
+        assert!(hyps[0].ids.len() <= 4);
+    }
+}

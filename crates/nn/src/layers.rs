@@ -1,0 +1,352 @@
+//! Basic neural layers: linear, embedding, layer norm, dropout,
+//! position-wise feed-forward, and sinusoidal positional encodings.
+
+use crate::params::{Fwd, ParamId, Params};
+use qrec_tensor::{init, NodeId, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fully connected layer `y = x·W + b`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    /// Input width (for diagnostics).
+    pub d_in: usize,
+    /// Output width.
+    pub d_out: usize,
+}
+
+impl Linear {
+    /// Create a linear layer with bias.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), init::xavier_uniform(d_in, d_out, rng));
+        let b = params.add(format!("{name}.b"), Tensor::zeros(1, d_out));
+        Linear {
+            w,
+            b: Some(b),
+            d_in,
+            d_out,
+        }
+    }
+
+    /// Create a linear layer without bias.
+    pub fn new_no_bias(
+        params: &mut Params,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), init::xavier_uniform(d_in, d_out, rng));
+        Linear {
+            w,
+            b: None,
+            d_in,
+            d_out,
+        }
+    }
+
+    /// Apply to `x` of shape `n × d_in`.
+    pub fn forward(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        let w = fwd.param(self.w);
+        let y = fwd.graph.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let b = fwd.param(b);
+                fwd.graph.add_bias(y, b)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Token embedding table.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Embedding {
+    weight: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Create an embedding with `N(0, 0.02)` initialisation.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = params.add(format!("{name}.emb"), init::normal(vocab, dim, 0.1, rng));
+        Embedding { weight, vocab, dim }
+    }
+
+    /// Look up a sequence of token ids: returns `len(ids) × dim`.
+    pub fn forward(&self, fwd: &mut Fwd<'_>, ids: &[usize]) -> NodeId {
+        let w = fwd.param(self.weight);
+        fwd.graph.embedding(w, ids)
+    }
+}
+
+/// Layer normalisation with learnable gain/bias.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+}
+
+impl LayerNorm {
+    /// Create for feature width `d`.
+    pub fn new(params: &mut Params, name: &str, d: usize) -> Self {
+        LayerNorm {
+            gamma: params.add(format!("{name}.gamma"), Tensor::ones(1, d)),
+            beta: params.add(format!("{name}.beta"), Tensor::zeros(1, d)),
+        }
+    }
+
+    /// Apply row-wise normalisation.
+    pub fn forward(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        let g = fwd.param(self.gamma);
+        let b = fwd.param(self.beta);
+        fwd.graph.layer_norm(x, g, b)
+    }
+}
+
+/// Inverted dropout: active only in training mode.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// Create with drop probability `p` (0 disables).
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout { p }
+    }
+
+    /// Apply dropout to `x`.
+    pub fn forward(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        if !fwd.training || self.p == 0.0 {
+            return x;
+        }
+        let (rows, cols) = fwd.graph.value(x).shape();
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(rows, cols);
+        for v in mask.data_mut() {
+            if fwd.rng.gen::<f32>() < keep {
+                *v = scale;
+            }
+        }
+        let m = fwd.constant(mask);
+        fwd.graph.mul(x, m)
+    }
+}
+
+/// Position-wise feed-forward block: `Linear → ReLU → Dropout → Linear`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+    drop: Dropout,
+}
+
+impl FeedForward {
+    /// Create with hidden width `d_ff`.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        d: usize,
+        d_ff: usize,
+        dropout: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        FeedForward {
+            lin1: Linear::new(params, &format!("{name}.ff1"), d, d_ff, rng),
+            lin2: Linear::new(params, &format!("{name}.ff2"), d_ff, d, rng),
+            drop: Dropout::new(dropout),
+        }
+    }
+
+    /// Apply the block.
+    pub fn forward(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        let h = self.lin1.forward(fwd, x);
+        let h = fwd.graph.relu(h);
+        let h = self.drop.forward(fwd, h);
+        self.lin2.forward(fwd, h)
+    }
+}
+
+/// The sinusoidal positional encoding of the transformer paper, for
+/// positions `0..len` and dimension `d`.
+pub fn positional_encoding(len: usize, d: usize) -> Tensor {
+    let mut pe = Tensor::zeros(len, d);
+    for pos in 0..len {
+        for i in 0..d {
+            let angle = pos as f32 / 10_000f32.powf((2 * (i / 2)) as f32 / d as f32);
+            let v = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            pe.set(pos, i, v);
+        }
+    }
+    pe
+}
+
+/// A causal attention mask: `len × len` with 0 on/below the diagonal and
+/// a large negative value above it (added to logits before softmax).
+pub fn causal_mask(len: usize) -> Tensor {
+    let mut m = Tensor::zeros(len, len);
+    for r in 0..len {
+        for c in (r + 1)..len {
+            m.set(r, c, -1e9);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{forward_eval, Params};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut params = Params::new();
+        let mut r = rng();
+        let lin = Linear::new(&mut params, "l", 4, 3, &mut r);
+        assert_eq!(params.len(), 2);
+        let mut r2 = rng();
+        let out_shape = forward_eval(&params, &mut r2, |fwd| {
+            let x = fwd.constant(Tensor::ones(2, 4));
+            let y = lin.forward(fwd, x);
+            fwd.graph.value(y).shape()
+        });
+        assert_eq!(out_shape, (2, 3));
+    }
+
+    #[test]
+    fn embedding_rows_match_table() {
+        let mut params = Params::new();
+        let mut r = rng();
+        let emb = Embedding::new(&mut params, "e", 10, 4, &mut r);
+        let row2 = params.value(crate::params::ParamId(0)).row(2).to_vec();
+        let mut r2 = rng();
+        let got = forward_eval(&params, &mut r2, |fwd| {
+            let e = emb.forward(fwd, &[2, 2, 5]);
+            fwd.graph.value(e).row(0).to_vec()
+        });
+        assert_eq!(got, row2);
+    }
+
+    #[test]
+    fn layer_norm_normalises_rows() {
+        let mut params = Params::new();
+        let ln = LayerNorm::new(&mut params, "ln", 4);
+        let mut r = rng();
+        let (mean, var) = forward_eval(&params, &mut r, |fwd| {
+            let x = fwd.constant(Tensor::from_vec(1, 4, vec![1., 2., 3., 10.]));
+            let y = ln.forward(fwd, x);
+            let row = fwd.graph.value(y).row(0);
+            let mean = row.iter().sum::<f32>() / 4.0;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            (mean, var)
+        });
+        assert!(mean.abs() < 1e-4);
+        assert!((var - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn dropout_inactive_in_eval_mode() {
+        let params = Params::new();
+        let d = Dropout::new(0.5);
+        let mut r = rng();
+        let same = forward_eval(&params, &mut r, |fwd| {
+            let x = fwd.constant(Tensor::ones(2, 8));
+            let y = d.forward(fwd, x);
+            fwd.graph.value(y).data().iter().all(|&v| v == 1.0)
+        });
+        assert!(same);
+    }
+
+    #[test]
+    fn dropout_zeroes_and_rescales_in_training() {
+        let mut params = Params::new();
+        let _ = &mut params;
+        let d = Dropout::new(0.5);
+        let mut graph = qrec_tensor::Graph::new();
+        let mut bind = crate::params::Binding::new(0);
+        let mut r = rng();
+        let mut fwd = Fwd {
+            graph: &mut graph,
+            params: &params,
+            bind: &mut bind,
+            rng: &mut r,
+            training: true,
+        };
+        let x = fwd.constant(Tensor::ones(10, 10));
+        let y = d.forward(&mut fwd, x);
+        let data = graph.value(y).data();
+        let zeros = data.iter().filter(|&&v| v == 0.0).count();
+        let twos = data.iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + twos, 100);
+        assert!(zeros > 20 && zeros < 80, "zeros {zeros}");
+    }
+
+    #[test]
+    fn positional_encoding_properties() {
+        let pe = positional_encoding(8, 6);
+        assert_eq!(pe.shape(), (8, 6));
+        // Position 0: sin(0)=0 at even dims, cos(0)=1 at odd dims.
+        assert_eq!(pe.get(0, 0), 0.0);
+        assert_eq!(pe.get(0, 1), 1.0);
+        // Distinct positions get distinct encodings.
+        assert_ne!(pe.row(1), pe.row(2));
+        assert!(pe.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let m = causal_mask(3);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert!(m.get(0, 1) < -1e8);
+        assert!(m.get(0, 2) < -1e8);
+        assert!(m.get(1, 2) < -1e8);
+    }
+
+    #[test]
+    fn feed_forward_shapes() {
+        let mut params = Params::new();
+        let mut r = rng();
+        let ff = FeedForward::new(&mut params, "ff", 4, 16, 0.0, &mut r);
+        let mut r2 = rng();
+        let shape = forward_eval(&params, &mut r2, |fwd| {
+            let x = fwd.constant(Tensor::ones(3, 4));
+            let y = ff.forward(fwd, x);
+            fwd.graph.value(y).shape()
+        });
+        assert_eq!(shape, (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Parameter storage and the forward-pass context.
+//!
+//! Model architectures in this crate do not own their weights: they hold
+//! [`ParamId`]s into a [`Params`] store. This split is what makes the
+//! paper's fine-tuning step natural — a classifier clones the trained
+//! seq2seq parameter store, appends its head parameters, and keeps using
+//! the encoder's original ids (Section 4.1.2).
+//!
+//! During a forward pass a [`Binding`] lazily registers each referenced
+//! parameter as a graph leaf exactly once per graph, so a mini-batch of
+//! sequences shares one leaf per parameter and gradients accumulate
+//! across the batch for free.
+
+use qrec_tensor::{Graph, NodeId, Tensor};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Handle to one parameter tensor in a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// A named collection of parameter tensors with gradient buffers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Params {
+    data: Vec<Tensor>,
+    grad: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// An empty store.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Register a parameter tensor under a diagnostic name.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.data.len());
+        self.grad.push(Tensor::zeros(value.rows(), value.cols()));
+        self.data.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total number of scalar parameters (the paper's Table 3 `#params`).
+    pub fn scalar_count(&self) -> usize {
+        self.data.iter().map(|t| t.len()).sum()
+    }
+
+    /// The value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.data[id.0]
+    }
+
+    /// Mutable value (used by optimizers and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.data[id.0]
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grad[id.0]
+    }
+
+    /// Diagnostic name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Zero every gradient buffer (start of an optimizer step).
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grad {
+            g.fill(0.0);
+        }
+    }
+
+    /// Pull gradients out of a finished graph into the store's buffers.
+    /// Call after [`Graph::backward`].
+    pub fn accumulate_grads(&mut self, graph: &Graph, binding: &Binding) {
+        for (i, node) in binding.nodes.iter().enumerate() {
+            if let Some(node) = node {
+                if let Some(g) = graph.grad(*node) {
+                    self.grad[i].add_assign(g);
+                }
+            }
+        }
+    }
+
+    /// Iterate `(id, value, grad)` triples (optimizer internals).
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = (&mut Tensor, &Tensor)> {
+        self.data.iter_mut().zip(self.grad.iter())
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.grad.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
+    }
+
+    /// Scale all gradients by `c` (for clipping).
+    pub fn scale_grads(&mut self, c: f32) {
+        for g in &mut self.grad {
+            *g = g.scale(c);
+        }
+    }
+}
+
+/// Per-graph cache mapping parameters to their graph leaf, so each
+/// parameter is registered once per forward graph.
+#[derive(Debug)]
+pub struct Binding {
+    nodes: Vec<Option<NodeId>>,
+}
+
+impl Binding {
+    /// A binding for a store with `len` parameters.
+    pub fn new(len: usize) -> Self {
+        Binding {
+            nodes: vec![None; len],
+        }
+    }
+}
+
+/// Everything a layer needs during one forward pass.
+pub struct Fwd<'a> {
+    /// The autodiff tape being built.
+    pub graph: &'a mut Graph,
+    /// The parameter store (read-only during forward).
+    pub params: &'a Params,
+    /// Parameter-to-leaf cache for this graph.
+    pub bind: &'a mut Binding,
+    /// RNG for dropout masks.
+    pub rng: &'a mut StdRng,
+    /// Training mode (enables dropout).
+    pub training: bool,
+}
+
+impl Fwd<'_> {
+    /// The graph leaf for a parameter, registering it on first use.
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        if let Some(node) = self.bind.nodes[id.0] {
+            return node;
+        }
+        let node = self.graph.input(self.params.value(id).clone());
+        self.bind.nodes[id.0] = Some(node);
+        node
+    }
+
+    /// Register a non-parameter constant (masks, positional encodings).
+    pub fn constant(&mut self, t: Tensor) -> NodeId {
+        self.graph.input(t)
+    }
+}
+
+/// Run one forward-backward pass: build a graph with `f`, backprop from
+/// the scalar loss `f` returns, and accumulate parameter gradients.
+/// Returns the loss value.
+pub fn forward_backward(
+    params: &mut Params,
+    rng: &mut StdRng,
+    f: impl FnOnce(&mut Fwd<'_>) -> NodeId,
+) -> f32 {
+    let mut graph = Graph::new();
+    let mut bind = Binding::new(params.len());
+    let loss = {
+        let mut fwd = Fwd {
+            graph: &mut graph,
+            params,
+            bind: &mut bind,
+            rng,
+            training: true,
+        };
+        f(&mut fwd)
+    };
+    let loss_val = graph.value(loss).item();
+    graph.backward(loss);
+    params.accumulate_grads(&graph, &bind);
+    loss_val
+}
+
+/// Run a forward pass without gradients (evaluation / inference).
+/// Returns whatever `f` computes from the finished graph.
+pub fn forward_eval<T>(params: &Params, rng: &mut StdRng, f: impl FnOnce(&mut Fwd<'_>) -> T) -> T {
+    let mut graph = Graph::new();
+    let mut bind = Binding::new(params.len());
+    let mut fwd = Fwd {
+        graph: &mut graph,
+        params,
+        bind: &mut bind,
+        rng,
+        training: false,
+    };
+    f(&mut fwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_add_and_count() {
+        let mut p = Params::new();
+        let a = p.add("w", Tensor::zeros(2, 3));
+        let b = p.add("b", Tensor::zeros(1, 3));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.scalar_count(), 9);
+        assert_eq!(p.name(a), "w");
+        assert_eq!(p.value(b).shape(), (1, 3));
+    }
+
+    #[test]
+    fn binding_registers_param_once() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::scalar(2.0));
+        let mut g = Graph::new();
+        let mut bind = Binding::new(p.len());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fwd = Fwd {
+            graph: &mut g,
+            params: &p,
+            bind: &mut bind,
+            rng: &mut rng,
+            training: true,
+        };
+        let n1 = fwd.param(w);
+        let n2 = fwd.param(w);
+        assert_eq!(n1, n2);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn forward_backward_accumulates_grads() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::scalar(3.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        // loss = w * w  →  dloss/dw = 2w = 6
+        let loss = forward_backward(&mut p, &mut rng, |fwd| {
+            let wn = fwd.param(w);
+            fwd.graph.mul(wn, wn)
+        });
+        assert_eq!(loss, 9.0);
+        assert_eq!(p.grad(w).item(), 6.0);
+        // A second pass accumulates.
+        forward_backward(&mut p, &mut rng, |fwd| {
+            let wn = fwd.param(w);
+            fwd.graph.mul(wn, wn)
+        });
+        assert_eq!(p.grad(w).item(), 12.0);
+        p.zero_grad();
+        assert_eq!(p.grad(w).item(), 0.0);
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::scalar(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        forward_backward(&mut p, &mut rng, |fwd| {
+            let wn = fwd.param(w);
+            fwd.graph.scale(wn, 3.0)
+        });
+        assert_eq!(p.grad_norm(), 3.0);
+        p.scale_grads(0.5);
+        assert_eq!(p.grad(w).item(), 1.5);
+    }
+
+    #[test]
+    fn shared_param_across_batch_sums_gradients() {
+        // Two "examples" in one graph: loss = w*x1 + w*x2.
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::scalar(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        forward_backward(&mut p, &mut rng, |fwd| {
+            let wn = fwd.param(w);
+            let a = fwd.graph.scale(wn, 2.0);
+            let b = fwd.graph.scale(wn, 5.0);
+            fwd.graph.add(a, b)
+        });
+        assert_eq!(p.grad(w).item(), 7.0);
+    }
+}

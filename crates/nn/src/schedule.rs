@@ -1,0 +1,107 @@
+//! Learning-rate schedules.
+//!
+//! The paper tunes a fixed learning rate per dataset; transformer
+//! training conventionally adds warmup. Both are supported — the
+//! trainer consults [`LrSchedule::lr`] before every optimizer step.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over optimizer steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// The base learning rate throughout.
+    #[default]
+    Constant,
+    /// Linear warmup to the base rate over `warmup_steps`, then
+    /// inverse-square-root decay (the original transformer schedule,
+    /// normalised so the peak equals the base rate).
+    WarmupInvSqrt {
+        /// Steps to reach the base rate.
+        warmup_steps: u64,
+    },
+    /// Multiply the rate by `factor` every `every_steps` steps.
+    StepDecay {
+        /// Interval between decays.
+        every_steps: u64,
+        /// Multiplicative factor per decay (usually < 1).
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at optimizer step `step` (0-based) given the
+    /// base rate.
+    pub fn lr(&self, base: f32, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::WarmupInvSqrt { warmup_steps } => {
+                let w = warmup_steps.max(1) as f32;
+                let s = (step + 1) as f32;
+                if s < w {
+                    base * s / w
+                } else {
+                    base * (w / s).sqrt()
+                }
+            }
+            LrSchedule::StepDecay {
+                every_steps,
+                factor,
+            } => {
+                let decays = step / every_steps.max(1);
+                base * factor.powi(decays.min(i32::MAX as u64) as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr(1e-3, 0), 1e-3);
+        assert_eq!(s.lr(1e-3, 10_000), 1e-3);
+    }
+
+    #[test]
+    fn warmup_ramps_then_decays() {
+        let s = LrSchedule::WarmupInvSqrt { warmup_steps: 100 };
+        let base = 1e-3;
+        // Ramp: strictly increasing until warmup.
+        assert!(s.lr(base, 0) < s.lr(base, 50));
+        assert!(s.lr(base, 50) < s.lr(base, 99));
+        // Peak ≈ base at the warmup boundary.
+        assert!((s.lr(base, 99) - base).abs() < base * 0.02);
+        // Decay afterwards.
+        assert!(s.lr(base, 400) < s.lr(base, 100));
+        // Inverse-sqrt: 4x the steps → half the rate.
+        let r1 = s.lr(base, 399);
+        let r2 = s.lr(base, 1599);
+        assert!((r1 / r2 - 2.0).abs() < 0.05, "{r1} vs {r2}");
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay {
+            every_steps: 10,
+            factor: 0.5,
+        };
+        assert_eq!(s.lr(1.0, 0), 1.0);
+        assert_eq!(s.lr(1.0, 9), 1.0);
+        assert_eq!(s.lr(1.0, 10), 0.5);
+        assert_eq!(s.lr(1.0, 25), 0.25);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_safe() {
+        let s = LrSchedule::WarmupInvSqrt { warmup_steps: 0 };
+        assert!(s.lr(1e-3, 0).is_finite());
+        let s = LrSchedule::StepDecay {
+            every_steps: 0,
+            factor: 0.5,
+        };
+        assert!(s.lr(1e-3, 100).is_finite());
+    }
+}

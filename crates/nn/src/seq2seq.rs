@@ -1,0 +1,52 @@
+//! The sequence-to-sequence model interface.
+//!
+//! All three architectures (Transformer, ConvS2S, GRU) expose the same
+//! two-phase API: [`Seq2Seq::encode`] the source token ids, then
+//! [`Seq2Seq::decode`] a (teacher-forced or partial) target prefix into
+//! per-position next-token logits. Training, greedy decoding, and the
+//! beam-search family are all built on this interface.
+
+use crate::params::Fwd;
+use qrec_tensor::NodeId;
+
+/// A sequence-to-sequence architecture (weights live in a
+/// [`crate::params::Params`] store created alongside the model).
+pub trait Seq2Seq {
+    /// Encode source token ids into a hidden representation
+    /// (`len(src) × d_model`).
+    fn encode(&self, fwd: &mut Fwd<'_>, src: &[usize]) -> NodeId;
+
+    /// Decode a target prefix with teacher forcing: returns logits of
+    /// shape `len(tgt_in) × vocab`, where row `i` predicts token `i+1`.
+    ///
+    /// Decoding must be causal: row `i` may depend only on
+    /// `tgt_in[..=i]` and the encoder output. The test suites verify
+    /// this for every architecture.
+    fn decode(&self, fwd: &mut Fwd<'_>, enc: NodeId, tgt_in: &[usize]) -> NodeId;
+
+    /// Logits for only the *last* position of the target prefix
+    /// (`1 × vocab`). Equivalent to slicing [`Seq2Seq::decode`]'s final
+    /// row, but architectures override it to skip projecting every other
+    /// position to the vocabulary — the hot path of beam search.
+    fn decode_last_logits(&self, fwd: &mut Fwd<'_>, enc: NodeId, tgt_in: &[usize]) -> NodeId {
+        let logits = self.decode(fwd, enc, tgt_in);
+        let rows = fwd.graph.value(logits).rows();
+        fwd.graph.slice_rows(logits, rows - 1, rows)
+    }
+
+    /// Vocabulary size (logit width).
+    fn vocab(&self) -> usize;
+
+    /// Model (hidden) width.
+    fn d_model(&self) -> usize;
+
+    /// Short architecture label for reports (`"transformer"`, `"convs2s"`,
+    /// `"gru"`).
+    fn arch_name(&self) -> &'static str;
+}
+
+/// Mean-pool an encoder output into a single `1 × d` representation —
+/// the pooling the template classifier head consumes.
+pub fn pool_encoder(fwd: &mut Fwd<'_>, enc: NodeId) -> NodeId {
+    fwd.graph.mean_rows(enc)
+}

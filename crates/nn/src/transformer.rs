@@ -1,0 +1,378 @@
+//! The Transformer seq2seq architecture (Vaswani et al.), sized for the
+//! paper's query-prediction task.
+
+use crate::attention::MultiHeadAttention;
+use crate::layers::{
+    causal_mask, positional_encoding, Dropout, Embedding, FeedForward, LayerNorm, Linear,
+};
+use crate::params::{Fwd, Params};
+use crate::seq2seq::Seq2Seq;
+use qrec_tensor::NodeId;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Transformer hyper-parameters. The paper tunes heads in `[8, 16]`,
+/// hidden size in `[512, 1024]`, and layers in `[2, 12]`; our scaled-down
+/// defaults keep the same shape at laptop cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder and decoder layer count.
+    pub layers: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Maximum sequence length (positional table size).
+    pub max_len: usize,
+}
+
+impl TransformerConfig {
+    /// A small configuration good for the synthetic workloads.
+    pub fn small(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model: 48,
+            heads: 4,
+            layers: 2,
+            d_ff: 96,
+            dropout: 0.1,
+            max_len: 160,
+        }
+    }
+
+    /// A minimal configuration for tests.
+    pub fn test(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            d_ff: 32,
+            dropout: 0.0,
+            max_len: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ff: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    drop: Dropout,
+}
+
+impl EncoderLayer {
+    fn new(params: &mut Params, name: &str, cfg: &TransformerConfig, rng: &mut StdRng) -> Self {
+        EncoderLayer {
+            attn: MultiHeadAttention::new(
+                params,
+                &format!("{name}.self"),
+                cfg.d_model,
+                cfg.heads,
+                rng,
+            ),
+            ff: FeedForward::new(params, name, cfg.d_model, cfg.d_ff, cfg.dropout, rng),
+            ln1: LayerNorm::new(params, &format!("{name}.ln1"), cfg.d_model),
+            ln2: LayerNorm::new(params, &format!("{name}.ln2"), cfg.d_model),
+            drop: Dropout::new(cfg.dropout),
+        }
+    }
+
+    fn forward(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        let a = self.attn.forward(fwd, x, x, None);
+        let a = self.drop.forward(fwd, a);
+        let x = fwd.graph.add(x, a);
+        let x = self.ln1.forward(fwd, x);
+        let f = self.ff.forward(fwd, x);
+        let f = self.drop.forward(fwd, f);
+        let x = fwd.graph.add(x, f);
+        self.ln2.forward(fwd, x)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DecoderLayer {
+    self_attn: MultiHeadAttention,
+    cross_attn: MultiHeadAttention,
+    ff: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    ln3: LayerNorm,
+    drop: Dropout,
+}
+
+impl DecoderLayer {
+    fn new(params: &mut Params, name: &str, cfg: &TransformerConfig, rng: &mut StdRng) -> Self {
+        DecoderLayer {
+            self_attn: MultiHeadAttention::new(
+                params,
+                &format!("{name}.self"),
+                cfg.d_model,
+                cfg.heads,
+                rng,
+            ),
+            cross_attn: MultiHeadAttention::new(
+                params,
+                &format!("{name}.cross"),
+                cfg.d_model,
+                cfg.heads,
+                rng,
+            ),
+            ff: FeedForward::new(params, name, cfg.d_model, cfg.d_ff, cfg.dropout, rng),
+            ln1: LayerNorm::new(params, &format!("{name}.ln1"), cfg.d_model),
+            ln2: LayerNorm::new(params, &format!("{name}.ln2"), cfg.d_model),
+            ln3: LayerNorm::new(params, &format!("{name}.ln3"), cfg.d_model),
+            drop: Dropout::new(cfg.dropout),
+        }
+    }
+
+    fn forward(
+        &self,
+        fwd: &mut Fwd<'_>,
+        x: NodeId,
+        enc: NodeId,
+        mask: &qrec_tensor::Tensor,
+    ) -> NodeId {
+        let a = self.self_attn.forward(fwd, x, x, Some(mask));
+        let a = self.drop.forward(fwd, a);
+        let x = fwd.graph.add(x, a);
+        let x = self.ln1.forward(fwd, x);
+        let c = self.cross_attn.forward(fwd, x, enc, None);
+        let c = self.drop.forward(fwd, c);
+        let x = fwd.graph.add(x, c);
+        let x = self.ln2.forward(fwd, x);
+        let f = self.ff.forward(fwd, x);
+        let f = self.drop.forward(fwd, f);
+        let x = fwd.graph.add(x, f);
+        self.ln3.forward(fwd, x)
+    }
+}
+
+/// A full Transformer encoder–decoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transformer {
+    cfg: TransformerConfig,
+    src_embed: Embedding,
+    tgt_embed: Embedding,
+    enc_layers: Vec<EncoderLayer>,
+    dec_layers: Vec<DecoderLayer>,
+    out_proj: Linear,
+    embed_drop: Dropout,
+}
+
+impl Transformer {
+    /// Build the architecture, registering weights into `params`.
+    pub fn new(params: &mut Params, cfg: TransformerConfig, rng: &mut StdRng) -> Self {
+        let src_embed = Embedding::new(params, "tfm.src", cfg.vocab, cfg.d_model, rng);
+        let tgt_embed = Embedding::new(params, "tfm.tgt", cfg.vocab, cfg.d_model, rng);
+        let enc_layers = (0..cfg.layers)
+            .map(|i| EncoderLayer::new(params, &format!("tfm.enc{i}"), &cfg, rng))
+            .collect();
+        let dec_layers = (0..cfg.layers)
+            .map(|i| DecoderLayer::new(params, &format!("tfm.dec{i}"), &cfg, rng))
+            .collect();
+        let out_proj = Linear::new(params, "tfm.out", cfg.d_model, cfg.vocab, rng);
+        Transformer {
+            embed_drop: Dropout::new(cfg.dropout),
+            cfg,
+            src_embed,
+            tgt_embed,
+            enc_layers,
+            dec_layers,
+            out_proj,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    fn decode_states(&self, fwd: &mut Fwd<'_>, enc: NodeId, tgt_in: &[usize]) -> NodeId {
+        let len = tgt_in.len().min(self.cfg.max_len);
+        let mask = causal_mask(len);
+        let mut x = self.embed(fwd, &self.tgt_embed, tgt_in);
+        for layer in &self.dec_layers {
+            x = layer.forward(fwd, x, enc, &mask);
+        }
+        x
+    }
+
+    fn embed(&self, fwd: &mut Fwd<'_>, table: &Embedding, ids: &[usize]) -> NodeId {
+        let ids: Vec<usize> = ids.iter().take(self.cfg.max_len).copied().collect();
+        let e = table.forward(fwd, &ids);
+        let e = fwd.graph.scale(e, (self.cfg.d_model as f32).sqrt());
+        let pe = fwd.constant(positional_encoding(ids.len(), self.cfg.d_model));
+        let x = fwd.graph.add(e, pe);
+        self.embed_drop.forward(fwd, x)
+    }
+}
+
+impl Seq2Seq for Transformer {
+    fn encode(&self, fwd: &mut Fwd<'_>, src: &[usize]) -> NodeId {
+        let mut x = self.embed(fwd, &self.src_embed, src);
+        for layer in &self.enc_layers {
+            x = layer.forward(fwd, x);
+        }
+        x
+    }
+
+    fn decode(&self, fwd: &mut Fwd<'_>, enc: NodeId, tgt_in: &[usize]) -> NodeId {
+        let states = self.decode_states(fwd, enc, tgt_in);
+        self.out_proj.forward(fwd, states)
+    }
+
+    fn decode_last_logits(&self, fwd: &mut Fwd<'_>, enc: NodeId, tgt_in: &[usize]) -> NodeId {
+        let states = self.decode_states(fwd, enc, tgt_in);
+        let rows = fwd.graph.value(states).rows();
+        let last = fwd.graph.slice_rows(states, rows - 1, rows);
+        self.out_proj.forward(fwd, last)
+    }
+
+    fn vocab(&self) -> usize {
+        self.cfg.vocab
+    }
+
+    fn d_model(&self) -> usize {
+        self.cfg.d_model
+    }
+
+    fn arch_name(&self) -> &'static str {
+        "transformer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{forward_eval, Params};
+    use rand::SeedableRng;
+
+    fn setup() -> (Params, Transformer, StdRng) {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Transformer::new(&mut params, TransformerConfig::test(20), &mut rng);
+        (params, model, rng)
+    }
+
+    #[test]
+    fn shapes_are_correct() {
+        let (params, model, mut rng) = setup();
+        let (enc_shape, dec_shape) = forward_eval(&params, &mut rng, |fwd| {
+            let enc = model.encode(fwd, &[1, 5, 6, 2]);
+            let logits = model.decode(fwd, enc, &[1, 7, 8]);
+            (
+                fwd.graph.value(enc).shape(),
+                fwd.graph.value(logits).shape(),
+            )
+        });
+        assert_eq!(enc_shape, (4, 16));
+        assert_eq!(dec_shape, (3, 20));
+    }
+
+    #[test]
+    fn decoder_is_causal() {
+        // Changing a later target token must not change earlier logits.
+        let (params, model, _) = setup();
+        let run = |tgt: &[usize]| {
+            let mut rng = StdRng::seed_from_u64(0);
+            forward_eval(&params, &mut rng, |fwd| {
+                let enc = model.encode(fwd, &[1, 5, 2]);
+                let logits = model.decode(fwd, enc, tgt);
+                fwd.graph.value(logits).row(0).to_vec()
+            })
+        };
+        let a = run(&[1, 7, 8]);
+        let b = run(&[1, 9, 4]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (x - y).abs() < 1e-4,
+                "decoder row 0 depends on future tokens"
+            );
+        }
+    }
+
+    #[test]
+    fn encoder_affects_decoder_output() {
+        let (params, model, _) = setup();
+        let run = |src: &[usize]| {
+            let mut rng = StdRng::seed_from_u64(0);
+            forward_eval(&params, &mut rng, |fwd| {
+                let enc = model.encode(fwd, src);
+                let logits = model.decode(fwd, enc, &[1, 7]);
+                fwd.graph.value(logits).row(1).to_vec()
+            })
+        };
+        let a = run(&[1, 5, 2]);
+        let b = run(&[1, 11, 2]);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4, "cross-attention must transport encoder info");
+    }
+
+    #[test]
+    fn long_inputs_are_truncated_to_max_len() {
+        let (params, model, mut rng) = setup();
+        let long: Vec<usize> = (0..200).map(|i| i % 20).collect();
+        let shape = forward_eval(&params, &mut rng, |fwd| {
+            let enc = model.encode(fwd, &long);
+            fwd.graph.value(enc).shape()
+        });
+        assert_eq!(shape.0, 64);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_single_pair() {
+        // Overfit one (src, tgt) pair — the canonical smoke test that the
+        // whole backward path works.
+        use crate::adam::{Adam, AdamConfig};
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = Transformer::new(&mut params, TransformerConfig::test(12), &mut rng);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 3e-3,
+                ..AdamConfig::default()
+            },
+            &params,
+        );
+        let src = [1usize, 4, 5, 6, 2];
+        let tgt_in = [1usize, 7, 8, 9];
+        let tgt_out = [7usize, 8, 9, 2];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..30 {
+            let loss = crate::params::forward_backward(&mut params, &mut rng, |fwd| {
+                let enc = model.encode(fwd, &src);
+                let logits = model.decode(fwd, enc, &tgt_in);
+                fwd.graph.cross_entropy(logits, &tgt_out)
+            });
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            adam.step(&mut params, 1.0);
+        }
+        assert!(
+            last < first * 0.5,
+            "loss did not drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn param_count_scales_with_config() {
+        let mut p1 = Params::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Transformer::new(&mut p1, TransformerConfig::test(20), &mut rng);
+        let mut p2 = Params::new();
+        let _ = Transformer::new(&mut p2, TransformerConfig::small(20), &mut rng);
+        assert!(p2.scalar_count() > 2 * p1.scalar_count());
+    }
+}

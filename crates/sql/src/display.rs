@@ -1,0 +1,378 @@
+//! Canonical SQL rendering of the AST.
+//!
+//! [`Query`] (and every sub-node) implements [`std::fmt::Display`]. The
+//! output is a single-line, canonically spaced statement. Parsing the
+//! printed form yields the same AST (`parse ∘ print = id`), which the
+//! property tests in this crate verify.
+
+use crate::ast::*;
+use std::fmt::{self, Write};
+
+/// True if the identifier can be printed bare (no quoting needed).
+fn is_bare_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.as_bytes()[0].is_ascii_alphabetic()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b == b'#')
+        && crate::token::Keyword::from_word(s).is_none()
+}
+
+fn write_ident(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    if is_bare_ident(s) {
+        f.write_str(s)
+    } else {
+        write!(f, "[{s}]")
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.table {
+            write_ident(f, t)?;
+            f.write_char('.')?;
+        }
+        write_ident(f, &self.column)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => f.write_str(n),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Boolean(true) => f.write_str("TRUE"),
+            Literal::Boolean(false) => f.write_str("FALSE"),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Wildcard => f.write_str("*"),
+            Expr::Binary { left, op, right } => {
+                write!(f, "{left} {} {right}", op.as_str())
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "NOT {expr}"),
+                UnaryOp::Neg => write!(f, "-{expr}"),
+                UnaryOp::Pos => write!(f, "+{expr}"),
+            },
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => {
+                f.write_str(name)?;
+                f.write_char('(')?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_char(')')
+            }
+            Expr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
+            Expr::Case {
+                operand,
+                arms,
+                else_result,
+            } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in arms {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}BETWEEN {low} AND {high}",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_char(')')
+            }
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => write!(
+                f,
+                "{expr} {}IN ({subquery})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Exists { negated, subquery } => write!(
+                f,
+                "{}EXISTS ({subquery})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => write!(
+                f,
+                "{expr} {}LIKE {pattern}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Nested(e) => write!(f, "({e})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(t) => {
+                write_ident(f, t)?;
+                f.write_str(".*")
+            }
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => {
+                for (i, part) in name.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char('.')?;
+                    }
+                    write_ident(f, part)?;
+                }
+                if let Some(a) = alias {
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+            TableRef::Derived { subquery, alias } => {
+                write!(f, "({subquery})")?;
+                if let Some(a) = alias {
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+            TableRef::Join {
+                left,
+                kind,
+                right,
+                on,
+            } => {
+                write!(f, "{left} {} {right}", kind.as_str())?;
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        if let Some(top) = &self.top {
+            write!(f, "TOP {top} ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::SetOp { left, op, right } => {
+                write!(f, "{left} {} {right}", op.as_str())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.with.is_empty() {
+            f.write_str("WITH ")?;
+            for (i, cte) in self.with.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_ident(f, &cte.name)?;
+                write!(f, " AS ({})", cte.query)?;
+            }
+            f.write_char(' ')?;
+        }
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                match o.ascending {
+                    Some(true) => f.write_str(" ASC")?,
+                    Some(false) => f.write_str(" DESC")?,
+                    None => {}
+                }
+            }
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = &self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    /// parse → print → parse must be a fixed point.
+    fn roundtrip(sql: &str) {
+        let q1 = parse(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
+        let printed = q1.to_string();
+        let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        assert_eq!(q1, q2, "roundtrip mismatch for {sql:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn roundtrip_corpus() {
+        for sql in [
+            "SELECT * FROM PhotoTag",
+            "SELECT 1",
+            "SELECT DISTINCT type FROM Experiments",
+            "SELECT TOP 10 ra, [dec] FROM SpecObj WHERE z BETWEEN 0.3 AND 0.4",
+            "SELECT a AS x, b AS y FROM t WHERE x = 1 OR y = 2 AND z = 3",
+            "SELECT COUNT(*), COUNT(DISTINCT g), AVG(r + 1) FROM t GROUP BY g HAVING COUNT(*) > 2",
+            "SELECT s.ra FROM SpecObj AS s INNER JOIN PhotoObj AS p ON s.objid = p.objid",
+            "SELECT * FROM a LEFT JOIN b ON a.x = b.x RIGHT JOIN c ON b.y = c.y",
+            "SELECT * FROM a CROSS JOIN b",
+            "SELECT x FROM (SELECT DISTINCT gene AS x FROM e) AS d",
+            "SELECT * FROM t WHERE id IN (SELECT id FROM u) AND EXISTS (SELECT 1 FROM v)",
+            "SELECT * FROM t WHERE c NOT LIKE '%x%' AND d IS NOT NULL AND e NOT IN (1, 2)",
+            "SELECT a FROM t UNION SELECT b FROM u UNION ALL SELECT c FROM v",
+            "SELECT a FROM t EXCEPT SELECT a FROM u INTERSECT SELECT a FROM v",
+            "SELECT CASE WHEN z > 1 THEN 'far' ELSE 'near' END FROM t",
+            "SELECT CASE k WHEN 1 THEN 'a' WHEN 2 THEN 'b' END FROM t",
+            "SELECT CAST(x AS VARCHAR), CAST(y AS DECIMAL(10,2)) FROM t",
+            "SELECT name FROM t WHERE n > (SELECT AVG(n) FROM t)",
+            "SELECT type, COUNT(*) AS c FROM e GROUP BY type ORDER BY c DESC, type LIMIT 10 OFFSET 20",
+            "SELECT -x, +y, NOT z FROM t",
+            "SELECT a || '-' || b FROM t",
+            "SELECT t.* FROM t",
+            "SELECT * FROM BestDR7.dbo.PhotoObjAll AS p",
+            "SELECT 'o''brien'",
+            "SELECT [weird col] FROM [my table.csv]",
+            "SELECT a FROM t WHERE (a + 1) * 2 = 4",
+            "SELECT x FROM t WHERE y IS NULL ORDER BY x",
+            "WITH hot AS (SELECT objid FROM SpecObj WHERE z > 1) SELECT COUNT(*) FROM hot",
+            "WITH a AS (SELECT 1), b AS (SELECT 2) SELECT * FROM a, b",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn print_is_canonical_single_line() {
+        let q = parse("SELECT   a ,\n\tb FROM    t\nWHERE a=1").unwrap();
+        assert_eq!(q.to_string(), "SELECT a, b FROM t WHERE a = 1");
+    }
+
+    #[test]
+    fn quoting_only_when_needed() {
+        let q = parse("SELECT [plain], [has space] FROM t").unwrap();
+        assert_eq!(q.to_string(), "SELECT plain, [has space] FROM t");
+    }
+
+    #[test]
+    fn keyword_shaped_ident_stays_quoted() {
+        // [dec] is a keyword-free but commonly bracketed SDSS column; [top]
+        // would collide with the TOP keyword and must stay quoted.
+        let q = parse("SELECT [top] FROM t").unwrap();
+        assert_eq!(q.to_string(), "SELECT [top] FROM t");
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for lexing and parsing.
+
+use crate::token::{Span, Token};
+use std::fmt;
+
+/// What went wrong while lexing or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// A character the dialect does not use.
+    UnexpectedChar(char),
+    /// `'…` with no closing quote.
+    UnterminatedString,
+    /// `"…` or `[…` with no closing delimiter.
+    UnterminatedQuotedIdent,
+    /// `/* …` with no closing `*/`.
+    UnterminatedComment,
+    /// Token stream ended while the parser needed more input.
+    UnexpectedEof {
+        /// Human-readable description of what was expected.
+        expected: String,
+    },
+    /// Parser found `got` where it expected `expected`.
+    UnexpectedToken {
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// The offending token.
+        got: Token,
+    },
+    /// Input contained trailing tokens after a complete statement.
+    TrailingTokens {
+        /// The first trailing token.
+        got: Token,
+    },
+    /// The statement was syntactically valid but empty (e.g. only comments).
+    EmptyInput,
+}
+
+/// A lexer/parser error with source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Classification of the failure.
+    pub kind: ParseErrorKind,
+    /// Where in the input it happened (byte offsets).
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Construct an error at the given span.
+    pub fn new(kind: ParseErrorKind, span: Span) -> Self {
+        ParseError { kind, span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character {c:?} at byte {}", self.span.start)
+            }
+            ParseErrorKind::UnterminatedString => {
+                write!(f, "unterminated string literal at byte {}", self.span.start)
+            }
+            ParseErrorKind::UnterminatedQuotedIdent => write!(
+                f,
+                "unterminated quoted identifier at byte {}",
+                self.span.start
+            ),
+            ParseErrorKind::UnterminatedComment => {
+                write!(f, "unterminated block comment at byte {}", self.span.start)
+            }
+            ParseErrorKind::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseErrorKind::UnexpectedToken { expected, got } => write!(
+                f,
+                "expected {expected} but found {got} at byte {}",
+                self.span.start
+            ),
+            ParseErrorKind::TrailingTokens { got } => write!(
+                f,
+                "trailing input starting with {got} at byte {}",
+                self.span.start
+            ),
+            ParseErrorKind::EmptyInput => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_location() {
+        let e = ParseError::new(ParseErrorKind::UnexpectedChar('?'), Span::point(7));
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn display_mentions_expectation() {
+        let e = ParseError::new(
+            ParseErrorKind::UnexpectedToken {
+                expected: "FROM".into(),
+                got: Token::Comma,
+            },
+            Span::point(3),
+        );
+        let s = e.to_string();
+        assert!(s.contains("FROM") && s.contains(','));
+    }
+}

@@ -1,0 +1,360 @@
+//! Query fragment extraction (Definition 4 of the paper).
+//!
+//! A *fragment* is a table, column, function, or literal appearing in a
+//! query. [`FragmentSet`] holds the four sets; [`extract`] walks the whole
+//! query including subqueries, joins, set operations, and derived tables.
+//!
+//! Numeric literals are normalised to the `<NUM>` token, mirroring the
+//! paper's pre-processing (Section 5.4.1), so the literal vocabulary is
+//! dominated by meaningful strings rather than unbounded numbers.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Placeholder used for all numeric literals.
+pub const NUM_TOKEN: &str = "<NUM>";
+
+/// Which of the four fragment kinds a fragment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FragmentKind {
+    /// Table names.
+    Table,
+    /// Column names.
+    Column,
+    /// Function names (including `CAST`).
+    Function,
+    /// Literal values (numbers collapsed to `<NUM>`).
+    Literal,
+}
+
+impl FragmentKind {
+    /// All four kinds, in canonical order.
+    pub const ALL: [FragmentKind; 4] = [
+        FragmentKind::Table,
+        FragmentKind::Column,
+        FragmentKind::Function,
+        FragmentKind::Literal,
+    ];
+
+    /// Lower-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FragmentKind::Table => "table",
+            FragmentKind::Column => "column",
+            FragmentKind::Function => "function",
+            FragmentKind::Literal => "literal",
+        }
+    }
+}
+
+/// The four fragment sets of a query. Sets are ordered (`BTreeSet`) so all
+/// downstream iteration is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentSet {
+    /// `tables(Q)`.
+    pub tables: BTreeSet<String>,
+    /// `columns(Q)`.
+    pub columns: BTreeSet<String>,
+    /// `functions(Q)`.
+    pub functions: BTreeSet<String>,
+    /// `literals(Q)`.
+    pub literals: BTreeSet<String>,
+}
+
+impl FragmentSet {
+    /// The set for one fragment kind.
+    pub fn of(&self, kind: FragmentKind) -> &BTreeSet<String> {
+        match kind {
+            FragmentKind::Table => &self.tables,
+            FragmentKind::Column => &self.columns,
+            FragmentKind::Function => &self.functions,
+            FragmentKind::Literal => &self.literals,
+        }
+    }
+
+    /// Mutable access to the set for one fragment kind.
+    pub fn of_mut(&mut self, kind: FragmentKind) -> &mut BTreeSet<String> {
+        match kind {
+            FragmentKind::Table => &mut self.tables,
+            FragmentKind::Column => &mut self.columns,
+            FragmentKind::Function => &mut self.functions,
+            FragmentKind::Literal => &mut self.literals,
+        }
+    }
+
+    /// Total number of fragments across all kinds.
+    pub fn len(&self) -> usize {
+        self.tables.len() + self.columns.len() + self.functions.len() + self.literals.len()
+    }
+
+    /// True if all four sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Union in another fragment set.
+    pub fn extend(&mut self, other: &FragmentSet) {
+        for kind in FragmentKind::ALL {
+            let dst = self.of_mut(kind);
+            for v in other.of(kind) {
+                dst.insert(v.clone());
+            }
+        }
+    }
+
+    /// Iterate `(kind, fragment)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (FragmentKind, &str)> {
+        FragmentKind::ALL
+            .into_iter()
+            .flat_map(move |k| self.of(k).iter().map(move |s| (k, s.as_str())))
+    }
+}
+
+/// Extract the fragment sets of a query (recursing into every subquery).
+///
+/// Aliases are *not* fragments: a column qualifier that matches a known
+/// table alias contributes the underlying table name instead (callers
+/// usually run [`crate::normalize::resolve_aliases`] first, which makes
+/// this moot, but extraction is robust either way).
+pub fn extract(query: &Query) -> FragmentSet {
+    let mut out = FragmentSet::default();
+    collect_query(query, &mut out);
+    out
+}
+
+fn collect_query(query: &Query, out: &mut FragmentSet) {
+    for cte in &query.with {
+        collect_query(&cte.query, out);
+    }
+    collect_set_expr(&query.body, out);
+    // A CTE binding is an alias for its defining query, not a base
+    // table: remove it if the body referenced it as a table name.
+    for cte in &query.with {
+        out.tables.remove(&cte.name);
+    }
+    for o in &query.order_by {
+        collect_expr(&o.expr, out);
+    }
+    if let Some(l) = &query.limit {
+        collect_expr(l, out);
+    }
+    if let Some(o) = &query.offset {
+        collect_expr(o, out);
+    }
+}
+
+fn collect_set_expr(body: &SetExpr, out: &mut FragmentSet) {
+    match body {
+        SetExpr::Select(s) => collect_select(s, out),
+        SetExpr::SetOp { left, right, .. } => {
+            collect_set_expr(left, out);
+            collect_set_expr(right, out);
+        }
+    }
+}
+
+fn collect_select(select: &Select, out: &mut FragmentSet) {
+    if let Some(top) = &select.top {
+        collect_expr(top, out);
+    }
+    for item in &select.projection {
+        match item {
+            SelectItem::Wildcard => {}
+            SelectItem::QualifiedWildcard(_) => {}
+            SelectItem::Expr { expr, .. } => collect_expr(expr, out),
+        }
+    }
+    for t in &select.from {
+        collect_table_ref(t, out);
+    }
+    if let Some(w) = &select.selection {
+        collect_expr(w, out);
+    }
+    for g in &select.group_by {
+        collect_expr(g, out);
+    }
+    if let Some(h) = &select.having {
+        collect_expr(h, out);
+    }
+}
+
+fn collect_table_ref(t: &TableRef, out: &mut FragmentSet) {
+    match t {
+        TableRef::Named { name, .. } => {
+            if let Some(table) = name.last() {
+                out.tables.insert(table.clone());
+            }
+        }
+        TableRef::Derived { subquery, .. } => collect_query(subquery, out),
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            collect_table_ref(left, out);
+            collect_table_ref(right, out);
+            if let Some(on) = on {
+                collect_expr(on, out);
+            }
+        }
+    }
+}
+
+fn collect_expr(expr: &Expr, out: &mut FragmentSet) {
+    expr.walk(&mut |e| match e {
+        Expr::Column(c) => {
+            out.columns.insert(c.column.clone());
+        }
+        Expr::Literal(l) => {
+            out.literals.insert(literal_token(l));
+        }
+        Expr::Function { name, .. } => {
+            out.functions.insert(name.clone());
+        }
+        Expr::Cast { .. } => {
+            // The paper counts CAST among a query's functions (Example 6).
+            out.functions.insert("CAST".to_string());
+        }
+        Expr::IsNull { .. } => {
+            // The paper counts the NULL of `IS NULL` as a literal
+            // (Example 6: literals(Q) = {null}).
+            out.literals.insert("NULL".to_string());
+        }
+        Expr::InSubquery { subquery, .. } | Expr::Exists { subquery, .. } => {
+            collect_query(subquery, out);
+        }
+        Expr::Subquery(q) => collect_query(q, out),
+        _ => {}
+    });
+}
+
+/// The canonical fragment token of a literal: numbers collapse to
+/// [`NUM_TOKEN`], strings keep their value, booleans and `NULL` keep their
+/// SQL spelling.
+pub fn literal_token(l: &Literal) -> String {
+    match l {
+        Literal::Number(_) => NUM_TOKEN.to_string(),
+        Literal::String(s) => s.clone(),
+        Literal::Boolean(true) => "TRUE".to_string(),
+        Literal::Boolean(false) => "FALSE".to_string(),
+        Literal::Null => "NULL".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn frags(sql: &str) -> FragmentSet {
+        extract(&parse(sql).unwrap())
+    }
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_example_6() {
+        // Figure 4 of the paper (MIN folded in for the full Example 6 sets).
+        let f = frags(
+            "SELECT j.target, CAST(j.estimate AS VARCHAR) AS estimate \
+             FROM Jobs j, Status s \
+             WHERE j.queue IN (SELECT MIN(queue) FROM Servers) \
+             AND j.outputtype LIKE '%QUERY%' AND s.status IS NULL",
+        );
+        assert_eq!(f.tables, set(&["Jobs", "Status", "Servers"]));
+        assert_eq!(
+            f.columns,
+            set(&["target", "estimate", "queue", "outputtype", "status"])
+        );
+        assert_eq!(f.functions, set(&["CAST", "MIN"]));
+        assert_eq!(f.literals, set(&["%QUERY%", "NULL"]));
+    }
+
+    #[test]
+    fn numbers_collapse_to_num_token() {
+        let f = frags("SELECT * FROM t WHERE a > 5 AND b < 7.5");
+        assert_eq!(f.literals, set(&[NUM_TOKEN]));
+    }
+
+    #[test]
+    fn subqueries_are_recursed() {
+        let f = frags(
+            "SELECT x FROM (SELECT gene AS x FROM Experiments) d \
+             WHERE x IN (SELECT g FROM Other) AND EXISTS (SELECT 1 FROM Third)",
+        );
+        assert_eq!(f.tables, set(&["Experiments", "Other", "Third"]));
+        assert!(f.columns.contains("gene"));
+        assert!(f.columns.contains("g"));
+    }
+
+    #[test]
+    fn set_ops_and_order_by_covered() {
+        let f = frags("SELECT a FROM t UNION SELECT b FROM u ORDER BY c LIMIT 3");
+        assert_eq!(f.tables, set(&["t", "u"]));
+        assert_eq!(f.columns, set(&["a", "b", "c"]));
+        assert_eq!(f.literals, set(&[NUM_TOKEN]));
+    }
+
+    #[test]
+    fn dotted_names_use_last_segment() {
+        let f = frags("SELECT * FROM BestDR7.dbo.PhotoObjAll");
+        assert_eq!(f.tables, set(&["PhotoObjAll"]));
+    }
+
+    #[test]
+    fn wildcards_are_not_columns() {
+        let f = frags("SELECT *, t.* , COUNT(*) FROM t");
+        assert!(f.columns.is_empty());
+        assert_eq!(f.functions, set(&["COUNT"]));
+    }
+
+    #[test]
+    fn join_on_predicates_covered() {
+        let f = frags("SELECT 1 FROM a JOIN b ON a.x = b.y");
+        assert_eq!(f.tables, set(&["a", "b"]));
+        assert_eq!(f.columns, set(&["x", "y"]));
+    }
+
+    #[test]
+    fn fragment_set_len_and_iter() {
+        let f = frags("SELECT COUNT(x) FROM t WHERE s = 'v'");
+        assert_eq!(f.len(), 5); // t; x, s; COUNT; 'v'
+        assert!(!f.is_empty());
+        let kinds: Vec<_> = f.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FragmentKind::Table,
+                FragmentKind::Column,
+                FragmentKind::Column,
+                FragmentKind::Function,
+                FragmentKind::Literal
+            ]
+        );
+    }
+
+    #[test]
+    fn extend_unions() {
+        let mut a = frags("SELECT x FROM t");
+        let b = frags("SELECT y FROM u");
+        a.extend(&b);
+        assert_eq!(a.tables, set(&["t", "u"]));
+        assert_eq!(a.columns, set(&["x", "y"]));
+    }
+
+    #[test]
+    fn cte_names_are_not_table_fragments() {
+        let f = frags(
+            "WITH hot AS (SELECT objid FROM SpecObj WHERE z > 1)              SELECT COUNT(*) FROM hot",
+        );
+        assert_eq!(f.tables, set(&["SpecObj"]));
+        assert!(f.columns.contains("objid") && f.columns.contains("z"));
+    }
+
+    #[test]
+    fn top_expression_counts_as_literal() {
+        let f = frags("SELECT TOP 10 x FROM t");
+        assert_eq!(f.literals, set(&[NUM_TOKEN]));
+    }
+}

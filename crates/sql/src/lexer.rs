@@ -1,0 +1,414 @@
+//! A hand-written SQL lexer.
+//!
+//! Produces a flat [`SpannedToken`] stream. Supports `--` line comments,
+//! `/* … */` block comments, single-quoted strings with `''` escapes,
+//! double-quoted and `[bracketed]` identifiers (the SDSS workload is SQL
+//! Server flavoured), integer / decimal / scientific numbers, and the full
+//! operator set of [`crate::token::Token`].
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::token::{Keyword, Span, SpannedToken, Token};
+
+/// Lex `input` into a token stream.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings/comments/quoted
+/// identifiers or on characters outside the dialect.
+pub fn lex(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<SpannedToken>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            // A token every ~5 bytes is typical for SQL.
+            out: Vec::with_capacity(src.len() / 5 + 4),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn push(&mut self, token: Token, start: usize) {
+        self.out.push(SpannedToken {
+            token,
+            span: Span::new(start, self.pos),
+        });
+    }
+
+    fn error(&self, kind: ParseErrorKind, at: usize) -> ParseError {
+        ParseError::new(kind, Span::point(at))
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedToken>, ParseError> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'-' if self.peek2() == Some(b'-') => self.line_comment(),
+                b'/' if self.peek2() == Some(b'*') => self.block_comment(start)?,
+                b'\'' => self.string_lit(start)?,
+                b'"' => self.quoted_ident(start, b'"')?,
+                b'[' => self.quoted_ident(start, b']')?,
+                b'0'..=b'9' => self.number(start),
+                b'.' if matches!(self.peek2(), Some(b'0'..=b'9')) => self.number(start),
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.word(start),
+                _ => self.operator(start)?,
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self, start: usize) -> Result<(), ParseError> {
+        self.pos += 2; // consume "/*"
+        loop {
+            match self.peek() {
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    self.pos += 2;
+                    return Ok(());
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(self.error(ParseErrorKind::UnterminatedComment, start)),
+            }
+        }
+    }
+
+    fn string_lit(&mut self, start: usize) -> Result<(), ParseError> {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        value.push('\'');
+                        self.pos += 1;
+                    } else {
+                        self.push(Token::StringLit(value), start);
+                        return Ok(());
+                    }
+                }
+                Some(_) => {
+                    // Re-slice to keep UTF-8 intact: find the char at pos-1.
+                    let ch_start = self.pos - 1;
+                    let ch = self.src[ch_start..].chars().next().expect("in bounds");
+                    value.push(ch);
+                    self.pos = ch_start + ch.len_utf8();
+                }
+                None => return Err(self.error(ParseErrorKind::UnterminatedString, start)),
+            }
+        }
+    }
+
+    fn quoted_ident(&mut self, start: usize, close: u8) -> Result<(), ParseError> {
+        self.pos += 1; // opening quote/bracket
+        let body_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == close {
+                let value = self.src[body_start..self.pos].to_string();
+                self.pos += 1;
+                self.push(Token::QuotedIdent(value), start);
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.error(ParseErrorKind::UnterminatedQuotedIdent, start))
+    }
+
+    fn number(&mut self, start: usize) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        } else if self.peek() == Some(b'.') && start != self.pos {
+            // trailing dot as in "1." — consume it as part of the number
+            // only when followed by a non-ident char; otherwise leave for Dot.
+            if !matches!(
+                self.peek2(),
+                Some(b'A'..=b'Z' | b'a'..=b'z' | b'_' | b'"' | b'[')
+            ) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut ahead = self.pos + 1;
+            if matches!(self.bytes.get(ahead), Some(b'+' | b'-')) {
+                ahead += 1;
+            }
+            if matches!(self.bytes.get(ahead), Some(b'0'..=b'9')) {
+                self.pos = ahead;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.push(Token::Number(text), start);
+    }
+
+    fn word(&mut self, start: usize) {
+        while matches!(
+            self.peek(),
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'$' | b'#')
+        ) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let token = match Keyword::from_word(text) {
+            Some(kw) => Token::Keyword(kw),
+            None => Token::Ident(text.to_string()),
+        };
+        self.push(token, start);
+    }
+
+    fn operator(&mut self, start: usize) -> Result<(), ParseError> {
+        let b = self.bump().expect("caller checked peek");
+        let token = match b {
+            b'=' => Token::Eq,
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.pos += 1;
+                    Token::LtEq
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    Token::Neq
+                }
+                _ => Token::Lt,
+            },
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::GtEq
+                } else {
+                    Token::Gt
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Neq
+                } else {
+                    return Err(self.error(ParseErrorKind::UnexpectedChar('!'), start));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    Token::Concat
+                } else {
+                    return Err(self.error(ParseErrorKind::UnexpectedChar('|'), start));
+                }
+            }
+            b'+' => Token::Plus,
+            b'-' => Token::Minus,
+            b'*' => Token::Star,
+            b'/' => Token::Slash,
+            b'%' => Token::Percent,
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b',' => Token::Comma,
+            b'.' => Token::Dot,
+            b';' => Token::Semicolon,
+            other => {
+                let ch = if other.is_ascii() {
+                    other as char
+                } else {
+                    // Report the full UTF-8 char, not a lone byte.
+                    self.src[start..].chars().next().unwrap_or('?')
+                };
+                return Err(self.error(ParseErrorKind::UnexpectedChar(ch), start));
+            }
+        };
+        self.push(token, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as Kw;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        lex(sql).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lex_simple_select() {
+        assert_eq!(
+            toks("SELECT * FROM PhotoTag"),
+            vec![
+                Token::Keyword(Kw::Select),
+                Token::Star,
+                Token::Keyword(Kw::From),
+                Token::Ident("PhotoTag".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select distinct"),
+            vec![Token::Keyword(Kw::Select), Token::Keyword(Kw::Distinct)]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            toks("= <> != < <= > >= + - * / % ||"),
+            vec![
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Concat,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            toks("1 3.14 0.5 1e9 2.5E-3 .75"),
+            vec![
+                Token::Number("1".into()),
+                Token::Number("3.14".into()),
+                Token::Number("0.5".into()),
+                Token::Number("1e9".into()),
+                Token::Number("2.5E-3".into()),
+                Token::Number(".75".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_dot_ident_is_projection() {
+        // "t1.x" must not swallow the dot into a number when the table name
+        // ends in a digit.
+        assert_eq!(
+            toks("t1.x"),
+            vec![
+                Token::Ident("t1".into()),
+                Token::Dot,
+                Token::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(
+            toks("'hello' 'o''brien' '%QUERY%'"),
+            vec![
+                Token::StringLit("hello".into()),
+                Token::StringLit("o'brien".into()),
+                Token::StringLit("%QUERY%".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_quoted_identifiers() {
+        assert_eq!(
+            toks("\"my col\" [dbo table]"),
+            vec![
+                Token::QuotedIdent("my col".into()),
+                Token::QuotedIdent("dbo table".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        assert_eq!(
+            toks("SELECT -- trailing\n1 /* block\n comment */ + 2"),
+            vec![
+                Token::Keyword(Kw::Select),
+                Token::Number("1".into()),
+                Token::Plus,
+                Token::Number("2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("\"abc").is_err());
+        assert!(lex("[abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn lex_rejects_stray_chars() {
+        assert!(lex("SELECT ? FROM t").is_err());
+        assert!(lex("SELECT ! FROM t").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let tokens = lex("SELECT x").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 6));
+        assert_eq!(tokens[1].span, Span::new(7, 8));
+    }
+
+    #[test]
+    fn lex_unicode_in_strings() {
+        assert_eq!(toks("'héllo ∑'"), vec![Token::StringLit("héllo ∑".into())]);
+    }
+
+    #[test]
+    fn lex_idents_with_dollar_and_hash() {
+        assert_eq!(
+            toks("tmp#1 col$x"),
+            vec![Token::Ident("tmp#1".into()), Token::Ident("col$x".into())]
+        );
+    }
+}

@@ -1,0 +1,1217 @@
+//! Recursive-descent parser for the `qrec` SQL dialect.
+//!
+//! Entry point: [`parse`]. The grammar covers `SELECT` statements with
+//! joins, derived tables, subqueries (scalar / `IN` / `EXISTS`), set
+//! operations, `GROUP BY`/`HAVING`, `ORDER BY`, `TOP` and `LIMIT/OFFSET`,
+//! `CASE`, `CAST`, and the standard predicate forms. Expressions use
+//! precedence climbing.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::lex;
+use crate::token::{Keyword as Kw, Span, SpannedToken, Token};
+
+/// Parse a single SQL query. Trailing semicolons are allowed; any other
+/// trailing input is an error.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for lexical errors, syntax errors, or trailing
+/// tokens.
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let tokens = lex(sql)?;
+    let mut parser = Parser::new(tokens);
+    if parser.at_end() {
+        return Err(ParseError::new(ParseErrorKind::EmptyInput, Span::point(0)));
+    }
+    let query = parser.query()?;
+    while parser.eat(&Token::Semicolon) {}
+    if let Some(t) = parser.peek_spanned() {
+        return Err(ParseError::new(
+            ParseErrorKind::TrailingTokens {
+                got: t.token.clone(),
+            },
+            t.span,
+        ));
+    }
+    Ok(query)
+}
+
+/// Parse a script containing multiple `;`-separated queries. Returns the
+/// queries in order; empty statements (stray semicolons) are skipped.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_many(sql: &str) -> Result<Vec<Query>, ParseError> {
+    let tokens = lex(sql)?;
+    let mut parser = Parser::new(tokens);
+    let mut out = Vec::new();
+    while !parser.at_end() {
+        if parser.eat(&Token::Semicolon) {
+            continue;
+        }
+        out.push(parser.query()?);
+        if !parser.at_end() && !parser.eat(&Token::Semicolon) {
+            return Err(parser.expected(";"));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<SpannedToken>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_spanned(&self) -> Option<&SpannedToken> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|t| &t.token)
+    }
+
+    fn advance(&mut self) -> Option<&SpannedToken> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&self, kw: Kw) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if *k == kw)
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.expected(kw.as_str()))
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), ParseError> {
+        if self.eat(&token) {
+            Ok(())
+        } else {
+            Err(self.expected(&token.to_string()))
+        }
+    }
+
+    fn expected(&self, what: &str) -> ParseError {
+        match self.peek_spanned() {
+            Some(t) => ParseError::new(
+                ParseErrorKind::UnexpectedToken {
+                    expected: what.to_string(),
+                    got: t.token.clone(),
+                },
+                t.span,
+            ),
+            None => ParseError::new(
+                ParseErrorKind::UnexpectedEof {
+                    expected: what.to_string(),
+                },
+                Span::point(self.tokens.last().map_or(0, |t| t.span.end)),
+            ),
+        }
+    }
+
+    /// True if the upcoming tokens begin a query: `SELECT …` possibly behind
+    /// one or more opening parentheses (`((SELECT …`).
+    fn looking_at_query(&self) -> bool {
+        let mut off = 0;
+        while self.peek_at(off) == Some(&Token::LParen) {
+            off += 1;
+        }
+        matches!(
+            self.peek_at(off),
+            Some(Token::Keyword(Kw::Select)) | Some(Token::Keyword(Kw::With))
+        )
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) | Some(Token::QuotedIdent(_)) => {
+                let t = self.advance().expect("peeked");
+                Ok(t.token.ident().expect("ident variant").to_string())
+            }
+            _ => Err(self.expected("identifier")),
+        }
+    }
+
+    // ---- query / set expressions ------------------------------------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let mut with = Vec::new();
+        if self.eat_kw(Kw::With) {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw(Kw::As)?;
+                self.expect(Token::LParen)?;
+                let query = self.query()?;
+                self.expect(Token::RParen)?;
+                with.push(Cte { name, query });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw(Kw::Order) {
+            self.expect_kw(Kw::By)?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw(Kw::Asc) {
+                    Some(true)
+                } else if self.eat_kw(Kw::Desc) {
+                    Some(false)
+                } else {
+                    None
+                };
+                order_by.push(OrderByItem { expr, ascending });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Kw::Limit) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw(Kw::Offset) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            with,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr, ParseError> {
+        let mut left = self.select_core()?;
+        loop {
+            let op = if self.eat_kw(Kw::Union) {
+                if self.eat_kw(Kw::All) {
+                    SetOp::UnionAll
+                } else {
+                    SetOp::Union
+                }
+            } else if self.eat_kw(Kw::Except) {
+                SetOp::Except
+            } else if self.eat_kw(Kw::Intersect) {
+                SetOp::Intersect
+            } else {
+                break;
+            };
+            let right = self.select_core()?;
+            left = SetExpr::SetOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn select_core(&mut self) -> Result<SetExpr, ParseError> {
+        // Allow a parenthesised select block inside set operations.
+        if self.peek() == Some(&Token::LParen) && {
+            let mut off = 1;
+            while self.peek_at(off) == Some(&Token::LParen) {
+                off += 1;
+            }
+            matches!(self.peek_at(off), Some(Token::Keyword(Kw::Select)))
+        } {
+            self.expect(Token::LParen)?;
+            let inner = self.set_expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        Ok(SetExpr::Select(Box::new(self.select_block()?)))
+    }
+
+    fn select_block(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw(Kw::Select)?;
+        let distinct = if self.eat_kw(Kw::Distinct) {
+            true
+        } else {
+            self.eat_kw(Kw::All);
+            false
+        };
+        let top = if self.eat_kw(Kw::Top) {
+            let e = self.primary_expr()?;
+            Some(e)
+        } else {
+            None
+        };
+        let mut projection = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            projection.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw(Kw::From) {
+            from.push(self.table_ref()?);
+            while self.eat(&Token::Comma) {
+                from.push(self.table_ref()?);
+            }
+        }
+        let selection = if self.eat_kw(Kw::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Kw::Group) {
+            self.expect_kw(Kw::By)?;
+            group_by.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw(Kw::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            top,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let (
+            Some(Token::Ident(_) | Token::QuotedIdent(_)),
+            Some(Token::Dot),
+            Some(Token::Star),
+        ) = (self.peek(), self.peek_at(1), self.peek_at(2))
+        {
+            let table = self.ident()?;
+            self.expect(Token::Dot)?;
+            self.expect(Token::Star)?;
+            return Ok(SelectItem::QualifiedWildcard(table));
+        }
+        let expr = self.expr()?;
+        let alias = self.optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// `AS ident` or a bare non-keyword identifier.
+    fn optional_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw(Kw::As) {
+            return Ok(Some(self.ident()?));
+        }
+        if matches!(self.peek(), Some(Token::Ident(_) | Token::QuotedIdent(_))) {
+            return Ok(Some(self.ident()?));
+        }
+        Ok(None)
+    }
+
+    // ---- table references --------------------------------------------
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let mut left = self.table_primary()?;
+        loop {
+            let kind = if self.eat_kw(Kw::Join) || {
+                if self.eat_kw(Kw::Inner) {
+                    self.expect_kw(Kw::Join)?;
+                    true
+                } else {
+                    false
+                }
+            } {
+                JoinKind::Inner
+            } else if self.eat_kw(Kw::Left) {
+                self.eat_kw(Kw::Outer);
+                self.expect_kw(Kw::Join)?;
+                JoinKind::Left
+            } else if self.eat_kw(Kw::Right) {
+                self.eat_kw(Kw::Outer);
+                self.expect_kw(Kw::Join)?;
+                JoinKind::Right
+            } else if self.eat_kw(Kw::Full) {
+                self.eat_kw(Kw::Outer);
+                self.expect_kw(Kw::Join)?;
+                JoinKind::Full
+            } else if self.eat_kw(Kw::Cross) {
+                self.expect_kw(Kw::Join)?;
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.table_primary()?;
+            let on = if kind != JoinKind::Cross {
+                if self.eat_kw(Kw::On) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                kind,
+                right: Box::new(right),
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn table_primary(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat(&Token::LParen) {
+            // A derived table: ( query ) [alias]
+            let subquery = self.query()?;
+            self.expect(Token::RParen)?;
+            let alias = self.optional_alias()?;
+            return Ok(TableRef::Derived {
+                subquery: Box::new(subquery),
+                alias,
+            });
+        }
+        let mut name = vec![self.ident()?];
+        while self.peek() == Some(&Token::Dot) {
+            // Only consume the dot if an identifier follows (not `t.*`).
+            if matches!(
+                self.peek_at(1),
+                Some(Token::Ident(_) | Token::QuotedIdent(_))
+            ) {
+                self.expect(Token::Dot)?;
+                name.push(self.ident()?);
+            } else {
+                break;
+            }
+        }
+        let alias = self.optional_alias()?;
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Kw::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Kw::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw(Kw::Not) {
+            let expr = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(expr),
+            });
+        }
+        self.comparison_expr()
+    }
+
+    fn comparison_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive_expr()?;
+        // postfix predicate forms
+        let negated = self.eat_kw(Kw::Not);
+        if self.eat_kw(Kw::Between) {
+            let low = self.additive_expr()?;
+            self.expect_kw(Kw::And)?;
+            let high = self.additive_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_kw(Kw::Like) {
+            let pattern = self.additive_expr()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                negated,
+                pattern: Box::new(pattern),
+            });
+        }
+        if self.eat_kw(Kw::In) {
+            self.expect(Token::LParen)?;
+            if self.looking_at_query() {
+                let subquery = self.query()?;
+                self.expect(Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    negated,
+                    subquery: Box::new(subquery),
+                });
+            }
+            let mut list = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                negated,
+                list,
+            });
+        }
+        if negated {
+            return Err(self.expected("BETWEEN, LIKE, or IN after NOT"));
+        }
+        if self.eat_kw(Kw::Is) {
+            let negated = self.eat_kw(Kw::Not);
+            self.expect_kw(Kw::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinaryOp::Eq,
+            Some(Token::Neq) => BinaryOp::Neq,
+            Some(Token::Lt) => BinaryOp::Lt,
+            Some(Token::LtEq) => BinaryOp::LtEq,
+            Some(Token::Gt) => BinaryOp::Gt,
+            Some(Token::GtEq) => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive_expr()?;
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Plus,
+                Some(Token::Minus) => BinaryOp::Minus,
+                Some(Token::Concat) => BinaryOp::Concat,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            let expr = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(expr),
+            });
+        }
+        if self.eat(&Token::Plus) {
+            let expr = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Pos,
+                expr: Box::new(expr),
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Number(_)) => {
+                let t = self.advance().expect("peeked");
+                if let Token::Number(n) = &t.token {
+                    Ok(Expr::Literal(Literal::Number(n.clone())))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::StringLit(_)) => {
+                let t = self.advance().expect("peeked");
+                if let Token::StringLit(s) = &t.token {
+                    Ok(Expr::Literal(Literal::String(s.clone())))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Keyword(Kw::Null)) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Some(Token::Keyword(Kw::True)) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Boolean(true)))
+            }
+            Some(Token::Keyword(Kw::False)) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Boolean(false)))
+            }
+            Some(Token::Keyword(Kw::Case)) => self.case_expr(),
+            Some(Token::Keyword(Kw::Cast)) => self.cast_expr(),
+            Some(Token::Keyword(Kw::Exists)) => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let subquery = self.query()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Exists {
+                    negated: false,
+                    subquery: Box::new(subquery),
+                })
+            }
+            Some(Token::Keyword(Kw::Not)) => {
+                // NOT EXISTS (…) reached through primary position.
+                self.advance();
+                let inner = self.primary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(inner),
+                })
+            }
+            Some(Token::LParen) => {
+                self.advance();
+                if self.looking_at_query() {
+                    let subquery = self.query()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(subquery)));
+                }
+                let inner = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Nested(Box::new(inner)))
+            }
+            Some(Token::Star) => {
+                // `*` as an expression only appears as a function arg
+                // (COUNT(*)); accept it here, validation is the caller's job.
+                self.advance();
+                Ok(Expr::Wildcard)
+            }
+            Some(Token::Ident(_)) | Some(Token::QuotedIdent(_)) => self.ident_expr(),
+            _ => Err(self.expected("expression")),
+        }
+    }
+
+    fn ident_expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.ident()?;
+        // Function call?
+        if self.peek() == Some(&Token::LParen) {
+            self.advance();
+            let distinct = self.eat_kw(Kw::Distinct);
+            let mut args = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                args.push(self.expr()?);
+                while self.eat(&Token::Comma) {
+                    args.push(self.expr()?);
+                }
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Expr::Function {
+                name: first,
+                args,
+                distinct,
+            });
+        }
+        // Qualified column `t.x`?
+        if self.peek() == Some(&Token::Dot)
+            && matches!(
+                self.peek_at(1),
+                Some(Token::Ident(_) | Token::QuotedIdent(_))
+            )
+        {
+            self.advance();
+            let column = self.ident()?;
+            return Ok(Expr::Column(ColumnRef {
+                table: Some(first),
+                column,
+            }));
+        }
+        Ok(Expr::Column(ColumnRef {
+            table: None,
+            column: first,
+        }))
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw(Kw::Case)?;
+        let operand = if !self.peek_kw(Kw::When) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let mut arms = Vec::new();
+        while self.eat_kw(Kw::When) {
+            let when = self.expr()?;
+            self.expect_kw(Kw::Then)?;
+            let then = self.expr()?;
+            arms.push((when, then));
+        }
+        if arms.is_empty() {
+            return Err(self.expected("WHEN"));
+        }
+        let else_result = if self.eat_kw(Kw::Else) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw(Kw::End)?;
+        Ok(Expr::Case {
+            operand,
+            arms,
+            else_result,
+        })
+    }
+
+    fn cast_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw(Kw::Cast)?;
+        self.expect(Token::LParen)?;
+        let expr = self.expr()?;
+        self.expect_kw(Kw::As)?;
+        let mut data_type = self.ident()?;
+        // Parameterised types: VARCHAR(20), DECIMAL(10, 2)
+        if self.eat(&Token::LParen) {
+            data_type.push('(');
+            loop {
+                match self.peek() {
+                    Some(Token::Number(n)) => {
+                        data_type.push_str(n);
+                        self.advance();
+                    }
+                    _ => return Err(self.expected("number in type parameter")),
+                }
+                if self.eat(&Token::Comma) {
+                    data_type.push(',');
+                } else {
+                    break;
+                }
+            }
+            self.expect(Token::RParen)?;
+            data_type.push(')');
+        }
+        self.expect(Token::RParen)?;
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            data_type,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(sql: &str) -> Query {
+        parse(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"))
+    }
+
+    fn sel(q: &Query) -> &Select {
+        match &q.body {
+            SetExpr::Select(s) => s,
+            other => panic!("expected plain select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let q = p("SELECT * FROM PhotoTag");
+        let s = sel(&q);
+        assert_eq!(s.projection, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from.len(), 1);
+    }
+
+    #[test]
+    fn parse_no_from() {
+        let q = p("SELECT 1");
+        assert!(sel(&q).from.is_empty());
+    }
+
+    #[test]
+    fn parse_projection_aliases() {
+        let q = p("SELECT a AS x, b y, t.c FROM t");
+        let s = sel(&q);
+        assert_eq!(s.projection.len(), 3);
+        match &s.projection[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("x")),
+            other => panic!("{other:?}"),
+        }
+        match &s.projection[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("y")),
+            other => panic!("{other:?}"),
+        }
+        match &s.projection[2] {
+            SelectItem::Expr { expr, alias } => {
+                assert_eq!(*expr, Expr::Column(ColumnRef::qualified("t", "c")));
+                assert!(alias.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_qualified_wildcard() {
+        let q = p("SELECT t.* FROM t");
+        assert_eq!(
+            sel(&q).projection[0],
+            SelectItem::QualifiedWildcard("t".into())
+        );
+    }
+
+    #[test]
+    fn parse_where_precedence() {
+        let q = p("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+        // OR must be the root: x=1 OR (y=2 AND z=3)
+        match sel(&q).selection.as_ref().unwrap() {
+            Expr::Binary { op, .. } => assert_eq!(*op, BinaryOp::Or),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_arith_precedence() {
+        let q = p("SELECT a + b * c FROM t");
+        match &sel(&q).projection[0] {
+            SelectItem::Expr {
+                expr: Expr::Binary { op, right, .. },
+                ..
+            } => {
+                assert_eq!(*op, BinaryOp::Plus);
+                assert!(matches!(
+                    right.as_ref(),
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_functions() {
+        let q = p("SELECT COUNT(*), COUNT(DISTINCT type), AVG(ra + 1) FROM SpecObj");
+        let s = sel(&q);
+        match &s.projection[0] {
+            SelectItem::Expr {
+                expr: Expr::Function { name, args, .. },
+                ..
+            } => {
+                assert_eq!(name, "COUNT");
+                assert_eq!(args, &vec![Expr::Wildcard]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &s.projection[1] {
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, .. },
+                ..
+            } => assert!(distinct),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_joins() {
+        let q = p(
+            "SELECT s.ra FROM SpecObj s JOIN PhotoObj p ON s.objid = p.objid \
+             LEFT OUTER JOIN Neighbors n ON p.objid = n.objid",
+        );
+        match &sel(&q).from[0] {
+            TableRef::Join { kind, left, .. } => {
+                assert_eq!(*kind, JoinKind::Left);
+                assert!(matches!(
+                    left.as_ref(),
+                    TableRef::Join {
+                        kind: JoinKind::Inner,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cross_join() {
+        let q = p("SELECT * FROM a CROSS JOIN b");
+        match &sel(&q).from[0] {
+            TableRef::Join { kind, on, .. } => {
+                assert_eq!(*kind, JoinKind::Cross);
+                assert!(on.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_comma_from_list() {
+        let q = p("SELECT * FROM Jobs j, Status s WHERE j.queue = s.queue");
+        assert_eq!(sel(&q).from.len(), 2);
+    }
+
+    #[test]
+    fn parse_derived_table() {
+        let q = p("SELECT x FROM (SELECT DISTINCT gene x FROM Experiments) d");
+        match &sel(&q).from[0] {
+            TableRef::Derived { alias, .. } => assert_eq!(alias.as_deref(), Some("d")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_in_subquery_and_exists() {
+        let q = p(
+            "SELECT * FROM t WHERE id IN (SELECT id FROM u) AND EXISTS (SELECT 1 FROM v) \
+             AND kind NOT IN ('a', 'b')",
+        );
+        let mut in_sub = 0;
+        let mut exists = 0;
+        let mut in_list = 0;
+        sel(&q).selection.as_ref().unwrap().walk(&mut |e| match e {
+            Expr::InSubquery { .. } => in_sub += 1,
+            Expr::Exists { .. } => exists += 1,
+            Expr::InList { negated, .. } => {
+                assert!(*negated);
+                in_list += 1;
+            }
+            _ => {}
+        });
+        assert_eq!((in_sub, exists, in_list), (1, 1, 1));
+    }
+
+    #[test]
+    fn parse_between_like_isnull() {
+        let q = p(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b NOT BETWEEN 3 AND 4 \
+             AND c LIKE '%x%' AND d NOT LIKE 'y' AND e IS NULL AND f IS NOT NULL",
+        );
+        let mut between = 0;
+        let mut like = 0;
+        let mut is_null = 0;
+        sel(&q).selection.as_ref().unwrap().walk(&mut |e| match e {
+            Expr::Between { .. } => between += 1,
+            Expr::Like { .. } => like += 1,
+            Expr::IsNull { .. } => is_null += 1,
+            _ => {}
+        });
+        assert_eq!((between, like, is_null), (2, 2, 2));
+    }
+
+    #[test]
+    fn parse_group_having_order_limit() {
+        let q = p("SELECT type, COUNT(*) c FROM Experiments GROUP BY type \
+             HAVING COUNT(*) > 5 ORDER BY c DESC, type LIMIT 10 OFFSET 20");
+        let s = sel(&q);
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.order_by[0].ascending, Some(false));
+        assert_eq!(q.order_by[1].ascending, None);
+        assert!(q.limit.is_some() && q.offset.is_some());
+    }
+
+    #[test]
+    fn parse_top() {
+        let q = p("SELECT TOP 10 objid FROM SpecObj ORDER BY z DESC");
+        assert_eq!(
+            sel(&q).top,
+            Some(Expr::Literal(Literal::Number("10".into())))
+        );
+    }
+
+    #[test]
+    fn parse_set_operations() {
+        let q = p("SELECT a FROM t UNION SELECT b FROM u UNION ALL SELECT c FROM v");
+        match &q.body {
+            SetExpr::SetOp { op, left, .. } => {
+                assert_eq!(*op, SetOp::UnionAll);
+                assert!(matches!(
+                    left.as_ref(),
+                    SetExpr::SetOp {
+                        op: SetOp::Union,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_parenthesised_set_member() {
+        let q = p("(SELECT a FROM t) EXCEPT (SELECT a FROM u)");
+        assert!(matches!(
+            q.body,
+            SetExpr::SetOp {
+                op: SetOp::Except,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_case_forms() {
+        let q = p("SELECT CASE WHEN z > 1 THEN 'far' ELSE 'near' END, \
+             CASE kind WHEN 1 THEN 'a' WHEN 2 THEN 'b' END FROM t");
+        let s = sel(&q);
+        match &s.projection[0] {
+            SelectItem::Expr {
+                expr:
+                    Expr::Case {
+                        operand,
+                        arms,
+                        else_result,
+                    },
+                ..
+            } => {
+                assert!(operand.is_none());
+                assert_eq!(arms.len(), 1);
+                assert!(else_result.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        match &s.projection[1] {
+            SelectItem::Expr {
+                expr: Expr::Case { operand, arms, .. },
+                ..
+            } => {
+                assert!(operand.is_some());
+                assert_eq!(arms.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cast() {
+        let q = p("SELECT CAST(j.estimate AS VARCHAR), CAST(x AS DECIMAL(10,2)) FROM Jobs j");
+        let s = sel(&q);
+        match &s.projection[1] {
+            SelectItem::Expr {
+                expr: Expr::Cast { data_type, .. },
+                ..
+            } => assert_eq!(data_type, "DECIMAL(10,2)"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_scalar_subquery() {
+        let q = p("SELECT name FROM t WHERE n > (SELECT AVG(n) FROM t)");
+        let mut found = false;
+        sel(&q).selection.as_ref().unwrap().walk(&mut |e| {
+            if matches!(e, Expr::Subquery(_)) {
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn parse_nested_top_k_sdss_style() {
+        // Mirrors the paper's Figure 2 queries.
+        let q = p(
+            "SELECT TOP 10 ra, [dec] FROM SpecObj WHERE z BETWEEN 0.3 AND 0.4 AND zConf > 0.9 \
+             AND specClass IN (1, 3)",
+        );
+        assert!(sel(&q).top.is_some());
+    }
+
+    #[test]
+    fn parse_sqlshare_genomics_session() {
+        // Mirrors the paper's Figure 1 session.
+        p("SELECT COUNT(DISTINCT type) FROM [experiments.csv]");
+        p("SELECT gene, type FROM [experiments.csv]");
+        p(
+            "SELECT type, COUNT(DISTINCT gene) AS genes FROM [experiments.csv] \
+             GROUP BY type HAVING COUNT(DISTINCT gene) > 5",
+        );
+    }
+
+    #[test]
+    fn parse_unary_operators() {
+        let q = p("SELECT -x, +y, NOT z FROM t WHERE NOT a = 1");
+        assert_eq!(sel(&q).projection.len(), 3);
+    }
+
+    #[test]
+    fn parse_many_splits_statements() {
+        let qs = parse_many("SELECT 1; SELECT a FROM t;; SELECT b FROM u").unwrap();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[2].to_string(), "SELECT b FROM u");
+        assert!(parse_many("").unwrap().is_empty());
+        assert!(parse_many(";;;").unwrap().is_empty());
+        assert!(parse_many("SELECT 1 SELECT 2").is_err());
+        assert!(parse_many("SELECT 1; NOT SQL").is_err());
+    }
+
+    #[test]
+    fn parse_trailing_semicolon_ok() {
+        p("SELECT 1;");
+        p("SELECT 1;;");
+    }
+
+    #[test]
+    fn reject_trailing_garbage() {
+        assert!(parse("SELECT 1 SELECT 2").is_err());
+        assert!(parse("SELECT a FROM t )").is_err());
+    }
+
+    #[test]
+    fn reject_empty_and_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("   -- just a comment").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t GROUP").is_err());
+        assert!(parse("SELECT CASE END FROM t").is_err());
+        assert!(parse("SELECT a NOT 5 FROM t").is_err());
+    }
+
+    #[test]
+    fn parse_dotted_table_names() {
+        let q = p("SELECT * FROM BestDR7.dbo.PhotoObjAll p");
+        match &sel(&q).from[0] {
+            TableRef::Named { name, alias } => {
+                assert_eq!(name.len(), 3);
+                assert_eq!(alias.as_deref(), Some("p"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_concat_operator() {
+        let q = p("SELECT a || '-' || b FROM t");
+        match &sel(&q).projection[0] {
+            SelectItem::Expr {
+                expr: Expr::Binary { op, .. },
+                ..
+            } => assert_eq!(*op, BinaryOp::Concat),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cte() {
+        let q = p(
+            "WITH hot AS (SELECT objid FROM SpecObj WHERE z > 1),              cold AS (SELECT objid FROM SpecObj WHERE z < 1)              SELECT COUNT(*) FROM hot JOIN cold ON hot.objid = cold.objid",
+        );
+        assert_eq!(q.with.len(), 2);
+        assert_eq!(q.with[0].name, "hot");
+        assert_eq!(q.with[1].name, "cold");
+    }
+
+    #[test]
+    fn parse_nested_cte_in_derived_table() {
+        p("SELECT * FROM (WITH t AS (SELECT a FROM u) SELECT * FROM t) d");
+    }
+
+    #[test]
+    fn reject_malformed_cte() {
+        assert!(parse("WITH x SELECT 1").is_err());
+        assert!(parse("WITH x AS SELECT 1").is_err());
+        assert!(parse("WITH x AS (SELECT 1)").is_err());
+    }
+
+    #[test]
+    fn keyword_not_usable_as_bare_alias() {
+        // `FROM` after the expression must start the FROM clause, not be an alias.
+        let q = p("SELECT a FROM t");
+        assert_eq!(sel(&q).from.len(), 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! Lexical tokens for the SQL dialect understood by `qrec`.
+//!
+//! The dialect covers the query shapes observed in the SDSS and SQLShare
+//! workloads the paper studies: `SELECT` queries with joins, subqueries,
+//! set operations, aggregation, `TOP`/`LIMIT`, `CASE`, `CAST`, and the usual
+//! predicate zoo (`LIKE`, `BETWEEN`, `IN`, `EXISTS`, `IS NULL`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A source span in byte offsets, used for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character of the token.
+    pub start: usize,
+    /// Byte offset one past the last character of the token.
+    pub end: usize,
+}
+
+impl Span {
+    /// Create a new span. `start <= end` is expected but not enforced.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at the given offset.
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+}
+
+/// SQL keywords recognised by the lexer.
+///
+/// Identifiers are matched case-insensitively against this list; anything not
+/// listed lexes as [`Token::Ident`]. Function names such as `COUNT` are *not*
+/// keywords — they are ordinary identifiers resolved by the parser when
+/// followed by `(`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    Top,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    Offset,
+    As,
+    On,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Outer,
+    Cross,
+    Union,
+    All,
+    Except,
+    Intersect,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    Between,
+    Like,
+    Is,
+    Null,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Cast,
+    True,
+    False,
+    With,
+}
+
+impl Keyword {
+    /// Parse a keyword from an identifier-shaped word, case-insensitively.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        // Keywords are short; uppercase into a stack buffer-sized String.
+        let upper = word.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "SELECT" => Keyword::Select,
+            "DISTINCT" => Keyword::Distinct,
+            "TOP" => Keyword::Top,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "ORDER" => Keyword::Order,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "OFFSET" => Keyword::Offset,
+            "AS" => Keyword::As,
+            "ON" => Keyword::On,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "LEFT" => Keyword::Left,
+            "RIGHT" => Keyword::Right,
+            "FULL" => Keyword::Full,
+            "OUTER" => Keyword::Outer,
+            "CROSS" => Keyword::Cross,
+            "UNION" => Keyword::Union,
+            "ALL" => Keyword::All,
+            "EXCEPT" => Keyword::Except,
+            "INTERSECT" => Keyword::Intersect,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "EXISTS" => Keyword::Exists,
+            "BETWEEN" => Keyword::Between,
+            "LIKE" => Keyword::Like,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "CASE" => Keyword::Case,
+            "WHEN" => Keyword::When,
+            "THEN" => Keyword::Then,
+            "ELSE" => Keyword::Else,
+            "END" => Keyword::End,
+            "CAST" => Keyword::Cast,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "WITH" => Keyword::With,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::Top => "TOP",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Order => "ORDER",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::Limit => "LIMIT",
+            Keyword::Offset => "OFFSET",
+            Keyword::As => "AS",
+            Keyword::On => "ON",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::Left => "LEFT",
+            Keyword::Right => "RIGHT",
+            Keyword::Full => "FULL",
+            Keyword::Outer => "OUTER",
+            Keyword::Cross => "CROSS",
+            Keyword::Union => "UNION",
+            Keyword::All => "ALL",
+            Keyword::Except => "EXCEPT",
+            Keyword::Intersect => "INTERSECT",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Exists => "EXISTS",
+            Keyword::Between => "BETWEEN",
+            Keyword::Like => "LIKE",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::Case => "CASE",
+            Keyword::When => "WHEN",
+            Keyword::Then => "THEN",
+            Keyword::Else => "ELSE",
+            Keyword::End => "END",
+            Keyword::Cast => "CAST",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::With => "WITH",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    /// A reserved keyword (see [`Keyword`]).
+    Keyword(Keyword),
+    /// An unquoted identifier (table, column, function, type name …).
+    Ident(String),
+    /// A quoted identifier: `"name"` or `[name]`. Quotes are stripped.
+    QuotedIdent(String),
+    /// A numeric literal, kept verbatim (e.g. `3`, `0.5`, `1e-4`).
+    Number(String),
+    /// A string literal; the value has quotes stripped and `''` unescaped.
+    StringLit(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=` (normalised to `<>`)
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*` (multiplication or wildcard; disambiguated by the parser)
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `||` string concatenation
+    Concat,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// True if this token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(self, Token::Keyword(k) if *k == kw)
+    }
+
+    /// Identifier text, if this token is a (possibly quoted) identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) | Token::QuotedIdent(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(s) => f.write_str(s),
+            Token::QuotedIdent(s) => write!(f, "\"{s}\""),
+            Token::Number(s) => f.write_str(s),
+            Token::StringLit(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::Eq => f.write_str("="),
+            Token::Neq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Concat => f.write_str("||"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Semicolon => f.write_str(";"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it came from in the input.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Select,
+            Keyword::From,
+            Keyword::Where,
+            Keyword::Between,
+            Keyword::Intersect,
+            Keyword::Cast,
+            Keyword::False,
+        ] {
+            assert_eq!(Keyword::from_word(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::from_word(&kw.as_str().to_lowercase()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn keyword_rejects_identifiers() {
+        assert_eq!(Keyword::from_word("PhotoObj"), None);
+        assert_eq!(Keyword::from_word("count"), None);
+        assert_eq!(Keyword::from_word(""), None);
+    }
+
+    #[test]
+    fn token_display_escapes_strings() {
+        let t = Token::StringLit("o'brien".into());
+        assert_eq!(t.to_string(), "'o''brien'");
+    }
+
+    #[test]
+    fn token_ident_accessor() {
+        assert_eq!(Token::Ident("t".into()).ident(), Some("t"));
+        assert_eq!(Token::QuotedIdent("t x".into()).ident(), Some("t x"));
+        assert_eq!(Token::Star.ident(), None);
+    }
+
+    #[test]
+    fn is_keyword_matches_exact_variant() {
+        let t = Token::Keyword(Keyword::Select);
+        assert!(t.is_keyword(Keyword::Select));
+        assert!(!t.is_keyword(Keyword::From));
+        assert!(!Token::Ident("select2".into()).is_keyword(Keyword::Select));
+    }
+}

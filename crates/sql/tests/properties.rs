@@ -1,0 +1,236 @@
+//! Property-based tests for the SQL substrate.
+//!
+//! Two families: (1) robustness — the lexer/parser never panic on arbitrary
+//! byte soup; (2) semantic invariants on a generator of *valid* queries —
+//! print/parse fixed points, template invariance under fragment renaming,
+//! tokenisation canonicality.
+
+use proptest::prelude::*;
+use qrec_sql::ast::Query;
+use qrec_sql::{extract_fragments, parse, query_tokens, template};
+
+// ---------------------------------------------------------------------
+// Robustness on arbitrary input
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_and_parser_never_panic(input in ".{0,200}") {
+        // Any outcome is fine as long as it is a Result, not a panic.
+        let _ = qrec_sql::lexer::lex(&input);
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("GROUP".to_string()),
+                Just("BY".to_string()),
+                Just("JOIN".to_string()),
+                Just("ON".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("*".to_string()),
+                Just("=".to_string()),
+                Just("AND".to_string()),
+                Just("NOT".to_string()),
+                Just("IN".to_string()),
+                Just("'s'".to_string()),
+                Just("42".to_string()),
+                "[a-z]{1,6}",
+            ],
+            0..24,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = parse(&sql);
+    }
+}
+
+// ---------------------------------------------------------------------
+// A strategy for valid queries
+// ---------------------------------------------------------------------
+
+/// Table/column/function pools used by the query strategy; renaming maps
+/// pool A to pool B for the template-invariance property.
+const TABLES_A: [&str; 4] = ["SpecObj", "PhotoObj", "Jobs", "Neighbors"];
+const TABLES_B: [&str; 4] = ["Galaxy", "Star", "Status", "Frame"];
+const COLS_A: [&str; 5] = ["objid", "ra", "z", "queue", "target"];
+const COLS_B: [&str; 5] = ["petror", "g", "zconf", "kind", "estimate"];
+const FNS_A: [&str; 3] = ["COUNT", "AVG", "MIN"];
+const FNS_B: [&str; 3] = ["SUM", "MAX", "ABS"];
+
+#[derive(Debug, Clone)]
+struct QSpec {
+    table: usize,
+    extra_table: Option<usize>,
+    cols: Vec<usize>,
+    agg: Option<(usize, usize)>,
+    pred: Option<(usize, u8, u32)>,
+    like: Option<usize>,
+    distinct: bool,
+    group_by: Option<usize>,
+    order_by: Option<usize>,
+    top: Option<u32>,
+}
+
+fn qspec() -> impl Strategy<Value = QSpec> {
+    (
+        0..4usize,
+        proptest::option::of(0..4usize),
+        proptest::collection::vec(0..5usize, 1..4),
+        proptest::option::of((0..3usize, 0..5usize)),
+        proptest::option::of((0..5usize, 0..3u8, 0..1000u32)),
+        proptest::option::of(0..5usize),
+        any::<bool>(),
+        proptest::option::of(0..5usize),
+        proptest::option::of(0..5usize),
+        proptest::option::of(1..50u32),
+    )
+        .prop_map(
+            |(table, extra_table, cols, agg, pred, like, distinct, group_by, order_by, top)| {
+                QSpec {
+                    table,
+                    extra_table,
+                    cols,
+                    agg,
+                    pred,
+                    like,
+                    distinct,
+                    group_by,
+                    order_by,
+                    top,
+                }
+            },
+        )
+}
+
+fn render(spec: &QSpec, tables: &[&str], cols: &[&str], fns: &[&str]) -> String {
+    let mut proj: Vec<String> = spec.cols.iter().map(|&c| cols[c].to_string()).collect();
+    if let Some((f, c)) = spec.agg {
+        proj.push(format!("{}({})", fns[f], cols[c]));
+    }
+    let mut sql = String::from("SELECT ");
+    if spec.distinct {
+        sql.push_str("DISTINCT ");
+    }
+    if let Some(n) = spec.top {
+        sql.push_str(&format!("TOP {n} "));
+    }
+    sql.push_str(&proj.join(", "));
+    sql.push_str(&format!(" FROM {}", tables[spec.table]));
+    if let Some(t2) = spec.extra_table {
+        if t2 != spec.table {
+            sql.push_str(&format!(
+                " JOIN {} ON {}.{} = {}.{}",
+                tables[t2], tables[spec.table], cols[0], tables[t2], cols[0]
+            ));
+        }
+    }
+    let mut preds: Vec<String> = Vec::new();
+    if let Some((c, op, v)) = spec.pred {
+        let op = match op {
+            0 => "=",
+            1 => ">",
+            _ => "<",
+        };
+        preds.push(format!("{} {} {}", cols[c], op, v));
+    }
+    if let Some(c) = spec.like {
+        preds.push(format!("{} LIKE '%x%'", cols[c]));
+    }
+    if !preds.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&preds.join(" AND "));
+    }
+    if let Some(g) = spec.group_by {
+        sql.push_str(&format!(" GROUP BY {}", cols[g]));
+    }
+    if let Some(o) = spec.order_by {
+        sql.push_str(&format!(" ORDER BY {} DESC", cols[o]));
+    }
+    sql
+}
+
+fn parse_ok(sql: &str) -> Query {
+    parse(sql).unwrap_or_else(|e| panic!("generated SQL must parse: {sql:?}: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse → print → parse is a fixed point on valid queries.
+    #[test]
+    fn print_parse_fixed_point(spec in qspec()) {
+        let sql = render(&spec, &TABLES_A, &COLS_A, &FNS_A);
+        let q1 = parse_ok(&sql);
+        let printed = q1.to_string();
+        let q2 = parse_ok(&printed);
+        prop_assert_eq!(&q1, &q2);
+        // And printing is idempotent.
+        prop_assert_eq!(printed, q2.to_string());
+    }
+
+    /// Templates are invariant under renaming of tables/columns/functions
+    /// and changing literal values.
+    #[test]
+    fn template_invariant_under_renaming(spec in qspec()) {
+        let qa = parse_ok(&render(&spec, &TABLES_A, &COLS_A, &FNS_A));
+        let qb = parse_ok(&render(&spec, &TABLES_B, &COLS_B, &FNS_B));
+        prop_assert_eq!(template(&qa), template(&qb));
+    }
+
+    /// Tokenisation is whitespace/case-of-keyword canonical: tokens of the
+    /// parsed query equal tokens of its printed form.
+    #[test]
+    fn tokens_canonical(spec in qspec()) {
+        let q = parse_ok(&render(&spec, &TABLES_A, &COLS_A, &FNS_A));
+        let printed = q.to_string();
+        let q2 = parse_ok(&printed);
+        prop_assert_eq!(query_tokens(&q), query_tokens(&q2));
+    }
+
+    /// Fragment extraction only reports names that occur in the statement,
+    /// and every projected column is reported.
+    #[test]
+    fn fragments_sound_and_complete(spec in qspec()) {
+        let sql = render(&spec, &TABLES_A, &COLS_A, &FNS_A);
+        let q = parse_ok(&sql);
+        let f = extract_fragments(&q);
+        for t in &f.tables {
+            prop_assert!(sql.contains(t.as_str()), "table {t} not in {sql}");
+        }
+        for c in &f.columns {
+            prop_assert!(sql.contains(c.as_str()), "column {c} not in {sql}");
+        }
+        for &ci in &spec.cols {
+            prop_assert!(f.columns.contains(COLS_A[ci]));
+        }
+        prop_assert!(f.tables.contains(TABLES_A[spec.table]));
+    }
+
+    /// Alias resolution never changes a query's template.
+    #[test]
+    fn alias_resolution_preserves_template(spec in qspec()) {
+        let q = parse_ok(&render(&spec, &TABLES_A, &COLS_A, &FNS_A));
+        let r = qrec_sql::normalize::resolve_aliases(&q);
+        prop_assert_eq!(template(&q), template(&r));
+    }
+
+    /// Templating is idempotent: template(parse(template(q))) == template(q).
+    #[test]
+    fn template_idempotent(spec in qspec()) {
+        let q = parse_ok(&render(&spec, &TABLES_A, &COLS_A, &FNS_A));
+        let t1 = template(&q);
+        let qt = parse_ok(t1.statement());
+        let t2 = template(&qt);
+        prop_assert_eq!(t1, t2);
+    }
+}

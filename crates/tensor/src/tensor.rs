@@ -1,0 +1,560 @@
+//! A dense, row-major, 2-D `f32` tensor.
+//!
+//! Everything in the `qrec` neural substrate is expressed over matrices:
+//! a token sequence of length `n` with model dimension `d` is an `n × d`
+//! tensor, a scalar is `1 × 1`, a vector is `1 × d`. Keeping the type 2-D
+//! keeps every op simple, testable, and cache-friendly.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor from raw data. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// All-zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// All-one tensor.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Tensor::full(rows, cols, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// A `1 × 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::from_vec(1, 1, vec![value])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice, row-major.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice, row-major.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw data vector.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The value of a `1 × 1` tensor. Panics otherwise.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow one row mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise ops
+    // ------------------------------------------------------------------
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another tensor of the same shape.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_shape(other);
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.assert_same_shape(other);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += c * other` (axpy).
+    pub fn add_scaled_assign(&mut self, other: &Tensor, c: f32) {
+        self.assert_same_shape(other);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += c * b;
+        }
+    }
+
+    /// In-place zero fill (reuse allocation).
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self · other` with shapes `(n,k) · (k,m) -> (n,m)`.
+    ///
+    /// Uses the i-k-j loop order so the inner loop streams contiguous rows
+    /// of both operands.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
+    }
+
+    /// Matrix product `self · otherᵀ` with shapes `(n,k) · (m,k) -> (n,m)`.
+    ///
+    /// This is the dot-product form; it avoids materialising a transpose in
+    /// attention (`Q · Kᵀ`) and in matmul backward passes.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
+    }
+
+    /// Matrix product `selfᵀ · other` with shapes `(k,n) · (k,m) -> (n,m)`.
+    ///
+    /// Used in backward passes (`∂W = Xᵀ · ∂Y`).
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for kk in 0..k {
+            let arow = &self.data[kk * n..(kk + 1) * n];
+            let brow = &other.data[kk * m..(kk + 1) * m];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * m..(i + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Tensor {
+            rows: self.cols,
+            cols: self.rows,
+            data: out,
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; 0.0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum: `(n,d) -> (1,d)`.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        Tensor {
+            rows: 1,
+            cols: self.cols,
+            data: out,
+        }
+    }
+
+    /// Row-wise softmax, numerically stabilised.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            if sum > 0.0 {
+                for x in row.iter_mut() {
+                    *x /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// The index of the maximum element of a row.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Vertically stack rows of `self` and `other` (same column count).
+    pub fn vcat(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "vcat column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Tensor {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Horizontally concatenate columns (same row count).
+    pub fn hcat(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Tensor {
+            rows: self.rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Copy of rows `range.start .. range.end`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows, "slice_rows out of range");
+        Tensor {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    fn assert_same_shape(&self, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a.get(1, 2), 6.0);
+        assert_eq!(a.row(1), &[4., 5., 6.]);
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn bad_shape_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(1, 3, &[1., 2., 3.]);
+        let b = t(1, 3, &[10., 20., 30.]);
+        assert_eq!(a.add(&b).data(), &[11., 22., 33.]);
+        assert_eq!(b.sub(&a).data(), &[9., 18., 27.]);
+        assert_eq!(a.mul(&b).data(), &[10., 40., 90.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+        let mut c = a.clone();
+        c.add_scaled_assign(&b, 0.1);
+        assert_eq!(c.data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_variants_agree() {
+        let a = t(2, 3, &[1., -2., 3., 0.5, 5., -6.]);
+        let b = t(3, 4, &(1..=12).map(|x| x as f32 * 0.25).collect::<Vec<_>>());
+        let plain = a.matmul(&b);
+        let nt = a.matmul_nt(&b.transpose());
+        let tn = a.transpose().matmul_tn(&b.transpose().transpose());
+        for (x, y) in plain.data().iter().zip(nt.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        for (x, y) in plain.data().iter().zip(tn.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let a = t(2, 3, &[1., 2., 3., -1000., 0., 1000.]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        // Monotone: bigger logits get bigger probabilities.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+        // Extreme logits saturate without NaN.
+        assert!(s.get(1, 2) > 0.99 && s.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(2, 2, &[1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sum_rows().data(), &[4., 6.]);
+        assert_eq!(a.sq_norm(), 30.0);
+    }
+
+    #[test]
+    fn argmax_row_picks_first_max() {
+        let a = t(1, 4, &[0., 5., 5., 1.]);
+        assert_eq!(a.argmax_row(0), 1);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = t(1, 2, &[1., 2.]);
+        let b = t(2, 2, &[3., 4., 5., 6.]);
+        let v = a.vcat(&b);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5., 6.]);
+        let h = a.hcat(&t(1, 1, &[9.]));
+        assert_eq!(h.data(), &[1., 2., 9.]);
+        assert_eq!(v.slice_rows(1, 3), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_shape_mismatch_panics() {
+        let _ = t(1, 2, &[1., 2.]).add(&t(2, 1, &[1., 2.]));
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        // The a == 0.0 fast path must not change results.
+        let a = t(2, 3, &[0., 0., 0., 1., 0., 2.]);
+        let b = t(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.matmul(&b).data(), &[0., 0., 11., 14.]);
+    }
+}

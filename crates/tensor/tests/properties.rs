@@ -1,0 +1,143 @@
+//! Property-based tests for tensor algebra and autograd invariants.
+
+use proptest::prelude::*;
+use qrec_tensor::{Graph, Tensor};
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn all_close(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape() && a.data().iter().zip(b.data()).all(|(&x, &y)| close(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_associative(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(all_close(&left, &right));
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributes_over_add(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(all_close(&left, &right));
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ, and the fused nt/tn variants agree with it.
+    #[test]
+    fn matmul_transpose_identities(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+    ) {
+        let abt = a.matmul(&b).transpose();
+        let btat = b.transpose().matmul(&a.transpose());
+        prop_assert!(all_close(&abt, &btat));
+        prop_assert!(all_close(&a.matmul(&b), &a.matmul_nt(&b.transpose())));
+        prop_assert!(all_close(&a.matmul(&b), &a.transpose().matmul_tn(&b)));
+    }
+
+    /// Softmax rows are a probability distribution and are shift-invariant.
+    #[test]
+    fn softmax_distribution_and_shift_invariance(
+        a in tensor_strategy(4, 6),
+        shift in -5.0f32..5.0,
+    ) {
+        let s = a.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!(close(sum, 1.0));
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let shifted = a.map(|x| x + shift).softmax_rows();
+        prop_assert!(all_close(&s, &shifted));
+    }
+
+    /// Linearity of the gradient: d(αf)/dx == α·df/dx.
+    #[test]
+    fn gradient_is_linear_in_loss_scale(
+        x in tensor_strategy(2, 3),
+        alpha in 0.1f32..3.0,
+    ) {
+        let run = |scale: f32| {
+            let mut g = Graph::new();
+            let xn = g.input(x.clone());
+            let s = g.sigmoid(xn);
+            let m = g.mean_rows(s);
+            let mm = g.mean_rows(m); // still 1 x 3
+            // Reduce to scalar: mean over the single row via matmul with ones.
+            let ones = g.input(Tensor::ones(3, 1));
+            let sc = g.matmul(mm, ones);
+            let scaled = g.scale(sc, scale);
+            g.backward(scaled);
+            g.grad(xn).unwrap().clone()
+        };
+        let g1 = run(1.0);
+        let ga = run(alpha);
+        prop_assert!(all_close(&ga, &g1.scale(alpha)));
+    }
+
+    /// Cross-entropy is non-negative and bounded by ln(v) at uniform logits.
+    #[test]
+    fn cross_entropy_bounds(
+        logits in tensor_strategy(3, 5),
+        t0 in 0usize..5, t1 in 0usize..5, t2 in 0usize..5,
+    ) {
+        let mut g = Graph::new();
+        let l = g.input(logits);
+        let loss = g.cross_entropy(l, &[t0, t1, t2]);
+        let v = g.value(loss).item();
+        prop_assert!(v >= -1e-6, "loss {v} must be non-negative");
+        prop_assert!(v.is_finite());
+    }
+
+    /// vcat/slice_rows and hcat round-trip.
+    #[test]
+    fn concat_slice_roundtrip(
+        a in tensor_strategy(2, 3),
+        b in tensor_strategy(3, 3),
+    ) {
+        let v = a.vcat(&b);
+        prop_assert_eq!(v.slice_rows(0, 2), a.clone());
+        prop_assert_eq!(v.slice_rows(2, 5), b);
+        let h = a.hcat(&a);
+        prop_assert_eq!(h.shape(), (2, 6));
+        for r in 0..2 {
+            prop_assert_eq!(&h.row(r)[..3], a.row(r));
+            prop_assert_eq!(&h.row(r)[3..], a.row(r));
+        }
+    }
+
+    /// Embedding forward gathers exactly the requested rows.
+    #[test]
+    fn embedding_gathers_rows(
+        w in tensor_strategy(6, 4),
+        ids in proptest::collection::vec(0usize..6, 1..8),
+    ) {
+        let mut g = Graph::new();
+        let wn = g.input(w.clone());
+        let e = g.embedding(wn, &ids);
+        for (r, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(g.value(e).row(r), w.row(id));
+        }
+    }
+}

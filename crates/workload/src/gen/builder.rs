@@ -1,0 +1,515 @@
+//! The mutable query state that session simulation evolves, and its SQL
+//! rendering.
+//!
+//! A [`QueryState`] is a structured description of one `SELECT` query over
+//! the synthetic catalog; the session engine applies edit operations to it
+//! (add a column, add a predicate, aggregate, join, …) and renders SQL
+//! text after every step. Rendered statements always parse in the `qrec`
+//! dialect — a property test in this crate guarantees it.
+
+use super::schema::{Catalog, TableDef};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+
+/// Which of the (up to two) tables a column reference belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// The primary table.
+    Main,
+    /// The joined table.
+    Joined,
+}
+
+/// A projected item: a plain column or a function application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProjItem {
+    /// `col`
+    Column(Side, usize),
+    /// `FUNC(col)`
+    Func {
+        /// Function name.
+        func: String,
+        /// Which table the argument comes from.
+        side: Side,
+        /// Column index.
+        col: usize,
+        /// `FUNC(DISTINCT col)`.
+        distinct: bool,
+    },
+    /// `COUNT(*)`
+    CountStar,
+}
+
+/// The projection list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Projection {
+    /// `SELECT *`
+    Star,
+    /// Explicit items; never empty.
+    Items(Vec<ProjItem>),
+}
+
+/// Comparison operators used in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredOp {
+    /// `=`
+    Eq,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `LIKE`
+    Like,
+    /// `BETWEEN x AND y`
+    Between,
+}
+
+/// A literal operand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Lit {
+    /// Integer literal.
+    Num(i64),
+    /// Decimal literal with two fractional digits (`x / 100`).
+    Dec(i64),
+    /// String literal (value without quotes).
+    Str(String),
+}
+
+impl Lit {
+    fn render(&self, out: &mut String) {
+        match self {
+            Lit::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Lit::Dec(n) => {
+                let _ = write!(out, "{}.{:02}", n / 100, (n % 100).abs());
+            }
+            Lit::Str(s) => {
+                let _ = write!(out, "'{}'", s.replace('\'', "''"));
+            }
+        }
+    }
+}
+
+/// A `WHERE` predicate `col op literal` (or `BETWEEN lit AND lit2`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pred {
+    /// Which table the column belongs to.
+    pub side: Side,
+    /// Column index.
+    pub col: usize,
+    /// Operator.
+    pub op: PredOp,
+    /// First (or only) literal.
+    pub lit: Lit,
+    /// Second literal for `BETWEEN`.
+    pub lit2: Option<Lit>,
+}
+
+/// An `IN (SELECT …)` membership predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InSub {
+    /// Outer column (on the main table).
+    pub col: usize,
+    /// Inner table index within the dataset.
+    pub inner_table: usize,
+    /// Inner projected column.
+    pub inner_col: usize,
+    /// Optional inner predicate `inner_pred_col > lit`.
+    pub inner_pred: Option<(usize, Lit)>,
+}
+
+/// Aggregation state: `GROUP BY group_col` + `FUNC(agg_col)` in the
+/// projection, with an optional `HAVING FUNC(agg_col) > lit`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Agg {
+    /// Grouping column (main table).
+    pub group_col: usize,
+    /// Aggregate function name.
+    pub func: String,
+    /// Aggregated column, or `None` for `COUNT(*)`.
+    pub agg_col: Option<usize>,
+    /// `FUNC(DISTINCT col)`.
+    pub distinct: bool,
+    /// Optional `HAVING … > lit` threshold.
+    pub having_gt: Option<i64>,
+}
+
+/// A structured query under construction during session simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryState {
+    /// Dataset index in the catalog.
+    pub dataset: usize,
+    /// Primary table index within the dataset.
+    pub table: usize,
+    /// Joined table index (must be ≠ `table`), if any.
+    pub join: Option<usize>,
+    /// Projection list.
+    pub projection: Projection,
+    /// Aggregation, if any (overrides `projection` rendering).
+    pub agg: Option<Agg>,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Pred>,
+    /// `IN (SELECT …)` predicate, if any.
+    pub in_sub: Option<InSub>,
+    /// `ORDER BY col [DESC]`.
+    pub order_by: Option<(Side, usize, bool)>,
+    /// `TOP n` / `LIMIT n`.
+    pub limit: Option<u32>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+}
+
+impl QueryState {
+    /// A fresh `SELECT * FROM table` state.
+    pub fn star(dataset: usize, table: usize) -> Self {
+        QueryState {
+            dataset,
+            table,
+            join: None,
+            projection: Projection::Star,
+            agg: None,
+            predicates: Vec::new(),
+            in_sub: None,
+            order_by: None,
+            limit: None,
+            distinct: false,
+        }
+    }
+
+    /// The main table definition.
+    pub fn main<'a>(&self, catalog: &'a Catalog) -> &'a TableDef {
+        &catalog.datasets[self.dataset].tables[self.table]
+    }
+
+    /// The joined table definition, if a join is present.
+    pub fn joined<'a>(&self, catalog: &'a Catalog) -> Option<&'a TableDef> {
+        self.join.map(|j| &catalog.datasets[self.dataset].tables[j])
+    }
+
+    fn table_of<'a>(&self, catalog: &'a Catalog, side: Side) -> &'a TableDef {
+        match side {
+            Side::Main => self.main(catalog),
+            Side::Joined => self.joined(catalog).expect("Joined side requires a join"),
+        }
+    }
+
+    /// Render the state as a SQL statement. `use_top` selects `TOP n`
+    /// versus `LIMIT n`.
+    pub fn render(&self, catalog: &Catalog, use_top: bool) -> String {
+        let main = self.main(catalog);
+        let joined = self.joined(catalog);
+        let qualify = joined.is_some();
+        let mut sql = String::with_capacity(128);
+        sql.push_str("SELECT ");
+        if self.distinct {
+            sql.push_str("DISTINCT ");
+        }
+        if use_top {
+            if let Some(n) = self.limit {
+                let _ = write!(sql, "TOP {n} ");
+            }
+        }
+
+        // Projection.
+        if let Some(agg) = &self.agg {
+            push_col(&mut sql, main, agg.group_col, qualify);
+            sql.push_str(", ");
+            push_agg(&mut sql, main, agg, qualify);
+        } else {
+            match &self.projection {
+                Projection::Star => sql.push('*'),
+                Projection::Items(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            sql.push_str(", ");
+                        }
+                        match item {
+                            ProjItem::Column(side, c) => {
+                                push_col(&mut sql, self.table_of(catalog, *side), *c, qualify)
+                            }
+                            ProjItem::Func {
+                                func,
+                                side,
+                                col,
+                                distinct,
+                            } => {
+                                sql.push_str(func);
+                                sql.push('(');
+                                if *distinct {
+                                    sql.push_str("DISTINCT ");
+                                }
+                                push_col(&mut sql, self.table_of(catalog, *side), *col, qualify);
+                                sql.push(')');
+                            }
+                            ProjItem::CountStar => sql.push_str("COUNT(*)"),
+                        }
+                    }
+                }
+            }
+        }
+
+        // FROM.
+        sql.push_str(" FROM ");
+        push_ident(&mut sql, &main.name);
+        if let Some(j) = joined {
+            sql.push_str(" JOIN ");
+            push_ident(&mut sql, &j.name);
+            sql.push_str(" ON ");
+            push_qualified(&mut sql, main, main.key_column);
+            sql.push_str(" = ");
+            push_qualified(&mut sql, j, j.key_column);
+        }
+
+        // WHERE.
+        let mut first_pred = true;
+        for p in &self.predicates {
+            sql.push_str(if first_pred { " WHERE " } else { " AND " });
+            first_pred = false;
+            let t = self.table_of(catalog, p.side);
+            push_col(&mut sql, t, p.col, qualify);
+            match p.op {
+                PredOp::Eq => sql.push_str(" = "),
+                PredOp::Gt => sql.push_str(" > "),
+                PredOp::Lt => sql.push_str(" < "),
+                PredOp::Like => sql.push_str(" LIKE "),
+                PredOp::Between => sql.push_str(" BETWEEN "),
+            }
+            p.lit.render(&mut sql);
+            if p.op == PredOp::Between {
+                sql.push_str(" AND ");
+                match &p.lit2 {
+                    Some(l2) => l2.render(&mut sql),
+                    None => Lit::Num(0).render(&mut sql),
+                }
+            }
+        }
+        if let Some(is) = &self.in_sub {
+            sql.push_str(if first_pred { " WHERE " } else { " AND " });
+            let inner = &catalog.datasets[self.dataset].tables[is.inner_table];
+            push_col(&mut sql, main, is.col, qualify);
+            sql.push_str(" IN (SELECT ");
+            push_col(&mut sql, inner, is.inner_col, false);
+            sql.push_str(" FROM ");
+            push_ident(&mut sql, &inner.name);
+            if let Some((pc, lit)) = &is.inner_pred {
+                sql.push_str(" WHERE ");
+                push_col(&mut sql, inner, *pc, false);
+                sql.push_str(" > ");
+                lit.render(&mut sql);
+            }
+            sql.push(')');
+        }
+
+        // GROUP BY / HAVING.
+        if let Some(agg) = &self.agg {
+            sql.push_str(" GROUP BY ");
+            push_col(&mut sql, main, agg.group_col, qualify);
+            if let Some(th) = agg.having_gt {
+                sql.push_str(" HAVING ");
+                push_agg(&mut sql, main, agg, qualify);
+                let _ = write!(sql, " > {th}");
+            }
+        }
+
+        // ORDER BY / LIMIT.
+        if let Some((side, c, desc)) = self.order_by {
+            sql.push_str(" ORDER BY ");
+            push_col(&mut sql, self.table_of(catalog, side), c, qualify);
+            if desc {
+                sql.push_str(" DESC");
+            }
+        }
+        if !use_top {
+            if let Some(n) = self.limit {
+                let _ = write!(sql, " LIMIT {n}");
+            }
+        }
+        sql
+    }
+}
+
+fn push_agg(sql: &mut String, main: &TableDef, agg: &Agg, qualify: bool) {
+    match agg.agg_col {
+        Some(c) => {
+            sql.push_str(&agg.func);
+            sql.push('(');
+            if agg.distinct {
+                sql.push_str("DISTINCT ");
+            }
+            push_col(sql, main, c, qualify);
+            sql.push(')');
+        }
+        None => sql.push_str("COUNT(*)"),
+    }
+}
+
+fn push_col(sql: &mut String, table: &TableDef, col: usize, qualify: bool) {
+    if qualify {
+        push_qualified(sql, table, col);
+    } else {
+        push_ident(sql, &table.columns[col]);
+    }
+}
+
+fn push_qualified(sql: &mut String, table: &TableDef, col: usize) {
+    push_ident(sql, &table.name);
+    sql.push('.');
+    push_ident(sql, &table.columns[col]);
+}
+
+/// Print an identifier, bracket-quoting when it is not a bare ident.
+fn push_ident(sql: &mut String, name: &str) {
+    let bare = !name.is_empty()
+        && name.as_bytes()[0].is_ascii_alphabetic()
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+        && qrec_sql::token::Keyword::from_word(name).is_none();
+    if bare {
+        sql.push_str(name);
+    } else {
+        let _ = write!(sql, "[{name}]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::profile::WorkloadProfile;
+    use crate::gen::schema::build_catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        build_catalog(&WorkloadProfile::tiny(), &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn star_renders_and_parses() {
+        let c = catalog();
+        let s = QueryState::star(0, 0);
+        let sql = s.render(&c, true);
+        assert!(sql.starts_with("SELECT * FROM "));
+        qrec_sql::parse(&sql).unwrap();
+    }
+
+    #[test]
+    fn full_state_renders_and_parses() {
+        let c = catalog();
+        let mut s = QueryState::star(0, 0);
+        s.join = Some(1);
+        s.projection = Projection::Items(vec![
+            ProjItem::Column(Side::Main, 0),
+            ProjItem::Func {
+                func: "AVG".into(),
+                side: Side::Joined,
+                col: 1,
+                distinct: false,
+            },
+        ]);
+        s.predicates.push(Pred {
+            side: Side::Main,
+            col: 1,
+            op: PredOp::Between,
+            lit: Lit::Dec(30),
+            lit2: Some(Lit::Dec(40)),
+        });
+        s.predicates.push(Pred {
+            side: Side::Joined,
+            col: 0,
+            op: PredOp::Like,
+            lit: Lit::Str("%x%".into()),
+            lit2: None,
+        });
+        s.order_by = Some((Side::Main, 0, true));
+        s.limit = Some(10);
+        s.distinct = true;
+        let sql = s.render(&c, true);
+        let q = qrec_sql::parse(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let f = qrec_sql::extract_fragments(&q);
+        assert_eq!(f.tables.len(), 2);
+        assert!(f.functions.contains("AVG"));
+        assert!(f.literals.contains("%x%"));
+    }
+
+    #[test]
+    fn aggregation_renders_group_by_and_having() {
+        let c = catalog();
+        let mut s = QueryState::star(0, 2);
+        s.agg = Some(Agg {
+            group_col: 0,
+            func: "COUNT".into(),
+            agg_col: Some(1),
+            distinct: true,
+            having_gt: Some(5),
+        });
+        let sql = s.render(&c, true);
+        assert!(sql.contains("GROUP BY"));
+        assert!(sql.contains("HAVING"));
+        assert!(sql.contains("DISTINCT"));
+        qrec_sql::parse(&sql).unwrap();
+    }
+
+    #[test]
+    fn in_subquery_renders() {
+        let c = catalog();
+        let mut s = QueryState::star(0, 0);
+        s.in_sub = Some(InSub {
+            col: 0,
+            inner_table: 1,
+            inner_col: 0,
+            inner_pred: Some((1, Lit::Num(3))),
+        });
+        let sql = s.render(&c, true);
+        assert!(sql.contains("IN (SELECT"));
+        let q = qrec_sql::parse(&sql).unwrap();
+        assert_eq!(qrec_sql::extract_fragments(&q).tables.len(), 2);
+    }
+
+    #[test]
+    fn limit_dialects() {
+        let c = catalog();
+        let mut s = QueryState::star(0, 0);
+        s.limit = Some(7);
+        assert!(s.render(&c, true).contains("TOP 7"));
+        assert!(s.render(&c, false).ends_with("LIMIT 7"));
+    }
+
+    #[test]
+    fn file_style_names_are_bracketed() {
+        let p = WorkloadProfile::sqlshare();
+        let c = build_catalog(&p, &mut StdRng::seed_from_u64(2));
+        // Find a dataset with a dotted table name.
+        let (di, ti) = c
+            .datasets
+            .iter()
+            .enumerate()
+            .find_map(|(di, d)| {
+                d.tables
+                    .iter()
+                    .position(|t| t.name.contains('.'))
+                    .map(|ti| (di, ti))
+            })
+            .expect("sqlshare catalog has file-style tables");
+        let s = QueryState::star(di, ti);
+        let sql = s.render(&c, false);
+        assert!(sql.contains('['), "{sql}");
+        qrec_sql::parse(&sql).unwrap();
+    }
+
+    #[test]
+    fn decimal_literal_renders_correctly() {
+        let mut s = String::new();
+        Lit::Dec(345).render(&mut s);
+        assert_eq!(s, "3.45");
+        let mut s = String::new();
+        Lit::Dec(5).render(&mut s);
+        assert_eq!(s, "0.05");
+    }
+
+    #[test]
+    fn string_literal_escapes_quotes() {
+        let mut s = String::new();
+        Lit::Str("o'brien".into()).render(&mut s);
+        assert_eq!(s, "'o''brien'");
+    }
+}

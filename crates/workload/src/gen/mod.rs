@@ -1,0 +1,894 @@
+//! Synthetic workload generation.
+//!
+//! The paper evaluates on the real SDSS and SQLShare query logs, which we
+//! cannot ship. This module generates workloads that reproduce the
+//! *causal structure* those logs exhibit (see DESIGN.md §2): users pick a
+//! table with Zipf popularity, start from an exploratory query, and evolve
+//! it through a session — re-submitting, tweaking literals, or refining
+//! the structure (projecting columns, filtering, aggregating, joining,
+//! nesting). Each table carries "hot" columns/functions/literals, so the
+//! next query's fragments are statistically predictable from the current
+//! query — the signal the paper's workload-aware models learn.
+
+pub mod builder;
+pub mod profile;
+pub mod schema;
+
+pub use builder::{Agg, InSub, Lit, Pred, PredOp, ProjItem, Projection, QueryState, Side};
+pub use profile::WorkloadProfile;
+pub use schema::{build_catalog, zipf_index, Catalog, DatasetDef, TableDef};
+
+use crate::types::{QueryRecord, Session, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a workload (and its catalog) from a profile and seed.
+pub fn generate(profile: &WorkloadProfile, seed: u64) -> (Workload, Catalog) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = build_catalog(profile, &mut rng);
+    let workload = generate_with_catalog(profile, &catalog, &mut rng);
+    (workload, catalog)
+}
+
+/// Generate sessions over an existing catalog.
+pub fn generate_with_catalog(
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) -> Workload {
+    let mut w = Workload::new(profile.name.clone());
+    w.sessions.reserve(profile.sessions);
+    for id in 0..profile.sessions {
+        w.sessions
+            .push(simulate_session(profile, catalog, rng, id as u64));
+    }
+    w
+}
+
+fn sample_session_len(profile: &WorkloadProfile, rng: &mut StdRng) -> usize {
+    if rng.gen_bool(profile.p_singleton_session) {
+        return 1;
+    }
+    // Geometric tail above a minimum of 2, mean ≈ mean_session_len.
+    let extra_mean = (profile.mean_session_len - 2.0).max(0.5);
+    let keep = extra_mean / (extra_mean + 1.0);
+    let mut len = 2usize;
+    while len < profile.max_session_len && rng.gen_bool(keep) {
+        len += 1;
+    }
+    len
+}
+
+/// Simulate one session.
+fn simulate_session(
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+    id: u64,
+) -> Session {
+    let dataset = zipf_index(rng, catalog.datasets.len(), profile.dataset_zipf);
+    let n_tables = catalog.datasets[dataset].tables.len();
+    let table = zipf_index(rng, n_tables, profile.table_zipf);
+    let len = sample_session_len(profile, rng);
+    let scripted = rng.gen_bool(profile.p_scripted);
+
+    let mut stage = 0usize;
+    let mut state = if scripted {
+        scripted_state(catalog, dataset, table, stage, rng)
+    } else {
+        initial_state(profile, catalog, rng, dataset, table)
+    };
+    let mut queries = Vec::with_capacity(len);
+    queries.push(record(&state, catalog, profile));
+
+    for _ in 1..len {
+        // Scripted (programmatic) clients have their own step mix: they
+        // mostly *advance* through the pipeline, which is what makes the
+        // next query predictable beyond copying the current one.
+        let (p_repeat, p_lit) = if scripted {
+            (SCRIPT_P_REPEAT, SCRIPT_P_LITERAL_ONLY)
+        } else {
+            (profile.p_repeat, profile.p_literal_only)
+        };
+        let r: f64 = rng.gen();
+        if r < p_repeat {
+            // Exact resubmission: leave the state untouched.
+        } else if r < p_repeat + p_lit && has_literals(&state) {
+            mutate_literals(&mut state, profile, catalog, rng);
+        } else if scripted {
+            // Advance through the fixed, table-determined pipeline; after
+            // the terminal stage the bot starts the next batch cycle.
+            stage = if stage + 1 >= SCRIPT_STAGES {
+                1
+            } else {
+                stage + 1
+            };
+            state = scripted_state(catalog, dataset, table, stage, rng);
+        } else {
+            structural_step(&mut state, profile, catalog, rng);
+        }
+        queries.push(record(&state, catalog, profile));
+    }
+
+    Session {
+        id,
+        dataset: catalog.datasets[dataset].id,
+        queries,
+    }
+}
+
+/// Number of stages in the scripted pipeline.
+const SCRIPT_STAGES: usize = 7;
+/// Scripted clients resubmit occasionally …
+const SCRIPT_P_REPEAT: f64 = 0.30;
+/// … and rarely stop to tweak literals: advancing is their mode.
+const SCRIPT_P_LITERAL_ONLY: f64 = 0.10;
+
+/// The deterministic scripted pipeline: given a table, stage `k` fully
+/// determines the query structure and its string literals; only numeric
+/// literal values vary (they collapse to `<NUM>` in token space anyway).
+fn scripted_state(
+    catalog: &Catalog,
+    dataset: usize,
+    table: usize,
+    stage: usize,
+    rng: &mut StdRng,
+) -> QueryState {
+    let t = &catalog.datasets[dataset].tables[table];
+    let hot = |i: usize| t.hot_columns[i % t.hot_columns.len().max(1)];
+    let hot_lit = |i: usize, rng: &mut StdRng| -> Lit {
+        if t.hot_literals.is_empty() {
+            Lit::Num(rng.gen_range(0..1000))
+        } else {
+            Lit::Str(t.hot_literals[i % t.hot_literals.len()].clone())
+        }
+    };
+    let mut s = QueryState::star(dataset, table);
+    // Stage 0: SELECT * FROM T — the opener.
+    if stage >= 1 {
+        // Stage 1: project the table's two lead columns.
+        s.projection = Projection::Items(vec![
+            ProjItem::Column(Side::Main, hot(0)),
+            ProjItem::Column(Side::Main, hot(1)),
+        ]);
+    }
+    if stage >= 2 {
+        // Stage 2: filter on the third hot column.
+        s.predicates.push(Pred {
+            side: Side::Main,
+            col: hot(2),
+            op: PredOp::Gt,
+            lit: Lit::Num(rng.gen_range(0..1000)),
+            lit2: None,
+        });
+    }
+    if stage >= 3 {
+        // Stage 3: add the table's signature string filter.
+        let lit = hot_lit(0, rng);
+        s.predicates.push(Pred {
+            side: Side::Main,
+            col: hot(3),
+            op: PredOp::Eq,
+            lit,
+            lit2: None,
+        });
+    }
+    if stage >= 4 {
+        // Stage 4: aggregate with the table's preferred function.
+        s.agg = Some(Agg {
+            group_col: hot(0),
+            func: t.hot_function.clone(),
+            agg_col: Some(hot(1)),
+            distinct: false,
+            having_gt: None,
+        });
+    }
+    if stage >= 5 {
+        // Stage 5: threshold the aggregate.
+        if let Some(agg) = &mut s.agg {
+            agg.having_gt = Some(rng.gen_range(1..100));
+        }
+    }
+    if stage >= 6 {
+        // Stage 6: rank and truncate.
+        s.order_by = Some((Side::Main, hot(0), true));
+        s.limit = Some(100);
+    }
+    s
+}
+
+fn record(state: &QueryState, catalog: &Catalog, profile: &WorkloadProfile) -> QueryRecord {
+    let sql = state.render(catalog, profile.use_top);
+    QueryRecord::new(&sql)
+        .unwrap_or_else(|e| panic!("generator must emit parseable SQL: {sql:?}: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Initial query shapes
+// ---------------------------------------------------------------------
+
+fn initial_state(
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+    dataset: usize,
+    table: usize,
+) -> QueryState {
+    let mut state = QueryState::star(dataset, table);
+    match rng.gen_range(0..10) {
+        0..=3 => {} // SELECT * FROM t
+        4..=5 => {
+            // SELECT TOP n * FROM t
+            state.limit = Some(*[10u32, 100, 1000].get(rng.gen_range(0..3)).expect("idx"));
+        }
+        6..=7 => {
+            // SELECT hot columns FROM t
+            let n = 1 + rng.gen_range(0..2);
+            let cols = pick_cols(state.main(catalog), profile, rng, n);
+            state.projection = Projection::Items(
+                cols.into_iter()
+                    .map(|c| ProjItem::Column(Side::Main, c))
+                    .collect(),
+            );
+        }
+        8 => {
+            // SELECT COUNT(*) FROM t
+            state.projection = Projection::Items(vec![ProjItem::CountStar]);
+        }
+        _ => {
+            // SELECT COUNT(DISTINCT hot) FROM t — the Figure 1 opener.
+            let c = pick_col(state.main(catalog), profile, rng);
+            state.projection = Projection::Items(vec![ProjItem::Func {
+                func: "COUNT".into(),
+                side: Side::Main,
+                col: c,
+                distinct: true,
+            }]);
+        }
+    }
+    state
+}
+
+// ---------------------------------------------------------------------
+// Fragment pickers (hot-set biased — the learnable signal)
+// ---------------------------------------------------------------------
+
+fn pick_col(table: &TableDef, profile: &WorkloadProfile, rng: &mut StdRng) -> usize {
+    if !table.hot_columns.is_empty() && rng.gen_bool(profile.p_hot_column) {
+        table.hot_columns[rng.gen_range(0..table.hot_columns.len())]
+    } else {
+        rng.gen_range(0..table.columns.len())
+    }
+}
+
+/// The `i`-th hot column of a table (wrapping), falling back to a random
+/// column with probability `1 - p_hot_column`. Session edits walk the
+/// hot columns *in order*, which is what makes the next fragment
+/// statistically predictable from the current query — the workload
+/// signal the paper's models exploit.
+fn hot_col_at(table: &TableDef, profile: &WorkloadProfile, rng: &mut StdRng, i: usize) -> usize {
+    if !table.hot_columns.is_empty() && rng.gen_bool(profile.p_hot_column) {
+        table.hot_columns[i % table.hot_columns.len()]
+    } else {
+        rng.gen_range(0..table.columns.len())
+    }
+}
+
+fn pick_cols(
+    table: &TableDef,
+    profile: &WorkloadProfile,
+    rng: &mut StdRng,
+    n: usize,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n * 3 {
+        if out.len() >= n {
+            break;
+        }
+        let c = pick_col(table, profile, rng);
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        out.push(0);
+    }
+    out
+}
+
+fn pick_function(
+    table: &TableDef,
+    catalog: &Catalog,
+    profile: &WorkloadProfile,
+    rng: &mut StdRng,
+) -> String {
+    if rng.gen_bool(profile.p_hot_function) {
+        table.hot_function.clone()
+    } else {
+        let i = zipf_index(rng, catalog.functions.len(), 0.0);
+        catalog.functions[i].clone()
+    }
+}
+
+fn pick_str_literal(
+    table: &TableDef,
+    catalog: &Catalog,
+    profile: &WorkloadProfile,
+    rng: &mut StdRng,
+) -> String {
+    if !table.hot_literals.is_empty() && rng.gen_bool(profile.p_hot_literal) {
+        table.hot_literals[rng.gen_range(0..table.hot_literals.len())].clone()
+    } else {
+        let i = zipf_index(rng, catalog.literals.len(), 1.0);
+        catalog.literals[i].clone()
+    }
+}
+
+fn pick_lit(
+    table: &TableDef,
+    catalog: &Catalog,
+    profile: &WorkloadProfile,
+    rng: &mut StdRng,
+    op: PredOp,
+) -> Lit {
+    match op {
+        PredOp::Like => Lit::Str(format!(
+            "%{}%",
+            pick_str_literal(table, catalog, profile, rng)
+        )),
+        PredOp::Eq if rng.gen_bool(0.6) => Lit::Str(pick_str_literal(table, catalog, profile, rng)),
+        PredOp::Between | PredOp::Gt | PredOp::Lt | PredOp::Eq => {
+            if rng.gen_bool(0.5) {
+                Lit::Num(rng.gen_range(0..1000))
+            } else {
+                Lit::Dec(rng.gen_range(0..10_000))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Literal-only mutation (template-preserving)
+// ---------------------------------------------------------------------
+
+fn has_literals(state: &QueryState) -> bool {
+    !state.predicates.is_empty()
+        || state.limit.is_some()
+        || state.agg.as_ref().is_some_and(|a| a.having_gt.is_some())
+        || state
+            .in_sub
+            .as_ref()
+            .is_some_and(|s| s.inner_pred.is_some())
+}
+
+fn mutate_lit(lit: &mut Lit, rng: &mut StdRng, pool: &[String]) {
+    match lit {
+        Lit::Num(n) => *n = rng.gen_range(0..1000).max(*n / 2),
+        Lit::Dec(n) => *n = rng.gen_range(0..10_000).max(*n / 2),
+        Lit::Str(s) => {
+            // Preserve LIKE-pattern shape so the template stays put.
+            let inner = &pool[rng.gen_range(0..pool.len())];
+            if s.starts_with('%') && s.ends_with('%') && s.len() >= 2 {
+                *s = format!("%{inner}%");
+            } else {
+                *s = inner.clone();
+            }
+        }
+    }
+}
+
+fn mutate_literals(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    let _ = profile;
+    let table = state.main(catalog).clone();
+    let pool: Vec<String> = if table.hot_literals.is_empty() {
+        catalog.literals.clone()
+    } else {
+        table.hot_literals.clone()
+    };
+    let mut touched = false;
+    for p in &mut state.predicates {
+        if rng.gen_bool(0.6) {
+            mutate_lit(&mut p.lit, rng, &pool);
+            if let Some(l2) = &mut p.lit2 {
+                mutate_lit(l2, rng, &pool);
+            }
+            touched = true;
+        }
+    }
+    if let Some(n) = &mut state.limit {
+        if rng.gen_bool(0.3) {
+            *n = [10u32, 50, 100, 500, 1000][rng.gen_range(0..5)];
+            touched = true;
+        }
+    }
+    if let Some(agg) = &mut state.agg {
+        if let Some(th) = &mut agg.having_gt {
+            if rng.gen_bool(0.3) {
+                *th = rng.gen_range(1..100);
+                touched = true;
+            }
+        }
+    }
+    if let Some(is) = &mut state.in_sub {
+        if let Some((_, lit)) = &mut is.inner_pred {
+            if rng.gen_bool(0.3) {
+                mutate_lit(lit, rng, &pool);
+                touched = true;
+            }
+        }
+    }
+    if !touched {
+        // Guarantee at least one literal changed so the step is a
+        // sequential change (the branch was taken because literals exist).
+        if let Some(p) = state.predicates.first_mut() {
+            mutate_lit(&mut p.lit, rng, &pool);
+        } else if let Some(n) = &mut state.limit {
+            *n = n.saturating_add(10);
+        } else if let Some(agg) = &mut state.agg {
+            if let Some(th) = &mut agg.having_gt {
+                *th += 1;
+            }
+        } else if let Some(is) = &mut state.in_sub {
+            if let Some((_, lit)) = &mut is.inner_pred {
+                mutate_lit(lit, rng, &pool);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural evolution (the session "story")
+// ---------------------------------------------------------------------
+
+fn structural_step(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    if rng.gen_bool(profile.p_new_subtask) {
+        // Fresh sub-task: new table in the same dataset, reset structure.
+        let n_tables = catalog.datasets[state.dataset].tables.len();
+        let table = zipf_index(rng, n_tables, profile.table_zipf);
+        *state = initial_state(profile, catalog, rng, state.dataset, table);
+        return;
+    }
+
+    let is_star = matches!(state.projection, Projection::Star) && state.agg.is_none();
+    if is_star {
+        // Stage 1: move from exploration to projection.
+        match weighted(rng, &[65, 20, 15]) {
+            0 => specify_columns(state, profile, catalog, rng),
+            1 => add_predicate(state, profile, catalog, rng),
+            _ => {
+                state.limit = Some([10u32, 100, 1000][rng.gen_range(0..3)]);
+            }
+        }
+        return;
+    }
+    if state.predicates.is_empty() && state.in_sub.is_none() {
+        // Stage 2: add selectivity.
+        match weighted(rng, &[50, 20, 15, 15]) {
+            0 => add_predicate(state, profile, catalog, rng),
+            1 => add_column(state, profile, catalog, rng),
+            2 => add_aggregate(state, profile, catalog, rng),
+            _ => add_join_or_predicate(state, profile, catalog, rng),
+        }
+        return;
+    }
+    if state.agg.is_none() {
+        // Stage 3: refine or aggregate.
+        match weighted(rng, &[28, 18, 14, 10, 10, 12, 8]) {
+            0 => add_aggregate(state, profile, catalog, rng),
+            1 => add_predicate(state, profile, catalog, rng),
+            2 => add_column(state, profile, catalog, rng),
+            3 => add_join_or_predicate(state, profile, catalog, rng),
+            4 => add_in_subquery(state, profile, catalog, rng),
+            5 => add_order_or_limit(state, profile, catalog, rng),
+            _ => drop_predicate_or_column(state, rng),
+        }
+        return;
+    }
+    // Stage 4: polish the aggregate query.
+    match weighted(rng, &[30, 25, 20, 15, 10]) {
+        0 => add_having(state, rng),
+        1 => add_order_or_limit(state, profile, catalog, rng),
+        2 => add_predicate(state, profile, catalog, rng),
+        3 => change_aggregate(state, profile, catalog, rng),
+        _ => drop_predicate_or_column(state, rng),
+    }
+}
+
+fn weighted(rng: &mut StdRng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    let mut u = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+fn specify_columns(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    let n = 1 + rng.gen_range(0..3);
+    let main = state.main(catalog);
+    let mut cols = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = hot_col_at(main, profile, rng, i);
+        if !cols.contains(&c) {
+            cols.push(c);
+        }
+    }
+    state.projection = Projection::Items(
+        cols.into_iter()
+            .map(|c| ProjItem::Column(Side::Main, c))
+            .collect(),
+    );
+}
+
+fn add_column(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    let main = state.main(catalog).clone();
+    let next_slot = match &state.projection {
+        Projection::Items(items) => items.len(),
+        Projection::Star => 0,
+    };
+    let c = hot_col_at(&main, profile, rng, next_slot);
+    match &mut state.projection {
+        Projection::Star => specify_columns(state, profile, catalog, rng),
+        Projection::Items(items) => {
+            let item = ProjItem::Column(Side::Main, c);
+            if !items.contains(&item) && items.len() < 6 {
+                items.push(item);
+            } else if items.len() > 1 && rng.gen_bool(0.5) {
+                items.pop();
+            } else {
+                // Swap in a function application on an existing column.
+                let func = pick_function(&main, catalog, profile, rng);
+                items[0] = ProjItem::Func {
+                    func,
+                    side: Side::Main,
+                    col: c,
+                    distinct: false,
+                };
+            }
+        }
+    }
+}
+
+fn add_predicate(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    if state.predicates.len() >= 4 {
+        // Saturated: tweak the last predicate's operator instead.
+        if let Some(p) = state.predicates.last_mut() {
+            p.op = match p.op {
+                PredOp::Eq => PredOp::Gt,
+                PredOp::Gt => PredOp::Lt,
+                other => other,
+            };
+        }
+        return;
+    }
+    let side = if state.join.is_some() && rng.gen_bool(0.3) {
+        Side::Joined
+    } else {
+        Side::Main
+    };
+    let table = match side {
+        Side::Main => state.main(catalog),
+        Side::Joined => state.joined(catalog).expect("join checked"),
+    };
+    // The i-th predicate of a table's users goes on the i-th hot column
+    // with the operator users prefer for it (keyed by column index) —
+    // both predictable from the current query.
+    let slot = state.predicates.len() + 1;
+    let col = hot_col_at(table, profile, rng, slot);
+    let op = if rng.gen_bool(0.75) {
+        match col % 5 {
+            0 => PredOp::Gt,
+            1 => PredOp::Eq,
+            2 => PredOp::Lt,
+            3 => PredOp::Like,
+            _ => PredOp::Between,
+        }
+    } else {
+        match weighted(rng, &[30, 25, 15, 15, 15]) {
+            0 => PredOp::Gt,
+            1 => PredOp::Eq,
+            2 => PredOp::Lt,
+            3 => PredOp::Like,
+            _ => PredOp::Between,
+        }
+    };
+    let lit = pick_lit(table, catalog, profile, rng, op);
+    let lit2 = (op == PredOp::Between).then(|| match &lit {
+        Lit::Num(n) => Lit::Num(n + rng.gen_range(1..100)),
+        Lit::Dec(n) => Lit::Dec(n + rng.gen_range(1..1000)),
+        Lit::Str(_) => Lit::Num(rng.gen_range(1..100)),
+    });
+    state.predicates.push(Pred {
+        side,
+        col,
+        op,
+        lit,
+        lit2,
+    });
+}
+
+fn add_aggregate(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    let main = state.main(catalog);
+    let group_col = hot_col_at(main, profile, rng, 0);
+    let func = pick_function(main, catalog, profile, rng);
+    let agg_col = if rng.gen_bool(0.7) {
+        let mut c = hot_col_at(main, profile, rng, 1);
+        if c == group_col {
+            c = (c + 1) % main.columns.len();
+        }
+        Some(c)
+    } else {
+        None
+    };
+    state.agg = Some(Agg {
+        group_col,
+        func: if agg_col.is_none() {
+            "COUNT".into()
+        } else {
+            func
+        },
+        agg_col,
+        distinct: rng.gen_bool(0.3),
+        having_gt: None,
+    });
+    state.distinct = false;
+    state.order_by = None;
+}
+
+fn change_aggregate(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    let main = state.main(catalog).clone();
+    if let Some(agg) = &mut state.agg {
+        if rng.gen_bool(0.5) {
+            agg.func = pick_function(&main, catalog, profile, rng);
+            if agg.agg_col.is_none() {
+                agg.agg_col = Some(pick_col(&main, profile, rng));
+            }
+        } else {
+            agg.group_col = pick_col(&main, profile, rng);
+        }
+    }
+}
+
+fn add_having(state: &mut QueryState, rng: &mut StdRng) {
+    if let Some(agg) = &mut state.agg {
+        if agg.having_gt.is_none() {
+            agg.having_gt = Some(rng.gen_range(1..50));
+        } else {
+            agg.having_gt = Some(rng.gen_range(1..100));
+        }
+    }
+}
+
+fn add_join_or_predicate(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    if state.join.is_none() {
+        if let Some(partner) = state.main(catalog).join_partner {
+            if partner != state.table {
+                state.join = Some(partner);
+                return;
+            }
+        }
+    }
+    add_predicate(state, profile, catalog, rng);
+}
+
+fn add_in_subquery(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    if state.in_sub.is_some() {
+        add_predicate(state, profile, catalog, rng);
+        return;
+    }
+    let main = state.main(catalog);
+    let Some(inner_table) = main.join_partner else {
+        add_predicate(state, profile, catalog, rng);
+        return;
+    };
+    let inner = &catalog.datasets[state.dataset].tables[inner_table];
+    let inner_col = inner.key_column;
+    let inner_pred = rng.gen_bool(0.5).then(|| {
+        (
+            pick_col(inner, profile, rng),
+            Lit::Num(rng.gen_range(0..100)),
+        )
+    });
+    state.in_sub = Some(InSub {
+        col: main.key_column,
+        inner_table,
+        inner_col,
+        inner_pred,
+    });
+}
+
+fn add_order_or_limit(
+    state: &mut QueryState,
+    profile: &WorkloadProfile,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) {
+    if state.order_by.is_none() && rng.gen_bool(0.6) {
+        let c = if let Some(agg) = &state.agg {
+            agg.group_col
+        } else {
+            hot_col_at(state.main(catalog), profile, rng, 0)
+        };
+        state.order_by = Some((Side::Main, c, rng.gen_bool(0.7)));
+    } else if state.limit.is_none() {
+        state.limit = Some([10u32, 100, 1000][rng.gen_range(0..3)]);
+    } else if !state.distinct && state.agg.is_none() {
+        state.distinct = true;
+    } else {
+        add_predicate(state, profile, catalog, rng);
+    }
+}
+
+fn drop_predicate_or_column(state: &mut QueryState, rng: &mut StdRng) {
+    if !state.predicates.is_empty() && rng.gen_bool(0.6) {
+        let i = rng.gen_range(0..state.predicates.len());
+        state.predicates.remove(i);
+        return;
+    }
+    if let Projection::Items(items) = &mut state.projection {
+        if items.len() > 1 {
+            items.pop();
+            return;
+        }
+    }
+    // Nothing to drop: clear the aggregate's HAVING as a fallback edit.
+    if let Some(agg) = &mut state.agg {
+        agg.having_gt = None;
+    } else {
+        state.limit = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn tiny_workload_generates() {
+        let (w, c) = generate(&WorkloadProfile::tiny(), 7);
+        assert_eq!(w.sessions.len(), 30);
+        assert!(w.pair_count() > 30);
+        assert_eq!(c.datasets.len(), 1);
+        // Every query parsed (QueryRecord::new would have panicked otherwise)
+        // and has at least one table.
+        for s in &w.sessions {
+            for q in &s.queries {
+                assert!(!q.fragments.tables.is_empty(), "{}", q.sql);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = generate(&WorkloadProfile::tiny(), 42);
+        let (b, _) = generate(&WorkloadProfile::tiny(), 42);
+        assert_eq!(a, b);
+        let (c, _) = generate(&WorkloadProfile::tiny(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn session_lengths_respect_bounds() {
+        let p = WorkloadProfile::tiny();
+        let (w, _) = generate(&p, 1);
+        for s in &w.sessions {
+            assert!(!s.queries.is_empty());
+            assert!(s.queries.len() <= p.max_session_len);
+        }
+        // Some singletons and some long sessions should exist.
+        assert!(w.sessions.iter().any(|s| s.queries.len() == 1));
+        assert!(w.sessions.iter().any(|s| s.queries.len() >= 4));
+    }
+
+    #[test]
+    fn repeats_produce_identical_consecutive_queries() {
+        // With p_repeat > 0 and enough pairs, identical consecutive
+        // statements must occur.
+        let (w, _) = generate(&WorkloadProfile::tiny(), 5);
+        let mut repeats = 0;
+        for s in &w.sessions {
+            for p in s.pairs() {
+                if p.current.canonical == p.next.canonical {
+                    repeats += 1;
+                }
+            }
+        }
+        assert!(repeats > 0);
+    }
+
+    #[test]
+    fn literal_only_steps_keep_template() {
+        // Template-same rate must be well above the repeat rate alone,
+        // because literal-only steps also preserve templates.
+        let (w, _) = generate(&WorkloadProfile::tiny(), 11);
+        let ps = stats::pair_stats(&w);
+        assert!(
+            ps.template_change_rate < 0.75,
+            "change rate {}",
+            ps.template_change_rate
+        );
+        assert!(ps.template_change_rate > 0.2);
+    }
+
+    #[test]
+    fn sessions_tell_a_story() {
+        // Later queries in long sessions are, on average, longer (more
+        // tokens) than openers — the explore→refine arc of Figure 1.
+        let (w, _) = generate(&WorkloadProfile::tiny(), 13);
+        let mut first = 0usize;
+        let mut first_n = 0usize;
+        let mut late = 0usize;
+        let mut late_n = 0usize;
+        for s in &w.sessions {
+            if s.queries.len() >= 4 {
+                first += s.queries[0].tokens.len();
+                first_n += 1;
+                late += s.queries.last().expect("non-empty").tokens.len();
+                late_n += 1;
+            }
+        }
+        assert!(first_n > 0);
+        let first_avg = first as f64 / first_n as f64;
+        let late_avg = late as f64 / late_n as f64;
+        assert!(late_avg > first_avg, "late {late_avg} vs first {first_avg}");
+    }
+
+    #[test]
+    fn multi_dataset_profile_spreads_sessions() {
+        let mut p = WorkloadProfile::tiny();
+        p.datasets = 8;
+        p.dataset_zipf = 0.2;
+        p.sessions = 60;
+        let (w, _) = generate(&p, 17);
+        assert!(w.dataset_count() >= 4, "{}", w.dataset_count());
+    }
+}

@@ -1,0 +1,218 @@
+//! Workload generation profiles.
+//!
+//! A [`WorkloadProfile`] captures every knob that differentiates the SDSS
+//! and SQLShare workloads in the paper's analysis (Section 5): corpus
+//! size, schema sharing, fragment-type diversity, session dynamics, and
+//! the pair-level template-change rate. The two presets are calibrated so
+//! the generated workloads reproduce the *shape* of Table 2 and
+//! Figures 9–11 at laptop scale.
+
+use serde::{Deserialize, Serialize};
+
+/// All generation knobs for one synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Workload name (used in reports).
+    pub name: String,
+
+    // --- catalog ------------------------------------------------------
+    /// Number of datasets (schemas). SDSS: 1 shared schema. SQLShare: 64
+    /// user-uploaded datasets.
+    pub datasets: usize,
+    /// Tables per dataset, inclusive range.
+    pub tables_per_dataset: (usize, usize),
+    /// Columns per table, inclusive range.
+    pub columns_per_table: (usize, usize),
+    /// Size of the function-name pool (built-ins plus synthetic UDFs).
+    pub function_pool: usize,
+    /// Size of the string-literal pool.
+    pub literal_pool: usize,
+    /// Whether table names look like uploaded files (`[genes_2020.csv]`).
+    pub file_style_tables: bool,
+    /// Row-limiting dialect: `TOP n` (SQL Server / SDSS) when true,
+    /// `LIMIT n` otherwise.
+    pub use_top: bool,
+
+    // --- sessions -----------------------------------------------------
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Mean session length in queries (geometric-ish distribution).
+    pub mean_session_len: f64,
+    /// Maximum session length.
+    pub max_session_len: usize,
+    /// Fraction of sessions with exactly one query.
+    pub p_singleton_session: f64,
+
+    // --- per-step dynamics --------------------------------------------
+    /// Probability the next query is an exact resubmission of the current
+    /// one (duplicates are common in SDSS).
+    pub p_repeat: f64,
+    /// Probability the next query only changes literal values — the
+    /// template stays identical. The main knob for the pair-level
+    /// template-change rate (Figures 10/11 (f)).
+    pub p_literal_only: f64,
+    /// Probability a structural step switches to a fresh sub-task (new
+    /// table, reset state) instead of refining the current query.
+    pub p_new_subtask: f64,
+    /// Fraction of sessions that are *scripted*: programmatic clients
+    /// that walk a fixed, table-determined pipeline of query stages
+    /// (explore → project → filter → aggregate → rank), varying only
+    /// literals. The real SDSS log is dominated by such traffic, and it
+    /// is what makes next-query transitions learnable beyond copying
+    /// `Q_i` (Section 5.1; our DESIGN.md §2).
+    pub p_scripted: f64,
+
+    // --- popularity skew ----------------------------------------------
+    /// Zipf exponent over tables within a dataset (higher = a few hot
+    /// tables dominate, which is what makes the `popular` baseline strong
+    /// on SDSS).
+    pub table_zipf: f64,
+    /// Zipf exponent over datasets (SQLShare sessions mostly stay on
+    /// their own dataset; sampled per session).
+    pub dataset_zipf: f64,
+
+    /// How concentrated each table's "hot columns" are: the probability
+    /// that a column pick comes from the table's hot set rather than the
+    /// full column list. This is the learnable workload signal: the next
+    /// query's fragments are predictable from the current table.
+    pub p_hot_column: f64,
+    /// Number of hot columns per table.
+    pub hot_columns: usize,
+    /// Probability that a function pick is the table's preferred function.
+    pub p_hot_function: f64,
+    /// Probability that a literal pick comes from the table's hot literals.
+    pub p_hot_literal: f64,
+    /// Hot literals per table.
+    pub hot_literals: usize,
+}
+
+impl WorkloadProfile {
+    /// SDSS-like preset: one big shared astronomy schema, long sessions,
+    /// heavy duplication, strong popularity skew. Scaled to train in
+    /// minutes; the SDSS ≫ SQLShare data-volume relation is preserved.
+    pub fn sdss() -> Self {
+        WorkloadProfile {
+            name: "sdss".into(),
+            datasets: 1,
+            tables_per_dataset: (56, 56),
+            columns_per_table: (30, 90),
+            function_pool: 110,
+            literal_pool: 400,
+            file_style_tables: false,
+            use_top: true,
+            sessions: 1100,
+            mean_session_len: 8.0,
+            max_session_len: 32,
+            p_singleton_session: 0.10,
+            p_repeat: 0.20,
+            p_literal_only: 0.55,
+            p_new_subtask: 0.10,
+            p_scripted: 0.50,
+            table_zipf: 1.15,
+            dataset_zipf: 1.0,
+            p_hot_column: 0.85,
+            hot_columns: 6,
+            p_hot_function: 0.35,
+            p_hot_literal: 0.8,
+            hot_literals: 4,
+        }
+    }
+
+    /// SQLShare-like preset: 64 small user-uploaded datasets, short
+    /// sessions, less duplication, higher template churn, weak
+    /// cross-session popularity (each user only sees their own data).
+    pub fn sqlshare() -> Self {
+        WorkloadProfile {
+            name: "sqlshare".into(),
+            datasets: 64,
+            tables_per_dataset: (3, 9),
+            columns_per_table: (6, 26),
+            function_pool: 60,
+            literal_pool: 220,
+            file_style_tables: true,
+            use_top: false,
+            sessions: 330,
+            mean_session_len: 6.0,
+            max_session_len: 20,
+            p_singleton_session: 0.14,
+            p_repeat: 0.06,
+            p_literal_only: 0.38,
+            p_new_subtask: 0.16,
+            p_scripted: 0.25,
+            table_zipf: 0.6,
+            dataset_zipf: 0.35,
+            p_hot_column: 0.8,
+            hot_columns: 4,
+            p_hot_function: 0.85,
+            p_hot_literal: 0.8,
+            hot_literals: 3,
+        }
+    }
+
+    /// A tiny profile for unit and integration tests: everything small so
+    /// end-to-end pipelines run in milliseconds.
+    pub fn tiny() -> Self {
+        WorkloadProfile {
+            name: "tiny".into(),
+            datasets: 1,
+            tables_per_dataset: (4, 4),
+            columns_per_table: (4, 8),
+            function_pool: 6,
+            literal_pool: 10,
+            file_style_tables: false,
+            use_top: true,
+            sessions: 30,
+            mean_session_len: 5.0,
+            max_session_len: 10,
+            p_singleton_session: 0.1,
+            p_repeat: 0.1,
+            p_literal_only: 0.35,
+            p_new_subtask: 0.1,
+            p_scripted: 0.4,
+            table_zipf: 1.0,
+            dataset_zipf: 1.0,
+            p_hot_column: 0.85,
+            hot_columns: 3,
+            p_hot_function: 0.8,
+            p_hot_literal: 0.8,
+            hot_literals: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for p in [
+            WorkloadProfile::sdss(),
+            WorkloadProfile::sqlshare(),
+            WorkloadProfile::tiny(),
+        ] {
+            assert!(p.tables_per_dataset.0 <= p.tables_per_dataset.1);
+            assert!(p.columns_per_table.0 <= p.columns_per_table.1);
+            assert!(p.p_repeat + p.p_literal_only < 1.0);
+            assert!(p.mean_session_len >= 1.0);
+            assert!(p.max_session_len >= 2);
+            assert!((0.0..=1.0).contains(&p.p_hot_column));
+            assert!(p.sessions > 0);
+        }
+    }
+
+    #[test]
+    fn sdss_vs_sqlshare_shape_relations() {
+        let sdss = WorkloadProfile::sdss();
+        let ss = WorkloadProfile::sqlshare();
+        // The relations that drive the paper's findings:
+        assert!(sdss.datasets < ss.datasets);
+        assert!(
+            sdss.sessions as f64 * sdss.mean_session_len
+                > 3.0 * ss.sessions as f64 * ss.mean_session_len
+        );
+        assert!(sdss.p_repeat > ss.p_repeat);
+        assert!(sdss.p_literal_only > ss.p_literal_only);
+        assert!(sdss.table_zipf > ss.table_zipf);
+    }
+}

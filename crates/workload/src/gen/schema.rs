@@ -1,0 +1,367 @@
+//! Synthetic catalog generation: datasets, tables, columns, functions,
+//! literals — with per-table "hot" affinities that give the workload its
+//! learnable structure.
+
+use super::profile::WorkloadProfile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A table with its columns and affinity sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name (may contain dots for file-style SQLShare tables).
+    pub name: String,
+    /// All column names.
+    pub columns: Vec<String>,
+    /// Indices into `columns` of the table's hot columns — the ones users
+    /// of this table overwhelmingly select and filter on.
+    pub hot_columns: Vec<usize>,
+    /// Preferred aggregate/scalar function of this table's users.
+    pub hot_function: String,
+    /// Literals users of this table filter with.
+    pub hot_literals: Vec<String>,
+    /// Index of a designated join-key column shared with the join partner.
+    pub key_column: usize,
+    /// Preferred join partner (index of a table in the same dataset), if
+    /// the dataset has more than one table.
+    pub join_partner: Option<usize>,
+}
+
+/// One dataset (schema): a set of tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetDef {
+    /// Dataset id, also used as `Session::dataset`.
+    pub id: u32,
+    /// Tables of this dataset.
+    pub tables: Vec<TableDef>,
+}
+
+/// The full synthetic catalog a workload is generated over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    /// All datasets.
+    pub datasets: Vec<DatasetDef>,
+    /// Global function-name pool (index 0..k are the common built-ins).
+    pub functions: Vec<String>,
+    /// Global string-literal pool.
+    pub literals: Vec<String>,
+}
+
+const TABLE_STEMS: [&str; 28] = [
+    "Photo", "Spec", "Star", "Galaxy", "Frame", "Field", "Tile", "Mask", "Neighbor", "Run",
+    "Plate", "Fiber", "Tag", "Obj", "Chunk", "Segment", "Target", "Region", "Zone", "Match",
+    "First", "Rosat", "Usno", "Profile", "Band", "Survey", "Stripe", "Patch",
+];
+const TABLE_SUFFIXES: [&str; 8] = ["Obj", "All", "Tag", "Log", "Info", "List", "Best", ""];
+
+const COLUMN_STEMS: [&str; 40] = [
+    "objid", "ra", "decl", "z", "zconf", "type", "gene", "temp", "name", "value", "status", "flag",
+    "mode", "class", "mag", "err", "psf", "petro", "model", "fiber", "plate", "mjd", "run_id",
+    "rerun", "camcol", "field_id", "priority", "target", "estimate", "queue", "depth", "lat",
+    "lon", "species", "sample", "site", "year", "month", "score", "weight",
+];
+
+const BUILTIN_FUNCTIONS: [&str; 12] = [
+    "COUNT", "AVG", "MIN", "MAX", "SUM", "ABS", "ROUND", "UPPER", "LOWER", "FLOOR", "CEILING",
+    "LEN",
+];
+
+const LITERAL_STEMS: [&str; 24] = [
+    "GALAXY", "STAR", "QSO", "UNKNOWN", "FULL", "QUICK", "QUERY", "DONE", "PENDING", "OK", "FAIL",
+    "HIGH", "LOW", "NORTH", "SOUTH", "CONTROL", "TREATED", "WILD", "MUTANT", "RNA", "DNA", "OCEAN",
+    "RIVER", "LAKE",
+];
+
+const FILE_EXTS: [&str; 4] = [".csv", ".txt", ".tsv", ".xlsx"];
+
+fn syllable(rng: &mut impl Rng) -> String {
+    const CONS: &[u8] = b"bcdfgklmnprstvz";
+    const VOWS: &[u8] = b"aeiou";
+    let c = CONS[rng.gen_range(0..CONS.len())] as char;
+    let v = VOWS[rng.gen_range(0..VOWS.len())] as char;
+    format!("{c}{v}")
+}
+
+fn synth_word(rng: &mut impl Rng, syllables: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..syllables {
+        s.push_str(&syllable(rng));
+    }
+    s
+}
+
+/// Generate a pool of unique names, seeded with realistic stems and
+/// topped up with synthetic words. Names never collide with SQL keywords.
+fn name_pool(
+    rng: &mut StdRng,
+    stems: &[&str],
+    n: usize,
+    decorate: impl Fn(&mut StdRng, &str) -> String,
+) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut stem_iter = stems.iter().cycle();
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 50 {
+        attempts += 1;
+        let base = if out.len() < stems.len() {
+            (*stem_iter.next().expect("cycle")).to_string()
+        } else {
+            let stem = stems[rng.gen_range(0..stems.len())];
+            let syllables = 1 + rng.gen_range(0..2);
+            format!("{stem}{}", synth_word(rng, syllables))
+        };
+        let name = decorate(rng, &base);
+        if qrec_sql::token::Keyword::from_word(&name).is_some() {
+            continue;
+        }
+        if seen.insert(name.clone()) {
+            out.push(name);
+        }
+    }
+    assert_eq!(out.len(), n, "could not generate {n} unique names");
+    out
+}
+
+/// Build the catalog for a profile.
+pub fn build_catalog(profile: &WorkloadProfile, rng: &mut StdRng) -> Catalog {
+    // Functions: builtins first, then synthetic UDFs (fGetNearbyObjEq-ish).
+    let mut functions: Vec<String> = BUILTIN_FUNCTIONS
+        .iter()
+        .take(profile.function_pool)
+        .map(|s| s.to_string())
+        .collect();
+    let mut seen: std::collections::HashSet<String> = functions.iter().cloned().collect();
+    while functions.len() < profile.function_pool {
+        let name = format!(
+            "fGet{}{}",
+            capitalise(&synth_word(rng, 2)),
+            capitalise(&synth_word(rng, 1))
+        );
+        if seen.insert(name.clone()) {
+            functions.push(name);
+        }
+    }
+
+    // Literals: realistic stems plus synthetic codes and LIKE patterns.
+    let mut literals: Vec<String> = Vec::with_capacity(profile.literal_pool);
+    let mut seen = std::collections::HashSet::new();
+    for stem in LITERAL_STEMS.iter().take(profile.literal_pool) {
+        if seen.insert(stem.to_string()) {
+            literals.push(stem.to_string());
+        }
+    }
+    while literals.len() < profile.literal_pool {
+        let lit = match rng.gen_range(0..3) {
+            0 => format!("%{}%", synth_word(rng, 2)),
+            1 => synth_word(rng, 3).to_uppercase(),
+            _ => format!("{}_{}", synth_word(rng, 2), rng.gen_range(1..100)),
+        };
+        if seen.insert(lit.clone()) {
+            literals.push(lit);
+        }
+    }
+
+    // Datasets and tables. Table names are globally unique so that the
+    // fragment vocabulary distinguishes them (as in the real workloads).
+    let total_tables_hint: usize = profile.datasets
+        * (profile.tables_per_dataset.0 + profile.tables_per_dataset.1).div_ceil(2);
+    let table_names = name_pool(rng, &TABLE_STEMS, total_tables_hint * 2, |rng, base| {
+        let suffix = TABLE_SUFFIXES[rng.gen_range(0..TABLE_SUFFIXES.len())];
+        if profile.file_style_tables {
+            let ext = FILE_EXTS[rng.gen_range(0..FILE_EXTS.len())];
+            format!("{}_{}{ext}", base.to_lowercase(), rng.gen_range(2000..2026))
+        } else {
+            format!("{base}{suffix}")
+        }
+    });
+    let mut table_name_iter = table_names.into_iter();
+
+    let mut datasets = Vec::with_capacity(profile.datasets);
+    for ds_id in 0..profile.datasets {
+        let n_tables = rng.gen_range(profile.tables_per_dataset.0..=profile.tables_per_dataset.1);
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = table_name_iter.next().expect("pool sized with 2x headroom");
+            let n_cols = rng.gen_range(profile.columns_per_table.0..=profile.columns_per_table.1);
+            let columns = name_pool(rng, &COLUMN_STEMS, n_cols, |rng, base| {
+                if rng.gen_bool(0.5) {
+                    base.to_string()
+                } else {
+                    format!("{base}_{}", synth_word(rng, 1))
+                }
+            });
+            let mut idx: Vec<usize> = (0..columns.len()).collect();
+            idx.shuffle(rng);
+            let hot_columns: Vec<usize> = idx
+                .into_iter()
+                .take(profile.hot_columns.min(columns.len()))
+                .collect();
+            let hot_function = functions[rng.gen_range(0..functions.len().min(24))].clone();
+            let hot_literals: Vec<String> = (0..profile.hot_literals)
+                .map(|_| literals[rng.gen_range(0..literals.len())].clone())
+                .collect();
+            let key_column = hot_columns[0];
+            tables.push(TableDef {
+                name,
+                columns,
+                hot_columns,
+                hot_function,
+                hot_literals,
+                key_column,
+                join_partner: None,
+            });
+        }
+        // Assign join partners (ring over the dataset's tables).
+        let n = tables.len();
+        if n > 1 {
+            for (i, t) in tables.iter_mut().enumerate() {
+                t.join_partner = Some((i + 1) % n);
+            }
+        }
+        datasets.push(DatasetDef {
+            id: ds_id as u32,
+            tables,
+        });
+    }
+
+    Catalog {
+        datasets,
+        functions,
+        literals,
+    }
+}
+
+fn capitalise(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Sample an index in `0..n` from a Zipf-like distribution with exponent
+/// `s` (s = 0 is uniform). Implemented by inverse CDF over precomputable
+/// weights; `n` is small everywhere we use this.
+pub fn zipf_index(rng: &mut impl Rng, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    if n == 1 {
+        return 0;
+    }
+    // Cheap two-pass inverse CDF; n ≤ a few hundred in all call sites.
+    let total: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+    let mut u = rng.gen_range(0.0..total);
+    for k in 1..=n {
+        let w = 1.0 / (k as f64).powf(s);
+        if u < w {
+            return k - 1;
+        }
+        u -= w;
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalog_matches_profile_counts() {
+        let p = WorkloadProfile::sdss();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = build_catalog(&p, &mut rng);
+        assert_eq!(c.datasets.len(), 1);
+        assert_eq!(c.datasets[0].tables.len(), 56);
+        assert_eq!(c.functions.len(), 110);
+        assert_eq!(c.literals.len(), 400);
+        for t in &c.datasets[0].tables {
+            assert!(t.columns.len() >= 30 && t.columns.len() <= 90);
+            assert_eq!(t.hot_columns.len(), p.hot_columns);
+            assert!(t.join_partner.is_some());
+        }
+    }
+
+    #[test]
+    fn sqlshare_catalog_is_multi_dataset_file_style() {
+        let p = WorkloadProfile::sqlshare();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = build_catalog(&p, &mut rng);
+        assert_eq!(c.datasets.len(), 64);
+        let any_file = c
+            .datasets
+            .iter()
+            .flat_map(|d| &d.tables)
+            .any(|t| t.name.contains('.'));
+        assert!(any_file, "file-style tables expected");
+    }
+
+    #[test]
+    fn table_names_globally_unique() {
+        let p = WorkloadProfile::sqlshare();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = build_catalog(&p, &mut rng);
+        let mut names: Vec<&str> = c
+            .datasets
+            .iter()
+            .flat_map(|d| d.tables.iter().map(|t| t.name.as_str()))
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn no_keyword_collisions() {
+        let p = WorkloadProfile::sdss();
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = build_catalog(&p, &mut rng);
+        for d in &c.datasets {
+            for t in &d.tables {
+                assert!(qrec_sql::token::Keyword::from_word(&t.name).is_none());
+                for col in &t.columns {
+                    assert!(
+                        qrec_sql::token::Keyword::from_word(col).is_none(),
+                        "column {col} collides with a keyword"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = WorkloadProfile::tiny();
+        let a = build_catalog(&p, &mut StdRng::seed_from_u64(9));
+        let b = build_catalog(&p, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_index_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..5000 {
+            let i = zipf_index(&mut rng, 10, 1.2);
+            counts[i] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+        assert_eq!(zipf_index(&mut rng, 1, 2.0), 0);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..8000 {
+            counts[zipf_index(&mut rng, 4, 0.0)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "{counts:?}");
+        }
+    }
+}

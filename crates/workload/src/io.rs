@@ -1,0 +1,206 @@
+//! Workload import/export.
+//!
+//! Real deployments bring their own query logs. The interchange format
+//! is JSON-lines: one session per line, `{"id": 7, "dataset": 0,
+//! "queries": ["SELECT …", …]}`. Import parses each statement with the
+//! `qrec` dialect and *skips* what it cannot parse (mirroring the
+//! paper's pre-processing, which drops unparseable statements), keeping
+//! a per-session report of what was dropped.
+
+use crate::types::{QueryRecord, Session, Workload};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One session in the interchange format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionLine {
+    /// Session id.
+    pub id: u64,
+    /// Dataset id (0 when the whole log shares one schema).
+    #[serde(default)]
+    pub dataset: u32,
+    /// Raw SQL statements in issue order.
+    pub queries: Vec<String>,
+}
+
+/// What happened during an import.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportReport {
+    /// Sessions kept (with ≥ 1 parseable query).
+    pub sessions: usize,
+    /// Queries parsed and kept.
+    pub queries_kept: usize,
+    /// Queries dropped because they did not parse.
+    pub queries_dropped: usize,
+    /// Input lines dropped because they were not valid JSON.
+    pub lines_dropped: usize,
+}
+
+/// Errors from workload I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Serialisation failure on export.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Serde(e) => write!(f, "serialisation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Serde(e)
+    }
+}
+
+/// Import a workload from a JSONL reader.
+pub fn read_jsonl(name: &str, reader: impl BufRead) -> Result<(Workload, ImportReport), IoError> {
+    let mut workload = Workload::new(name);
+    let mut report = ImportReport::default();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: SessionLine = match serde_json::from_str(&line) {
+            Ok(s) => s,
+            Err(_) => {
+                report.lines_dropped += 1;
+                continue;
+            }
+        };
+        let mut queries = Vec::with_capacity(parsed.queries.len());
+        for sql in &parsed.queries {
+            match QueryRecord::new(sql) {
+                Ok(q) => {
+                    report.queries_kept += 1;
+                    queries.push(q);
+                }
+                Err(_) => report.queries_dropped += 1,
+            }
+        }
+        if !queries.is_empty() {
+            report.sessions += 1;
+            workload.sessions.push(Session {
+                id: parsed.id,
+                dataset: parsed.dataset,
+                queries,
+            });
+        }
+    }
+    Ok((workload, report))
+}
+
+/// Import a workload from a JSONL file.
+pub fn load_jsonl(name: &str, path: impl AsRef<Path>) -> Result<(Workload, ImportReport), IoError> {
+    let file = std::fs::File::open(path)?;
+    read_jsonl(name, std::io::BufReader::new(file))
+}
+
+/// Export a workload as JSONL (raw SQL statements only — derived
+/// artefacts are recomputed on import).
+pub fn write_jsonl(workload: &Workload, mut writer: impl Write) -> Result<(), IoError> {
+    for s in &workload.sessions {
+        let line = SessionLine {
+            id: s.id,
+            dataset: s.dataset,
+            queries: s.queries.iter().map(|q| q.sql.clone()).collect(),
+        };
+        serde_json::to_writer(&mut writer, &line)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Export a workload to a JSONL file.
+pub fn save_jsonl(workload: &Workload, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_jsonl(workload, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, WorkloadProfile};
+
+    #[test]
+    fn roundtrip_preserves_workload() {
+        let (w, _) = generate(&WorkloadProfile::tiny(), 3);
+        let mut buf = Vec::new();
+        write_jsonl(&w, &mut buf).unwrap();
+        let (back, report) = read_jsonl(&w.name, buf.as_slice()).unwrap();
+        assert_eq!(report.queries_dropped, 0);
+        assert_eq!(report.lines_dropped, 0);
+        assert_eq!(back.sessions.len(), w.sessions.len());
+        for (a, b) in back.sessions.iter().zip(&w.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.dataset, b.dataset);
+            assert_eq!(a.queries.len(), b.queries.len());
+            for (qa, qb) in a.queries.iter().zip(&b.queries) {
+                assert_eq!(qa.canonical, qb.canonical);
+                assert_eq!(qa.template, qb.template);
+            }
+        }
+    }
+
+    #[test]
+    fn import_skips_unparseable_queries() {
+        let jsonl = concat!(
+            r#"{"id": 1, "queries": ["SELECT a FROM t", "NOT SQL AT ALL", "SELECT b FROM t"]}"#,
+            "\n",
+            r#"{"id": 2, "queries": ["ALSO NOT SQL"]}"#,
+            "\n",
+            "this line is not json\n",
+        );
+        let (w, report) = read_jsonl("test", jsonl.as_bytes()).unwrap();
+        assert_eq!(w.sessions.len(), 1); // session 2 had nothing parseable
+        assert_eq!(report.sessions, 1);
+        assert_eq!(report.queries_kept, 2);
+        assert_eq!(report.queries_dropped, 2);
+        assert_eq!(report.lines_dropped, 1);
+        assert_eq!(w.sessions[0].queries.len(), 2);
+    }
+
+    #[test]
+    fn dataset_field_defaults_to_zero() {
+        let jsonl = r#"{"id": 9, "queries": ["SELECT a FROM t"]}"#;
+        let (w, _) = read_jsonl("test", jsonl.as_bytes()).unwrap();
+        assert_eq!(w.sessions[0].dataset, 0);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_workload() {
+        let (w, report) = read_jsonl("test", "".as_bytes()).unwrap();
+        assert!(w.sessions.is_empty());
+        assert_eq!(report, ImportReport::default());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (w, _) = generate(&WorkloadProfile::tiny(), 4);
+        let dir = std::env::temp_dir().join("qrec-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.jsonl");
+        save_jsonl(&w, &path).unwrap();
+        let (back, report) = load_jsonl("tiny", &path).unwrap();
+        assert_eq!(back.sessions.len(), w.sessions.len());
+        assert_eq!(report.queries_dropped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

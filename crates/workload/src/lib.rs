@@ -1,0 +1,39 @@
+//! # qrec-workload — query workloads, analysis, and synthetic generation
+//!
+//! Implements the data layer of the paper:
+//!
+//! * [`types`] — queries, sessions, pairs, workloads (Definitions 1 & 3),
+//!   with templates and fragment sets pre-derived per query.
+//! * [`vocab`] — the word-token vocabulary fed to the sequence models.
+//! * [`split`] — the paper's random 80/10/10 train/val/test pair split.
+//! * [`stats`] — the three-level workload analysis of Section 5
+//!   (Table 2, Figures 9–11).
+//! * [`gen`] — synthetic SDSS-like and SQLShare-like workload generators
+//!   (the substitution for the real logs; see DESIGN.md §2), driven by
+//!   [`gen::WorkloadProfile`] presets.
+//! * [`io`] — JSONL import/export so deployments can bring their own
+//!   query logs.
+//!
+//! ```
+//! use qrec_workload::gen::{generate, WorkloadProfile};
+//! use qrec_workload::stats::workload_stats;
+//!
+//! let (workload, _catalog) = generate(&WorkloadProfile::tiny(), 1);
+//! let stats = workload_stats(&workload);
+//! assert!(stats.total_pairs > 0);
+//! assert_eq!(stats.datasets, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod io;
+pub mod split;
+pub mod stats;
+pub mod types;
+pub mod vocab;
+
+pub use split::Split;
+pub use types::{OwnedPair, QueryRecord, Session, Workload};
+pub use vocab::Vocab;

@@ -1,0 +1,138 @@
+//! Train / validation / test splits over query pairs.
+//!
+//! The paper uses a random (80/10/10) split of pairs (Section 6.2.1).
+
+use crate::types::OwnedPair;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A three-way split of query pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Split {
+    /// Training pairs.
+    pub train: Vec<OwnedPair>,
+    /// Validation pairs (early stopping, hyper-parameter selection).
+    pub val: Vec<OwnedPair>,
+    /// Held-out test pairs.
+    pub test: Vec<OwnedPair>,
+}
+
+impl Split {
+    /// Randomly split `pairs` into train/val/test with the given
+    /// fractions. `train_frac + val_frac` must be ≤ 1; the remainder is
+    /// the test set. Shuffling is driven by `rng` for reproducibility.
+    pub fn random(
+        mut pairs: Vec<OwnedPair>,
+        train_frac: f64,
+        val_frac: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&train_frac)
+                && (0.0..=1.0).contains(&val_frac)
+                && train_frac + val_frac <= 1.0 + 1e-9,
+            "fractions must be in [0,1] and sum to at most 1"
+        );
+        pairs.shuffle(rng);
+        let n = pairs.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = ((n as f64 * val_frac).round() as usize).min(n - n_train.min(n));
+        let test = pairs.split_off((n_train + n_val).min(n));
+        let val = pairs.split_off(n_train.min(pairs.len()));
+        Split {
+            train: pairs,
+            val,
+            test,
+        }
+    }
+
+    /// The paper's 80/10/10 split.
+    pub fn paper(pairs: Vec<OwnedPair>, rng: &mut impl Rng) -> Self {
+        Split::random(pairs, 0.8, 0.1, rng)
+    }
+
+    /// Total pair count across the three parts.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// True if all parts are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::QueryRecord;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pairs(n: usize) -> Vec<OwnedPair> {
+        let a = QueryRecord::new("SELECT a FROM t").unwrap();
+        let b = QueryRecord::new("SELECT b FROM t").unwrap();
+        (0..n)
+            .map(|i| OwnedPair {
+                current: a.clone(),
+                next: b.clone(),
+                session_id: i as u64,
+                dataset: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_sizes_80_10_10() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Split::paper(pairs(100), &mut rng);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 10);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Split::paper(pairs(57), &mut rng);
+        let mut ids: Vec<u64> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .map(|p| p.session_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..57).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn split_deterministic_given_seed() {
+        let a = Split::paper(pairs(40), &mut StdRng::seed_from_u64(3));
+        let b = Split::paper(pairs(40), &mut StdRng::seed_from_u64(3));
+        let ids = |s: &Split| s.train.iter().map(|p| p.session_id).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = Split::paper(vec![], &mut rng);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tiny_input_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = Split::paper(pairs(1), &mut rng);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn bad_fractions_panic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = Split::random(pairs(3), 0.9, 0.3, &mut rng);
+    }
+}

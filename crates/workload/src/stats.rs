@@ -1,0 +1,572 @@
+//! Workload analysis (Section 5 of the paper).
+//!
+//! Three levels, matching the paper's methodology:
+//!
+//! * [`WorkloadStats`] — Table 2: pair/query/session/dataset counts,
+//!   vocabulary size, fragment-type diversity, template counts.
+//! * [`SessionStats`] — Figures 10/11 (a)–(e): per-session query and
+//!   template variability.
+//! * [`PairStats`] — Figures 10/11 (f)–(l): pair-level syntactic deltas
+//!   between `Q_i` and `Q_{i+1}`.
+
+use crate::types::{QueryRecord, Workload};
+use qrec_sql::ast::{Expr, Query, Select, SetExpr, TableRef};
+use qrec_sql::Template;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+// ---------------------------------------------------------------------
+// Workload level (Table 2)
+// ---------------------------------------------------------------------
+
+/// Table 2 statistics of a workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Total consecutive query pairs.
+    pub total_pairs: usize,
+    /// Distinct `(canonical(Q_i), canonical(Q_{i+1}))` pairs.
+    pub unique_pairs: usize,
+    /// Distinct canonical query statements.
+    pub unique_queries: usize,
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Number of distinct datasets.
+    pub datasets: usize,
+    /// Distinct word tokens across all queries.
+    pub vocabulary: usize,
+    /// Distinct table fragments.
+    pub tables: usize,
+    /// Distinct column fragments.
+    pub columns: usize,
+    /// Distinct function fragments.
+    pub functions: usize,
+    /// Distinct literal fragments.
+    pub literals: usize,
+    /// Distinct templates.
+    pub templates: usize,
+}
+
+/// Compute Table 2 statistics for a workload.
+pub fn workload_stats(w: &Workload) -> WorkloadStats {
+    let mut unique_pairs = HashSet::new();
+    let mut unique_queries = HashSet::new();
+    let mut vocabulary = HashSet::new();
+    let mut tables = HashSet::new();
+    let mut columns = HashSet::new();
+    let mut functions = HashSet::new();
+    let mut literals = HashSet::new();
+    let mut templates = HashSet::new();
+    let mut total_pairs = 0usize;
+
+    for s in &w.sessions {
+        for q in &s.queries {
+            unique_queries.insert(q.canonical.as_str());
+            templates.insert(q.template.statement());
+            for t in &q.tokens {
+                vocabulary.insert(t.as_str());
+            }
+            tables.extend(q.fragments.tables.iter().map(|s| s.as_str()));
+            columns.extend(q.fragments.columns.iter().map(|s| s.as_str()));
+            functions.extend(q.fragments.functions.iter().map(|s| s.as_str()));
+            literals.extend(q.fragments.literals.iter().map(|s| s.as_str()));
+        }
+        for p in s.pairs() {
+            total_pairs += 1;
+            unique_pairs.insert((p.current.canonical.as_str(), p.next.canonical.as_str()));
+        }
+    }
+
+    WorkloadStats {
+        total_pairs,
+        unique_pairs: unique_pairs.len(),
+        unique_queries: unique_queries.len(),
+        sessions: w.sessions.len(),
+        datasets: w.dataset_count(),
+        vocabulary: vocabulary.len(),
+        tables: tables.len(),
+        columns: columns.len(),
+        functions: functions.len(),
+        literals: literals.len(),
+        templates: templates.len(),
+    }
+}
+
+/// Template frequency distribution (Figure 9): counts per template,
+/// sorted descending. Also used to select template classes with minimum
+/// support (Section 5.4.1 keeps templates appearing ≥ 3 times).
+pub fn template_frequencies(w: &Workload) -> Vec<(Template, usize)> {
+    let mut counts: HashMap<&Template, usize> = HashMap::new();
+    for s in &w.sessions {
+        for q in &s.queries {
+            *counts.entry(&q.template).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(Template, usize)> = counts.into_iter().map(|(t, c)| (t.clone(), c)).collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// The template classes kept for classification: templates with at least
+/// `min_support` occurrences, most frequent first.
+pub fn template_classes(w: &Workload, min_support: usize) -> Vec<Template> {
+    template_frequencies(w)
+        .into_iter()
+        .filter(|(_, c)| *c >= min_support)
+        .map(|(t, _)| t)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Session level (Figures 10/11 a–e)
+// ---------------------------------------------------------------------
+
+/// Per-session variability measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionRow {
+    /// Number of queries in the session.
+    pub queries: usize,
+    /// Number of distinct canonical statements.
+    pub unique_queries: usize,
+    /// How many consecutive steps changed the statement.
+    pub sequential_changes: usize,
+    /// Number of distinct templates.
+    pub unique_templates: usize,
+    /// How many consecutive steps changed the template.
+    pub template_changes: usize,
+}
+
+/// Session-level analysis: one [`SessionRow`] per session plus the
+/// summary fractions the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Per-session rows, in workload order.
+    pub rows: Vec<SessionRow>,
+    /// Fraction of sessions with ≥ 2 unique queries ("over 70%").
+    pub frac_ge2_unique_queries: f64,
+    /// Fraction of sessions with ≥ 2 unique templates (79% SDSS / 68% SQLShare).
+    pub frac_ge2_unique_templates: f64,
+    /// Fraction of sessions with ≥ 2 template changes (64% SDSS / 55% SQLShare).
+    pub frac_ge2_template_changes: f64,
+    /// Mean sequential changes per session.
+    pub mean_sequential_changes: f64,
+    /// Mean unique queries per session.
+    pub mean_unique_queries: f64,
+}
+
+/// Compute session-level statistics.
+pub fn session_stats(w: &Workload) -> SessionStats {
+    let mut rows = Vec::with_capacity(w.sessions.len());
+    for s in &w.sessions {
+        let mut uniq_q = HashSet::new();
+        let mut uniq_t = HashSet::new();
+        let mut seq_changes = 0usize;
+        let mut tpl_changes = 0usize;
+        for q in &s.queries {
+            uniq_q.insert(q.canonical.as_str());
+            uniq_t.insert(q.template.statement());
+        }
+        for p in s.pairs() {
+            if p.current.canonical != p.next.canonical {
+                seq_changes += 1;
+            }
+            if p.current.template != p.next.template {
+                tpl_changes += 1;
+            }
+        }
+        rows.push(SessionRow {
+            queries: s.queries.len(),
+            unique_queries: uniq_q.len(),
+            sequential_changes: seq_changes,
+            unique_templates: uniq_t.len(),
+            template_changes: tpl_changes,
+        });
+    }
+    let n = rows.len().max(1) as f64;
+    let frac = |f: &dyn Fn(&SessionRow) -> bool| rows.iter().filter(|r| f(r)).count() as f64 / n;
+    SessionStats {
+        frac_ge2_unique_queries: frac(&|r| r.unique_queries >= 2),
+        frac_ge2_unique_templates: frac(&|r| r.unique_templates >= 2),
+        frac_ge2_template_changes: frac(&|r| r.template_changes >= 2),
+        mean_sequential_changes: rows.iter().map(|r| r.sequential_changes).sum::<usize>() as f64
+            / n,
+        mean_unique_queries: rows.iter().map(|r| r.unique_queries).sum::<usize>() as f64 / n,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pair level (Figures 10/11 f–l)
+// ---------------------------------------------------------------------
+
+/// The six syntactic properties the paper extracts per query with the
+/// ANTLR parser (Section 5.3.3), computed here from our own AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntaxProps {
+    /// Number of table references.
+    pub table_count: usize,
+    /// Number of projection items.
+    pub selected_columns: usize,
+    /// Number of atomic predicates in WHERE/HAVING/ON clauses.
+    pub predicate_count: usize,
+    /// Number of distinct columns used in predicates.
+    pub predicate_columns: usize,
+    /// Number of function applications.
+    pub function_count: usize,
+    /// Number of word tokens.
+    pub word_count: usize,
+}
+
+/// Extract the six syntactic properties of a query record.
+pub fn syntax_props(record: &QueryRecord) -> SyntaxProps {
+    let query = qrec_sql::parse(&record.canonical).expect("canonical statements always reparse");
+    let mut p = PropsAcc::default();
+    p.query(&query);
+    SyntaxProps {
+        table_count: p.tables,
+        selected_columns: p.selected,
+        predicate_count: p.predicates,
+        predicate_columns: p.predicate_cols.len(),
+        function_count: p.functions,
+        word_count: record.tokens.len(),
+    }
+}
+
+#[derive(Default)]
+struct PropsAcc {
+    tables: usize,
+    selected: usize,
+    predicates: usize,
+    predicate_cols: HashSet<String>,
+    functions: usize,
+}
+
+impl PropsAcc {
+    fn query(&mut self, q: &Query) {
+        for cte in &q.with {
+            self.query(&cte.query);
+        }
+        self.set_expr(&q.body);
+        for o in &q.order_by {
+            self.expr(&o.expr, false);
+        }
+    }
+
+    fn set_expr(&mut self, b: &SetExpr) {
+        match b {
+            SetExpr::Select(s) => self.select(s),
+            SetExpr::SetOp { left, right, .. } => {
+                self.set_expr(left);
+                self.set_expr(right);
+            }
+        }
+    }
+
+    fn select(&mut self, s: &Select) {
+        self.selected += s.projection.len();
+        for item in &s.projection {
+            if let qrec_sql::ast::SelectItem::Expr { expr, .. } = item {
+                self.expr(expr, false);
+            }
+        }
+        for t in &s.from {
+            self.table_ref(t);
+        }
+        if let Some(w) = &s.selection {
+            self.expr(w, true);
+        }
+        for g in &s.group_by {
+            self.expr(g, false);
+        }
+        if let Some(h) = &s.having {
+            self.expr(h, true);
+        }
+    }
+
+    fn table_ref(&mut self, t: &TableRef) {
+        match t {
+            TableRef::Named { .. } => self.tables += 1,
+            TableRef::Derived { subquery, .. } => self.query(subquery),
+            TableRef::Join {
+                left, right, on, ..
+            } => {
+                self.table_ref(left);
+                self.table_ref(right);
+                if let Some(on) = on {
+                    self.expr(on, true);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, in_predicate: bool) {
+        e.walk(&mut |x| match x {
+            Expr::Binary { op, .. }
+                if in_predicate
+                    && matches!(
+                        op,
+                        qrec_sql::ast::BinaryOp::Eq
+                            | qrec_sql::ast::BinaryOp::Neq
+                            | qrec_sql::ast::BinaryOp::Lt
+                            | qrec_sql::ast::BinaryOp::LtEq
+                            | qrec_sql::ast::BinaryOp::Gt
+                            | qrec_sql::ast::BinaryOp::GtEq
+                    ) =>
+            {
+                self.predicates += 1;
+            }
+            Expr::Between { .. }
+            | Expr::Like { .. }
+            | Expr::IsNull { .. }
+            | Expr::InList { .. }
+            | Expr::InSubquery { .. }
+                if in_predicate =>
+            {
+                self.predicates += 1;
+            }
+            Expr::Function { .. } | Expr::Cast { .. } => self.functions += 1,
+            Expr::Column(c) if in_predicate => {
+                self.predicate_cols.insert(c.column.clone());
+            }
+            _ => {}
+        });
+        // Recurse into subqueries for table/function counting.
+        for sub in e.subqueries() {
+            self.query(sub);
+        }
+    }
+}
+
+/// Direction of change of one property between `Q_i` and `Q_{i+1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Delta {
+    /// `Q_{i+1}` has more.
+    Increase,
+    /// Same count.
+    Same,
+    /// `Q_{i+1}` has fewer.
+    Decrease,
+}
+
+fn delta(a: usize, b: usize) -> Delta {
+    use std::cmp::Ordering::*;
+    match b.cmp(&a) {
+        Greater => Delta::Increase,
+        Equal => Delta::Same,
+        Less => Delta::Decrease,
+    }
+}
+
+/// Pair-level analysis: fractions of pairs that increase / keep / decrease
+/// each syntactic property, plus the template-change rate (Figures 10/11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairStats {
+    /// Total pairs analysed.
+    pub pairs: usize,
+    /// Fraction of pairs where the template changed (> 40% SDSS, ~62% SQLShare).
+    pub template_change_rate: f64,
+    /// Per property: `(increase, same, decrease)` fractions, keyed by label.
+    pub property_deltas: Vec<(String, f64, f64, f64)>,
+}
+
+/// Compute pair-level statistics for a workload.
+pub fn pair_stats(w: &Workload) -> PairStats {
+    const PROPS: [&str; 6] = [
+        "table count",
+        "selected columns",
+        "predicate count",
+        "predicate columns",
+        "function count",
+        "word count",
+    ];
+    let mut pairs = 0usize;
+    let mut template_changes = 0usize;
+    let mut inc = [0usize; 6];
+    let mut same = [0usize; 6];
+    let mut dec = [0usize; 6];
+
+    for s in &w.sessions {
+        for p in s.pairs() {
+            pairs += 1;
+            if p.current.template != p.next.template {
+                template_changes += 1;
+            }
+            let a = syntax_props(p.current);
+            let b = syntax_props(p.next);
+            let ds = [
+                delta(a.table_count, b.table_count),
+                delta(a.selected_columns, b.selected_columns),
+                delta(a.predicate_count, b.predicate_count),
+                delta(a.predicate_columns, b.predicate_columns),
+                delta(a.function_count, b.function_count),
+                delta(a.word_count, b.word_count),
+            ];
+            for (i, d) in ds.into_iter().enumerate() {
+                match d {
+                    Delta::Increase => inc[i] += 1,
+                    Delta::Same => same[i] += 1,
+                    Delta::Decrease => dec[i] += 1,
+                }
+            }
+        }
+    }
+
+    let n = pairs.max(1) as f64;
+    PairStats {
+        pairs,
+        template_change_rate: template_changes as f64 / n,
+        property_deltas: PROPS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.to_string(),
+                    inc[i] as f64 / n,
+                    same[i] as f64 / n,
+                    dec[i] as f64 / n,
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Session;
+
+    fn rec(sql: &str) -> QueryRecord {
+        QueryRecord::new(sql).unwrap()
+    }
+
+    fn workload(sessions: Vec<Vec<&str>>) -> Workload {
+        Workload {
+            name: "test".into(),
+            sessions: sessions
+                .into_iter()
+                .enumerate()
+                .map(|(i, qs)| Session {
+                    id: i as u64,
+                    dataset: 0,
+                    queries: qs.into_iter().map(rec).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn table2_counts() {
+        let w = workload(vec![
+            vec![
+                "SELECT a FROM t",
+                "SELECT a FROM t WHERE a > 1",
+                "SELECT a FROM t",
+            ],
+            vec!["SELECT b FROM u", "SELECT b FROM u"],
+        ]);
+        let s = workload_stats(&w);
+        assert_eq!(s.total_pairs, 3);
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.unique_queries, 3);
+        // Pair (b,b) plus (a, a>1) and (a>1, a): all distinct.
+        assert_eq!(s.unique_pairs, 3);
+        assert_eq!(s.tables, 2);
+        assert_eq!(s.columns, 2);
+        assert_eq!(s.functions, 0);
+        assert_eq!(s.literals, 1); // <NUM>
+        assert_eq!(s.templates, 2);
+        assert_eq!(s.datasets, 1);
+        assert!(s.vocabulary >= 6);
+    }
+
+    #[test]
+    fn template_frequencies_sorted() {
+        let w = workload(vec![vec![
+            "SELECT a FROM t",
+            "SELECT b FROM u",
+            "SELECT c FROM v WHERE c = 1",
+        ]]);
+        let f = template_frequencies(&w);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].1, 2); // SELECT Column FROM Table
+        assert_eq!(f[1].1, 1);
+        assert_eq!(template_classes(&w, 2).len(), 1);
+        assert_eq!(template_classes(&w, 3).len(), 0);
+    }
+
+    #[test]
+    fn session_level_fractions() {
+        let w = workload(vec![
+            // 3 unique queries, 2 templates, template changes = 2
+            vec![
+                "SELECT a FROM t",
+                "SELECT a FROM t WHERE a > 1",
+                "SELECT b FROM t",
+            ],
+            // constant session
+            vec!["SELECT x FROM y", "SELECT x FROM y"],
+        ]);
+        let s = session_stats(&w);
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0].unique_queries, 3);
+        assert_eq!(s.rows[0].sequential_changes, 2);
+        assert_eq!(s.rows[0].unique_templates, 2);
+        assert_eq!(s.rows[0].template_changes, 2);
+        assert_eq!(s.rows[1].sequential_changes, 0);
+        assert_eq!(s.frac_ge2_unique_queries, 0.5);
+        assert_eq!(s.frac_ge2_template_changes, 0.5);
+    }
+
+    #[test]
+    fn syntax_props_counts() {
+        let p = syntax_props(&rec("SELECT a, COUNT(b) FROM t JOIN u ON t.x = u.x \
+             WHERE a > 1 AND c LIKE 'z%' GROUP BY a HAVING COUNT(b) > 2"));
+        assert_eq!(p.table_count, 2);
+        assert_eq!(p.selected_columns, 2);
+        // predicates: ON t.x=u.x, a>1, LIKE, HAVING COUNT(b)>2
+        assert_eq!(p.predicate_count, 4);
+        assert!(p.predicate_columns >= 3); // x, a, c (+b inside count)
+        assert_eq!(p.function_count, 2); // COUNT(b) in projection and HAVING
+        assert!(p.word_count > 10);
+    }
+
+    #[test]
+    fn pair_level_template_change_rate() {
+        let w = workload(vec![vec![
+            "SELECT a FROM t",
+            "SELECT a FROM t WHERE a > 1", // template change, predicate increase
+            "SELECT a FROM t WHERE a > 2", // literal-only: same template
+        ]]);
+        let s = pair_stats(&w);
+        assert_eq!(s.pairs, 2);
+        assert!((s.template_change_rate - 0.5).abs() < 1e-9);
+        let pred = s
+            .property_deltas
+            .iter()
+            .find(|(n, ..)| n == "predicate count")
+            .unwrap();
+        assert!((pred.1 - 0.5).abs() < 1e-9); // one increase out of two
+        assert!((pred.2 - 0.5).abs() < 1e-9); // one same
+    }
+
+    #[test]
+    fn empty_workload_safe() {
+        let w = Workload::new("empty");
+        let s = workload_stats(&w);
+        assert_eq!(s.total_pairs, 0);
+        let ss = session_stats(&w);
+        assert_eq!(ss.rows.len(), 0);
+        let ps = pair_stats(&w);
+        assert_eq!(ps.pairs, 0);
+        assert_eq!(ps.template_change_rate, 0.0);
+    }
+
+    #[test]
+    fn subquery_props_counted() {
+        let p = syntax_props(&rec(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b > 1)",
+        ));
+        assert_eq!(p.table_count, 2);
+        // IN-subquery predicate + inner b > 1
+        assert_eq!(p.predicate_count, 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Token vocabulary for the sequence models.
+//!
+//! Maps word tokens (Definition 1) to dense ids. Four special tokens are
+//! always present: `<PAD>` (0), `<SOS>` (1), `<EOS>` (2), `<UNK>` (3).
+//! Tokens below a frequency threshold map to `<UNK>`, bounding the
+//! vocabulary exactly as the paper's pre-processing does.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Id of the padding token.
+pub const PAD: usize = 0;
+/// Id of the start-of-sequence token.
+pub const SOS: usize = 1;
+/// Id of the end-of-sequence token.
+pub const EOS: usize = 2;
+/// Id of the unknown-token placeholder.
+pub const UNK: usize = 3;
+
+/// Spellings of the special tokens, indexed by id.
+pub const SPECIALS: [&str; 4] = ["<PAD>", "<SOS>", "<EOS>", "<UNK>"];
+
+/// A frozen token ↔ id mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Build a vocabulary from token sequences, keeping tokens that occur
+    /// at least `min_count` times. Ids are assigned by descending
+    /// frequency (ties broken lexicographically) for reproducibility.
+    pub fn build<'a>(sequences: impl IntoIterator<Item = &'a [String]>, min_count: usize) -> Self {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for seq in sequences {
+            for t in seq {
+                *counts.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut kept: Vec<(&str, usize)> = counts
+            .into_iter()
+            .filter(|&(t, c)| c >= min_count && !SPECIALS.contains(&t))
+            .collect();
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+        let mut id_to_token: Vec<String> = SPECIALS.iter().map(|s| s.to_string()).collect();
+        id_to_token.extend(kept.into_iter().map(|(t, _)| t.to_string()));
+        let token_to_id = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab {
+            token_to_id,
+            id_to_token,
+        }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True if only the special tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= SPECIALS.len()
+    }
+
+    /// Id of a token, or [`UNK`].
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// True if the token is in-vocabulary.
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// Token spelling of an id. Panics on out-of-range ids.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Encode a token sequence as `<SOS> tokens… <EOS>`.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(tokens.len() + 2);
+        out.push(SOS);
+        out.extend(tokens.iter().map(|t| self.id(t)));
+        out.push(EOS);
+        out
+    }
+
+    /// Decode ids back to tokens, stopping at `<EOS>` and skipping
+    /// specials.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        let mut out = Vec::new();
+        for &id in ids {
+            if id == EOS {
+                break;
+            }
+            if id < SPECIALS.len() {
+                continue;
+            }
+            out.push(self.id_to_token[id].clone());
+        }
+        out
+    }
+
+    /// Iterate `(id, token)` for non-special tokens.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .skip(SPECIALS.len())
+            .map(|(i, t)| (i, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(xs: &[&[&str]]) -> Vec<Vec<String>> {
+        xs.iter()
+            .map(|s| s.iter().map(|t| t.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn build_respects_min_count() {
+        let s = seqs(&[&["SELECT", "a", "FROM", "t"], &["SELECT", "b", "FROM", "t"]]);
+        let v = Vocab::build(s.iter().map(|x| x.as_slice()), 2);
+        assert!(v.contains("SELECT") && v.contains("FROM") && v.contains("t"));
+        assert!(!v.contains("a") && !v.contains("b"));
+        assert_eq!(v.id("a"), UNK);
+    }
+
+    #[test]
+    fn ids_by_frequency_then_lexicographic() {
+        let s = seqs(&[&["x", "y", "y", "a", "b"]]);
+        let v = Vocab::build(s.iter().map(|x| x.as_slice()), 1);
+        // y (freq 2) comes first; then a, b, x lexicographically.
+        assert_eq!(v.token(4), "y");
+        assert_eq!(v.token(5), "a");
+        assert_eq!(v.token(6), "b");
+        assert_eq!(v.token(7), "x");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = seqs(&[&["SELECT", "a", "FROM", "t"]]);
+        let v = Vocab::build(s.iter().map(|x| x.as_slice()), 1);
+        let ids = v.encode(&s[0]);
+        assert_eq!(ids[0], SOS);
+        assert_eq!(*ids.last().unwrap(), EOS);
+        assert_eq!(v.decode(&ids), s[0]);
+    }
+
+    #[test]
+    fn decode_stops_at_eos() {
+        let s = seqs(&[&["a", "b"]]);
+        let v = Vocab::build(s.iter().map(|x| x.as_slice()), 1);
+        let a = v.id("a");
+        let b = v.id("b");
+        assert_eq!(v.decode(&[a, EOS, b]), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn oov_encodes_as_unk() {
+        let s = seqs(&[&["a"]]);
+        let v = Vocab::build(s.iter().map(|x| x.as_slice()), 1);
+        let ids = v.encode(&seqs(&[&["zzz"]])[0]);
+        assert_eq!(ids, vec![SOS, UNK, EOS]);
+        // UNK is special and dropped in decode.
+        assert!(v.decode(&ids).is_empty());
+    }
+
+    #[test]
+    fn specials_always_present() {
+        let v = Vocab::build(std::iter::empty::<&[String]>(), 1);
+        assert_eq!(v.len(), 4);
+        assert!(v.is_empty());
+        for (i, s) in SPECIALS.iter().enumerate() {
+            assert_eq!(v.token(i), *s);
+        }
+    }
+
+    #[test]
+    fn special_spellings_in_input_do_not_duplicate() {
+        let s = seqs(&[&["<UNK>", "<PAD>", "tok"]]);
+        let v = Vocab::build(s.iter().map(|x| x.as_slice()), 1);
+        assert_eq!(v.len(), 5); // 4 specials + "tok"
+    }
+}

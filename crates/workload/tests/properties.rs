@@ -1,0 +1,161 @@
+//! Property-based tests for the workload generator: whatever the
+//! profile knobs, generated workloads must be well-formed.
+
+use proptest::prelude::*;
+use qrec_workload::gen::{generate, WorkloadProfile};
+use qrec_workload::stats::{pair_stats, session_stats, workload_stats};
+use qrec_workload::vocab::{EOS, SOS, UNK};
+use qrec_workload::Vocab;
+
+fn small_profile_strategy() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        1usize..4,     // datasets
+        2usize..6,     // tables per dataset (fixed range)
+        3usize..10,    // columns per table lo
+        8usize..30,    // sessions
+        2.5f64..9.0,   // mean session len
+        0.0f64..0.3,   // p_repeat
+        0.0f64..0.45,  // p_literal_only
+        0.0f64..0.3,   // p_new_subtask
+        0.0f64..1.0,   // p_scripted
+        any::<bool>(), // use_top
+        any::<bool>(), // file style
+    )
+        .prop_map(
+            |(
+                datasets,
+                tables,
+                col_lo,
+                sessions,
+                mean_len,
+                p_repeat,
+                p_lit,
+                p_new,
+                p_scripted,
+                use_top,
+                file_style,
+            )| {
+                let mut p = WorkloadProfile::tiny();
+                p.datasets = datasets;
+                p.tables_per_dataset = (tables, tables + 2);
+                p.columns_per_table = (col_lo, col_lo + 6);
+                p.sessions = sessions;
+                p.mean_session_len = mean_len;
+                p.p_repeat = p_repeat;
+                p.p_literal_only = p_lit;
+                p.p_new_subtask = p_new;
+                p.p_scripted = p_scripted;
+                p.use_top = use_top;
+                p.file_style_tables = file_style;
+                p
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated query parses (QueryRecord::new succeeded during
+    /// generation) and re-parses from its canonical form; fragments are
+    /// consistent with the catalog.
+    #[test]
+    fn generated_workloads_are_well_formed(profile in small_profile_strategy(), seed in 0u64..1000) {
+        let (w, catalog) = generate(&profile, seed);
+        prop_assert_eq!(w.sessions.len(), profile.sessions);
+        let all_tables: std::collections::HashSet<&str> = catalog
+            .datasets
+            .iter()
+            .flat_map(|d| d.tables.iter().map(|t| t.name.as_str()))
+            .collect();
+        for s in &w.sessions {
+            prop_assert!(!s.queries.is_empty());
+            prop_assert!(s.queries.len() <= profile.max_session_len);
+            for q in &s.queries {
+                // Canonical statements always reparse.
+                let re = qrec_sql::parse(&q.canonical);
+                prop_assert!(re.is_ok(), "canonical must reparse: {}", q.canonical);
+                // Table fragments come from the catalog.
+                for t in &q.fragments.tables {
+                    prop_assert!(all_tables.contains(t.as_str()), "unknown table {t}");
+                }
+                // Row-limiting dialect respected.
+                if !profile.use_top {
+                    prop_assert!(!q.tokens.contains(&"TOP".to_string()), "{}", q.sql);
+                }
+            }
+        }
+    }
+
+    /// Statistics functions never panic and produce consistent counts.
+    #[test]
+    fn stats_are_consistent(profile in small_profile_strategy(), seed in 0u64..1000) {
+        let (w, _) = generate(&profile, seed);
+        let ws = workload_stats(&w);
+        prop_assert_eq!(ws.sessions, w.sessions.len());
+        prop_assert_eq!(ws.total_pairs, w.pair_count());
+        prop_assert!(ws.unique_pairs <= ws.total_pairs);
+        prop_assert!(ws.datasets <= profile.datasets);
+        let ss = session_stats(&w);
+        prop_assert_eq!(ss.rows.len(), w.sessions.len());
+        for r in &ss.rows {
+            prop_assert!(r.unique_queries <= r.queries);
+            prop_assert!(r.unique_templates <= r.unique_queries);
+            prop_assert!(r.sequential_changes < r.queries.max(1));
+            prop_assert!(r.template_changes <= r.sequential_changes);
+        }
+        let ps = pair_stats(&w);
+        prop_assert_eq!(ps.pairs, w.pair_count());
+        prop_assert!((0.0..=1.0).contains(&ps.template_change_rate));
+        for (_, inc, same, dec) in &ps.property_deltas {
+            prop_assert!((inc + same + dec - 1.0).abs() < 1e-9 || ps.pairs == 0);
+        }
+    }
+
+    /// Vocabulary encode/decode round-trips for in-vocabulary sequences.
+    #[test]
+    fn vocab_roundtrips_generated_queries(seed in 0u64..100) {
+        let (w, _) = generate(&WorkloadProfile::tiny(), seed);
+        let seqs: Vec<&[String]> = w
+            .sessions
+            .iter()
+            .flat_map(|s| s.queries.iter().map(|q| q.tokens.as_slice()))
+            .collect();
+        let vocab = Vocab::build(seqs.iter().copied(), 1);
+        for s in &w.sessions {
+            for q in &s.queries {
+                let ids = vocab.encode(&q.tokens);
+                prop_assert_eq!(ids[0], SOS);
+                prop_assert_eq!(*ids.last().unwrap(), EOS);
+                prop_assert!(!ids.contains(&UNK), "min_count=1 must cover all");
+                prop_assert_eq!(vocab.decode(&ids), q.tokens.clone());
+            }
+        }
+    }
+
+    /// Zero repeat probability means no identical consecutive pairs
+    /// unless a literal-only mutation resampled the same value (allowed);
+    /// with p_repeat = p_literal_only = 0 every step changes structure.
+    #[test]
+    fn no_repeat_knob_mostly_changes_queries(seed in 0u64..50) {
+        let mut p = WorkloadProfile::tiny();
+        p.p_repeat = 0.0;
+        p.p_literal_only = 0.0;
+        p.p_scripted = 0.0;
+        p.sessions = 10;
+        let (w, _) = generate(&p, seed);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for s in &w.sessions {
+            for pair in s.pairs() {
+                total += 1;
+                if pair.current.canonical == pair.next.canonical {
+                    same += 1;
+                }
+            }
+        }
+        // Structural edits can occasionally no-op (e.g. dropping a
+        // predicate that was just re-added), but identical pairs must be
+        // rare.
+        prop_assert!(total == 0 || (same as f64) / (total as f64) < 0.25, "{same}/{total}");
+    }
+}

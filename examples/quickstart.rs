@@ -1,0 +1,72 @@
+//! Quickstart: train a small workload-aware recommender and ask it for
+//! next-query suggestions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qrec::core::prelude::*;
+use qrec::workload::gen::{generate, WorkloadProfile};
+use qrec::workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A workload: normally this comes from your query logs; here we
+    //    synthesise an SDSS-flavoured one (scaled down for a quick run).
+    let mut profile = WorkloadProfile::sdss();
+    profile.sessions = 220; // keep the example snappy
+    let (workload, _catalog) = generate(&profile, 42);
+    println!(
+        "workload: {} sessions, {} query pairs",
+        workload.sessions.len(),
+        workload.pair_count()
+    );
+
+    // 2. The paper's 80/10/10 split over consecutive query pairs.
+    let mut rng = StdRng::seed_from_u64(7);
+    let split = Split::paper(workload.pairs(), &mut rng);
+
+    // 3. Offline training (step 1): seq2seq on (Q_i, Q_{i+1}).
+    let mut cfg = RecommenderConfig::new(Arch::Transformer, SeqMode::Aware);
+    cfg.train.epochs = 3;
+    println!("training a {} …", cfg.label());
+    let (mut rec, report) = Recommender::train(&split, &workload, cfg);
+    println!(
+        "  {} epochs, best val loss {:.3}, {:.1?} wall clock, {} parameters",
+        report.epoch_losses.len(),
+        report.best_val_loss(),
+        report.train_time,
+        rec.param_count()
+    );
+
+    // 4. Fine-tune the template classifier (step 2).
+    let mut clf_cfg = TemplateClfConfig::default();
+    clf_cfg.train.epochs = 3;
+    let (mut clf, _) = TemplateModel::train_fine_tuned(&rec, &split, clf_cfg);
+    println!(
+        "  fine-tuned classifier over {} template classes",
+        clf.classes().len()
+    );
+
+    // 5. Online recommendation (steps 3–4) for a held-out session query.
+    let pair = &split.test[0];
+    println!("\ncurrent query (Q_i):\n  {}", pair.current.sql);
+    println!("actual next query (Q_{{i+1}}):\n  {}", pair.next.sql);
+
+    let frags = rec.predict_n(&pair.current, 3);
+    println!("\nrecommended fragments for the next query:");
+    println!("  tables:    {:?}", frags.table);
+    println!("  columns:   {:?}", frags.column);
+    println!("  functions: {:?}", frags.function);
+    println!("  literals:  {:?}", frags.literal);
+
+    println!("\nrecommended templates:");
+    for (i, (t, p)) in clf.predict_ranked(&pair.current, 3).into_iter().enumerate() {
+        println!("  {}. [p={:.2}] {}", i + 1, p, t.statement());
+    }
+    println!(
+        "\nactual next template:\n  {}",
+        pair.next.template.statement()
+    );
+}

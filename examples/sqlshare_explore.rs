@@ -1,0 +1,86 @@
+//! Exploring a multi-tenant (SQLShare-like) workload: shows why the
+//! `popular` baseline collapses when every user uploads their own
+//! dataset, and how the workload-aware model adapts — the paper's
+//! Section 6.3.2 finding.
+//!
+//! ```sh
+//! cargo run --release --example sqlshare_explore
+//! ```
+
+use qrec::core::prelude::*;
+use qrec::workload::gen::{generate, WorkloadProfile};
+use qrec::workload::stats::workload_stats;
+use qrec::workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut profile = WorkloadProfile::sqlshare();
+    profile.sessions = 200;
+    let (workload, _catalog) = generate(&profile, 2024);
+    let stats = workload_stats(&workload);
+    println!("SQLShare-like workload:");
+    println!(
+        "  sessions: {}  datasets: {}",
+        stats.sessions, stats.datasets
+    );
+    println!(
+        "  tables: {}  columns: {}  functions: {}  literals: {}",
+        stats.tables, stats.columns, stats.functions, stats.literals
+    );
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let split = Split::paper(workload.pairs(), &mut rng);
+    let test = &split.test;
+
+    // Baselines.
+    let mut popular = PopularBaseline::fit(&split.train);
+    let mut naive = NaiveQi::fit(&split.train);
+    let mut querie = Querie::fit(&split.train, 10);
+
+    // A workload-aware model (small training budget: this is a demo).
+    let mut cfg = RecommenderConfig::new(Arch::Transformer, SeqMode::Aware);
+    // Small corpus: afford real training (still ~2 minutes on one core).
+    cfg.train.epochs = 30;
+    cfg.train.patience = 5;
+    println!(
+        "\ntraining {} on {} pairs …",
+        cfg.label(),
+        split.train.len()
+    );
+    let (mut rec, _) = Recommender::train(&split, &workload, cfg);
+
+    println!(
+        "\ntable-fragment prediction (top-3), micro F1 on {} test pairs:",
+        test.len()
+    );
+    let rows: Vec<(String, PerKind<SetMetrics>)> = vec![
+        ("popular".into(), eval_n_fragments(&mut popular, test, 3)),
+        ("naive-Qi".into(), eval_n_fragments(&mut naive, test, 3)),
+        ("querie".into(), eval_n_fragments(&mut querie, test, 3)),
+        (rec.name(), eval_n_fragments(&mut rec, test, 3)),
+    ];
+    println!(
+        "  {:<24} {:>8} {:>8} {:>8} {:>8}",
+        "method", "table", "column", "function", "literal"
+    );
+    for (name, m) in &rows {
+        println!(
+            "  {:<24} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            name,
+            m.table.f1(),
+            m.column.f1(),
+            m.function.f1(),
+            m.literal.f1()
+        );
+    }
+
+    // The headline contrast: popular's table F1 vs the model's.
+    let popular_f1 = rows[0].1.table.f1();
+    let model_f1 = rows[3].1.table.f1();
+    println!("\npopular baseline table F1 = {popular_f1:.3}; workload-aware model = {model_f1:.3}");
+    println!(
+        "(on a single-schema SDSS-like workload the popular baseline is far \
+         stronger — run the fig12 experiment to see both.)"
+    );
+}

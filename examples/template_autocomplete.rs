@@ -1,0 +1,77 @@
+//! Template autocomplete: type (or pipe) a SQL query and get ranked
+//! next-query *templates* plus fragment suggestions to fill them — the
+//! paper's end-user interaction (Example 3: template + fragments beats a
+//! fully-specified query).
+//!
+//! ```sh
+//! echo "SELECT * FROM StarTag" | cargo run --release --example template_autocomplete
+//! # or interactively:
+//! cargo run --release --example template_autocomplete
+//! ```
+
+use qrec::core::prelude::*;
+use qrec::workload::gen::{generate, WorkloadProfile};
+use qrec::workload::{QueryRecord, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, BufRead, IsTerminal, Write};
+
+fn main() {
+    let mut profile = WorkloadProfile::sdss();
+    profile.sessions = 220;
+    let (workload, _catalog) = generate(&profile, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = Split::paper(workload.pairs(), &mut rng);
+
+    let mut cfg = RecommenderConfig::new(Arch::Transformer, SeqMode::Aware);
+    cfg.train.epochs = 3;
+    eprintln!("training recommendation models (one-time setup) …");
+    let (mut rec, _) = Recommender::train(&split, &workload, cfg);
+    let mut clf_cfg = TemplateClfConfig::default();
+    clf_cfg.train.epochs = 3;
+    let (mut clf, _) = TemplateModel::train_fine_tuned(&rec, &split, clf_cfg);
+    eprintln!("ready. enter a SQL query (empty line to quit).\n");
+
+    // Show the user what tables exist so interactive play is easy.
+    let sample_q = &split.train[0].current;
+    eprintln!("example input: {}", sample_q.sql);
+
+    let stdin = io::stdin();
+    let interactive = stdin.is_terminal();
+    loop {
+        if interactive {
+            print!("sql> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        let record = match QueryRecord::new(line) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("  ! cannot parse that query: {e}");
+                continue;
+            }
+        };
+
+        println!("\nnext-query templates:");
+        for (i, (t, p)) in clf.predict_ranked(&record, 3).into_iter().enumerate() {
+            println!("  {}. [p={:.2}] {}", i + 1, p, t.statement());
+        }
+        let frags = rec.predict_n(&record, 4);
+        println!("fragments to fill the placeholders:");
+        println!("  Table     ← {:?}", frags.table);
+        println!("  Column    ← {:?}", frags.column);
+        println!("  Function  ← {:?}", frags.function);
+        println!("  Literal   ← {:?}", frags.literal);
+        println!();
+        if !interactive {
+            break;
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! `qrec` — umbrella crate re-exporting the workload-aware query
+//! recommendation stack (EDBT 2023 reproduction).
+//!
+//! See [`qrec_core`] for the recommendation pipeline, [`qrec_workload`] for
+//! workload generation and analysis, [`qrec_sql`] for the SQL substrate,
+//! and [`qrec_nn`]/[`qrec_tensor`] for the deep-learning substrate.
+pub use qrec_core as core;
+pub use qrec_nn as nn;
+pub use qrec_sql as sql;
+pub use qrec_tensor as tensor;
+pub use qrec_workload as workload;

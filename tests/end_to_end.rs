@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the full pipeline from synthetic
+//! workload generation through training to online recommendation, at
+//! test scale.
+
+use qrec::core::prelude::*;
+use qrec::workload::gen::{generate, WorkloadProfile};
+use qrec::workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny() -> (qrec::workload::Workload, Split) {
+    let mut profile = WorkloadProfile::tiny();
+    profile.sessions = 100;
+    let (w, _) = generate(&profile, 4242);
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = Split::paper(w.pairs(), &mut rng);
+    (w, split)
+}
+
+#[test]
+fn full_pipeline_trains_and_recommends() {
+    let (w, split) = tiny();
+    let cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    let (mut rec, report) = Recommender::train(&split, &w, cfg);
+    assert!(report.best_val_loss().is_finite());
+
+    let (mut clf, _) = TemplateModel::train_fine_tuned(&rec, &split, TemplateClfConfig::test());
+
+    let q = &split.test[0].current;
+    let frags = rec.predict_n(q, 5);
+    assert!(frags.table.len() <= 5);
+    let set = rec.predict_set(q);
+    let _ = set.len();
+    let tpls = clf.predict_templates(q, 3);
+    assert!(tpls.len() <= 3);
+}
+
+#[test]
+fn model_beats_popular_on_table_prediction() {
+    // The load-bearing claim at miniature scale: on a single-schema
+    // workload with hot-column structure, the seq-aware model's table
+    // predictions beat the popularity baseline's.
+    let (w, split) = tiny();
+    let mut cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    cfg.train.epochs = 12;
+    let (mut rec, _) = Recommender::train(&split, &w, cfg);
+    let mut popular = PopularBaseline::fit(&split.train);
+
+    let test = &split.test;
+    let model_m = eval_n_fragments(&mut rec, test, 1);
+    let pop_m = eval_n_fragments(&mut popular, test, 1);
+    assert!(
+        model_m.table.f1() >= pop_m.table.f1(),
+        "model table F1 {} should be at least popular's {}",
+        model_m.table.f1(),
+        pop_m.table.f1()
+    );
+}
+
+#[test]
+fn all_architectures_complete_the_pipeline() {
+    let (w, split) = tiny();
+    for arch in [Arch::Transformer, Arch::ConvS2S, Arch::Gru] {
+        let cfg = RecommenderConfig::test(arch, SeqMode::Aware);
+        let (mut rec, _) = Recommender::train(&split, &w, cfg);
+        let q = &split.test[0].current;
+        let _ = rec.predict_set(q);
+        let _ = rec.predict_n(q, 3);
+    }
+}
+
+#[test]
+fn evaluation_harness_is_consistent_across_methods() {
+    let (w, split) = tiny();
+    let test = &split.test;
+
+    let mut naive = NaiveQi::fit(&split.train);
+    let mut popular = PopularBaseline::fit(&split.train);
+    let mut querie = Querie::fit(&split.train, 10);
+
+    // Fragment-set metrics are all in [0,1].
+    for m in [
+        eval_fragment_set(&mut naive, test),
+        eval_fragment_set(&mut popular, test),
+        eval_fragment_set(&mut querie, test),
+    ] {
+        for kind in qrec::sql::FragmentKind::ALL {
+            let f1 = m.get(kind).f1();
+            assert!((0.0..=1.0).contains(&f1), "{kind:?} f1={f1}");
+        }
+    }
+
+    // Template metrics behave monotonically in N.
+    let a1 = eval_templates(&mut naive, test, 1);
+    let a5 = eval_templates(&mut naive, test, 5);
+    assert!(a5.accuracy() >= a1.accuracy());
+
+    // naive-Qi's template accuracy equals the template-same rate of the
+    // test pairs — the anchor identity from Section 5.4.2.
+    let same_rate = test
+        .iter()
+        .filter(|p| p.current.template == p.next.template)
+        .count() as f64
+        / test.len() as f64;
+    assert!((a1.accuracy() - same_rate).abs() < 1e-12);
+
+    let _ = w;
+}
+
+#[test]
+fn seq_aware_and_seq_less_learn_different_things() {
+    let (w, split) = tiny();
+    let mut cfg_aware = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    cfg_aware.train.epochs = 6;
+    let mut cfg_less = cfg_aware;
+    cfg_less.seq_mode = SeqMode::Less;
+
+    let (rec_aware, rep_aware) = Recommender::train(&split, &w, cfg_aware);
+    let (rec_less, rep_less) = Recommender::train(&split, &w, cfg_less);
+
+    // Reconstruction is the easier objective: its loss ends lower.
+    assert!(rep_less.best_val_loss() < rep_aware.best_val_loss());
+    let _ = (rec_aware, rec_less);
+}
+
+#[test]
+fn decoded_fragments_come_from_training_vocabulary() {
+    let (w, split) = tiny();
+    let cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    let (mut rec, _) = Recommender::train(&split, &w, cfg);
+    let lexicon = FragmentLexicon::from_workload(&w);
+    for p in split.test.iter().take(5) {
+        let set = rec.predict_set(&p.current);
+        for (kind, frag) in set.iter() {
+            assert!(
+                !lexicon.kinds_of(frag).is_empty() || frag == "<NUM>",
+                "predicted {kind:?} fragment {frag:?} unknown to the workload"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_context_recommends_with_history() {
+    let (w, split) = tiny();
+    let cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    let (mut rec, _) = Recommender::train(&split, &w, cfg);
+
+    // Replay a real session through the online context API.
+    let session = w
+        .sessions
+        .iter()
+        .find(|s| s.queries.len() >= 3)
+        .expect("a session with history");
+    let mut ctx = SessionContext::new(2);
+    for q in &session.queries[..2] {
+        ctx.push(q.clone());
+    }
+    assert_eq!(ctx.len(), 2);
+    let recs = ctx
+        .recommend_fragments(&mut rec, 3, qrec::nn::Strategy::Greedy)
+        .expect("non-empty session");
+    assert!(recs.table.len() <= 3);
+
+    // Empty sessions refuse politely.
+    let empty = SessionContext::new(1);
+    assert!(empty
+        .recommend_fragments(&mut rec, 3, qrec::nn::Strategy::Greedy)
+        .is_none());
+}
+
+#[test]
+fn jsonl_import_feeds_the_full_pipeline() {
+    // The adoption path: export a workload as raw SQL JSONL (as a user
+    // would provide their own logs), import it back, and train on it.
+    let (w, _) = {
+        let mut profile = WorkloadProfile::tiny();
+        profile.sessions = 60;
+        generate(&profile, 777)
+    };
+    let mut buf = Vec::new();
+    qrec::workload::io::write_jsonl(&w, &mut buf).unwrap();
+    let (imported, report) = qrec::workload::io::read_jsonl("imported", buf.as_slice()).unwrap();
+    assert_eq!(report.queries_dropped, 0);
+    assert_eq!(imported.pair_count(), w.pair_count());
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let split = Split::paper(imported.pairs(), &mut rng);
+    let cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    let (mut rec, report) = Recommender::train(&split, &imported, cfg);
+    assert!(report.best_val_loss().is_finite());
+    let q = &split.test[0].current;
+    let _ = rec.predict_n(q, 3);
+}
