@@ -139,14 +139,22 @@ impl TemplateModel {
     ) -> (Self, TrainReport) {
         let train_data = encode_labeled(&split.train, &vocab, &classes);
         let val_data = encode_labeled(&split.val, &vocab, &classes);
-        let report = train_classifier(
-            &model,
-            &head,
-            &mut params,
-            &train_data,
-            &val_data,
-            &cfg.train,
-        );
+        // Degenerate but legitimate: a high support threshold can leave
+        // zero template classes, so there is nothing to train on. The
+        // trainer treats empty data as a typed error; here it just means
+        // an untrained head that predicts nothing.
+        let report = if train_data.is_empty() {
+            TrainReport::default()
+        } else {
+            train_classifier(
+                &model,
+                &head,
+                &mut params,
+                &train_data,
+                &val_data,
+                &cfg.train,
+            )
+        };
         (
             TemplateModel {
                 name,

@@ -43,6 +43,7 @@ pub use params::{Binding, Fwd, ParamId, Params};
 pub use schedule::LrSchedule;
 pub use seq2seq::Seq2Seq;
 pub use trainer::{
-    train_classifier, train_seq2seq, EncodedPair, LabeledSeq, TrainConfig, TrainReport,
+    train_classifier, train_seq2seq, try_train_classifier, try_train_seq2seq, EncodedPair,
+    LabeledSeq, TrainConfig, TrainError, TrainReport,
 };
 pub use transformer::{Transformer, TransformerConfig};

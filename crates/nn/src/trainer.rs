@@ -56,7 +56,7 @@ impl Default for TrainConfig {
 }
 
 /// What happened during training.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
     /// `(train_loss, val_loss)` per epoch actually run.
     pub epoch_losses: Vec<(f32, f32)>,
@@ -75,10 +75,49 @@ impl TrainReport {
             .get(self.best_epoch)
             .map_or(f32::INFINITY, |e| e.1)
     }
+
+    /// Training loss of the last epoch actually run, if any ran.
+    pub fn final_train_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().map(|e| e.0)
+    }
+}
+
+/// Why a training run could not be started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// `TrainConfig.epochs` was zero: the loop would run no epochs and
+    /// produce an empty `epoch_losses`, which downstream consumers index.
+    NoEpochs,
+    /// The training set was empty: no gradient step could be taken.
+    NoTrainingData,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NoEpochs => write!(f, "training config requests zero epochs"),
+            TrainError::NoTrainingData => write!(f, "training set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+fn validate_training(cfg: &TrainConfig, train_len: usize) -> Result<(), TrainError> {
+    if cfg.epochs == 0 {
+        return Err(TrainError::NoEpochs);
+    }
+    if train_len == 0 {
+        return Err(TrainError::NoTrainingData);
+    }
+    Ok(())
 }
 
 /// Train a seq2seq model on query pairs; restores the weights of the
 /// best validation epoch before returning.
+///
+/// Panics on a degenerate configuration; use [`try_train_seq2seq`] for a
+/// typed error instead.
 pub fn train_seq2seq<M: Seq2Seq>(
     model: &M,
     params: &mut Params,
@@ -86,6 +125,21 @@ pub fn train_seq2seq<M: Seq2Seq>(
     val: &[EncodedPair],
     cfg: &TrainConfig,
 ) -> TrainReport {
+    try_train_seq2seq(model, params, train, val, cfg)
+        .unwrap_or_else(|e| panic!("train_seq2seq: {e}"))
+}
+
+/// Fallible variant of [`train_seq2seq`]: rejects zero-epoch configs and
+/// empty training sets up front instead of returning a report with an
+/// empty `epoch_losses` that callers would `unwrap` on.
+pub fn try_train_seq2seq<M: Seq2Seq>(
+    model: &M,
+    params: &mut Params,
+    train: &[EncodedPair],
+    val: &[EncodedPair],
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    validate_training(cfg, train.len())?;
     let start = Instant::now();
     let mut adam = Adam::new(cfg.adam, params);
     let base_lr = cfg.adam.lr;
@@ -137,12 +191,12 @@ pub fn train_seq2seq<M: Seq2Seq>(
     if let Some((_, best_params)) = best {
         *params = best_params;
     }
-    TrainReport {
+    Ok(TrainReport {
         epoch_losses,
         best_epoch,
         train_time: start.elapsed(),
         early_stopped,
-    }
+    })
 }
 
 // The decoder may truncate very long targets to its max_len; align the
@@ -189,6 +243,9 @@ pub struct LabeledSeq {
 
 /// Train a template classifier (encoder + head) on labelled sequences;
 /// restores the best-validation weights before returning.
+///
+/// Panics on a degenerate configuration; use [`try_train_classifier`]
+/// for a typed error instead.
 pub fn train_classifier<M: Seq2Seq>(
     model: &M,
     head: &ClassifierHead,
@@ -197,6 +254,20 @@ pub fn train_classifier<M: Seq2Seq>(
     val: &[LabeledSeq],
     cfg: &TrainConfig,
 ) -> TrainReport {
+    try_train_classifier(model, head, params, train, val, cfg)
+        .unwrap_or_else(|e| panic!("train_classifier: {e}"))
+}
+
+/// Fallible variant of [`train_classifier`].
+pub fn try_train_classifier<M: Seq2Seq>(
+    model: &M,
+    head: &ClassifierHead,
+    params: &mut Params,
+    train: &[LabeledSeq],
+    val: &[LabeledSeq],
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    validate_training(cfg, train.len())?;
     let start = Instant::now();
     let mut adam = Adam::new(cfg.adam, params);
     let base_lr = cfg.adam.lr;
@@ -244,12 +315,12 @@ pub fn train_classifier<M: Seq2Seq>(
     if let Some((_, best_params)) = best {
         *params = best_params;
     }
-    TrainReport {
+    Ok(TrainReport {
         epoch_losses,
         best_epoch,
         train_time: start.elapsed(),
         early_stopped,
-    }
+    })
 }
 
 /// Mean validation loss of a classifier.
@@ -383,6 +454,56 @@ mod tests {
             let ranked = crate::classifier::classify(&model, &head, &params, &ex.src, &mut rng);
             assert_eq!(ranked[0].0, ex.label);
         }
+    }
+
+    #[test]
+    fn zero_epoch_config_is_a_typed_error() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Transformer::new(&mut params, TransformerConfig::test(12), &mut rng);
+        let pairs = copy_pairs();
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        };
+        let err = try_train_seq2seq(&model, &mut params, &pairs, &pairs, &cfg).unwrap_err();
+        assert_eq!(err, TrainError::NoEpochs);
+
+        let head = crate::classifier::ClassifierHead::new(&mut params, 16, 16, 2, 0.0, &mut rng);
+        let data = vec![LabeledSeq {
+            src: vec![1, 4, 2],
+            label: 0,
+        }];
+        let err = try_train_classifier(&model, &head, &mut params, &data, &data, &cfg).unwrap_err();
+        assert_eq!(err, TrainError::NoEpochs);
+    }
+
+    #[test]
+    fn empty_training_set_is_a_typed_error() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Transformer::new(&mut params, TransformerConfig::test(12), &mut rng);
+        let err =
+            try_train_seq2seq(&model, &mut params, &[], &[], &TrainConfig::default()).unwrap_err();
+        assert_eq!(err, TrainError::NoTrainingData);
+    }
+
+    #[test]
+    fn final_train_loss_tracks_last_epoch() {
+        let report = TrainReport {
+            epoch_losses: vec![(2.0, 2.1), (1.0, 1.2)],
+            best_epoch: 1,
+            train_time: Duration::from_millis(1),
+            early_stopped: false,
+        };
+        assert_eq!(report.final_train_loss(), Some(1.0));
+        let empty = TrainReport {
+            epoch_losses: vec![],
+            best_epoch: 0,
+            train_time: Duration::ZERO,
+            early_stopped: false,
+        };
+        assert_eq!(empty.final_train_loss(), None);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Micro-batching decode engine.
+//!
+//! Decode jobs flow through one bounded MPMC channel into a pool of
+//! worker threads. A worker blocks for the first job, then greedily
+//! drains up to `max_batch - 1` more without blocking, and serves the
+//! whole batch against a *single* registry read — one `(epoch, model)`
+//! snapshot per batch amortises registry traffic and keeps a batch
+//! internally consistent across a concurrent hot-swap.
+//!
+//! Backpressure is typed: submission uses `try_send`, and a full queue
+//! surfaces as [`ServeError::Overloaded`] immediately instead of
+//! blocking the connection handler — the client decides whether to
+//! retry.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use qrec_nn::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crate::cache::{CacheKey, RecCache};
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+
+/// One decode request: the session's windowed input tokens and how many
+/// fragments per kind the client wants.
+#[derive(Debug, Clone)]
+pub struct DecodeRequest {
+    /// Model input tokens (the session window).
+    pub tokens: Vec<String>,
+    /// Fragments to return per kind.
+    pub n: usize,
+}
+
+/// A served recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Top-`n` fragments per kind, ranked by aggregated probability.
+    pub fragments: qrec_core::predict::PerKind<Vec<String>>,
+    /// Epoch of the model that produced (or cached) the ranking.
+    pub epoch: u64,
+    /// True when the ranking came from the LRU cache.
+    pub cached: bool,
+}
+
+struct Job {
+    req: DecodeRequest,
+    reply: Sender<Result<Recommendation, ServeError>>,
+    enqueued: Instant,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Decode worker threads. `0` is allowed (jobs queue but never
+    /// drain) and exists for deterministic backpressure tests.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Maximum jobs a worker drains per batch.
+    pub max_batch: usize,
+    /// Decoding strategy used for ranking.
+    pub strategy: Strategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            queue_cap: 64,
+            max_batch: 8,
+            strategy: Strategy::Beam { width: 5 },
+        }
+    }
+}
+
+/// The micro-batching decode engine. Dropping it (or calling
+/// [`DecodeEngine::shutdown`]) disconnects the queue and joins the
+/// workers after they finish jobs already accepted.
+pub struct DecodeEngine {
+    tx: Option<Sender<Job>>,
+    /// Kept so the queue stays connected even with zero workers;
+    /// workers clone their receivers from this one.
+    rx: Receiver<Job>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl DecodeEngine {
+    /// Start the worker pool.
+    pub fn start(
+        cfg: EngineConfig,
+        registry: Arc<ModelRegistry>,
+        cache: Arc<RecCache>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let (tx, rx) = bounded::<Job>(cfg.queue_cap.max(1));
+        let max_batch = cfg.max_batch.max(1);
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let registry = Arc::clone(&registry);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let strategy = cfg.strategy;
+                thread::Builder::new()
+                    .name(format!("qrec-serve-decode-{i}"))
+                    .spawn(move || {
+                        // Each worker owns its RNG; decodes share the
+                        // model immutably via `*_with` entry points.
+                        let mut rng = StdRng::seed_from_u64(0x5eed ^ (i as u64));
+                        worker_loop(
+                            &rx, max_batch, strategy, &registry, &cache, &metrics, &mut rng,
+                        );
+                    })
+                    .expect("spawn decode worker")
+            })
+            .collect();
+        DecodeEngine {
+            tx: Some(tx),
+            rx,
+            workers,
+        }
+    }
+
+    /// Submit a job without blocking. On success the returned channel
+    /// yields the result once a worker serves the job.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full;
+    /// [`ServeError::ShuttingDown`] when the engine has shut down.
+    pub fn submit(
+        &self,
+        req: DecodeRequest,
+    ) -> Result<Receiver<Result<Recommendation, ServeError>>, ServeError> {
+        let tx = self.tx.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = Job {
+            req,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submit and wait for the result.
+    pub fn recommend(&self, req: DecodeRequest) -> Result<Recommendation, ServeError> {
+        let rx = self.submit(req)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Queue depth right now (approximate under concurrency).
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Disconnect the queue and join the workers. Jobs already accepted
+    /// are served; new submissions fail with
+    /// [`ServeError::ShuttingDown`].
+    pub fn shutdown(&mut self) {
+        self.tx = None; // drop the sender: workers drain, then exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DecodeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<Job>,
+    max_batch: usize,
+    strategy: Strategy,
+    registry: &ModelRegistry,
+    cache: &RecCache,
+    metrics: &Metrics,
+    rng: &mut StdRng,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        Metrics::bump(&metrics.batches);
+        metrics
+            .batched_jobs
+            .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+
+        // One registry read per batch: every job in the batch is served
+        // by the same model at the same epoch.
+        let (epoch, model) = registry.current();
+        for job in batch {
+            let key = CacheKey::new(epoch, &job.req.tokens);
+            let (ranked, cached) = match cache.get(&key) {
+                Some(hit) => {
+                    Metrics::bump(&metrics.cache_hits);
+                    (hit, true)
+                }
+                None => {
+                    Metrics::bump(&metrics.cache_misses);
+                    let ranked =
+                        model.ranked_fragments_for_tokens_with(&job.req.tokens, strategy, rng);
+                    cache.put(key, ranked.clone());
+                    (ranked, false)
+                }
+            };
+            let fragments = ranked.map(|_, r| r.iter().take(job.req.n).cloned().collect());
+            metrics.latency.record(job.enqueued.elapsed());
+            // A dropped receiver (client gone) is fine; ignore the error.
+            let _ = job.reply.send(Ok(Recommendation {
+                fragments,
+                epoch,
+                cached,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With zero workers the queue never drains, so capacity + 1
+    /// submissions deterministically trip the typed backpressure error.
+    #[test]
+    fn full_queue_is_typed_overloaded() {
+        // No model needed: jobs are never served. Build the engine parts
+        // that don't require a trained Recommender.
+        let (tx, rx) = bounded::<Job>(2);
+        let engine = DecodeEngine {
+            tx: Some(tx),
+            rx,
+            workers: Vec::new(),
+        };
+        let req = DecodeRequest {
+            tokens: vec!["select".into()],
+            n: 3,
+        };
+        assert!(engine.submit(req.clone()).is_ok());
+        assert!(engine.submit(req.clone()).is_ok());
+        assert_eq!(engine.queued(), 2);
+        match engine.submit(req) {
+            Err(ServeError::Overloaded) => {}
+            Err(e) => panic!("expected Overloaded, got error {e}"),
+            Ok(_) => panic!("expected Overloaded, got Ok"),
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let (tx, rx) = bounded::<Job>(2);
+        let mut engine = DecodeEngine {
+            tx: Some(tx),
+            rx,
+            workers: Vec::new(),
+        };
+        engine.shutdown();
+        let req = DecodeRequest {
+            tokens: vec![],
+            n: 1,
+        };
+        match engine.submit(req) {
+            Err(ServeError::ShuttingDown) => {}
+            _ => panic!("expected ShuttingDown"),
+        }
+    }
+}

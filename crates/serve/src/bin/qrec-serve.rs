@@ -1,0 +1,117 @@
+//! `qrec-serve` — train a demo recommender and serve it over TCP.
+//!
+//! ```text
+//! qrec-serve [--addr HOST:PORT] [--seed N] [--profile tiny|sqlshare|sdss]
+//! ```
+//!
+//! Generates a synthetic workload, trains a small transformer
+//! recommender, and serves it with the JSON-lines protocol until a
+//! client sends `{"verb":"SHUTDOWN"}`.
+
+use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
+use qrec_serve::{Server, ServerConfig};
+use qrec_workload::gen::{generate, WorkloadProfile};
+use qrec_workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    seed: u64,
+    profile: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        seed: 1,
+        profile: "tiny".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--profile" => args.profile = value("--profile")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: qrec-serve [--addr HOST:PORT] [--seed N] [--profile tiny|sqlshare|sdss]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn profile(name: &str) -> Result<WorkloadProfile, String> {
+    match name {
+        "tiny" => Ok(WorkloadProfile::tiny()),
+        "sqlshare" => Ok(WorkloadProfile::sqlshare()),
+        "sdss" => Ok(WorkloadProfile::sdss()),
+        other => Err(format!("unknown profile {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prof = match profile(&args.profile) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "generating {} workload (seed {})...",
+        args.profile, args.seed
+    );
+    let (workload, _catalog) = generate(&prof, args.seed);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let split = Split::paper(workload.pairs(), &mut rng);
+
+    eprintln!("training recommender...");
+    let cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    let (model, report) = match Recommender::try_train(&split, &workload, cfg) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "trained: {} epochs, final loss {:?}",
+        report.epoch_losses.len(),
+        report.final_train_loss()
+    );
+
+    let mut server = match Server::start(model, args.addr.as_str(), ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {} failed: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("serving on {}", server.local_addr());
+    eprintln!(r#"send {{"verb":"SHUTDOWN"}} to stop"#);
+
+    server.wait_for_shutdown_request(None);
+    eprintln!("shutdown requested; draining...");
+    server.shutdown();
+    eprintln!("bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,183 @@
+//! LRU recommendation cache.
+//!
+//! Decoding is by far the most expensive step of serving, and analysts
+//! re-issue near-identical queries constantly, so repeated input windows
+//! are the common case. The cache maps *(model epoch, normalized input
+//! window)* to the full ranked fragment lists; keying on the epoch means
+//! a hot-swap ([`crate::registry::ModelRegistry::swap`]) implicitly
+//! invalidates every entry of the old model without a flush.
+//!
+//! The window is already normalized by construction: `qrec-sql` parsing
+//! resolves aliases, case-folds keywords, and collapses literals, so the
+//! token sequence of a [`SessionContext`](qrec_core::SessionContext)
+//! window is canonical. The key joins those tokens with an
+//! out-of-vocabulary separator byte.
+
+use parking_lot::Mutex;
+use qrec_core::predict::PerKind;
+use std::collections::{BTreeMap, HashMap};
+
+/// Cache key: model epoch plus the canonical window text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Registry epoch of the model the entry was computed with.
+    pub epoch: u64,
+    /// Normalized input window (parser tokens joined with `\x1f`).
+    pub window: String,
+}
+
+impl CacheKey {
+    /// Build a key from a model epoch and the window's parser tokens.
+    pub fn new(epoch: u64, tokens: &[String]) -> Self {
+        CacheKey {
+            epoch,
+            window: tokens.join("\u{1f}"),
+        }
+    }
+}
+
+/// The cached value: every ranked fragment list (callers slice to the
+/// requested `n`, so one entry serves all request sizes).
+pub type CachedRanking = PerKind<Vec<String>>;
+
+struct Inner {
+    map: HashMap<CacheKey, (CachedRanking, u64)>,
+    /// Recency index: logical tick -> key. The smallest tick is the
+    /// least recently used entry.
+    order: BTreeMap<u64, CacheKey>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of ranked recommendations.
+///
+/// `get` refreshes recency; `put` evicts the least recently used entry
+/// once `capacity` is exceeded. Both are `O(log n)` under a single
+/// mutex, which is negligible next to a model decode.
+pub struct RecCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl RecCache {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RecCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedRanking> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        let old = match g.map.get_mut(key) {
+            Some((value, entry_tick)) => {
+                let prev = *entry_tick;
+                *entry_tick = tick;
+                Some((value.clone(), prev))
+            }
+            None => None,
+        };
+        let (value, prev) = old?;
+        g.order.remove(&prev);
+        g.order.insert(tick, key.clone());
+        Some(value)
+    }
+
+    /// Insert or refresh an entry, evicting the LRU entry if full.
+    pub fn put(&self, key: CacheKey, value: CachedRanking) {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some((_, prev)) = g.map.insert(key.clone(), (value, tick)) {
+            g.order.remove(&prev);
+        }
+        g.order.insert(tick, key);
+        while g.map.len() > self.capacity {
+            let Some((&oldest, _)) = g.order.iter().next() else {
+                break;
+            };
+            let evicted = g.order.remove(&oldest).expect("tick indexed");
+            g.map.remove(&evicted);
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(tag: &str) -> CachedRanking {
+        PerKind {
+            table: vec![tag.to_string()],
+            column: vec![],
+            function: vec![],
+            literal: vec![],
+        }
+    }
+
+    fn key(epoch: u64, s: &str) -> CacheKey {
+        CacheKey::new(epoch, &[s.to_string()])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let c = RecCache::new(4);
+        assert!(c.get(&key(1, "a")).is_none());
+        c.put(key(1, "a"), ranking("t"));
+        assert_eq!(c.get(&key(1, "a")).unwrap().table, vec!["t"]);
+        // A different epoch is a different key: stale models never hit.
+        assert!(c.get(&key(2, "a")).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = RecCache::new(2);
+        c.put(key(1, "a"), ranking("a"));
+        c.put(key(1, "b"), ranking("b"));
+        // Touch "a" so "b" is now the LRU entry.
+        assert!(c.get(&key(1, "a")).is_some());
+        c.put(key(1, "c"), ranking("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(1, "a")).is_some());
+        assert!(c.get(&key(1, "b")).is_none());
+        assert!(c.get(&key(1, "c")).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let c = RecCache::new(2);
+        c.put(key(1, "a"), ranking("a1"));
+        c.put(key(1, "a"), ranking("a2"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1, "a")).unwrap().table, vec!["a2"]);
+    }
+
+    #[test]
+    fn distinct_windows_distinct_keys() {
+        let a = CacheKey::new(1, &["x".into(), "y".into()]);
+        let b = CacheKey::new(1, &["xy".into()]);
+        assert_ne!(a, b, "separator must prevent join collisions");
+    }
+}

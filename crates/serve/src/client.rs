@@ -1,0 +1,77 @@
+//! A minimal in-process client for the JSON-lines protocol.
+//!
+//! One blocking TCP connection, one request/response pair per call —
+//! enough for tests, the demo binary, and embedding the server in a
+//! larger process without hand-rolling the wire format.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::protocol::{Request, Response, StatsReply};
+
+/// A connected client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // A response should never take minutes; bound reads so a dead
+        // server surfaces as Io instead of hanging the caller.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let mut line = serde_json::to_string(req)
+            .map_err(|e| ServeError::BadRequest(format!("encode: {e}")))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        let resp: Response = serde_json::from_str(reply.trim())
+            .map_err(|e| ServeError::Io(format!("bad reply: {e}")))?;
+        resp.into_result()
+    }
+
+    /// Record `sql` in `session` and fetch top-`n` fragments per kind.
+    pub fn recommend(
+        &mut self,
+        session: &str,
+        sql: &str,
+        n: usize,
+    ) -> Result<Response, ServeError> {
+        self.call(&Request::recommend(session, sql, n))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.call(&Request::bare("PING")).map(|_| ())
+    }
+
+    /// Fetch the server's statistics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
+        let resp = self.call(&Request::bare("STATS"))?;
+        resp.stats
+            .ok_or_else(|| ServeError::Io("STATS reply missing payload".into()))
+    }
+
+    /// Ask the server to shut down gracefully. The server acknowledges
+    /// before it begins stopping.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        self.call(&Request::bare("SHUTDOWN")).map(|_| ())
+    }
+}

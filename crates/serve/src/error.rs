@@ -1,0 +1,94 @@
+//! Typed serving errors.
+//!
+//! Every failure a request can hit — backpressure, shutdown, bad input —
+//! is a [`ServeError`] variant with a stable wire code, so clients can
+//! distinguish "retry later" ([`ServeError::Overloaded`]) from "fix your
+//! request" ([`ServeError::BadRequest`]).
+
+use std::fmt;
+
+/// Everything that can go wrong while serving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The decode queue is full; the client should back off and retry.
+    Overloaded,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The request line was not valid protocol JSON, or a required
+    /// field was missing.
+    BadRequest(String),
+    /// The submitted statement is not valid SQL in the `qrec` dialect.
+    Sql(String),
+    /// The session exists but has no queries yet, so there is no input
+    /// window to decode from.
+    EmptySession,
+    /// A transport-level failure (connection dropped, malformed reply).
+    Io(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code used on the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Sql(_) => "sql_error",
+            ServeError::EmptySession => "empty_session",
+            ServeError::Io(_) => "io_error",
+        }
+    }
+
+    /// Reconstruct an error from its wire code and message (client side).
+    pub fn from_wire(code: &str, message: String) -> Self {
+        match code {
+            "overloaded" => ServeError::Overloaded,
+            "shutting_down" => ServeError::ShuttingDown,
+            "bad_request" => ServeError::BadRequest(message),
+            "sql_error" => ServeError::Sql(message),
+            "empty_session" => ServeError::EmptySession,
+            _ => ServeError::Io(message),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "decode queue full; retry later"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Sql(m) => write!(f, "invalid SQL: {m}"),
+            ServeError::EmptySession => write!(f, "session has no queries yet"),
+            ServeError::Io(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for e in [
+            ServeError::Overloaded,
+            ServeError::ShuttingDown,
+            ServeError::BadRequest("x".into()),
+            ServeError::Sql("y".into()),
+            ServeError::EmptySession,
+            ServeError::Io("z".into()),
+        ] {
+            let back = ServeError::from_wire(e.code(), e.to_string());
+            assert_eq!(back.code(), e.code());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # qrec-serve — online serving for the query recommender
+//!
+//! The paper targets *interactive* data exploration: SQL Share and SDSS
+//! analysts get next-query suggestions while they work. This crate adds
+//! the missing online half of the reproduction — a serving layer that
+//! keeps trained [`Recommender`](qrec_core::Recommender)s hot behind a
+//! small JSON-lines-over-TCP protocol:
+//!
+//! * [`session_store`] — sharded, RwLock-per-shard store of live
+//!   [`SessionContext`](qrec_core::SessionContext)s with TTL eviction.
+//! * [`batcher`] — micro-batching decode engine: a bounded queue feeds
+//!   worker threads that drain up to `max_batch` jobs per tick; a full
+//!   queue is typed backpressure ([`ServeError::Overloaded`]).
+//! * [`cache`] — LRU cache keyed on *(model epoch, normalized input
+//!   window)*, so repeated windows skip the decoder entirely.
+//! * [`registry`] — atomic hot-swap of the serving model; in-flight
+//!   requests finish on the model they started with.
+//! * [`server`] / [`client`] / [`protocol`] — the TCP front end
+//!   (`RECOMMEND` / `STATS` / `PING` / `SHUTDOWN`), a connection thread
+//!   pool, graceful shutdown, and an in-process client.
+//! * [`metrics`] — atomic counters and fixed-bucket latency histograms
+//!   behind the `STATS` verb.
+//!
+//! ```no_run
+//! use qrec_serve::{Client, Server, ServerConfig};
+//! # fn model() -> qrec_core::Recommender { unimplemented!() }
+//! let server = Server::start(model(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client.recommend("alice", "SELECT name FROM star", 5).unwrap();
+//! println!("suggested tables: {:?}", reply.fragments.unwrap().table);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session_store;
+
+pub use batcher::{DecodeEngine, DecodeRequest, EngineConfig, Recommendation};
+pub use cache::{CacheKey, RecCache};
+pub use client::Client;
+pub use error::ServeError;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{Request, Response, StatsReply};
+pub use registry::ModelRegistry;
+pub use server::{Server, ServerConfig};
+pub use session_store::{SessionStore, SweeperHandle};

@@ -1,0 +1,223 @@
+//! Serving metrics: lock-free counters and fixed-bucket latency
+//! histograms.
+//!
+//! Workers and connection handlers record into shared atomics; the
+//! `STATS` protocol verb serialises a [`MetricsSnapshot`] taken with
+//! [`Metrics::snapshot`]. Buckets are fixed at compile time so recording
+//! is a single relaxed fetch-add with no allocation on the hot path.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (inclusive, in microseconds) of the latency buckets; a
+/// final implicit overflow bucket catches everything slower.
+pub const LATENCY_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// A fixed-bucket histogram of request latencies.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the histogram state (relaxed loads; the
+    /// snapshot may straddle concurrent records but never tears a value).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let p50 = percentile(&buckets, count, 0.50);
+        let p99 = percentile(&buckets, count, 0.99);
+        HistogramSnapshot {
+            bounds_us: LATENCY_BOUNDS_US.to_vec(),
+            buckets,
+            count,
+            sum_us,
+            p50_us: p50,
+            p99_us: p99,
+        }
+    }
+}
+
+/// Estimate a percentile as the upper bound of the bucket containing it
+/// (the overflow bucket reports the largest finite bound).
+fn percentile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q * count as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return LATENCY_BOUNDS_US
+                .get(i)
+                .copied()
+                .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]);
+        }
+    }
+    LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]
+}
+
+/// Serialisable view of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds in microseconds (parallel to `buckets`).
+    pub bounds_us: Vec<u64>,
+    /// Observation counts per bucket, plus one overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed latencies in microseconds.
+    pub sum_us: u64,
+    /// Median estimate (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th percentile estimate (bucket upper bound).
+    pub p99_us: u64,
+}
+
+/// All serving counters, shared across threads behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Protocol requests of any verb.
+    pub requests: AtomicU64,
+    /// RECOMMEND requests accepted into the decode queue.
+    pub recommends: AtomicU64,
+    /// Recommendations answered from the LRU cache.
+    pub cache_hits: AtomicU64,
+    /// Recommendations that required a model decode.
+    pub cache_misses: AtomicU64,
+    /// Requests rejected with [`crate::ServeError::Overloaded`].
+    pub overloaded: AtomicU64,
+    /// Requests that failed for any other reason.
+    pub errors: AtomicU64,
+    /// Batches drained by decode workers.
+    pub batches: AtomicU64,
+    /// Jobs processed across all batches (`batched_jobs / batches` is
+    /// the mean batch size).
+    pub batched_jobs: AtomicU64,
+    /// Model hot-swaps performed.
+    pub swaps: AtomicU64,
+    /// Sessions evicted by the TTL sweeper.
+    pub sessions_evicted: AtomicU64,
+    /// End-to-end RECOMMEND latency (queue wait + decode).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increment a counter by one (relaxed).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy every counter into a serialisable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests: load(&self.requests),
+            recommends: load(&self.recommends),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            overloaded: load(&self.overloaded),
+            errors: load(&self.errors),
+            batches: load(&self.batches),
+            batched_jobs: load(&self.batched_jobs),
+            swaps: load(&self.swaps),
+            sessions_evicted: load(&self.sessions_evicted),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Serialisable view of [`Metrics`], returned by the `STATS` verb.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::recommends`].
+    pub recommends: u64,
+    /// See [`Metrics::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Metrics::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Metrics::overloaded`].
+    pub overloaded: u64,
+    /// See [`Metrics::errors`].
+    pub errors: u64,
+    /// See [`Metrics::batches`].
+    pub batches: u64,
+    /// See [`Metrics::batched_jobs`].
+    pub batched_jobs: u64,
+    /// See [`Metrics::swaps`].
+    pub swaps: u64,
+    /// See [`Metrics::sessions_evicted`].
+    pub sessions_evicted: u64,
+    /// See [`Metrics::latency`].
+    pub latency: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        for us in [40u64, 60, 300, 2_000, 900_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.buckets.len(), LATENCY_BOUNDS_US.len() + 1);
+        assert_eq!(s.buckets[0], 1); // 40us <= 50us
+        assert_eq!(s.buckets[1], 1); // 60us <= 100us
+        assert_eq!(*s.buckets.last().unwrap(), 1); // overflow
+        assert!(s.p50_us <= s.p99_us);
+        assert_eq!(s.sum_us, 40 + 60 + 300 + 2_000 + 900_000);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.cache_hits);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.overloaded, 0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The JSON-lines wire protocol.
+//!
+//! Each request and each response is one JSON object per line over a
+//! plain TCP stream — trivially scriptable (`nc`, `jq`) and framed by
+//! `\n`, so no length prefixes or binary codecs are needed.
+//!
+//! Verbs:
+//!
+//! | verb        | fields                 | effect                                  |
+//! |-------------|------------------------|-----------------------------------------|
+//! | `RECOMMEND` | `session`, `sql`, `n`  | record the query, return top-n fragments |
+//! | `STATS`     | —                      | metrics + store/cache/registry snapshot |
+//! | `PING`      | —                      | liveness check                          |
+//! | `SHUTDOWN`  | —                      | acknowledge, then stop the server       |
+
+use qrec_core::predict::PerKind;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+use crate::metrics::MetricsSnapshot;
+
+/// Default number of fragments per kind when a request omits `n`.
+pub const DEFAULT_N: usize = 5;
+
+/// A client request: one JSON object per line.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// `RECOMMEND`, `STATS`, `PING`, or `SHUTDOWN` (case-insensitive).
+    pub verb: String,
+    /// Session id (`RECOMMEND` only).
+    pub session: Option<String>,
+    /// The SQL statement the user just ran (`RECOMMEND` only).
+    pub sql: Option<String>,
+    /// Fragments per kind to return; defaults to [`DEFAULT_N`].
+    pub n: Option<u64>,
+}
+
+impl Request {
+    /// A `RECOMMEND` request.
+    pub fn recommend(session: &str, sql: &str, n: usize) -> Self {
+        Request {
+            verb: "RECOMMEND".into(),
+            session: Some(session.to_string()),
+            sql: Some(sql.to_string()),
+            n: Some(n as u64),
+        }
+    }
+
+    /// A bare request carrying only a verb.
+    pub fn bare(verb: &str) -> Self {
+        Request {
+            verb: verb.into(),
+            ..Request::default()
+        }
+    }
+}
+
+/// A server response: one JSON object per line, `ok` discriminating
+/// success from failure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// True on success.
+    pub ok: bool,
+    /// Machine-readable error code (see [`ServeError::code`]).
+    pub code: Option<String>,
+    /// Human-readable error message.
+    pub error: Option<String>,
+    /// Ranked fragments per kind (`RECOMMEND`).
+    pub fragments: Option<PerKind<Vec<String>>>,
+    /// Model epoch that served the recommendation (`RECOMMEND`).
+    pub epoch: Option<u64>,
+    /// True when the recommendation came from the cache (`RECOMMEND`).
+    pub cached: Option<bool>,
+    /// Serving statistics (`STATS`).
+    pub stats: Option<StatsReply>,
+}
+
+impl Response {
+    /// A bare success (PING, SHUTDOWN acknowledgements).
+    pub fn ok() -> Self {
+        Response {
+            ok: true,
+            ..Response::default()
+        }
+    }
+
+    /// A failure carrying the error's wire code and message.
+    pub fn err(e: &ServeError) -> Self {
+        Response {
+            ok: false,
+            code: Some(e.code().to_string()),
+            error: Some(e.to_string()),
+            ..Response::default()
+        }
+    }
+
+    /// A successful recommendation.
+    pub fn recommendation(fragments: PerKind<Vec<String>>, epoch: u64, cached: bool) -> Self {
+        Response {
+            ok: true,
+            fragments: Some(fragments),
+            epoch: Some(epoch),
+            cached: Some(cached),
+            ..Response::default()
+        }
+    }
+
+    /// Convert a wire response back into a typed result (client side).
+    pub fn into_result(self) -> Result<Response, ServeError> {
+        if self.ok {
+            Ok(self)
+        } else {
+            let code = self.code.unwrap_or_default();
+            let msg = self.error.unwrap_or_default();
+            Err(ServeError::from_wire(&code, msg))
+        }
+    }
+}
+
+/// Payload of a `STATS` response.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Counter and histogram snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Live sessions in the store.
+    pub sessions: u64,
+    /// Entries in the recommendation cache.
+    pub cache_entries: u64,
+    /// Current model epoch.
+    pub model_epoch: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = Request::recommend("alice", "SELECT a FROM t", 3);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn omitted_fields_default_to_none() {
+        let back: Request = serde_json::from_str(r#"{"verb":"PING"}"#).unwrap();
+        assert_eq!(back.verb, "PING");
+        assert!(back.session.is_none() && back.sql.is_none() && back.n.is_none());
+    }
+
+    #[test]
+    fn error_response_converts_to_typed_error() {
+        let resp = Response::err(&ServeError::Overloaded);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        match back.into_result() {
+            Err(ServeError::Overloaded) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recommendation_response_round_trips() {
+        let fragments = PerKind {
+            table: vec!["t".to_string()],
+            column: vec!["a".to_string(), "b".to_string()],
+            function: vec![],
+            literal: vec![],
+        };
+        let resp = Response::recommendation(fragments.clone(), 2, true);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.fragments.as_ref(), Some(&fragments));
+        assert_eq!(back.epoch, Some(2));
+        assert_eq!(back.cached, Some(true));
+    }
+}

@@ -1,0 +1,410 @@
+//! The TCP front end: accept loop, connection thread pool, dispatch,
+//! and graceful shutdown.
+//!
+//! One thread accepts connections (non-blocking poll so shutdown never
+//! hangs in `accept`) and feeds them to a fixed pool of connection
+//! handlers over an unbounded channel. Handlers speak the JSON-lines
+//! protocol of [`crate::protocol`] and read with a short timeout so
+//! they observe the shutdown flag even while a client is idle.
+//!
+//! Shutdown is graceful and race-free: the flag stops the accept loop,
+//! dropping the stream channel drains the pool, and only then is the
+//! decode engine disconnected — every request accepted before the flag
+//! flipped still gets its response.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use qrec_core::Recommender;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::batcher::{DecodeEngine, DecodeRequest, EngineConfig};
+use crate::cache::RecCache;
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::protocol::{Request, Response, StatsReply, DEFAULT_N};
+use crate::registry::ModelRegistry;
+use crate::session_store::{SessionStore, SweeperHandle};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection handler threads (each serves one connection at a time).
+    pub conn_threads: usize,
+    /// Decode engine settings.
+    pub engine: EngineConfig,
+    /// Queries of context fed to the model per session (1 = paper's
+    /// configuration: only the latest query).
+    pub session_window: usize,
+    /// Lock shards in the session store.
+    pub session_shards: usize,
+    /// Idle time after which a session is evicted.
+    pub session_ttl: Duration,
+    /// How often the sweeper scans for idle sessions.
+    pub sweep_interval: Duration,
+    /// Capacity of the recommendation LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            conn_threads: 4,
+            engine: EngineConfig::default(),
+            session_window: 1,
+            session_shards: 8,
+            session_ttl: Duration::from_secs(30 * 60),
+            sweep_interval: Duration::from_secs(30),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    store: Arc<SessionStore>,
+    cache: Arc<RecCache>,
+    metrics: Arc<Metrics>,
+    engine: Arc<DecodeEngine>,
+    shutdown: AtomicBool,
+    /// Signalled when a client issues the SHUTDOWN verb. Uses std's
+    /// condvar: the parking_lot shim has no `Condvar`.
+    shutdown_requested: std::sync::Mutex<bool>,
+    shutdown_cv: std::sync::Condvar,
+}
+
+impl Shared {
+    fn lock_requested(&self) -> std::sync::MutexGuard<'_, bool> {
+        self.shutdown_requested
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn request_shutdown(&self) {
+        let mut g = self.lock_requested();
+        *g = true;
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// A running recommendation server.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    conn_handles: Vec<thread::JoinHandle<()>>,
+    sweeper: Option<SweeperHandle>,
+    engine: Option<Arc<DecodeEngine>>,
+}
+
+impl Server {
+    /// Train-free start: serve an already trained model on `addr`
+    /// (use port 0 for an ephemeral port; read it back with
+    /// [`Server::local_addr`]).
+    pub fn start(
+        model: Recommender,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let registry = Arc::new(ModelRegistry::new(model));
+        let store = Arc::new(SessionStore::new(
+            cfg.session_shards,
+            cfg.session_window,
+            cfg.session_ttl,
+        ));
+        let cache = Arc::new(RecCache::new(cfg.cache_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let engine = Arc::new(DecodeEngine::start(
+            cfg.engine.clone(),
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+        ));
+        let sweeper = store.start_sweeper(cfg.sweep_interval);
+
+        let shared = Arc::new(Shared {
+            registry,
+            store,
+            cache,
+            metrics,
+            engine: Arc::clone(&engine),
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: std::sync::Mutex::new(false),
+            shutdown_cv: std::sync::Condvar::new(),
+        });
+
+        let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+        let conn_handles = (0..cfg.conn_threads.max(1))
+            .map(|i| {
+                let rx: Receiver<TcpStream> = conn_rx.clone();
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("qrec-serve-conn-{i}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            handle_connection(stream, &shared);
+                        }
+                    })
+                    .expect("spawn connection handler")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("qrec-serve-accept".into())
+                .spawn(move || accept_loop(listener, conn_tx, &shared))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_handle: Some(accept_handle),
+            conn_handles,
+            sweeper: Some(sweeper),
+            engine: Some(engine),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The model registry, for hot-swapping from the owning process.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Serving metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// The session store.
+    pub fn sessions(&self) -> &Arc<SessionStore> {
+        &self.shared.store
+    }
+
+    /// Hot-swap the serving model; returns the new epoch. In-flight
+    /// requests finish on the old model.
+    pub fn swap_model(&self, model: Recommender) -> u64 {
+        let epoch = self.shared.registry.swap(model);
+        Metrics::bump(&self.shared.metrics.swaps);
+        epoch
+    }
+
+    /// Block until a client sends the `SHUTDOWN` verb (or the timeout
+    /// elapses). Returns true when shutdown was requested.
+    pub fn wait_for_shutdown_request(&self, timeout: Option<Duration>) -> bool {
+        let mut g = self.shared.lock_requested();
+        match timeout {
+            None => {
+                while !*g {
+                    g = self
+                        .shared
+                        .shutdown_cv
+                        .wait(g)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                true
+            }
+            Some(t) => {
+                let deadline = std::time::Instant::now() + t;
+                while !*g {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return false;
+                    }
+                    g = self
+                        .shared
+                        .shutdown_cv
+                        .wait_timeout(g, deadline.saturating_duration_since(now))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0;
+                }
+                true
+            }
+        }
+    }
+
+    /// Gracefully stop: finish accepted work, join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.request_shutdown();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // The accept thread owned the stream sender; with it gone the
+        // pool drains remaining connections and exits.
+        for h in self.conn_handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(s) = self.sweeper.take() {
+            s.stop();
+        }
+        // Last engine Arc: dropping it disconnects the queue and joins
+        // the decode workers.
+        self.engine.take();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Handlers use blocking reads with a poll timeout.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, close_after) = dispatch(line.trim(), shared);
+        let mut payload = match serde_json::to_string(&response) {
+            Ok(p) => p,
+            Err(_) => r#"{"ok":false,"code":"io_error","error":"serialize"}"#.to_string(),
+        };
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+/// Handle one request line; returns the response and whether the
+/// connection should close afterwards.
+fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
+    Metrics::bump(&shared.metrics.requests);
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors);
+            return (
+                Response::err(&ServeError::BadRequest(format!("invalid JSON: {e}"))),
+                false,
+            );
+        }
+    };
+    match req.verb.to_ascii_uppercase().as_str() {
+        "PING" => (Response::ok(), false),
+        "RECOMMEND" => (recommend(&req, shared), false),
+        "STATS" => (stats(shared), false),
+        "SHUTDOWN" => {
+            shared.request_shutdown();
+            (Response::ok(), true)
+        }
+        other => {
+            Metrics::bump(&shared.metrics.errors);
+            (
+                Response::err(&ServeError::BadRequest(format!("unknown verb {other:?}"))),
+                false,
+            )
+        }
+    }
+}
+
+fn recommend(req: &Request, shared: &Shared) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::err(&ServeError::ShuttingDown);
+    }
+    let (session, sql) = match (&req.session, &req.sql) {
+        (Some(s), Some(q)) => (s, q),
+        _ => {
+            Metrics::bump(&shared.metrics.errors);
+            return Response::err(&ServeError::BadRequest(
+                "RECOMMEND needs `session` and `sql`".into(),
+            ));
+        }
+    };
+    let tokens = match shared.store.push_sql(session, sql) {
+        Ok(t) => t,
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors);
+            return Response::err(&e);
+        }
+    };
+    let n = req.n.map(|n| n as usize).unwrap_or(DEFAULT_N);
+    Metrics::bump(&shared.metrics.recommends);
+    match shared.engine.recommend(DecodeRequest { tokens, n }) {
+        Ok(rec) => Response::recommendation(rec.fragments, rec.epoch, rec.cached),
+        Err(e) => {
+            match e {
+                ServeError::Overloaded => Metrics::bump(&shared.metrics.overloaded),
+                _ => Metrics::bump(&shared.metrics.errors),
+            }
+            Response::err(&e)
+        }
+    }
+}
+
+fn stats(shared: &Shared) -> Response {
+    let mut snapshot = shared.metrics.snapshot();
+    // The store tracks its own eviction count (the sweeper has no
+    // metrics handle); fold it into the snapshot here.
+    snapshot.sessions_evicted = shared.store.evicted();
+    Response {
+        ok: true,
+        stats: Some(StatsReply {
+            metrics: snapshot,
+            sessions: shared.store.len() as u64,
+            cache_entries: shared.cache.len() as u64,
+            model_epoch: shared.registry.epoch(),
+        }),
+        ..Response::default()
+    }
+}

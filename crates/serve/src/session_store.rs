@@ -1,0 +1,258 @@
+//! Sharded concurrent session store with TTL eviction.
+//!
+//! Live analyst sessions ([`SessionContext`]) are keyed by a client
+//! supplied session id. The map is split into `N` shards, each behind
+//! its own `parking_lot::RwLock`, so concurrent requests for different
+//! sessions rarely contend; a session id is routed to its shard by an
+//! FNV-1a hash. A background sweeper thread periodically evicts
+//! sessions idle longer than the configured TTL — abandoned sessions
+//! would otherwise accumulate without bound under real workloads.
+
+use parking_lot::RwLock;
+use qrec_core::SessionContext;
+use qrec_workload::QueryRecord;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+
+struct Entry {
+    ctx: SessionContext,
+    last_seen: Instant,
+}
+
+/// Concurrent map of live sessions.
+pub struct SessionStore {
+    shards: Box<[RwLock<HashMap<String, Entry>>]>,
+    window: usize,
+    ttl: Duration,
+    evicted: AtomicU64,
+}
+
+/// FNV-1a, stable across runs (unlike `DefaultHasher`'s random keys),
+/// so shard routing is deterministic and testable.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SessionStore {
+    /// A store with `shards` lock shards (minimum 1), per-session model
+    /// input window `window`, and idle eviction after `ttl`.
+    pub fn new(shards: usize, window: usize, ttl: Duration) -> Self {
+        let n = shards.max(1);
+        let shards = (0..n)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SessionStore {
+            shards,
+            window,
+            ttl,
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: &str) -> &RwLock<HashMap<String, Entry>> {
+        let idx = (fnv1a(id) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Append a SQL statement to a session, creating the session on
+    /// first use. Parsing happens *outside* the shard lock, so a slow or
+    /// invalid statement never blocks other sessions on this shard.
+    ///
+    /// Returns the session's windowed model-input tokens after the push.
+    pub fn push_sql(&self, id: &str, sql: &str) -> Result<Vec<String>, ServeError> {
+        let record = QueryRecord::new(sql).map_err(|e| ServeError::Sql(e.to_string()))?;
+        let mut shard = self.shard(id).write();
+        let entry = shard.entry(id.to_string()).or_insert_with(|| Entry {
+            ctx: SessionContext::new(self.window),
+            last_seen: Instant::now(),
+        });
+        entry.ctx.push(record);
+        entry.last_seen = Instant::now();
+        Ok(entry.ctx.input_tokens())
+    }
+
+    /// The windowed input tokens of a session, refreshing its TTL.
+    /// `None` if the session does not exist.
+    pub fn window_tokens(&self, id: &str) -> Option<Vec<String>> {
+        let mut shard = self.shard(id).write();
+        let entry = shard.get_mut(id)?;
+        entry.last_seen = Instant::now();
+        Some(entry.ctx.input_tokens())
+    }
+
+    /// Number of queries recorded in a session (read lock only).
+    pub fn session_len(&self, id: &str) -> Option<usize> {
+        let shard = self.shard(id).read();
+        shard.get(id).map(|e| e.ctx.len())
+    }
+
+    /// Total live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop one session; true if it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        self.shard(id).write().remove(id).is_some()
+    }
+
+    /// Evict every session idle longer than the TTL, as of `now`.
+    /// Returns the number evicted. Called by the sweeper thread, public
+    /// for deterministic tests.
+    pub fn sweep(&self, now: Instant) -> usize {
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            let mut g = shard.write();
+            let before = g.len();
+            g.retain(|_, e| now.duration_since(e.last_seen) <= self.ttl);
+            evicted += before - g.len();
+        }
+        self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Total sessions evicted by [`SessionStore::sweep`] so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Start a background thread sweeping every `interval`. The thread
+    /// wakes in short ticks so dropping the returned handle stops it
+    /// promptly rather than after a full interval.
+    pub fn start_sweeper(self: &Arc<Self>, interval: Duration) -> SweeperHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let store = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("qrec-serve-sweeper".into())
+            .spawn(move || {
+                let tick = Duration::from_millis(25).min(interval);
+                let mut last = Instant::now();
+                while !flag.load(Ordering::Relaxed) {
+                    thread::sleep(tick);
+                    if last.elapsed() >= interval {
+                        store.sweep(Instant::now());
+                        last = Instant::now();
+                    }
+                }
+            })
+            .expect("spawn sweeper thread");
+        SweeperHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Owns the TTL sweeper thread; stops and joins it on drop.
+pub struct SweeperHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl SweeperHandle {
+    /// Signal the sweeper to stop and wait for it to exit.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SweeperHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(ttl_ms: u64) -> SessionStore {
+        SessionStore::new(4, 1, Duration::from_millis(ttl_ms))
+    }
+
+    #[test]
+    fn push_creates_and_windows() {
+        let s = store(60_000);
+        let toks = s.push_sql("alice", "SELECT a FROM t").unwrap();
+        assert!(toks.contains(&"t".to_string()));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.session_len("alice"), Some(1));
+        // Window 1: only the most recent query's tokens are returned.
+        let toks = s.push_sql("alice", "SELECT b FROM u").unwrap();
+        assert!(toks.contains(&"u".to_string()));
+        assert!(!toks.contains(&"t".to_string()));
+        assert_eq!(s.session_len("alice"), Some(2));
+    }
+
+    #[test]
+    fn invalid_sql_is_typed_and_leaves_store_unchanged() {
+        let s = store(60_000);
+        let err = s.push_sql("bob", "NOT SQL AT ALL").unwrap_err();
+        assert!(matches!(err, ServeError::Sql(_)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sweep_evicts_only_idle_sessions() {
+        let s = store(0); // everything idle for >0 is evictable
+        s.push_sql("old", "SELECT a FROM t").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let now = Instant::now();
+        s.push_sql("fresh", "SELECT a FROM t").unwrap();
+        // "fresh" was touched after `now`, so its idle time is negative
+        // (clamped to zero) and it survives; "old" is past the zero TTL.
+        let evicted = s.sweep(now);
+        assert_eq!(evicted, 1);
+        assert!(s.session_len("old").is_none());
+        assert!(s.session_len("fresh").is_some());
+        assert_eq!(s.evicted(), 1);
+    }
+
+    #[test]
+    fn sessions_spread_across_shards() {
+        let s = store(60_000);
+        for i in 0..64 {
+            s.push_sql(&format!("user-{i}"), "SELECT a FROM t").unwrap();
+        }
+        assert_eq!(s.len(), 64);
+        let populated = s.shards.iter().filter(|sh| !sh.read().is_empty()).count();
+        assert!(populated > 1, "FNV routing should use multiple shards");
+    }
+
+    #[test]
+    fn sweeper_thread_runs_and_stops() {
+        let s = Arc::new(store(0));
+        s.push_sql("x", "SELECT a FROM t").unwrap();
+        let h = s.start_sweeper(Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !s.is_empty() && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(s.len(), 0, "sweeper should evict the idle session");
+        h.stop();
+    }
+}

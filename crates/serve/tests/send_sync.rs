@@ -1,0 +1,33 @@
+//! Compile-time thread-safety contracts.
+//!
+//! The serving layer shares a trained model across worker threads via
+//! `Arc`, which is only sound if the whole model stack is `Send + Sync`.
+//! These assertions fail to *compile* — not at runtime — if anyone
+//! threads a non-`Sync` type (an `Rc`, a `RefCell`, a raw pointer)
+//! into the model path.
+
+use qrec_core::{AnyModel, Recommender};
+use qrec_nn::Params;
+use qrec_serve::{
+    DecodeEngine, Metrics, ModelRegistry, RecCache, ServeError, Server, SessionStore,
+};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn model_stack_is_send_sync() {
+    assert_send_sync::<Recommender>();
+    assert_send_sync::<AnyModel>();
+    assert_send_sync::<Params>();
+}
+
+#[test]
+fn serving_layer_is_send_sync() {
+    assert_send_sync::<SessionStore>();
+    assert_send_sync::<ModelRegistry>();
+    assert_send_sync::<DecodeEngine>();
+    assert_send_sync::<RecCache>();
+    assert_send_sync::<Metrics>();
+    assert_send_sync::<Server>();
+    assert_send_sync::<ServeError>();
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, release build, full test suite.
+# Everything runs offline against the vendored shims in shims/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test -q"
+cargo test --offline -q
+
+echo "CI green."

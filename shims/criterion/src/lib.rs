@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API surface the workspace's benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` (+ `sample_size`, `finish`),
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! There is no statistical machinery: each benchmark body runs a small
+//! fixed number of iterations and a mean wall-clock time is printed. This
+//! keeps `cargo test` (which executes `harness = false` bench targets)
+//! fast while preserving compile- and run-compatibility.
+
+use std::time::Instant;
+
+/// Re-exported for call sites that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Accepted and ignored; the shim always runs batches of size one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.total_nanos = total;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed().as_nanos();
+        }
+        self.total_nanos = total;
+    }
+}
+
+fn run_one(name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        total_nanos: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.total_nanos / b.iters as u128
+    } else {
+        0
+    };
+    println!("bench {name:<40} ~{mean} ns/iter (shim, {iters} iters)");
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            iters: 3,
+        }
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u64,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for compatibility; the shim keeps its own tiny count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.iters, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32, 2, 3],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        benches();
+    }
+}

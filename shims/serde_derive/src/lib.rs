@@ -1,0 +1,679 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` shim, using only the built-in
+//! `proc_macro` API (no `syn`/`quote`, which are unavailable offline).
+//! A small hand-rolled parser extracts the item's shape — struct with
+//! named/tuple/unit fields, or enum with unit/tuple/struct variants,
+//! optional generics — plus the `#[serde(...)]` attributes the workspace
+//! uses: `default` on fields and `from = "T"` / `into = "T"` on
+//! containers. Code generation mirrors serde's external data model so the
+//! emitted JSON matches what the real serde_json would produce for these
+//! types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Default, Debug)]
+struct FieldAttrs {
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+    /// First path segment of the field's type (`Option`, `Vec`, …).
+    head_ty: String,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S;`
+    Unit,
+    /// `struct S(T0, T1, …);` with field count.
+    Tuple(usize),
+    /// `struct S { … }`
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Generic parameter declarations, e.g. `["T", "U: Clone"]`.
+    generic_params: Vec<String>,
+    /// Bare generic argument names, e.g. `["T", "U"]`.
+    generic_args: Vec<String>,
+    attrs: ContainerAttrs,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+// ---------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Parse a run of outer attributes, folding any `#[serde(...)]`
+    /// arguments into the returned attribute sets.
+    fn parse_attrs(&mut self) -> (ContainerAttrs, FieldAttrs) {
+        let mut cattrs = ContainerAttrs::default();
+        let mut fattrs = FieldAttrs::default();
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                break;
+            }
+            self.pos += 1; // '#'
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                other => panic!("serde derive: malformed #[serde] attribute: {other:?}"),
+            };
+            let mut ac = Cursor::new(args);
+            while !ac.at_end() {
+                let key = ac.expect_ident("serde attribute name");
+                match key.as_str() {
+                    "default" => fattrs.default = true,
+                    "from" | "into" => {
+                        if !ac.eat_punct('=') {
+                            panic!("serde derive: expected `=` after `{key}`");
+                        }
+                        let lit = match ac.next() {
+                            Some(TokenTree::Literal(l)) => unquote(&l.to_string()),
+                            other => panic!(
+                                "serde derive: expected string after `{key} =`, found {other:?}"
+                            ),
+                        };
+                        if key == "from" {
+                            cattrs.from = Some(lit);
+                        } else {
+                            cattrs.into = Some(lit);
+                        }
+                    }
+                    other => panic!(
+                        "serde derive shim: unsupported #[serde({other})] attribute \
+                         (supported: default, from, into)"
+                    ),
+                }
+                ac.eat_punct(',');
+            }
+        }
+        (cattrs, fattrs)
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in …)`.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Consume type tokens until a top-level `,` (angle-bracket aware) or
+    /// the end; returns the first path segment of the type.
+    fn skip_type_returning_head(&mut self) -> String {
+        let mut head = String::new();
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Ident(i) if head.is_empty() => head = i.to_string(),
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        head
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let t = lit.trim();
+    t.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(t)
+        .to_string()
+}
+
+// ---------------------------------------------------------------------
+// Item parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let (cattrs, _) = c.parse_attrs();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    let (generic_params, generic_args) = parse_generics(&mut c);
+
+    // A `where` clause between generics and the body is not used by this
+    // workspace; reject loudly rather than generating wrong code.
+    if matches!(c.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        panic!("serde derive shim: `where` clauses are not supported");
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_body(&mut c)),
+        "enum" => ItemKind::Enum(parse_enum_body(&mut c)),
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        generic_params,
+        generic_args,
+        attrs: cattrs,
+        kind,
+    }
+}
+
+fn parse_generics(c: &mut Cursor) -> (Vec<String>, Vec<String>) {
+    if !c.eat_punct('<') {
+        return (Vec::new(), Vec::new());
+    }
+    let mut params = Vec::new();
+    let mut args = Vec::new();
+    let mut current = String::new();
+    let mut current_arg: Option<String> = None;
+    let mut depth = 1i32;
+    loop {
+        let tok = c
+            .next()
+            .unwrap_or_else(|| panic!("serde derive: unterminated generics"));
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                current.push('>');
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if !current.trim().is_empty() {
+                    params.push(current.trim().to_string());
+                    args.extend(current_arg.take());
+                }
+                current.clear();
+            }
+            other => {
+                if current_arg.is_none() {
+                    if let TokenTree::Ident(i) = other {
+                        let s = i.to_string();
+                        if s == "const" {
+                            panic!("serde derive shim: const generics are not supported");
+                        }
+                        current_arg = Some(s);
+                    }
+                }
+                let text = other.to_string();
+                if !current.is_empty() && !matches!(other, TokenTree::Punct(_)) {
+                    current.push(' ');
+                }
+                current.push_str(&text);
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        params.push(current.trim().to_string());
+        args.extend(current_arg.take());
+    }
+    (params, args)
+}
+
+fn parse_struct_body(c: &mut Cursor) -> Shape {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde derive: malformed struct body: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (_, fattrs) = c.parse_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        if !c.eat_punct(':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        let head_ty = c.skip_type_returning_head();
+        c.eat_punct(',');
+        fields.push(Field {
+            name,
+            attrs: fattrs,
+            head_ty,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        let (_, _) = c.parse_attrs();
+        c.skip_visibility();
+        let head = c.skip_type_returning_head();
+        if !head.is_empty() || c.peek().is_some() {
+            count += 1;
+        }
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_enum_body(c: &mut Cursor) -> Vec<Variant> {
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde derive: malformed enum body: {other:?}"),
+    };
+    let mut vc = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    while !vc.at_end() {
+        let (_, _) = vc.parse_attrs();
+        let name = vc.expect_ident("variant name");
+        let shape = match vc.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                vc.pos += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                vc.pos += 1;
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        if vc.eat_punct('=') {
+            // Explicit discriminant: skip the expression tokens.
+            while let Some(tok) = vc.peek() {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                vc.pos += 1;
+            }
+        }
+        vc.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generic_params.is_empty() {
+        return format!("impl {trait_path} for {}", item.name);
+    }
+    let bounded: Vec<String> = item
+        .generic_params
+        .iter()
+        .map(|p| {
+            if p.contains(':') {
+                format!("{p} + {trait_path}")
+            } else {
+                format!("{p}: {trait_path}")
+            }
+        })
+        .collect();
+    format!(
+        "impl<{}> {trait_path} for {}<{}>",
+        bounded.join(", "),
+        item.name,
+        item.generic_args.join(", "),
+    )
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let header = impl_header(&item, "::serde::Serialize");
+    let body = if let Some(into_ty) = &item.attrs.into {
+        format!(
+            "let __proxy: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::Struct(shape) => gen_struct_ser(shape),
+            ItemKind::Enum(variants) => gen_enum_ser(&item.name, variants),
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    code.parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let header = impl_header(&item, "::serde::Deserialize");
+    let body = if let Some(from_ty) = &item.attrs.from {
+        format!(
+            "let __proxy: {from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__proxy))"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::Struct(shape) => gen_struct_de(&item.name, shape),
+            ItemKind::Enum(variants) => gen_enum_de(&item.name, variants),
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    code.parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
+
+fn gen_named_ser(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("let mut __map = ::serde::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__map.insert(\"{name}\", ::serde::Serialize::to_value({access_prefix}{name}));\n",
+            name = f.name,
+        ));
+    }
+    out.push_str("::serde::Value::Object(__map)");
+    out
+}
+
+fn gen_struct_ser(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => gen_named_ser(fields, "&self."),
+    }
+}
+
+fn gen_named_de(fields: &[Field], obj_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if f.attrs.default || f.head_ty == "Option" {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{}`\"))",
+                f.name,
+            )
+        };
+        inits.push_str(&format!(
+            "{name}: match {obj_expr}.get(\"{name}\") {{\n\
+             ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            name = f.name,
+        ));
+    }
+    inits
+}
+
+fn gen_struct_de(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"expected null for unit struct {name}, found {{}}\", __other.kind()))),\n}}"
+        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for tuple struct {name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, found {{}}\", __items.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Shape::Named(fields) => {
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+                fields = gen_named_de(fields, "__obj"),
+            )
+        }
+    }
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+            )),
+            Shape::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(__f0) => {{\n\
+                 let mut __map = ::serde::Map::new();\n\
+                 __map.insert(\"{vn}\", ::serde::Serialize::to_value(__f0));\n\
+                 ::serde::Value::Object(__map)\n}},\n"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                     let mut __map = ::serde::Map::new();\n\
+                     __map.insert(\"{vn}\", ::serde::Value::Array(vec![{items}]));\n\
+                     ::serde::Value::Object(__map)\n}},\n",
+                    binds = binds.join(", "),
+                    items = items.join(", "),
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let inner = gen_named_ser_bound(fields);
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n\
+                     {inner}\
+                     let mut __outer = ::serde::Map::new();\n\
+                     __outer.insert(\"{vn}\", ::serde::Value::Object(__map));\n\
+                     ::serde::Value::Object(__outer)\n}},\n",
+                    binds = binds.join(", "),
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+/// Named-field serialization where fields are already bound as locals.
+fn gen_named_ser_bound(fields: &[Field]) -> String {
+    let mut out = String::from("let mut __map = ::serde::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__map.insert(\"{name}\", ::serde::Serialize::to_value({name}));\n",
+            name = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .collect();
+
+    let mut arms = String::new();
+    if !unit.is_empty() {
+        let mut unit_arms = String::new();
+        for v in &unit {
+            unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                vn = v.name,
+            ));
+        }
+        arms.push_str(&format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n"
+        ));
+    }
+    if !data.is_empty() {
+        let mut data_arms = String::new();
+        for v in &data {
+            let vn = &v.name;
+            let build = match &v.shape {
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __payload.as_array().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected array payload for {name}::{vn}\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected {n} elements for {name}::{vn}, found {{}}\", __items.len())));\n}}\n\
+                         ::std::result::Result::Ok({name}::{vn}({items}))",
+                        items = items.join(", "),
+                    )
+                }
+                Shape::Named(fields) => format!(
+                    "let __obj = __payload.as_object().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected object payload for {name}::{vn}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{\n{fields}\n}})",
+                    fields = gen_named_de(fields, "__obj"),
+                ),
+                Shape::Unit => unreachable!(),
+            };
+            data_arms.push_str(&format!("\"{vn}\" => {{\n{build}\n}},\n"));
+        }
+        arms.push_str(&format!(
+            "::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+             let (__tag, __payload) = __m.iter().next().expect(\"len checked\");\n\
+             match __tag.as_str() {{\n{data_arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n"
+        ));
+    }
+    format!(
+        "match __v {{\n{arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"invalid value for enum {name}: {{}}\", __other.kind()))),\n}}"
+    )
+}

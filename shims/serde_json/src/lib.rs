@@ -1,0 +1,655 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` value tree.
+//!
+//! Provides the subset of the real crate's API used by this workspace:
+//! `from_str` / `from_slice`, `to_string` / `to_string_pretty` / `to_vec` /
+//! `to_vec_pretty` / `to_writer`, `to_value`, the `json!` macro, and the
+//! `Value` / `Map` types (re-exported from the `serde` shim). The text format
+//! is standard JSON and is wire-compatible with the real serde_json.
+
+pub use serde::{Map, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Error type covering syntax errors, shape mismatches and I/O failures.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn syntax(msg: impl Into<String>, pos: usize) -> Self {
+        Error {
+            msg: format!("{} at byte {}", msg.into(), pos),
+        }
+    }
+}
+
+impl std::fmt::Debug for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error {
+            msg: format!("io error: {e}"),
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Deserialization entry points
+// ---------------------------------------------------------------------------
+
+/// Parse a JSON document from text and convert it into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_complete(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parse a JSON document from bytes and convert it into `T`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error::syntax(format!("invalid utf-8: {e}"), e.valid_up_to()))?;
+    from_str(s)
+}
+
+/// Convert any serializable value into a `Value` tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+// ---------------------------------------------------------------------------
+// Serialization entry points
+// ---------------------------------------------------------------------------
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize to a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serialize to a pretty-printed JSON byte vector.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string_pretty(value)?.into_bytes())
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize pretty-printed JSON into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Value::UInt(u) => {
+            out.push_str(&u.to_string());
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // Matches serde_json's default behaviour of refusing non-finite
+        // numbers; we degrade to null instead of erroring.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing ".0" so integral floats survive a round trip as
+        // floats, like the real serde_json printer.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_value_complete(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::syntax("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::syntax(format!("expected `{lit}`"), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(Error::syntax("recursion limit exceeded", self.pos));
+        }
+        match self.peek() {
+            None => Err(Error::syntax("unexpected end of input", self.pos)),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::syntax(
+                format!("unexpected byte 0x{b:02x}"),
+                self.pos,
+            )),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::syntax("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.pos += 1; // consume '{'
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(Error::syntax("expected string key", self.pos));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(Error::syntax("expected `:`", self.pos));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::syntax("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Safe: the document passed a UTF-8 check and we only stop on
+                // ASCII boundaries, so the run is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                None => return Err(Error::syntax("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::syntax("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect a low surrogate next.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(Error::syntax(
+                                            "expected low surrogate",
+                                            self.pos,
+                                        ));
+                                    }
+                                    self.pos += 1;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(Error::syntax(
+                                            "invalid low surrogate",
+                                            self.pos,
+                                        ));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(code)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => {
+                                    return Err(Error::syntax("invalid unicode escape", self.pos))
+                                }
+                            }
+                        }
+                        b => {
+                            return Err(Error::syntax(
+                                format!("invalid escape `\\{}`", b as char),
+                                self.pos,
+                            ))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(Error::syntax("control character in string", self.pos))
+                }
+                Some(_) => unreachable!("fast path consumes plain bytes"),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::syntax("truncated \\u escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::syntax("invalid \\u escape", self.pos))?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::syntax("invalid \\u escape", self.pos))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            return Err(Error::syntax("expected digit", self.pos));
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                return Err(Error::syntax("expected digit after `.`", self.pos));
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                return Err(Error::syntax("expected digit in exponent", self.pos));
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::syntax("invalid number", start))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from JSON-like syntax, with Rust expressions allowed in
+/// value position (they are converted via [`to_value`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] () ($($tt)*)) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __jmap = $crate::Map::new();
+        $crate::json_internal!(@object __jmap () ($($tt)*));
+        $crate::Value::Object(__jmap)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal token muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- arrays: [built elements] (pending value tokens) (remaining) -----
+    (@array [$($elems:expr,)*] ($($val:tt)+) (, $($rest:tt)*)) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!($($val)+),] () ($($rest)*))
+    };
+    (@array [$($elems:expr,)*] ($($val:tt)+) ()) => {
+        $crate::Value::Array(vec![$($elems,)* $crate::json!($($val)+)])
+    };
+    (@array [$($elems:expr,)*] () ()) => {
+        $crate::Value::Array(vec![$($elems,)*])
+    };
+    (@array [$($elems:expr,)*] ($($val:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@array [$($elems,)*] ($($val)* $next) ($($rest)*))
+    };
+    // ----- objects: map ident, (pending key/value tokens), (remaining) -----
+    (@object $map:ident ($key:tt : $($val:tt)+) (, $($rest:tt)*)) => {
+        $map.insert($crate::json_key!($key), $crate::json!($($val)+));
+        $crate::json_internal!(@object $map () ($($rest)*));
+    };
+    (@object $map:ident ($key:tt : $($val:tt)+) ()) => {
+        $map.insert($crate::json_key!($key), $crate::json!($($val)+));
+    };
+    (@object $map:ident () ()) => {};
+    (@object $map:ident ($($pending:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $map ($($pending)* $next) ($($rest)*));
+    };
+}
+
+/// Converts a `json!` object key token into a `String`. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => {
+        $key.to_string()
+    };
+    ($key:expr) => {
+        ($key).to_string()
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e2").unwrap(), 250.0);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn round_trip_collections() {
+        let v: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        let back: Vec<u32> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("this line is not json").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u0041\"").unwrap(), "A");
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1f600}"
+        );
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn float_printing_keeps_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "qrec",
+            "nested": { "xs": [1, 2.5, null, true] },
+            "expr": 2 + 3,
+            "empty_obj": {},
+            "empty_arr": [],
+        });
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("name").unwrap().as_str().unwrap(), "qrec");
+        let nested = obj.get("nested").unwrap().as_object().unwrap();
+        let xs = nested.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs.len(), 4);
+        assert_eq!(obj.get("expr").unwrap().as_i128(), Some(5));
+        assert!(obj
+            .get("empty_obj")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .is_empty());
+        assert!(obj.get("empty_arr").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn pretty_printing() {
+        let v = json!({ "a": [1] });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn struct_like_object_parses() {
+        let text = "{\"session\": 7, \"queries\": [\"select 1\"], \"dataset\": 2}";
+        let v: Value = from_str(text).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("session").unwrap().as_i128(), Some(7));
+    }
+}
