@@ -11,6 +11,7 @@ use qrec_core::prelude::*;
 use serde_json::json;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let mut results = Vec::new();
     for data in [dataset("sdss"), dataset("sqlshare")] {
         let test = &data.split.test;
@@ -23,7 +24,7 @@ fn main() {
                 eprintln!("  training seq-aware gru on {} …", data.name);
                 Recommender::train(&data.split, &data.workload, cfg)
             } else {
-                trained_recommender(&data, arch, SeqMode::Aware)
+                trained_recommender(r, &data, arch, SeqMode::Aware)
             };
             let metrics = eval_fragment_set(&mut rec, test);
             rows.push(vec![
@@ -49,6 +50,7 @@ fn main() {
             }));
         }
         print_table(
+            r,
             &format!(
                 "Architecture ablation ({}): seq-aware fragment-set F1 over {} pairs",
                 data.name,
@@ -60,5 +62,5 @@ fn main() {
             &rows,
         );
     }
-    write_results("ablation_arch", &json!(results));
+    write_results(r, "ablation_arch", &json!(results));
 }

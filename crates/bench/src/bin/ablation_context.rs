@@ -92,6 +92,7 @@ fn two_query_context(
 }
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let mut results = Vec::new();
     for data in [dataset("sdss"), dataset("sqlshare")] {
         let test: Vec<OwnedPair> = data.split.test.clone();
@@ -103,7 +104,7 @@ fn main() {
         rows.push(vec!["none (popular)".into(), f3(none_acc)]);
 
         // Q_i: the standard fine-tuned transformer classifier.
-        let (mut clf, _) = trained_classifier(&data, Arch::Transformer, SeqMode::Aware, true);
+        let (mut clf, _) = trained_classifier(r, &data, Arch::Transformer, SeqMode::Aware, true);
         let qi_acc = eval_templates(&mut clf, &test, 1).accuracy();
         rows.push(vec!["Q_i (paper)".into(), f3(qi_acc)]);
 
@@ -151,6 +152,7 @@ fn main() {
         ]);
 
         print_table(
+            r,
             &format!("Context ablation ({}): top-1 template accuracy", data.name),
             &["context", "accuracy"],
             &rows,
@@ -163,5 +165,5 @@ fn main() {
             "two_query_test_size": two.test.len(),
         }));
     }
-    write_results("ablation_context", &json!(results));
+    write_results(r, "ablation_context", &json!(results));
 }

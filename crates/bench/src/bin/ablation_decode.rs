@@ -19,6 +19,7 @@ const MAX_EVAL_PAIRS: usize = 120;
 const N: usize = 5;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let strategies: Vec<(&str, Strategy)> = vec![
         ("greedy", Strategy::Greedy),
         ("beam-5", Strategy::Beam { width: 5 }),
@@ -48,7 +49,7 @@ fn main() {
             .take(MAX_EVAL_PAIRS)
             .cloned()
             .collect();
-        let (mut rec, _) = trained_recommender(&data, Arch::Transformer, SeqMode::Aware);
+        let (mut rec, _) = trained_recommender(r, &data, Arch::Transformer, SeqMode::Aware);
         println!(
             "\n### decoding ablation ({}): seq-aware transformer, N={N}, {} pairs",
             data.name,
@@ -88,6 +89,7 @@ fn main() {
             }));
         }
         print_table(
+            r,
             &format!("Decoding-strategy ablation ({}), F1 at N={N}", data.name),
             &[
                 "strategy",
@@ -100,5 +102,5 @@ fn main() {
             &rows,
         );
     }
-    write_results("ablation_decode", &json!(results));
+    write_results(r, "ablation_decode", &json!(results));
 }

@@ -9,6 +9,7 @@ use qrec_core::tuning::{grid_search, paper_grid};
 use serde_json::json;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let data = dataset("sqlshare");
     let mut base = qrec_bench::rec_config("sqlshare", Arch::Transformer, SeqMode::Aware);
     base.train.patience = 2;
@@ -39,6 +40,7 @@ fn main() {
         })
         .collect();
     print_table(
+        r,
         "Hyper-parameter grid search (sqlshare, seq-aware transformer)",
         &["candidate", "best val loss", "epochs run"],
         &rows,
@@ -51,6 +53,7 @@ fn main() {
         result.best_val_loss()
     );
     write_results(
+        r,
         "ablation_tuning",
         &json!({
             "trials": result.trials,

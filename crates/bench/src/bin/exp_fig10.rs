@@ -10,7 +10,8 @@
 use qrec_bench::{dataset, session_pair_figure, write_results};
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let data = dataset("sdss");
-    let results = session_pair_figure(&data, "Figure 10");
-    write_results("fig10", &results);
+    let results = session_pair_figure(r, &data, "Figure 10");
+    write_results(r, "fig10", &results);
 }

@@ -9,7 +9,8 @@
 use qrec_bench::{dataset, session_pair_figure, write_results};
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let data = dataset("sqlshare");
-    let results = session_pair_figure(&data, "Figure 11");
-    write_results("fig11", &results);
+    let results = session_pair_figure(r, &data, "Figure 11");
+    write_results(r, "fig11", &results);
 }

@@ -19,6 +19,7 @@ use serde_json::json;
 const MAX_EVAL_PAIRS: usize = 150;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let ns = [1usize, 2, 3, 4, 5];
     let mut results = Vec::new();
     for data in both_datasets() {
@@ -45,7 +46,7 @@ fn main() {
         ];
         for seq_mode in [SeqMode::Less, SeqMode::Aware] {
             for arch in [Arch::ConvS2S, Arch::Transformer] {
-                let (rec, _) = trained_recommender(&data, arch, seq_mode);
+                let (rec, _) = trained_recommender(r, &data, arch, seq_mode);
                 methods.push((rec.name(), Box::new(rec)));
             }
         }
@@ -71,6 +72,7 @@ fn main() {
                 }));
             }
             print_table(
+                r,
                 &format!(
                     "Figure 12 ({}, {} prediction): F1 at N",
                     data.name,
@@ -81,5 +83,5 @@ fn main() {
             );
         }
     }
-    write_results("fig12", &json!(results));
+    write_results(r, "fig12", &json!(results));
 }

@@ -14,6 +14,7 @@ use qrec_core::prelude::*;
 use serde_json::json;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let ns = [1usize, 2, 3, 4, 5];
     let mut results = Vec::new();
     for data in both_datasets() {
@@ -32,7 +33,7 @@ fn main() {
         ];
         for seq_mode in [SeqMode::Less, SeqMode::Aware] {
             for arch in [Arch::ConvS2S, Arch::Transformer] {
-                let (clf, _) = trained_classifier(&data, arch, seq_mode, true);
+                let (clf, _) = trained_classifier(r, &data, arch, seq_mode, true);
                 methods.push((clf.name(), Box::new(clf)));
             }
         }
@@ -62,6 +63,7 @@ fn main() {
                 }));
             }
             print_table(
+                r,
                 &format!(
                     "Figure 13 ({}, {metric}): N-templates prediction over {} test pairs",
                     data.name,
@@ -72,5 +74,5 @@ fn main() {
             );
         }
     }
-    write_results("fig13", &json!(results));
+    write_results(r, "fig13", &json!(results));
 }

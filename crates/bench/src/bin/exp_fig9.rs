@@ -10,6 +10,7 @@ use qrec_workload::stats::{template_classes, template_frequencies};
 use serde_json::json;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let mut results = serde_json::Map::new();
     for data in both_datasets() {
         let freqs = template_frequencies(&data.workload);
@@ -30,7 +31,7 @@ fn main() {
             ]);
             rank = if rank < 10 { rank + 3 } else { rank * 2 };
         }
-        print_table(
+        print_table(r,
             &format!(
                 "Figure 9 ({}): template frequency by popularity rank ({} templates, {} occurrences)",
                 data.name,
@@ -80,5 +81,5 @@ fn main() {
             }),
         );
     }
-    write_results("fig9", &serde_json::Value::Object(results));
+    write_results(r, "fig9", &serde_json::Value::Object(results));
 }

@@ -26,6 +26,7 @@ const PAPER: [(&str, u64, u64); 11] = [
 ];
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let datasets = both_datasets();
     let stats: Vec<_> = datasets
         .iter()
@@ -66,6 +67,7 @@ fn main() {
         .collect();
 
     print_table(
+        r,
         "Table 2: workload statistics (ours vs paper)",
         &[
             "Statistic",
@@ -113,6 +115,7 @@ fn main() {
     }
 
     write_results(
+        r,
         "table2",
         &json!({
             "sdss": sdss,

@@ -14,12 +14,13 @@ use serde_json::json;
 use std::time::Instant;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for data in both_datasets() {
         for seq_mode in [SeqMode::Less, SeqMode::Aware] {
             for arch in [Arch::ConvS2S, Arch::Transformer] {
-                let (mut rec, report) = trained_recommender(&data, arch, seq_mode);
+                let (mut rec, report) = trained_recommender(r, &data, arch, seq_mode);
 
                 // Inference time: mean greedy decode latency per query on
                 // (a sample of) the test split.
@@ -52,6 +53,7 @@ fn main() {
         }
     }
     print_table(
+        r,
         "Table 3: model statistics (paper reports T_train in hours on GPU; ours are CPU seconds)",
         &[
             "model",
@@ -69,5 +71,5 @@ fn main() {
          width; the Transformer carries the larger parameter budget here (as in the paper's \
          SDSS column, 72.7M tfm vs 8.0M convs2s)."
     );
-    write_results("table3", &json!(results));
+    write_results(r, "table3", &json!(results));
 }

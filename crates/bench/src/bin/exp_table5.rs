@@ -14,6 +14,7 @@ use qrec_core::prelude::*;
 use serde_json::json;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let mut results = Vec::new();
     for data in both_datasets() {
         let test = &data.split.test;
@@ -34,7 +35,7 @@ fn main() {
         // Deep models.
         for seq_mode in [SeqMode::Less, SeqMode::Aware] {
             for arch in [Arch::ConvS2S, Arch::Transformer] {
-                let (rec, _) = trained_recommender(&data, arch, seq_mode);
+                let (rec, _) = trained_recommender(r, &data, arch, seq_mode);
                 methods.push((rec.name(), Box::new(rec)));
             }
         }
@@ -73,6 +74,7 @@ fn main() {
         }
 
         print_table(
+            r,
             &format!(
                 "Table 5 ({}): fragment-set prediction, micro F1 over {} test pairs",
                 data.name,
@@ -82,5 +84,5 @@ fn main() {
             &rows,
         );
     }
-    write_results("table5", &json!(results));
+    write_results(r, "table5", &json!(results));
 }

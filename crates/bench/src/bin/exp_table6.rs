@@ -12,6 +12,7 @@ use qrec_core::prelude::*;
 use serde_json::json;
 
 fn main() {
+    let r = &qrec_bench::StdioReporter;
     let mut results = Vec::new();
     for data in both_datasets() {
         let test = &data.split.test;
@@ -30,13 +31,13 @@ fn main() {
         ];
         // Untuned classifiers (one per architecture; encoder from scratch).
         for arch in [Arch::ConvS2S, Arch::Transformer] {
-            let (clf, _) = trained_classifier(&data, arch, SeqMode::Aware, false);
+            let (clf, _) = trained_classifier(r, &data, arch, SeqMode::Aware, false);
             methods.push((clf.name(), Box::new(clf)));
         }
         // Fine-tuned classifiers on top of each trained seq2seq encoder.
         for seq_mode in [SeqMode::Less, SeqMode::Aware] {
             for arch in [Arch::ConvS2S, Arch::Transformer] {
-                let (clf, _) = trained_classifier(&data, arch, seq_mode, true);
+                let (clf, _) = trained_classifier(r, &data, arch, seq_mode, true);
                 methods.push((clf.name(), Box::new(clf)));
             }
         }
@@ -59,6 +60,7 @@ fn main() {
             / test.len().max(1) as f64;
 
         print_table(
+            r,
             &format!(
                 "Table 6 ({}): top-1 template prediction accuracy over {} test pairs",
                 data.name,
@@ -72,5 +74,5 @@ fn main() {
             same_rate
         );
     }
-    write_results("table6", &json!(results));
+    write_results(r, "table6", &json!(results));
 }

@@ -39,6 +39,46 @@ pub const GEN_SEED: u64 = 1234;
 /// Split seed shared by every experiment.
 pub const SPLIT_SEED: u64 = 5678;
 
+// ---------------------------------------------------------------------
+// Output sink
+// ---------------------------------------------------------------------
+
+/// Where experiment output goes. Library code never prints directly —
+/// the experiment binaries pass [`StdioReporter`] and tests pass
+/// [`SilentReporter`], so running the suite stays quiet and the one
+/// sanctioned stdout sink is this trait's stdio implementation.
+pub trait Reporter {
+    /// A result line: tables, figures, summary rows (stdout channel).
+    fn out(&self, line: &str);
+    /// A progress/diagnostic note: training started, cache misses
+    /// (stderr channel).
+    fn note(&self, line: &str);
+}
+
+/// Reporter for the experiment binaries: results to stdout, notes to
+/// stderr.
+pub struct StdioReporter;
+
+impl Reporter for StdioReporter {
+    fn out(&self, line: &str) {
+        // qrec-lint: allow(no-stdout-in-lib) -- the one sanctioned stdout sink; every other lib fn goes through Reporter
+        println!("{line}");
+    }
+
+    fn note(&self, line: &str) {
+        // qrec-lint: allow(no-stdout-in-lib) -- the one sanctioned stderr sink; every other lib fn goes through Reporter
+        eprintln!("{line}");
+    }
+}
+
+/// Reporter that swallows all output (used by tests).
+pub struct SilentReporter;
+
+impl Reporter for SilentReporter {
+    fn out(&self, _line: &str) {}
+    fn note(&self, _line: &str) {}
+}
+
 /// A fully prepared experiment dataset.
 pub struct ExpData {
     /// `"sdss"` or `"sqlshare"`.
@@ -129,27 +169,27 @@ fn cache_dir() -> PathBuf {
     dir
 }
 
-fn load_cached<T: DeserializeOwned>(file: &str) -> Option<T> {
+fn load_cached<T: DeserializeOwned>(r: &dyn Reporter, file: &str) -> Option<T> {
     let path = cache_dir().join(file);
     let bytes = std::fs::read(&path).ok()?;
     match serde_json::from_slice(&bytes) {
         Ok(v) => Some(v),
         Err(e) => {
-            eprintln!("  (cache {file} unreadable: {e}; retraining)");
+            r.note(&format!("  (cache {file} unreadable: {e}; retraining)"));
             None
         }
     }
 }
 
-fn store_cached<T: Serialize>(file: &str, value: &T) {
+fn store_cached<T: Serialize>(r: &dyn Reporter, file: &str, value: &T) {
     let path = cache_dir().join(file);
     match serde_json::to_vec(value) {
         Ok(bytes) => {
             if let Err(e) = std::fs::write(&path, bytes) {
-                eprintln!("  (could not write cache {file}: {e})");
+                r.note(&format!("  (could not write cache {file}: {e})"));
             }
         }
-        Err(e) => eprintln!("  (could not serialise cache {file}: {e})"),
+        Err(e) => r.note(&format!("  (could not serialise cache {file}: {e})")),
     }
 }
 
@@ -165,6 +205,7 @@ struct RecBundle {
 
 /// Load a trained recommender from cache, or train and cache it.
 pub fn trained_recommender(
+    r: &dyn Reporter,
     data: &ExpData,
     arch: Arch,
     seq_mode: SeqMode,
@@ -176,7 +217,7 @@ pub fn trained_recommender(
         arch.label(),
         seq_mode.label()
     );
-    if let Some(bundle) = load_cached::<RecBundle>(&file) {
+    if let Some(bundle) = load_cached::<RecBundle>(r, &file) {
         if bundle.cfg == cfg {
             let rec = Recommender::from_parts(
                 bundle.cfg,
@@ -188,12 +229,12 @@ pub fn trained_recommender(
             return (rec, bundle.report);
         }
     }
-    eprintln!(
+    r.note(&format!(
         "  training {} {} on {} …",
         seq_mode.label(),
         arch.label(),
         data.name
-    );
+    ));
     let (rec, report) = Recommender::train(&data.split, &data.workload, cfg);
     let bundle = RecBundle {
         cfg: *rec.config(),
@@ -203,7 +244,7 @@ pub fn trained_recommender(
         lexicon: rec.lexicon().clone(),
         report: report.clone(),
     };
-    store_cached(&file, &bundle);
+    store_cached(r, &file, &bundle);
     (rec, report)
 }
 
@@ -222,6 +263,7 @@ struct ClfBundle {
 /// `tuned` selects the fine-tuned construction (from the cached seq2seq
 /// recommender) versus the from-scratch ablation.
 pub fn trained_classifier(
+    r: &dyn Reporter,
     data: &ExpData,
     arch: Arch,
     seq_mode: SeqMode,
@@ -235,7 +277,7 @@ pub fn trained_classifier(
         seq_mode.label(),
         kind
     );
-    if let Some(bundle) = load_cached::<ClfBundle>(&file) {
+    if let Some(bundle) = load_cached::<ClfBundle>(r, &file) {
         let clf = TemplateModel::from_parts(
             bundle.name,
             bundle.model,
@@ -249,20 +291,20 @@ pub fn trained_classifier(
     }
     let cfg = clf_config(&data.name);
     let (clf, report) = if tuned {
-        let (rec, _) = trained_recommender(data, arch, seq_mode);
-        eprintln!(
+        let (rec, _) = trained_recommender(r, data, arch, seq_mode);
+        r.note(&format!(
             "  fine-tuning classifier for {} {} on {} …",
             seq_mode.label(),
             arch.label(),
             data.name
-        );
+        ));
         TemplateModel::train_fine_tuned(&rec, &data.split, cfg)
     } else {
-        eprintln!(
+        r.note(&format!(
             "  training untuned classifier for {} on {} …",
             arch.label(),
             data.name
-        );
+        ));
         TemplateModel::train_from_scratch(
             arch,
             SizePreset::Small,
@@ -283,7 +325,7 @@ pub fn trained_classifier(
         classes: classes.clone(),
         report: report.clone(),
     };
-    store_cached(&file, &bundle);
+    store_cached(r, &file, &bundle);
     (clf, report)
 }
 
@@ -291,9 +333,9 @@ pub fn trained_classifier(
 // Reporting
 // ---------------------------------------------------------------------
 
-/// Print an aligned text table.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
+/// Print an aligned text table through the reporter.
+pub fn print_table(r: &dyn Reporter, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    r.out(&format!("\n== {title} =="));
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -318,30 +360,27 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    println!("{}", fmt_row(&header_cells));
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
-    );
+    r.out(&fmt_row(&header_cells));
+    r.out(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
     for row in rows {
-        println!("{}", fmt_row(row));
+        r.out(&fmt_row(row));
     }
 }
 
 /// Persist experiment results as JSON under `target/qrec-cache/results/`.
-pub fn write_results(experiment: &str, value: &serde_json::Value) {
+pub fn write_results(r: &dyn Reporter, experiment: &str, value: &serde_json::Value) {
     let dir = cache_dir().join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{experiment}.json"));
     std::fs::write(&path, serde_json::to_vec_pretty(value).expect("serialise"))
         .expect("write results");
-    println!("\n[results written to {}]", path.display());
+    r.out(&format!("\n[results written to {}]", path.display()));
 }
 
 /// Shared implementation of Figures 10 and 11: the session-level (a)–(e)
 /// and pair-level (f)–(l) analysis of one workload, printed as
 /// histograms and summary fractions.
-pub fn session_pair_figure(data: &ExpData, figure: &str) -> serde_json::Value {
+pub fn session_pair_figure(r: &dyn Reporter, data: &ExpData, figure: &str) -> serde_json::Value {
     use qrec_workload::stats::{pair_stats, session_stats};
 
     let ss = session_stats(&data.workload);
@@ -378,6 +417,7 @@ pub fn session_pair_figure(data: &ExpData, figure: &str) -> serde_json::Value {
     let mut headers = vec!["per-session measure"];
     headers.extend(labels);
     print_table(
+        r,
         &format!(
             "{figure} ({}) session-level histograms (#sessions per bucket)",
             data.name
@@ -385,12 +425,12 @@ pub fn session_pair_figure(data: &ExpData, figure: &str) -> serde_json::Value {
         &headers,
         &rows,
     );
-    println!(
+    r.out(&format!(
         "  ≥2 unique queries: {}   ≥2 unique templates: {}   ≥2 template changes: {}",
         pct(ss.frac_ge2_unique_queries),
         pct(ss.frac_ge2_unique_templates),
         pct(ss.frac_ge2_template_changes)
-    );
+    ));
 
     // (f)-(l): pair-level template change + syntactic deltas.
     let mut rows: Vec<Vec<String>> = vec![vec![
@@ -409,6 +449,7 @@ pub fn session_pair_figure(data: &ExpData, figure: &str) -> serde_json::Value {
         ]);
     }
     print_table(
+        r,
         &format!(
             "{figure} ({}) pair-level deltas over {} pairs (f: changed/same; g-l: +/=/-)",
             data.name, ps.pairs
@@ -488,10 +529,10 @@ mod tests {
         struct Probe {
             x: u32,
         }
-        store_cached("test-probe.json", &Probe { x: 7 });
-        let back: Option<Probe> = load_cached("test-probe.json");
+        store_cached(&SilentReporter, "test-probe.json", &Probe { x: 7 });
+        let back: Option<Probe> = load_cached(&SilentReporter, "test-probe.json");
         assert_eq!(back, Some(Probe { x: 7 }));
-        let missing: Option<Probe> = load_cached("no-such-file.json");
+        let missing: Option<Probe> = load_cached(&SilentReporter, "no-such-file.json");
         assert!(missing.is_none());
     }
 }

@@ -90,12 +90,14 @@ impl Recommender {
     ///
     /// Panics on a degenerate configuration (zero epochs, empty training
     /// split); use [`Recommender::try_train`] for a typed error.
+    #[must_use]
     pub fn train(
         split: &Split,
         train_workload: &Workload,
         cfg: RecommenderConfig,
     ) -> (Self, TrainReport) {
         Self::try_train(split, train_workload, cfg)
+            // qrec-lint: allow(no-panic-in-hot-path) -- documented panicking convenience wrapper; try_train is the typed path
             .unwrap_or_else(|e| panic!("Recommender::train: {e}"))
     }
 
@@ -179,6 +181,7 @@ impl Recommender {
     }
 
     /// Decode candidate next-query token sequences.
+    #[must_use]
     pub fn decode_candidates(&mut self, q: &QueryRecord, strategy: Strategy) -> Vec<Hypothesis> {
         let src = self.vocab.encode(&q.tokens);
         self.decode_encoded(&src, strategy)
@@ -186,6 +189,7 @@ impl Recommender {
 
     /// Decode candidates from raw word tokens (used by
     /// [`crate::session::SessionContext`] for multi-query inputs).
+    #[must_use]
     pub fn decode_candidates_for_tokens(
         &mut self,
         tokens: &[String],
@@ -214,6 +218,7 @@ impl Recommender {
 
     /// Decode candidates without touching internal state; the caller
     /// provides the RNG used by sampling-based strategies.
+    #[must_use]
     pub fn decode_candidates_with(
         &self,
         q: &QueryRecord,
@@ -225,6 +230,7 @@ impl Recommender {
     }
 
     /// Shared-state variant of [`Recommender::decode_candidates_for_tokens`].
+    #[must_use]
     pub fn decode_candidates_for_tokens_with(
         &self,
         tokens: &[String],

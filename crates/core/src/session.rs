@@ -90,6 +90,7 @@ impl SessionContext {
 
     /// Recommend up to `n` fragments per kind for the next query, using
     /// the windowed context. Returns `None` when the session is empty.
+    #[must_use]
     pub fn recommend_fragments(
         &self,
         rec: &mut Recommender,

@@ -1,0 +1,199 @@
+//! The checked-in violation baseline (`lint-baseline.toml`).
+//!
+//! The gate is a ratchet: a finding listed in the baseline is tolerated
+//! (it predates the rule), anything new fails CI. The file is a small
+//! TOML subset — `[[violation]]` tables with `rule` / `file` / `line`
+//! keys — parsed by hand because the build is offline and a TOML crate
+//! would be another shim to maintain for three keys.
+
+use crate::diag::Finding;
+use std::collections::HashSet;
+use std::fmt;
+
+/// The set of tolerated (pre-existing) violations.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: HashSet<(String, String, u32)>,
+}
+
+/// A syntax problem in the baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line in the baseline file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parse the TOML-subset text of a baseline file.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries = HashSet::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<u32>)> = None;
+        let mut open_line = 0usize;
+        let mut flush = |cur: Option<(Option<String>, Option<String>, Option<u32>)>,
+                         at: usize|
+         -> Result<(), BaselineError> {
+            if let Some(entry) = cur {
+                match entry {
+                    (Some(rule), Some(file), Some(line)) => {
+                        entries.insert((rule, file, line));
+                        Ok(())
+                    }
+                    _ => Err(BaselineError {
+                        line: at,
+                        message: "incomplete [[violation]]: needs rule, file, and line".into(),
+                    }),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[violation]]" {
+                flush(current.take(), open_line)?;
+                current = Some((None, None, None));
+                open_line = line_no;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: line_no,
+                    message: format!("expected `key = value`, got {line:?}"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(BaselineError {
+                    line: line_no,
+                    message: "key outside a [[violation]] table".into(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" => entry.0 = Some(unquote(value, line_no)?),
+                "file" => entry.1 = Some(unquote(value, line_no)?),
+                "line" => {
+                    entry.2 = Some(value.parse::<u32>().map_err(|_| BaselineError {
+                        line: line_no,
+                        message: format!("line must be an integer, got {value:?}"),
+                    })?);
+                }
+                other => {
+                    return Err(BaselineError {
+                        line: line_no,
+                        message: format!("unknown key {other:?}"),
+                    });
+                }
+            }
+        }
+        flush(current.take(), open_line)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Serialise findings as a fresh baseline file.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# qrec-lint baseline: violations tolerated because they predate a rule.\n\
+             # The CI gate fails only on findings NOT listed here (\"no new violations\").\n\
+             # Regenerate with: cargo run -p qrec-lint -- --write-baseline\n",
+        );
+        for f in findings {
+            out.push_str(&format!(
+                "\n[[violation]]\nrule = \"{}\"\nfile = \"{}\"\nline = {}\n",
+                f.rule, f.file, f.line
+            ));
+        }
+        out
+    }
+
+    /// Is this finding tolerated by the baseline?
+    pub fn contains(&self, finding: &Finding) -> bool {
+        self.entries.contains(&finding.key())
+    }
+
+    /// Number of baselined entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline tolerates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn unquote(value: &str, line_no: usize) -> Result<String, BaselineError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| BaselineError {
+            line: line_no,
+            message: format!("expected a quoted string, got {value}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let findings = vec![
+            f("no-panic-in-hot-path", "crates/serve/src/batcher.rs", 10),
+            f("no-stdout-in-lib", "crates/bench/src/lib.rs", 99),
+        ];
+        let text = Baseline::render(&findings);
+        let baseline = Baseline::parse(&text).unwrap();
+        assert_eq!(baseline.len(), 2);
+        assert!(baseline.contains(&findings[0]));
+        assert!(baseline.contains(&findings[1]));
+        assert!(!baseline.contains(&f("no-panic-in-hot-path", "other.rs", 10)));
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_parse() {
+        assert!(Baseline::parse("").unwrap().is_empty());
+        assert!(Baseline::parse("# nothing here\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("rule = \"x\"").is_err()); // key outside table
+        assert!(Baseline::parse("[[violation]]\nrule = \"x\"").is_err()); // incomplete
+        assert!(Baseline::parse("[[violation]]\nwat = 1").is_err()); // unknown key
+        assert!(
+            Baseline::parse("[[violation]]\nrule = \"r\"\nfile = \"f\"\nline = \"ten\"").is_err()
+        );
+    }
+
+    #[test]
+    fn different_line_is_a_new_violation() {
+        let base = Baseline::parse(&Baseline::render(&[f("r", "a.rs", 5)])).unwrap();
+        assert!(base.contains(&f("r", "a.rs", 5)));
+        assert!(!base.contains(&f("r", "a.rs", 6)));
+    }
+}

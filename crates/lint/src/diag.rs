@@ -1,0 +1,72 @@
+//! Diagnostics: the [`Finding`] type, rustc-style rendering, and the
+//! machine-readable JSON encoding behind `--json`.
+
+use serde::Serialize;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id (`no-panic-in-hot-path`, …).
+    pub rule: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Baseline identity: the triple the ratchet matches on.
+    pub fn key(&self) -> (String, String, u32) {
+        (self.rule.clone(), self.file.clone(), self.line)
+    }
+
+    /// Render in rustc's `error[code]: message` + `--> file:line` shape.
+    pub fn render(&self) -> String {
+        format!(
+            "error[{}]: {}\n  --> {}:{}",
+            self.rule, self.message, self.file, self.line
+        )
+    }
+}
+
+/// Encode findings as a JSON array (one object per finding).
+pub fn to_json(findings: &[Finding]) -> String {
+    serde_json::to_string_pretty(&findings.to_vec()).unwrap_or_else(|_| "[]".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/serve/src/batcher.rs".into(),
+            line: 42,
+            rule: "no-panic-in-hot-path".into(),
+            message: "`.unwrap()` in hot-path library code".into(),
+        }
+    }
+
+    #[test]
+    fn renders_rustc_style() {
+        let text = finding().render();
+        assert!(text.starts_with("error[no-panic-in-hot-path]:"));
+        assert!(text.contains("--> crates/serve/src/batcher.rs:42"));
+    }
+
+    #[test]
+    fn json_is_machine_readable() {
+        let json = to_json(&[finding()]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        let obj = arr[0].as_object().unwrap();
+        assert_eq!(
+            obj.get("rule").and_then(|v| v.as_str()),
+            Some("no-panic-in-hot-path")
+        );
+        assert_eq!(obj.get("line").and_then(|v| v.as_i128()), Some(42));
+    }
+}

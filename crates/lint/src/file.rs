@@ -1,0 +1,389 @@
+//! Per-file context: classification, `#[cfg(test)]` regions, and the
+//! `// qrec-lint: allow(...)` escape hatch.
+
+use crate::diag::Finding;
+use crate::lexer::{lex, Lexed, Tok};
+use crate::rules::RULES;
+use std::collections::HashMap;
+
+/// What kind of source file this is, which determines the rules that
+/// apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code (`src/**`, excluding `src/bin`). The strictest class.
+    Library,
+    /// A binary entry point (`src/main.rs`, `src/bin/**`). May use stdio.
+    Binary,
+    /// An integration test (`tests/**`). Panics and stdio are fine.
+    TestFile,
+    /// A benchmark (`benches/**`).
+    Bench,
+    /// An example (`examples/**`).
+    Example,
+    /// A vendored shim crate (`shims/**`). Only safety comments are
+    /// checked: shims mirror external APIs and are not project style.
+    Shim,
+}
+
+/// One source file, ready for analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Short crate name: the directory under `crates/` (`serve`,
+    /// `core`, …), `qrec` for the root package, `shim:<name>` for shims.
+    pub crate_name: String,
+    /// Classification; see [`FileClass`].
+    pub class: FileClass,
+    /// Full source text.
+    pub text: String,
+}
+
+/// Everything the rules need to look at one file: the token stream, a
+/// parallel "is this token inside test code" mask, and parsed allow
+/// directives.
+pub struct FileContext<'a> {
+    /// The file under analysis.
+    pub file: &'a SourceFile,
+    /// Lexed tokens and comments.
+    pub lexed: Lexed,
+    /// `mask[i]` is true when token `i` is inside a `#[cfg(test)]` item
+    /// or a `#[test]` function.
+    pub test_mask: Vec<bool>,
+    /// Lines covered by a well-formed allow directive, with the rules
+    /// each line allows.
+    pub allows: HashMap<u32, Vec<String>>,
+    /// Malformed directives, reported as findings in their own right.
+    pub malformed: Vec<Finding>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lex and annotate one file.
+    pub fn new(file: &'a SourceFile) -> Self {
+        let lexed = lex(&file.text);
+        let test_mask = test_mask(&lexed);
+        let (allows, malformed) = parse_allows(file, &lexed);
+        FileContext {
+            file,
+            lexed,
+            test_mask,
+            allows,
+            malformed,
+        }
+    }
+
+    /// True when token index `i` is inside test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// True when `rule` is allowed on `line` by an inline directive.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Mark every token inside a `#[cfg(test)]` / `#[test]` item.
+///
+/// Scans for `#[...]` attributes whose token list mentions the ident
+/// `test`; the braces of the next item (module, function, impl) are
+/// then brace-matched and the whole range masked.
+fn test_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind.is_punct(b'#') && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'[')))
+        {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` of the attribute.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut attr_end = None;
+        while j < toks.len() {
+            match &toks[j].kind {
+                Tok::Punct(b'[') => depth += 1,
+                Tok::Punct(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(attr_end) = attr_end else { break };
+        // `#[cfg(not(test))]` guards code compiled for *non*-test
+        // builds; treating it as a test region would exempt live code.
+        let attr = &toks[i + 2..attr_end];
+        let is_test_attr = attr.iter().any(|t| t.kind.ident() == Some("test"))
+            && !attr.iter().any(|t| t.kind.ident() == Some("not"));
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Mask from the attribute through the item's closing brace.
+        // Stop early at a `;` before any `{` (e.g. `mod foo;`).
+        let mut k = attr_end + 1;
+        let mut open = None;
+        while k < toks.len() {
+            match &toks[k].kind {
+                Tok::Punct(b'{') => {
+                    open = Some(k);
+                    break;
+                }
+                Tok::Punct(b';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            for m in mask.iter_mut().take(k.min(toks.len())).skip(i) {
+                *m = true;
+            }
+            i = k + 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = toks.len() - 1;
+        let mut k = open;
+        while k < toks.len() {
+            match &toks[k].kind {
+                Tok::Punct(b'{') => depth += 1,
+                Tok::Punct(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(close + 1).skip(i) {
+            *m = true;
+        }
+        i = close + 1;
+    }
+    mask
+}
+
+/// The directive grammar: `// qrec-lint: allow(rule-a, rule-b) -- reason`.
+///
+/// A directive covers its own line and the next line, so it can sit
+/// either at the end of the offending line or on its own line above.
+/// A directive without a `-- reason` suffix, with an empty rule list,
+/// or naming an unknown rule is itself a reportable violation
+/// (`malformed-allow`), so the escape hatch cannot silently rot.
+///
+/// Only plain comments whose body *begins* with `qrec-lint:` are
+/// directives; doc comments (`///`, `//!`, `/**`, `/*!`) and prose that
+/// merely mentions the syntax are not parsed.
+fn parse_allows(file: &SourceFile, lexed: &Lexed) -> (HashMap<u32, Vec<String>>, Vec<Finding>) {
+    let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+    let mut malformed = Vec::new();
+    for comment in &lexed.comments {
+        let Some(body) = directive_body(&comment.text) else {
+            continue;
+        };
+        match parse_directive(body) {
+            Ok(rules) => {
+                for line in [comment.end_line, comment.end_line + 1] {
+                    allows
+                        .entry(line)
+                        .or_default()
+                        .extend(rules.iter().cloned());
+                }
+            }
+            Err(why) => malformed.push(Finding {
+                rule: "malformed-allow".into(),
+                file: file.path.clone(),
+                line: comment.line,
+                message: format!(
+                    "malformed `qrec-lint:` directive ({why}); expected \
+                     `// qrec-lint: allow(<rule>) -- <reason>`"
+                ),
+            }),
+        }
+    }
+    (allows, malformed)
+}
+
+/// Strip the comment markers and return the directive body, or `None`
+/// when this comment is a doc comment or does not start with
+/// `qrec-lint:`.
+fn directive_body(raw: &str) -> Option<&str> {
+    let inner = if let Some(rest) = raw.strip_prefix("//") {
+        rest
+    } else if let Some(rest) = raw.strip_prefix("/*") {
+        rest.strip_suffix("*/").unwrap_or(rest)
+    } else {
+        raw
+    };
+    // `///x` / `//!x` strip to `/x` / `!x`; `/**` / `/*!` to `*x` / `!x`.
+    if inner.starts_with(['/', '!', '*']) {
+        return None;
+    }
+    inner.trim().strip_prefix("qrec-lint:").map(str::trim)
+}
+
+fn parse_directive(body: &str) -> Result<Vec<String>, String> {
+    let Some(rest) = body.strip_prefix("allow") else {
+        return Err("only `allow(...)` is supported".into());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("missing `(` after `allow`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("missing `)`".into());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list".into());
+    }
+    for rule in &rules {
+        if !RULES.contains(&rule.as_str()) {
+            return Err(format!("unknown rule {rule:?}"));
+        }
+    }
+    let tail = rest[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("missing `-- <reason>` suffix".into());
+    };
+    if reason.trim().is_empty() {
+        return Err("empty reason after `--`".into());
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_of(text: &str) -> (SourceFile, Vec<bool>) {
+        let file = SourceFile {
+            path: "x.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: text.into(),
+        };
+        let lexed = lex(&file.text);
+        let mask = test_mask(&lexed);
+        (file, mask)
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let (file, mask) = ctx_of(src);
+        let lexed = lex(&file.text);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.ident() == Some("unwrap"))
+            .unwrap();
+        assert!(mask[unwrap_idx]);
+        let tail_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.ident() == Some("tail"))
+            .unwrap();
+        assert!(!mask[tail_idx]);
+        let live_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.ident() == Some("live"))
+            .unwrap();
+        assert!(!mask[live_idx]);
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_only_that_fn() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn live() { b }";
+        let (file, mask) = ctx_of(src);
+        let lexed = lex(&file.text);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.ident() == Some("unwrap"))
+            .unwrap();
+        assert!(mask[unwrap_idx]);
+        let b_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.ident() == Some("b"))
+            .unwrap();
+        assert!(!mask[b_idx]);
+    }
+
+    #[test]
+    fn non_test_cfg_not_masked() {
+        let src = "#[cfg(feature = \"x\")]\nfn f() { y.unwrap() }";
+        let (file, mask) = ctx_of(src);
+        let lexed = lex(&file.text);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind.ident() == Some("unwrap"))
+            .unwrap();
+        assert!(!mask[unwrap_idx]);
+    }
+
+    #[test]
+    fn directive_parsing() {
+        assert!(parse_directive("allow(no-panic-in-hot-path) -- spawn failure is fatal").is_ok());
+        assert_eq!(
+            parse_directive("allow(no-panic-in-hot-path, no-stdout-in-lib) -- two at once")
+                .map(|r| r.len()),
+            Ok(2)
+        );
+        assert!(parse_directive("allow(no-panic-in-hot-path)").is_err()); // no reason
+        assert!(parse_directive("allow() -- reason").is_err()); // no rules
+        assert!(parse_directive("allow(not-a-rule) -- reason").is_err());
+        assert!(parse_directive("deny(no-panic-in-hot-path) -- x").is_err());
+    }
+
+    #[test]
+    fn directive_covers_own_and_next_line() {
+        let file = SourceFile {
+            path: "x.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: "// qrec-lint: allow(no-panic-in-hot-path) -- fatal at startup\nx.unwrap();\n"
+                .into(),
+        };
+        let ctx = FileContext::new(&file);
+        assert!(ctx.allowed("no-panic-in-hot-path", 1));
+        assert!(ctx.allowed("no-panic-in-hot-path", 2));
+        assert!(!ctx.allowed("no-panic-in-hot-path", 3));
+        assert!(!ctx.allowed("no-stdout-in-lib", 2));
+        assert!(ctx.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_directive_is_a_finding() {
+        let file = SourceFile {
+            path: "x.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: "// qrec-lint: allow(no-panic-in-hot-path)\nx.unwrap();\n".into(),
+        };
+        let ctx = FileContext::new(&file);
+        assert_eq!(ctx.malformed.len(), 1);
+        assert_eq!(ctx.malformed[0].rule, "malformed-allow");
+        assert!(!ctx.allowed("no-panic-in-hot-path", 2));
+    }
+}

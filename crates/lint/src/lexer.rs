@@ -1,0 +1,415 @@
+//! A lightweight, infallible Rust lexer.
+//!
+//! Mirrors the token-stream design of `qrec-sql`'s SQL lexer
+//! (`crates/sql/src/lexer.rs`): a flat byte scan producing a small token
+//! vocabulary. It understands exactly as much Rust as the rules need —
+//! idents, numbers, all string flavours (including raw and byte
+//! strings), char literals vs lifetimes, nested block comments, and
+//! single-byte punctuation. Comments are collected on the side so rules
+//! can inspect `// SAFETY:` and `// qrec-lint:` directives.
+//!
+//! The lexer never fails: malformed input (an unterminated string, a
+//! stray byte) degenerates into best-effort tokens rather than an
+//! error, because a linter must keep walking the rest of the workspace
+//! even when one file is mid-edit.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (and text, for idents).
+    pub kind: Tok,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+/// The token vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `fn`, `impl`, …).
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// An integer-ish literal chunk (`3`, `0xff`, `14` of `3.14`).
+    Number,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation byte (`.`, `!`, `[`, `{`, `:`, …).
+    Punct(u8),
+}
+
+impl Tok {
+    /// The ident's text, if this is an ident.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        matches!(self, Tok::Punct(p) if *p == b)
+    }
+}
+
+/// A comment, kept out of the main token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (block comments can span lines).
+    pub end_line: u32,
+    /// Raw comment text including the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// A lexed source file: tokens plus side-channel comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn advance(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: Tok, line: u32) {
+        self.out.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek() {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.advance(),
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.string_lit();
+                    self.push(Tok::Str, line);
+                }
+                b'\'' => self.char_or_lifetime(line),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {
+                    self.raw_or_byte_literal(line);
+                }
+                b'0'..=b'9' => {
+                    while matches!(
+                        self.peek(),
+                        Some(b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_')
+                    ) {
+                        self.advance();
+                    }
+                    self.push(Tok::Number, line);
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let start = self.pos;
+                    while matches!(
+                        self.peek(),
+                        Some(b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_')
+                    ) {
+                        self.advance();
+                    }
+                    let text = self.src[start..self.pos].to_string();
+                    self.push(Tok::Ident(text), line);
+                }
+                0x80.. => self.advance(), // non-ASCII outside literals: skip
+                other => {
+                    self.advance();
+                    self.push(Tok::Punct(other), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.advance();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text: self.src[start..self.pos].to_string(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.advance(); // '/'
+        self.advance(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.advance();
+                    self.advance();
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.advance();
+                    self.advance();
+                }
+                (Some(_), _) => self.advance(),
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text: self.src[start..self.pos].to_string(),
+        });
+    }
+
+    /// Consume a `"…"` body (caller pushes the token).
+    fn string_lit(&mut self) {
+        self.advance(); // opening quote
+        while let Some(b) = self.peek() {
+            match b {
+                b'\\' => {
+                    self.advance();
+                    if self.peek().is_some() {
+                        self.advance();
+                    }
+                }
+                b'"' => {
+                    self.advance();
+                    return;
+                }
+                _ => self.advance(),
+            }
+        }
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: u32) {
+        // A lifetime is `'` + ident-start not closed by another `'`.
+        let one = self.peek_at(1);
+        let two = self.peek_at(2);
+        let ident_start = matches!(one, Some(b'a'..=b'z' | b'A'..=b'Z' | b'_'));
+        if ident_start && two != Some(b'\'') {
+            self.advance(); // '
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_')
+            ) {
+                self.advance();
+            }
+            self.push(Tok::Lifetime, line);
+            return;
+        }
+        // Char literal: consume until the closing quote (escape-aware).
+        self.advance(); // opening '
+        while let Some(b) = self.peek() {
+            match b {
+                b'\\' => {
+                    self.advance();
+                    if self.peek().is_some() {
+                        self.advance();
+                    }
+                }
+                b'\'' => {
+                    self.advance();
+                    break;
+                }
+                b'\n' => break, // malformed; stop at EOL
+                _ => self.advance(),
+            }
+        }
+        self.push(Tok::Char, line);
+    }
+
+    /// Is the current `r`/`b` the start of a raw/byte literal rather
+    /// than an ident?
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut off = 1;
+        if self.peek() == Some(b'b') && self.peek_at(1) == Some(b'r') {
+            off = 2;
+        }
+        if self.peek() == Some(b'b') && self.peek_at(1) == Some(b'\'') {
+            return true; // byte char b'x'
+        }
+        loop {
+            match self.peek_at(off) {
+                Some(b'#') => off += 1,
+                Some(b'"') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn raw_or_byte_literal(&mut self, line: u32) {
+        if self.peek() == Some(b'b') && self.peek_at(1) == Some(b'\'') {
+            self.advance(); // b
+            self.char_or_lifetime(line);
+            return;
+        }
+        // Consume prefix letters.
+        while matches!(self.peek(), Some(b'r' | b'b')) {
+            self.advance();
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.advance();
+        }
+        if self.peek() != Some(b'"') {
+            // Not actually a raw string (e.g. `r#ident`); emit an ident.
+            self.push(Tok::Ident("r".into()), line);
+            return;
+        }
+        self.advance(); // opening quote
+        'outer: while let Some(b) = self.peek() {
+            if b == b'"' {
+                // Need `hashes` trailing '#'s to close.
+                for i in 0..hashes {
+                    if self.peek_at(1 + i) != Some(b'#') {
+                        self.advance();
+                        continue 'outer;
+                    }
+                }
+                self.advance(); // closing quote
+                for _ in 0..hashes {
+                    self.advance();
+                }
+                break;
+            }
+            self.advance();
+        }
+        self.push(Tok::Str, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("x.unwrap()"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct(b'.'),
+                Tok::Ident("unwrap".into()),
+                Tok::Punct(b'('),
+                Tok::Punct(b')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        // `unwrap` inside a string must not produce an ident token.
+        let toks = kinds(r#"let s = "please unwrap me";"#);
+        assert!(toks.iter().all(|t| t.ident() != Some("unwrap")));
+        assert!(toks.contains(&Tok::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"panic!("x")"#; done"###);
+        assert!(toks.iter().all(|t| t.ident() != Some("panic")));
+        assert_eq!(toks.last().unwrap(), &Tok::Ident("done".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(
+            kinds("&'a str 'x' '\\n'"),
+            vec![
+                Tok::Punct(b'&'),
+                Tok::Lifetime,
+                Tok::Ident("str".into()),
+                Tok::Char,
+                Tok::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_collected_not_tokenized() {
+        let lexed = lex("a // unwrap()\nb /* panic! */ c");
+        let idents: Vec<_> = lexed.tokens.iter().filter_map(|t| t.kind.ident()).collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ x");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn lines_tracked_across_multiline_tokens() {
+        let lexed = lex("a\n\"two\nline\"\nb");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[2].line, 4);
+    }
+
+    #[test]
+    fn byte_char_is_char() {
+        assert_eq!(
+            kinds("b'x' next"),
+            vec![Tok::Char, Tok::Ident("next".into())]
+        );
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in ["'", "\"abc", "/* nope", "r#\"open", "\u{1F600} emoji"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # qrec-lint — self-hosted workspace static analysis
+//!
+//! The serving stack added in `crates/serve` is the code path millions
+//! of requests would traverse: a stray `panic!` aborts a worker thread,
+//! a lock guard held across a decode call serialises the batcher. The
+//! generic clippy lints cannot police those *project* invariants, and
+//! the offline build rules out external tools (dylint, cargo-deny), so
+//! — like the vendored dataset generators standing in for SDSS and
+//! SQLShare — the correctness tooling is reproduced in-repo.
+//!
+//! The engine reuses the token-stream lexer design proven by
+//! `crates/sql/src/lexer.rs`, walks every workspace source file,
+//! separates library code from `#[cfg(test)]` modules / test files /
+//! binaries / benches, and runs six rules (see [`rules`]). Violations
+//! can be waived inline with
+//! `// qrec-lint: allow(<rule>) -- <reason>` (the reason is mandatory)
+//! or tolerated via the checked-in `lint-baseline.toml` ratchet.
+//!
+//! Run it with `cargo run -p qrec-lint --` (CI does, between clippy and
+//! the build); add `--json` for machine-readable output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod diag;
+pub mod file;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{Baseline, BaselineError};
+pub use diag::Finding;
+pub use file::{FileClass, SourceFile};
+pub use rules::{analyze, Config, RULES};
+pub use walk::{collect_workspace, Workspace};

@@ -1,0 +1,157 @@
+//! The `qrec-lint` binary: walk the workspace, run the rules, subtract
+//! the baseline, and report.
+//!
+//! Exit codes: 0 = clean (or baseline written), 1 = new violations,
+//! 2 = usage or I/O error.
+
+use qrec_lint::{analyze, collect_workspace, diag, Baseline};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qrec-lint — workspace static analysis for qrec
+
+USAGE:
+    cargo run -p qrec-lint -- [OPTIONS]
+
+OPTIONS:
+    --json               emit findings as a JSON array
+    --write-baseline     rewrite lint-baseline.toml from current findings
+    --baseline <PATH>    baseline file (default: <root>/lint-baseline.toml)
+    --root <DIR>         workspace root (default: auto-detected)
+    -h, --help           show this help
+";
+
+struct Args {
+    json: bool,
+    write_baseline: bool,
+    baseline: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        write_baseline: false,
+        baseline: None,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root: `--root`, else the nearest ancestor of the
+/// current directory containing a workspace `Cargo.toml`, else the
+/// compile-time location of this crate.
+fn find_root(cli: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = cli {
+        return root;
+    }
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = find_root(args.root);
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let ws = match collect_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: cannot walk workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = analyze(&ws.files, &ws.config);
+
+    if args.write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} entries to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(), // no baseline file: nothing tolerated
+    };
+
+    let (tolerated, fresh): (Vec<_>, Vec<_>) =
+        findings.into_iter().partition(|f| baseline.contains(f));
+
+    if args.json {
+        println!("{}", diag::to_json(&fresh));
+    } else {
+        for f in &fresh {
+            println!("{}\n", f.render());
+        }
+        println!(
+            "qrec-lint: checked {} files: {} new violation(s), {} baselined",
+            ws.files.len(),
+            fresh.len(),
+            tolerated.len()
+        );
+        if !fresh.is_empty() {
+            println!(
+                "fix the code, add `// qrec-lint: allow(<rule>) -- <reason>`, or \
+                 regenerate the baseline with --write-baseline"
+            );
+        }
+    }
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,679 @@
+//! The six project rules and the engine that runs them.
+//!
+//! | id                    | invariant it protects                              |
+//! |-----------------------|----------------------------------------------------|
+//! | `no-panic-in-hot-path`| serving/library code must not be able to panic      |
+//! | `no-lock-across-call` | lock guards never live across decode/train calls   |
+//! | `no-stdout-in-lib`    | library code never writes to stdio directly        |
+//! | `error-type-hygiene`  | every public error enum is a real `Error`          |
+//! | `safety-comments`     | every `unsafe` block carries a `// SAFETY:` note   |
+//! | `shim-surface-drift`  | parking_lot crates never regress to `std::sync`    |
+
+use crate::diag::Finding;
+use crate::file::{FileClass, FileContext, SourceFile};
+use crate::lexer::Tok;
+use std::collections::{HashMap, HashSet};
+
+/// Every rule id, in R1..R6 order.
+pub const RULES: [&str; 6] = [
+    "no-panic-in-hot-path",
+    "no-lock-across-call",
+    "no-stdout-in-lib",
+    "error-type-hygiene",
+    "safety-comments",
+    "shim-surface-drift",
+];
+
+/// Which crates each cross-cutting rule applies to.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose library code must be panic-free (R1).
+    pub hot_path_crates: Vec<String>,
+    /// Crates checked for lock-guards held across decode calls (R2).
+    pub lock_call_crates: Vec<String>,
+    /// Crates standardized on `parking_lot` (R6): `std::sync` locks are
+    /// surface drift there.
+    pub parking_lot_crates: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            hot_path_crates: ["serve", "core", "nn", "sql"].map(String::from).to_vec(),
+            lock_call_crates: vec!["serve".to_string()],
+            parking_lot_crates: vec!["serve".to_string()],
+        }
+    }
+}
+
+/// Run every rule over `files`, returning unsuppressed findings sorted
+/// by (file, line, rule). Inline-allowed findings are dropped;
+/// malformed allow directives are themselves findings.
+pub fn analyze(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Crate-level state for R4: enums and trait impls seen per crate.
+    // An enum in `error.rs` is satisfied by impls in any sibling file,
+    // so verdicts wait until the whole crate has been scanned.
+    let mut error_enums: Vec<ErrorEnum> = Vec::new();
+    let mut impls: HashMap<String, HashSet<(String, String)>> = HashMap::new();
+
+    for file in files {
+        let ctx = FileContext::new(file);
+        findings.extend(ctx.malformed.iter().cloned());
+
+        let mut raw = Vec::new();
+        if applies_r1(file, cfg) {
+            no_panic_in_hot_path(&ctx, &mut raw);
+        }
+        if applies_r2(file, cfg) {
+            no_lock_across_call(&ctx, &mut raw);
+        }
+        if applies_r3(file) {
+            no_stdout_in_lib(&ctx, &mut raw);
+        }
+        if applies_r4(file) {
+            collect_error_types(&ctx, &mut error_enums, &mut impls);
+        }
+        safety_comments(&ctx, &mut raw); // R5: every file, every class
+        if applies_r6(file, cfg) {
+            shim_surface_drift(&ctx, &mut raw);
+        }
+
+        findings.extend(raw.into_iter().filter(|f| !ctx.allowed(&f.rule, f.line)));
+    }
+
+    for e in error_enums {
+        let have = impls.get(&e.crate_name);
+        let has = |trait_name: &str| {
+            have.is_some_and(|set| set.contains(&(trait_name.to_string(), e.type_name.clone())))
+        };
+        if !(has("Display") && has("Error")) {
+            findings.push(e.finding);
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    findings.dedup();
+    findings
+}
+
+fn applies_r1(file: &SourceFile, cfg: &Config) -> bool {
+    file.class == FileClass::Library && cfg.hot_path_crates.contains(&file.crate_name)
+}
+
+fn applies_r2(file: &SourceFile, cfg: &Config) -> bool {
+    file.class == FileClass::Library && cfg.lock_call_crates.contains(&file.crate_name)
+}
+
+fn applies_r3(file: &SourceFile) -> bool {
+    file.class == FileClass::Library
+}
+
+fn applies_r4(file: &SourceFile) -> bool {
+    matches!(file.class, FileClass::Library) && !file.crate_name.starts_with("shim:")
+}
+
+fn applies_r6(file: &SourceFile, cfg: &Config) -> bool {
+    matches!(file.class, FileClass::Library | FileClass::Binary)
+        && cfg.parking_lot_crates.contains(&file.crate_name)
+}
+
+fn finding(ctx: &FileContext<'_>, rule: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: rule.into(),
+        file: ctx.file.path.clone(),
+        line,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------
+// R1: no-panic-in-hot-path
+// ---------------------------------------------------------------------
+
+/// Flags `.unwrap()`, `.expect("…")`, `panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!`, and indexing by an integer literal (`xs[0]`) in
+/// non-test library code of hot-path crates.
+///
+/// `.expect(` is only flagged when the first argument is a string
+/// literal: without type information that is the signature of
+/// `Option::expect` / `Result::expect`, and it keeps user-defined
+/// `expect(Token)`-style parser methods (which return `Result`) out of
+/// the findings.
+fn no_panic_in_hot_path(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-panic-in-hot-path";
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        match &tok.kind {
+            Tok::Ident(name) if name == "unwrap" || name == "expect" => {
+                let after_dot = i > 0 && toks[i - 1].kind.is_punct(b'.');
+                let called = toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('));
+                let panicky_arg = if name == "unwrap" {
+                    toks.get(i + 2).is_some_and(|t| t.kind.is_punct(b')'))
+                } else {
+                    matches!(toks.get(i + 2).map(|t| &t.kind), Some(Tok::Str))
+                };
+                if after_dot && called && panicky_arg {
+                    out.push(finding(
+                        ctx,
+                        RULE,
+                        tok.line,
+                        format!(
+                            "`.{name}()` can panic in hot-path library code; \
+                             return a typed error instead"
+                        ),
+                    ));
+                }
+            }
+            Tok::Ident(name)
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) =>
+            {
+                let bang = toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'!'));
+                if bang {
+                    out.push(finding(
+                        ctx,
+                        RULE,
+                        tok.line,
+                        format!("`{name}!` aborts the worker thread; return a typed error instead"),
+                    ));
+                }
+            }
+            Tok::Punct(b'[') => {
+                // `expr[3]`: previous token ends an expression and the
+                // bracket group is exactly one integer literal.
+                let indexable = i > 0
+                    && matches!(
+                        &toks[i - 1].kind,
+                        Tok::Ident(_) | Tok::Punct(b')') | Tok::Punct(b']')
+                    );
+                let literal_index = matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Number))
+                    && toks.get(i + 2).is_some_and(|t| t.kind.is_punct(b']'));
+                if indexable && literal_index {
+                    out.push(finding(
+                        ctx,
+                        RULE,
+                        tok.line,
+                        "indexing by integer literal can panic; use `.get(_)` or a \
+                         destructuring pattern"
+                            .into(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R2: no-lock-across-call
+// ---------------------------------------------------------------------
+
+/// Flags a lock-guard binding (`let g = x.read()/.write()/.lock()`)
+/// that is still live when a `decode*` / `train*` / `recommend*` call
+/// happens. Liveness ends at the guard's enclosing block, at
+/// `drop(guard)`, or at an explicit rebinding.
+fn no_lock_across_call(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-lock-across-call";
+    let toks = &ctx.lexed.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(kw) if kw == "let" && !ctx.in_test(i) => {
+                if let Some(guard) = lock_binding(toks, i, depth) {
+                    guards.push(guard);
+                }
+            }
+            // `drop(g)` ends g's liveness.
+            Tok::Ident(name)
+                if name == "drop"
+                    && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('))
+                    && toks.get(i + 3).is_some_and(|t| t.kind.is_punct(b')')) =>
+            {
+                if let Some(Tok::Ident(dropped)) = toks.get(i + 2).map(|t| &t.kind) {
+                    guards.retain(|g| &g.name != dropped);
+                }
+            }
+            Tok::Ident(name)
+                if !ctx.in_test(i)
+                    && (name.starts_with("decode")
+                        || name.starts_with("train")
+                        || name.starts_with("recommend"))
+                    && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'(')) =>
+            {
+                if let Some(g) = guards.last() {
+                    out.push(finding(
+                        ctx,
+                        RULE,
+                        toks[i].line,
+                        format!(
+                            "`{name}(…)` runs while lock guard `{}` (taken on line {}) is \
+                             still held; drop the guard or scope it before decoding",
+                            g.name, g.line
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// A live lock-guard binding being tracked by R2.
+struct Guard {
+    name: String,
+    depth: usize,
+    line: u32,
+}
+
+/// If tokens at `let_idx` start a statement of the shape
+/// `let [mut] NAME … = …<.read()|.write()|.lock()>… ;`, return its guard.
+///
+/// The lock call must sit at the expression's top bracket level: in
+/// `let t = { let g = m.read(); g.len() };` the guard is scoped to the
+/// inner block and `t` is a plain value, not a guard.
+fn lock_binding(toks: &[crate::lexer::Token], let_idx: usize, depth: usize) -> Option<Guard> {
+    let mut j = let_idx + 1;
+    if toks.get(j)?.kind.ident() == Some("mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?.kind.ident()?.to_string();
+    if name == "_" {
+        return None; // bound to `_`: dropped immediately
+    }
+    // Scan to the terminating `;` at bracket depth zero, looking for a
+    // top-level `.read()` / `.write()` / `.lock()` call.
+    let mut rel_depth = 0isize;
+    let mut takes_lock = false;
+    let mut k = j + 1;
+    while let Some(tok) = toks.get(k) {
+        match &tok.kind {
+            Tok::Punct(b'(' | b'[' | b'{') => rel_depth += 1,
+            Tok::Punct(b')' | b']' | b'}') => rel_depth -= 1,
+            Tok::Punct(b';') if rel_depth <= 0 => break,
+            Tok::Ident(m) if rel_depth == 0 && matches!(m.as_str(), "read" | "write" | "lock") => {
+                let after_dot = toks[k - 1].kind.is_punct(b'.');
+                let called = toks.get(k + 1).is_some_and(|t| t.kind.is_punct(b'('));
+                if after_dot && called {
+                    takes_lock = true;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    takes_lock.then(|| Guard {
+        name,
+        depth,
+        line: toks[let_idx].line,
+    })
+}
+
+// ---------------------------------------------------------------------
+// R3: no-stdout-in-lib
+// ---------------------------------------------------------------------
+
+/// Flags `println!` / `eprintln!` / `print!` / `eprint!` in non-test
+/// library code. Binaries, benches, examples, and tests may use stdio.
+fn no_stdout_in_lib(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-stdout-in-lib";
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let Tok::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if !matches!(name.as_str(), "println" | "eprintln" | "print" | "eprint") {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'!')) {
+            out.push(finding(
+                ctx,
+                RULE,
+                tok.line,
+                format!("`{name}!` in library code; route output through a `Reporter` instead"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R4: error-type-hygiene
+// ---------------------------------------------------------------------
+
+/// A `pub enum *Error` declaration pending its crate-wide R4 verdict.
+struct ErrorEnum {
+    crate_name: String,
+    type_name: String,
+    finding: Finding,
+}
+
+/// First pass of R4: record `pub enum *Error` declarations (as pending
+/// findings) and every `impl <Trait> for <Type>` in the crate.
+fn collect_error_types(
+    ctx: &FileContext<'_>,
+    enums: &mut Vec<ErrorEnum>,
+    impls: &mut HashMap<String, HashSet<(String, String)>>,
+) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `pub enum XError`
+        if toks[i].kind.ident() == Some("pub")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind.ident() == Some("enum"))
+        {
+            if let Some(name) = toks.get(i + 2).and_then(|t| t.kind.ident()) {
+                if name.ends_with("Error") && !ctx.allowed("error-type-hygiene", toks[i].line) {
+                    enums.push(ErrorEnum {
+                        crate_name: ctx.file.crate_name.clone(),
+                        type_name: name.to_string(),
+                        finding: finding(
+                            ctx,
+                            "error-type-hygiene",
+                            toks[i].line,
+                            format!(
+                                "`{name}` is a public error enum but does not implement both \
+                                 `Display` and `std::error::Error`"
+                            ),
+                        ),
+                    });
+                }
+            }
+        }
+        // `impl [<…>] path::Trait for Type`
+        if toks[i].kind.ident() == Some("impl") {
+            if let Some((trait_seg, ty)) = parse_impl(toks, i) {
+                impls
+                    .entry(ctx.file.crate_name.clone())
+                    .or_default()
+                    .insert((trait_seg, ty));
+            }
+        }
+    }
+}
+
+/// Parse `impl [<generics>] a::b::Trait for Type`, returning the
+/// trait's final path segment and the type name.
+fn parse_impl(toks: &[crate::lexer::Token], impl_idx: usize) -> Option<(String, String)> {
+    let mut j = impl_idx + 1;
+    // Skip `<…>` generics (angle brackets are Punct('<') / Punct('>')).
+    if toks.get(j)?.kind.is_punct(b'<') {
+        let mut depth = 0isize;
+        while let Some(t) = toks.get(j) {
+            if t.kind.is_punct(b'<') {
+                depth += 1;
+            } else if t.kind.is_punct(b'>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect path segments up to `for`; bail at `{` (inherent impl).
+    let mut last_seg: Option<String> = None;
+    loop {
+        let tok = toks.get(j)?;
+        match &tok.kind {
+            Tok::Ident(seg) if seg == "for" => break,
+            Tok::Ident(seg) => last_seg = Some(seg.clone()),
+            Tok::Punct(b':') => {}
+            Tok::Punct(b'<') => {
+                // Trait generics, e.g. `From<io::Error>`: skip the group.
+                let mut depth = 0isize;
+                while let Some(t) = toks.get(j) {
+                    if t.kind.is_punct(b'<') {
+                        depth += 1;
+                    } else if t.kind.is_punct(b'>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            Tok::Punct(b'{') | Tok::Punct(b';') => return None,
+            _ => return None,
+        }
+        j += 1;
+    }
+    let ty = toks.get(j + 1)?.kind.ident()?.to_string();
+    Some((last_seg?, ty))
+}
+
+// ---------------------------------------------------------------------
+// R5: safety-comments
+// ---------------------------------------------------------------------
+
+/// Every `unsafe {` block must be preceded (within two lines) by a
+/// comment containing `SAFETY:` explaining why it is sound.
+fn safety_comments(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "safety-comments";
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind.ident() != Some("unsafe") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'{')) {
+            continue; // `unsafe fn` / `unsafe impl`: signature, not a block
+        }
+        let line = tok.line;
+        let documented =
+            ctx.lexed.comments.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.end_line < line + 1 && c.end_line + 2 >= line
+            });
+        if !documented {
+            out.push(finding(
+                ctx,
+                RULE,
+                line,
+                "`unsafe` block without a preceding `// SAFETY:` comment".into(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R6: shim-surface-drift
+// ---------------------------------------------------------------------
+
+/// In crates standardized on `parking_lot`, flags `std::sync::Mutex` /
+/// `std::sync::RwLock` paths (including `use std::sync::{Mutex, …}`
+/// groups): mixing lock vocabularies reintroduces poisoning semantics
+/// the crate was designed away from.
+fn shim_surface_drift(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "shim-surface-drift";
+    let toks = &ctx.lexed.tokens;
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        let is_std_sync = toks[i].kind.ident() == Some("std")
+            && toks[i + 1].kind.is_punct(b':')
+            && toks[i + 2].kind.is_punct(b':')
+            && toks[i + 3].kind.ident() == Some("sync");
+        if !is_std_sync || ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // `std::sync::Mutex` or `std::sync::{…, Mutex, …}`.
+        let mut j = i + 4;
+        if toks.get(j).is_some_and(|t| t.kind.is_punct(b':'))
+            && toks.get(j + 1).is_some_and(|t| t.kind.is_punct(b':'))
+        {
+            j += 2;
+        }
+        let mut flagged = Vec::new();
+        match toks.get(j).map(|t| &t.kind) {
+            Some(Tok::Ident(name)) if name == "Mutex" || name == "RwLock" => {
+                flagged.push(name.clone());
+            }
+            Some(Tok::Punct(b'{')) => {
+                let mut k = j + 1;
+                let mut depth = 1usize;
+                while let Some(t) = toks.get(k) {
+                    match &t.kind {
+                        Tok::Punct(b'{') => depth += 1,
+                        Tok::Punct(b'}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(name) if name == "Mutex" || name == "RwLock" => {
+                            flagged.push(name.clone());
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            _ => {}
+        }
+        for name in flagged {
+            out.push(finding(
+                ctx,
+                RULE,
+                line,
+                format!(
+                    "`std::sync::{name}` in a crate standardized on `parking_lot`; \
+                     use the workspace `parking_lot` alias"
+                ),
+            ));
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(crate_name: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: format!("crates/{crate_name}/src/x.rs"),
+            crate_name: crate_name.into(),
+            class: FileClass::Library,
+            text: text.into(),
+        }
+    }
+
+    fn rules_hit(files: &[SourceFile]) -> Vec<String> {
+        analyze(files, &Config::default())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_outside_hot_path_crate_is_fine() {
+        let f = lib_file("workload", "fn f() { x.unwrap(); }");
+        assert!(rules_hit(&[f]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_crate_is_flagged() {
+        let f = lib_file("serve", "fn f() { x.unwrap(); }");
+        assert_eq!(rules_hit(&[f]), vec!["no-panic-in-hot-path"]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let f = lib_file(
+            "serve",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(id); z.unwrap_or_default(); }",
+        );
+        assert!(rules_hit(&[f]).is_empty());
+    }
+
+    #[test]
+    fn binary_class_may_panic_and_print() {
+        let f = SourceFile {
+            path: "crates/serve/src/bin/main.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Binary,
+            text: "fn main() { println!(\"x\"); y.unwrap(); }".into(),
+        };
+        assert!(rules_hit(&[f]).is_empty());
+    }
+
+    #[test]
+    fn literal_index_flagged_but_computed_index_fine() {
+        let bad = lib_file("core", "fn f() { let a = xs[0]; }");
+        assert_eq!(rules_hit(&[bad]), vec!["no-panic-in-hot-path"]);
+        let ok = lib_file("core", "fn f() { let a = xs[i]; let b = ys[n - 1]; }");
+        assert!(rules_hit(&[ok]).is_empty());
+        // Array type syntax and slice patterns are not indexing.
+        let ty = lib_file("core", "fn f(x: [u8; 4]) -> [f32; 2] { [0.0, 1.0] }");
+        assert!(rules_hit(&[ty]).is_empty());
+    }
+
+    #[test]
+    fn impl_parser_reads_paths_and_generics() {
+        assert_eq!(
+            parse_impl(
+                &crate::lexer::lex("impl fmt::Display for ServeError {").tokens,
+                0
+            ),
+            Some(("Display".into(), "ServeError".into()))
+        );
+        assert_eq!(
+            parse_impl(
+                &crate::lexer::lex("impl std::error::Error for X {}").tokens,
+                0
+            ),
+            Some(("Error".into(), "X".into()))
+        );
+        assert_eq!(
+            parse_impl(
+                &crate::lexer::lex("impl<T> From<io::Error> for E<T> {}").tokens,
+                0
+            ),
+            Some(("From".into(), "E".into()))
+        );
+        assert_eq!(
+            parse_impl(&crate::lexer::lex("impl ServeError {").tokens, 0),
+            None
+        );
+    }
+
+    #[test]
+    fn lock_guard_across_decode_flagged_and_drop_clears() {
+        let bad = lib_file(
+            "serve",
+            "fn f(s: &S) { let g = s.inner.read(); decode_batch(&g); }",
+        );
+        assert_eq!(rules_hit(&[bad]), vec!["no-lock-across-call"]);
+        let ok = lib_file(
+            "serve",
+            "fn f(s: &S) { let g = s.inner.read(); let t = g.tokens(); drop(g); decode_batch(&t); }",
+        );
+        assert!(rules_hit(&[ok]).is_empty());
+        let scoped = lib_file(
+            "serve",
+            "fn f(s: &S) { let t = { let g = s.inner.read(); g.tokens() }; decode_batch(&t); }",
+        );
+        assert!(rules_hit(&[scoped]).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Workspace discovery: find every `.rs` file, classify it, and build
+//! the rule configuration from the crate manifests.
+
+use crate::file::{FileClass, SourceFile};
+use crate::rules::Config;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The workspace as the linter sees it.
+pub struct Workspace {
+    /// Every classified source file.
+    pub files: Vec<SourceFile>,
+    /// Rule configuration derived from crate manifests.
+    pub config: Config,
+}
+
+/// Walk the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`) and classify every source file.
+///
+/// Skips `target/`, hidden directories, and `tests/fixtures/` trees
+/// (lint fixtures deliberately contain violations).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory walks and file reads.
+pub fn collect_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut files = Vec::new();
+    let mut config = Config::default();
+    config.parking_lot_crates.clear();
+
+    // crates/<name>/…
+    for crate_dir in subdirs(&root.join("crates"))? {
+        let crate_name = dir_name(&crate_dir);
+        let manifest = fs::read_to_string(crate_dir.join("Cargo.toml")).unwrap_or_default();
+        if manifest
+            .lines()
+            .any(|l| l.trim_start().starts_with("parking_lot"))
+        {
+            config.parking_lot_crates.push(crate_name.clone());
+        }
+        collect_package(root, &crate_dir, &crate_name, &mut files)?;
+    }
+
+    // The root package (`src/`, `examples/`, `tests/`).
+    collect_package(root, root, "qrec", &mut files)?;
+
+    // Vendored shims: only ever checked for safety comments.
+    for shim_dir in subdirs(&root.join("shims"))? {
+        let crate_name = format!("shim:{}", dir_name(&shim_dir));
+        collect_tree(
+            root,
+            &shim_dir.join("src"),
+            &crate_name,
+            FileClass::Shim,
+            &mut files,
+        )?;
+    }
+
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(Workspace { files, config })
+}
+
+/// Collect one package's conventional source trees.
+fn collect_package(
+    root: &Path,
+    pkg: &Path,
+    crate_name: &str,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    collect_tree(
+        root,
+        &pkg.join("src"),
+        crate_name,
+        FileClass::Library,
+        files,
+    )?;
+    collect_tree(
+        root,
+        &pkg.join("tests"),
+        crate_name,
+        FileClass::TestFile,
+        files,
+    )?;
+    collect_tree(
+        root,
+        &pkg.join("benches"),
+        crate_name,
+        FileClass::Bench,
+        files,
+    )?;
+    collect_tree(
+        root,
+        &pkg.join("examples"),
+        crate_name,
+        FileClass::Example,
+        files,
+    )?;
+    Ok(())
+}
+
+/// Recursively collect `.rs` files under `dir` with a default class;
+/// `src/bin/**` and `src/main.rs` are reclassified as binaries.
+fn collect_tree(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    class: FileClass,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            let class = if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+                FileClass::Binary
+            } else {
+                class
+            };
+            files.push(SourceFile {
+                path: rel,
+                crate_name: crate_name.to_string(),
+                class,
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn subdirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn dir_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn walks_the_real_workspace() {
+        let ws = collect_workspace(&workspace_root()).unwrap();
+        assert!(ws.files.len() > 50, "found {} files", ws.files.len());
+        let find = |p: &str| ws.files.iter().find(|f| f.path == p);
+        let batcher = find("crates/serve/src/batcher.rs").expect("batcher present");
+        assert_eq!(batcher.class, FileClass::Library);
+        assert_eq!(batcher.crate_name, "serve");
+        let bin = find("crates/serve/src/bin/qrec-serve.rs").expect("serve bin present");
+        assert_eq!(bin.class, FileClass::Binary);
+        assert!(
+            ws.config.parking_lot_crates.contains(&"serve".to_string()),
+            "serve declares parking_lot: {:?}",
+            ws.config.parking_lot_crates
+        );
+    }
+
+    #[test]
+    fn fixtures_are_not_walked() {
+        let ws = collect_workspace(&workspace_root()).unwrap();
+        assert!(
+            ws.files.iter().all(|f| !f.path.contains("/fixtures/")),
+            "fixture files must not be analyzed as workspace sources"
+        );
+    }
+
+    #[test]
+    fn shims_are_classified_as_shims() {
+        let ws = collect_workspace(&workspace_root()).unwrap();
+        let shim = ws
+            .files
+            .iter()
+            .find(|f| f.path.starts_with("shims/"))
+            .expect("shims present");
+        assert_eq!(shim.class, FileClass::Shim);
+        assert!(shim.crate_name.starts_with("shim:"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Fixture-driven rule tests: every rule has a positive fixture that
+//! must fire and a negative fixture that must stay silent.
+//!
+//! Fixtures live under `tests/fixtures/<rule>/{pos,neg}.rs`. The
+//! workspace walker skips directories named `fixtures`, so these files
+//! are never linted as workspace sources — only through this harness.
+
+use qrec_lint::{analyze, Config, FileClass, SourceFile};
+
+/// Lint one fixture as library code of `crate_name`, returning the
+/// distinct rule ids that fired.
+fn rules_hit(crate_name: &str, text: &str) -> Vec<String> {
+    let file = SourceFile {
+        path: format!("crates/{crate_name}/src/fixture.rs"),
+        crate_name: crate_name.to_string(),
+        class: FileClass::Library,
+        text: text.to_string(),
+    };
+    let mut rules: Vec<String> = analyze(&[file], &Config::default())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+/// Assert the positive fixture fires `rule` and the negative one is
+/// entirely clean (no finding of *any* rule — fixtures must not trip
+/// neighbouring rules by accident).
+fn check_rule(rule: &str, crate_name: &str, pos: &str, neg: &str) {
+    let pos_hits = rules_hit(crate_name, pos);
+    assert!(
+        pos_hits.iter().any(|r| r == rule),
+        "positive fixture for {rule} should fire it, got {pos_hits:?}"
+    );
+    assert!(
+        pos_hits.iter().all(|r| r == rule),
+        "positive fixture for {rule} tripped other rules: {pos_hits:?}"
+    );
+    let neg_hits = rules_hit(crate_name, neg);
+    assert!(
+        neg_hits.is_empty(),
+        "negative fixture for {rule} should be clean, got {neg_hits:?}"
+    );
+}
+
+#[test]
+fn r1_no_panic_in_hot_path() {
+    let pos = include_str!("fixtures/r1_panic/pos.rs");
+    let neg = include_str!("fixtures/r1_panic/neg.rs");
+    check_rule("no-panic-in-hot-path", "serve", pos, neg);
+    // All four panicking shapes are caught: unwrap, expect("…"),
+    // panic!, and indexing by an integer literal.
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/serve/src/fixture.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: pos.into(),
+        }],
+        &Config::default(),
+    );
+    assert_eq!(findings.len(), 4, "one finding per shape: {findings:?}");
+}
+
+#[test]
+fn r1_does_not_apply_outside_hot_path_crates() {
+    let pos = include_str!("fixtures/r1_panic/pos.rs");
+    assert!(
+        rules_hit("workload", pos).is_empty(),
+        "R1 is scoped to the hot-path crates"
+    );
+}
+
+#[test]
+fn r2_no_lock_across_call() {
+    check_rule(
+        "no-lock-across-call",
+        "serve",
+        include_str!("fixtures/r2_lock/pos.rs"),
+        include_str!("fixtures/r2_lock/neg.rs"),
+    );
+}
+
+#[test]
+fn r3_no_stdout_in_lib() {
+    let pos = include_str!("fixtures/r3_stdout/pos.rs");
+    let neg = include_str!("fixtures/r3_stdout/neg.rs");
+    check_rule("no-stdout-in-lib", "workload", pos, neg);
+    // Binaries may use stdio: the same text is clean as FileClass::Binary.
+    let as_bin = analyze(
+        &[SourceFile {
+            path: "crates/workload/src/bin/tool.rs".into(),
+            crate_name: "workload".into(),
+            class: FileClass::Binary,
+            text: pos.into(),
+        }],
+        &Config::default(),
+    );
+    assert!(as_bin.is_empty(), "binaries may print: {as_bin:?}");
+}
+
+#[test]
+fn r4_error_type_hygiene() {
+    check_rule(
+        "error-type-hygiene",
+        "workload",
+        include_str!("fixtures/r4_error/pos.rs"),
+        include_str!("fixtures/r4_error/neg.rs"),
+    );
+}
+
+#[test]
+fn r4_impls_in_sibling_file_satisfy_the_enum() {
+    // The enum and its impls may live in different files of one crate.
+    let decl = SourceFile {
+        path: "crates/workload/src/error.rs".into(),
+        crate_name: "workload".into(),
+        class: FileClass::Library,
+        text: "pub enum SplitError { Empty }\n".into(),
+    };
+    let impls = SourceFile {
+        path: "crates/workload/src/display.rs".into(),
+        crate_name: "workload".into(),
+        class: FileClass::Library,
+        text: "impl std::fmt::Display for SplitError {}\n\
+               impl std::error::Error for SplitError {}\n"
+            .into(),
+    };
+    let findings = analyze(&[decl, impls], &Config::default());
+    assert!(findings.is_empty(), "cross-file impls count: {findings:?}");
+}
+
+#[test]
+fn r5_safety_comments() {
+    check_rule(
+        "safety-comments",
+        "workload",
+        include_str!("fixtures/r5_safety/pos.rs"),
+        include_str!("fixtures/r5_safety/neg.rs"),
+    );
+}
+
+#[test]
+fn r5_applies_even_to_shims() {
+    // Shims skip the style rules but still owe safety comments.
+    let findings = analyze(
+        &[SourceFile {
+            path: "shims/parking_lot/src/lib.rs".into(),
+            crate_name: "shim:parking_lot".into(),
+            class: FileClass::Shim,
+            text: include_str!("fixtures/r5_safety/pos.rs").into(),
+        }],
+        &Config::default(),
+    );
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "safety-comments");
+}
+
+#[test]
+fn r6_shim_surface_drift() {
+    let pos = include_str!("fixtures/r6_drift/pos.rs");
+    let neg = include_str!("fixtures/r6_drift/neg.rs");
+    check_rule("shim-surface-drift", "serve", pos, neg);
+    // Both the single path and the brace-group import are caught.
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/serve/src/fixture.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: pos.into(),
+        }],
+        &Config::default(),
+    );
+    assert_eq!(
+        findings.len(),
+        2,
+        "Mutex path + RwLock in group: {findings:?}"
+    );
+}
+
+#[test]
+fn r6_does_not_apply_outside_parking_lot_crates() {
+    let pos = include_str!("fixtures/r6_drift/pos.rs");
+    assert!(
+        rules_hit("workload", pos).is_empty(),
+        "R6 is scoped to the parking_lot crates"
+    );
+}

@@ -1,0 +1,29 @@
+//! R1 negative fixture: typed errors, computed indexing, parser-style
+//! `expect(Token)` methods, and test code — none of it should fire.
+
+pub fn cool(xs: &[u32]) -> Option<u32> {
+    let first = xs.first()?;
+    let idx = xs.len() / 2;
+    let mid = xs.get(idx)?;
+    let fallback = xs.first().copied().unwrap_or(0);
+    Some(first + mid + xs[idx] + fallback)
+}
+
+/// `.expect(` with a non-string first argument is a user-defined
+/// parser method returning `Result`, not `Option/Result::expect`.
+pub fn parse(p: &mut Parser) -> Result<(), ParseError> {
+    p.expect(Token::LParen)?;
+    p.expect(Token::RParen)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let xs = [1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+        assert_eq!(xs[0], 1);
+        let _ = xs.first().expect("non-empty in this test");
+    }
+}

@@ -1,0 +1,10 @@
+//! R1 positive fixture: every panicking shape the rule catches.
+
+pub fn hot(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element present");
+    if *first > 100 {
+        panic!("impossible bucket");
+    }
+    first + second + xs[0]
+}

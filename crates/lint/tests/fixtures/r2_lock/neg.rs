@@ -1,0 +1,17 @@
+//! R2 negative fixture: guards scoped or dropped before the decode
+//! call, the pattern `crates/serve` standardized on in PR 1.
+
+pub fn respond(store: &SessionStore) -> Vec<Hypothesis> {
+    let tokens = {
+        let guard = store.shard.read();
+        guard.tokens.clone()
+    };
+    decode_candidates(&tokens)
+}
+
+pub fn respond_with_drop(store: &SessionStore) -> Vec<Hypothesis> {
+    let guard = store.shard.write();
+    let tokens = guard.tokens.clone();
+    drop(guard);
+    decode_candidates(&tokens)
+}

@@ -1,0 +1,7 @@
+//! R2 positive fixture: a shard guard held across a decode call —
+//! exactly the batcher serialisation bug the rule exists to prevent.
+
+pub fn respond(store: &SessionStore) -> Vec<Hypothesis> {
+    let guard = store.shard.read();
+    decode_candidates(&guard.tokens)
+}

@@ -1,0 +1,15 @@
+//! R3 negative fixture: output routed through a `Reporter`, with
+//! stdio confined to test code.
+
+pub fn report(r: &dyn Reporter, rows: usize) {
+    r.out(&format!("processed {rows} rows"));
+    r.note("done");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,6 @@
+//! R3 positive fixture: direct stdio in library code.
+
+pub fn report(rows: usize) {
+    println!("processed {rows} rows");
+    eprintln!("warning: {rows} rows is a lot");
+}

@@ -1,0 +1,25 @@
+//! R4 negative fixture: a public error enum implementing both
+//! `Display` and `std::error::Error`, plus a non-error enum that the
+//! rule must ignore.
+
+pub enum StoreError {
+    Missing(String),
+    Corrupt { offset: usize },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Missing(k) => write!(f, "missing key {k}"),
+            StoreError::Corrupt { offset } => write!(f, "corrupt at {offset}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Not named `*Error`: out of the rule's scope entirely.
+pub enum Verdict {
+    Keep,
+    Evict,
+}

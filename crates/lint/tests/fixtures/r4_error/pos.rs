@@ -1,0 +1,16 @@
+//! R4 positive fixture: a public error enum with a `Display` impl but
+//! no `std::error::Error` impl — half-finished error hygiene.
+
+pub enum FetchError {
+    Timeout,
+    Disconnected,
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Timeout => write!(f, "timed out"),
+            FetchError::Disconnected => write!(f, "disconnected"),
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! R5 negative fixture: a documented `unsafe` block, plus an
+//! `unsafe fn` signature, which is a declaration and not a block.
+
+pub fn reinterpret(bytes: &[u8]) -> &[u32] {
+    // SAFETY: the caller guarantees `bytes` is 4-byte aligned, and the
+    // length is truncated to whole u32 words.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4) }
+}
+
+pub unsafe fn raw_len(ptr: *const u8) -> usize {
+    ptr as usize
+}

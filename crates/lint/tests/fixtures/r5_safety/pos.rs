@@ -1,0 +1,5 @@
+//! R5 positive fixture: an `unsafe` block with no safety note at all.
+
+pub fn reinterpret(bytes: &[u8]) -> &[u32] {
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4) }
+}

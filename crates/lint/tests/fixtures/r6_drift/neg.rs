@@ -1,0 +1,12 @@
+//! R6 negative fixture: `parking_lot` locks plus the `std::sync`
+//! items (`Arc`, atomics) that are *not* lock-vocabulary drift.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+pub struct Clean {
+    inner: Mutex<u32>,
+    table: Arc<RwLock<u32>>,
+    hits: AtomicU64,
+}

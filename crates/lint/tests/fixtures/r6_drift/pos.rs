@@ -1,0 +1,10 @@
+//! R6 positive fixture: `std::sync` locks (single path and brace
+//! group) creeping back into a crate standardized on `parking_lot`.
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+
+pub struct Drifted {
+    inner: Mutex<u32>,
+    table: Arc<RwLock<u32>>,
+}

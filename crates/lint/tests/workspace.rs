@@ -1,0 +1,136 @@
+//! End-to-end checks against the real workspace: the shipped tree must
+//! be clean modulo the checked-in baseline, and the engine must still
+//! catch a deliberately injected violation in real serving code.
+
+use qrec_lint::{analyze, Baseline, Config, FileClass, SourceFile};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The acceptance bar for the PR: `cargo run -p qrec-lint` on the real
+/// workspace reports zero violations that are not in the baseline.
+#[test]
+fn real_workspace_has_no_fresh_violations() {
+    let root = workspace_root();
+    let ws = qrec_lint::collect_workspace(&root).expect("walk workspace");
+    assert!(
+        ws.files.len() > 50,
+        "walker should see the whole workspace, got {} files",
+        ws.files.len()
+    );
+    let baseline = match std::fs::read_to_string(root.join("lint-baseline.toml")) {
+        Ok(text) => Baseline::parse(&text).expect("baseline parses"),
+        Err(_) => Baseline::default(),
+    };
+    let fresh: Vec<_> = analyze(&ws.files, &ws.config)
+        .into_iter()
+        .filter(|f| !baseline.contains(f))
+        .collect();
+    assert!(
+        fresh.is_empty(),
+        "fresh violations in the shipped tree:\n{}",
+        fresh
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Self-test from the issue: seed a real hot-path file
+/// (`crates/serve/src/batcher.rs`) with an `.unwrap()` and prove the
+/// engine fails on it. Guards against the rules rotting into no-ops
+/// while the workspace stays green.
+#[test]
+fn injected_unwrap_in_batcher_is_caught() {
+    let root = workspace_root();
+    let path = root.join("crates/serve/src/batcher.rs");
+    let clean = std::fs::read_to_string(&path).expect("read batcher.rs");
+
+    // Splice a panicking line into non-test library code: right after
+    // the first `use ` line, well before any `#[cfg(test)]` module.
+    let insert_at = clean.find("use ").expect("batcher.rs has imports");
+    let line_end = clean[insert_at..].find('\n').expect("newline") + insert_at + 1;
+    let seeded = format!(
+        "{}fn injected_probe(x: Option<u32>) -> u32 {{ x.unwrap() }}\n{}",
+        &clean[..line_end],
+        &clean[line_end..]
+    );
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: "crates/serve/src/batcher.rs".into(),
+                crate_name: "serve".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+
+    assert!(
+        lint(&clean).is_empty(),
+        "shipped batcher.rs must be clean for the injection to be the delta"
+    );
+    let findings = lint(&seeded);
+    assert_eq!(findings.len(), 1, "exactly the injected line: {findings:?}");
+    assert_eq!(findings[0].rule, "no-panic-in-hot-path");
+    assert_eq!(findings[0].file, "crates/serve/src/batcher.rs");
+}
+
+/// An allow directive without the mandatory `-- <reason>` must not
+/// suppress the violation, and is itself reported.
+#[test]
+fn allow_without_reason_is_rejected() {
+    let text = "\
+pub fn hot(x: Option<u32>) -> u32 {
+    // qrec-lint: allow(no-panic-in-hot-path)
+    x.unwrap()
+}
+";
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/serve/src/x.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: text.into(),
+        }],
+        &Config::default(),
+    );
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(
+        rules.contains(&"malformed-allow"),
+        "missing reason is itself a finding: {findings:?}"
+    );
+    assert!(
+        rules.contains(&"no-panic-in-hot-path"),
+        "a reasonless allow must not suppress the violation: {findings:?}"
+    );
+}
+
+/// The same directive *with* a reason suppresses the violation.
+#[test]
+fn allow_with_reason_suppresses() {
+    let text = "\
+pub fn hot(x: Option<u32>) -> u32 {
+    // qrec-lint: allow(no-panic-in-hot-path) -- invariant: caller checked is_some
+    x.unwrap()
+}
+";
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/serve/src/x.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: text.into(),
+        }],
+        &Config::default(),
+    );
+    assert!(
+        findings.is_empty(),
+        "reasoned allow suppresses: {findings:?}"
+    );
+}

@@ -23,6 +23,7 @@ pub struct MultiHeadAttention {
 impl MultiHeadAttention {
     /// Create the four projections.
     pub fn new(params: &mut Params, name: &str, d: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert!(heads >= 1, "attention needs at least one head");
         assert!(
             d.is_multiple_of(heads),
             "model width {d} not divisible by {heads} heads"
@@ -55,8 +56,9 @@ impl MultiHeadAttention {
         let v = self.v.forward(fwd, x_kv);
         let mask_node = mask.map(|m| fwd.constant(m.clone()));
 
-        let mut heads_out: Option<NodeId> = None;
-        for h in 0..self.heads {
+        // `new` guarantees heads >= 1, so head 0 seeds the concat
+        // without an Option round-trip.
+        let head_ctx = |fwd: &mut Fwd<'_>, h: usize| {
             let (s, e) = (h * dh, (h + 1) * dh);
             let qh = fwd.graph.slice_cols(q, s, e);
             let kh = fwd.graph.slice_cols(k, s, e);
@@ -68,13 +70,13 @@ impl MultiHeadAttention {
                 None => logits,
             };
             let attn = fwd.graph.softmax_rows(logits);
-            let ctx = fwd.graph.matmul(attn, vh); // n × dh
-            heads_out = Some(match heads_out {
-                Some(acc) => fwd.graph.hcat(acc, ctx),
-                None => ctx,
-            });
+            fwd.graph.matmul(attn, vh) // n × dh
+        };
+        let mut concat = head_ctx(fwd, 0);
+        for h in 1..self.heads {
+            let ctx = head_ctx(fwd, h);
+            concat = fwd.graph.hcat(concat, ctx);
         }
-        let concat = heads_out.expect("at least one head");
         self.out.forward(fwd, concat)
     }
 }

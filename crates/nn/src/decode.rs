@@ -81,6 +81,7 @@ pub enum Strategy {
 ///
 /// `max_len` caps emitted length. Returns hypotheses sorted by
 /// descending log-probability (deduplicated on token ids).
+#[must_use]
 pub fn decode<M: Seq2Seq + ?Sized>(
     model: &M,
     params: &Params,

@@ -118,6 +118,7 @@ fn validate_training(cfg: &TrainConfig, train_len: usize) -> Result<(), TrainErr
 ///
 /// Panics on a degenerate configuration; use [`try_train_seq2seq`] for a
 /// typed error instead.
+#[must_use]
 pub fn train_seq2seq<M: Seq2Seq>(
     model: &M,
     params: &mut Params,
@@ -126,6 +127,7 @@ pub fn train_seq2seq<M: Seq2Seq>(
     cfg: &TrainConfig,
 ) -> TrainReport {
     try_train_seq2seq(model, params, train, val, cfg)
+        // qrec-lint: allow(no-panic-in-hot-path) -- documented panicking convenience wrapper; try_train_seq2seq is the typed path
         .unwrap_or_else(|e| panic!("train_seq2seq: {e}"))
 }
 
@@ -246,6 +248,7 @@ pub struct LabeledSeq {
 ///
 /// Panics on a degenerate configuration; use [`try_train_classifier`]
 /// for a typed error instead.
+#[must_use]
 pub fn train_classifier<M: Seq2Seq>(
     model: &M,
     head: &ClassifierHead,
@@ -255,6 +258,7 @@ pub fn train_classifier<M: Seq2Seq>(
     cfg: &TrainConfig,
 ) -> TrainReport {
     try_train_classifier(model, head, params, train, val, cfg)
+        // qrec-lint: allow(no-panic-in-hot-path) -- documented panicking convenience wrapper; try_train_classifier is the typed path
         .unwrap_or_else(|e| panic!("train_classifier: {e}"))
 }
 

@@ -91,12 +91,17 @@ pub struct DecodeEngine {
 
 impl DecodeEngine {
     /// Start the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error when a worker thread cannot be spawned;
+    /// workers already started are joined by the returned engine's drop.
     pub fn start(
         cfg: EngineConfig,
         registry: Arc<ModelRegistry>,
         cache: Arc<RecCache>,
         metrics: Arc<Metrics>,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
         let (tx, rx) = bounded::<Job>(cfg.queue_cap.max(1));
         let max_batch = cfg.max_batch.max(1);
         let workers = (0..cfg.workers)
@@ -116,14 +121,13 @@ impl DecodeEngine {
                             &rx, max_batch, strategy, &registry, &cache, &metrics, &mut rng,
                         );
                     })
-                    .expect("spawn decode worker")
             })
-            .collect();
-        DecodeEngine {
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(DecodeEngine {
             tx: Some(tx),
             rx,
             workers,
-        }
+        })
     }
 
     /// Submit a job without blocking. On success the returned channel

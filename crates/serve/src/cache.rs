@@ -100,10 +100,9 @@ impl RecCache {
         }
         g.order.insert(tick, key);
         while g.map.len() > self.capacity {
-            let Some((&oldest, _)) = g.order.iter().next() else {
+            let Some((_, evicted)) = g.order.pop_first() else {
                 break;
             };
-            let evicted = g.order.remove(&oldest).expect("tick indexed");
             g.map.remove(&evicted);
         }
     }

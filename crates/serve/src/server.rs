@@ -63,6 +63,12 @@ impl Default for ServerConfig {
     }
 }
 
+/// Mutex pairing with [`std::sync::Condvar`] for shutdown signalling.
+/// The rest of the crate standardizes on `parking_lot`, but the shim
+/// has no `Condvar`, so this one flag stays on std's primitives.
+// qrec-lint: allow(shim-surface-drift) -- parking_lot shim has no Condvar; std Mutex+Condvar is the only wait/notify pair available offline
+type ShutdownMutex = std::sync::Mutex<bool>;
+
 /// State shared by every connection handler.
 struct Shared {
     registry: Arc<ModelRegistry>,
@@ -71,9 +77,9 @@ struct Shared {
     metrics: Arc<Metrics>,
     engine: Arc<DecodeEngine>,
     shutdown: AtomicBool,
-    /// Signalled when a client issues the SHUTDOWN verb. Uses std's
-    /// condvar: the parking_lot shim has no `Condvar`.
-    shutdown_requested: std::sync::Mutex<bool>,
+    /// Signalled when a client issues the SHUTDOWN verb; see
+    /// [`ShutdownMutex`].
+    shutdown_requested: ShutdownMutex,
     shutdown_cv: std::sync::Condvar,
 }
 
@@ -127,8 +133,8 @@ impl Server {
             Arc::clone(&registry),
             Arc::clone(&cache),
             Arc::clone(&metrics),
-        ));
-        let sweeper = store.start_sweeper(cfg.sweep_interval);
+        )?);
+        let sweeper = store.start_sweeper(cfg.sweep_interval)?;
 
         let shared = Arc::new(Shared {
             registry,
@@ -137,7 +143,7 @@ impl Server {
             metrics,
             engine: Arc::clone(&engine),
             shutdown: AtomicBool::new(false),
-            shutdown_requested: std::sync::Mutex::new(false),
+            shutdown_requested: ShutdownMutex::new(false),
             shutdown_cv: std::sync::Condvar::new(),
         });
 
@@ -153,16 +159,14 @@ impl Server {
                             handle_connection(stream, &shared);
                         }
                     })
-                    .expect("spawn connection handler")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         let accept_handle = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("qrec-serve-accept".into())
-                .spawn(move || accept_loop(listener, conn_tx, &shared))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(listener, conn_tx, &shared))?
         };
 
         Ok(Server {

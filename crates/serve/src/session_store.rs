@@ -135,7 +135,12 @@ impl SessionStore {
     /// Start a background thread sweeping every `interval`. The thread
     /// wakes in short ticks so dropping the returned handle stops it
     /// promptly rather than after a full interval.
-    pub fn start_sweeper(self: &Arc<Self>, interval: Duration) -> SweeperHandle {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error when the sweeper thread cannot be
+    /// spawned.
+    pub fn start_sweeper(self: &Arc<Self>, interval: Duration) -> std::io::Result<SweeperHandle> {
         let stop = Arc::new(AtomicBool::new(false));
         let store = Arc::clone(self);
         let flag = Arc::clone(&stop);
@@ -151,12 +156,11 @@ impl SessionStore {
                         last = Instant::now();
                     }
                 }
-            })
-            .expect("spawn sweeper thread");
-        SweeperHandle {
+            })?;
+        Ok(SweeperHandle {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 }
 
@@ -247,7 +251,7 @@ mod tests {
     fn sweeper_thread_runs_and_stops() {
         let s = Arc::new(store(0));
         s.push_sql("x", "SELECT a FROM t").unwrap();
-        let h = s.start_sweeper(Duration::from_millis(5));
+        let h = s.start_sweeper(Duration::from_millis(5)).unwrap();
         let deadline = Instant::now() + Duration::from_secs(2);
         while !s.is_empty() && Instant::now() < deadline {
             thread::sleep(Duration::from_millis(5));

@@ -132,7 +132,8 @@ fn serve_end_to_end() {
             Arc::clone(server.registry()),
             Arc::new(RecCache::new(4)),
             Arc::new(Metrics::new()),
-        );
+        )
+        .unwrap();
         let req = DecodeRequest {
             tokens: vec!["select".into(), "a".into()],
             n: 3,

@@ -10,8 +10,9 @@ use std::fmt::{self, Write};
 
 /// True if the identifier can be printed bare (no quoting needed).
 fn is_bare_ident(s: &str) -> bool {
-    !s.is_empty()
-        && s.as_bytes()[0].is_ascii_alphabetic()
+    s.as_bytes()
+        .first()
+        .is_some_and(|b| b.is_ascii_alphabetic())
         && s.bytes()
             .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b == b'#')
         && crate::token::Keyword::from_word(s).is_none()

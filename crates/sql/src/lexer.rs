@@ -77,7 +77,7 @@ impl<'a> Lexer<'a> {
                 b'0'..=b'9' => self.number(start),
                 b'.' if matches!(self.peek2(), Some(b'0'..=b'9')) => self.number(start),
                 b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.word(start),
-                _ => self.operator(start)?,
+                _ => self.operator(b, start)?,
             }
         }
         Ok(self.out)
@@ -121,9 +121,14 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(_) => {
-                    // Re-slice to keep UTF-8 intact: find the char at pos-1.
+                    // Re-slice to keep UTF-8 intact: find the char at
+                    // pos-1. `bump` saw a byte there, so a char always
+                    // starts there; degrade to the unterminated error
+                    // rather than panic if that invariant ever breaks.
                     let ch_start = self.pos - 1;
-                    let ch = self.src[ch_start..].chars().next().expect("in bounds");
+                    let Some(ch) = self.src[ch_start..].chars().next() else {
+                        return Err(self.error(ParseErrorKind::UnterminatedString, start));
+                    };
                     value.push(ch);
                     self.pos = ch_start + ch.len_utf8();
                 }
@@ -197,8 +202,11 @@ impl<'a> Lexer<'a> {
         self.push(token, start);
     }
 
-    fn operator(&mut self, start: usize) -> Result<(), ParseError> {
-        let b = self.bump().expect("caller checked peek");
+    /// Lex a one- or two-byte operator. `b` is the byte at `start`,
+    /// already peeked by the caller; consuming it here keeps this
+    /// method panic-free.
+    fn operator(&mut self, b: u8, start: usize) -> Result<(), ParseError> {
+        self.pos += 1;
         let token = match b {
             b'=' => Token::Eq,
             b'<' => match self.peek() {

@@ -164,9 +164,10 @@ impl Parser {
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.peek() {
-            Some(Token::Ident(_)) | Some(Token::QuotedIdent(_)) => {
-                let t = self.advance().expect("peeked");
-                Ok(t.token.ident().expect("ident variant").to_string())
+            Some(Token::Ident(s) | Token::QuotedIdent(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
             }
             _ => Err(self.expected("identifier")),
         }
@@ -613,21 +614,15 @@ impl Parser {
 
     fn primary_expr(&mut self) -> Result<Expr, ParseError> {
         match self.peek() {
-            Some(Token::Number(_)) => {
-                let t = self.advance().expect("peeked");
-                if let Token::Number(n) = &t.token {
-                    Ok(Expr::Literal(Literal::Number(n.clone())))
-                } else {
-                    unreachable!()
-                }
+            Some(Token::Number(n)) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Number(n)))
             }
-            Some(Token::StringLit(_)) => {
-                let t = self.advance().expect("peeked");
-                if let Token::StringLit(s) = &t.token {
-                    Ok(Expr::Literal(Literal::String(s.clone())))
-                } else {
-                    unreachable!()
-                }
+            Some(Token::StringLit(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::String(s)))
             }
             Some(Token::Keyword(Kw::Null)) => {
                 self.advance();

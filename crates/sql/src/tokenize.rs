@@ -21,6 +21,7 @@ pub fn query_tokens(query: &Query) -> Vec<String> {
     // Canonical print then lex: the printer is the single source of
     // canonical spelling, so we never have two token spellings for one AST.
     let printed = query.to_string();
+    // qrec-lint: allow(no-panic-in-hot-path) -- print-then-lex roundtrip is property-tested (parse ∘ print = id); a failure here is a printer bug
     sql_tokens(&printed).expect("canonical print always lexes")
 }
 

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> qrec-lint"
+cargo run --offline -q -p qrec-lint
+
 echo "==> cargo build --release"
 cargo build --offline --release
 
