@@ -1,0 +1,396 @@
+//! `bench_tensor` — reproducible performance baseline for the GEMM
+//! kernel and the end-to-end decode path (DESIGN.md §10).
+//!
+//! ```text
+//! bench_tensor [--smoke] [--out PATH]
+//! ```
+//!
+//! Times the shapes the models actually emit — single-token decode
+//! vectors, full-sequence training tiles, and the 512³ scale shape —
+//! under four kernels: the seed's branchy naive loop (kept verbatim
+//! below as the fixed baseline), the canonical naive reference, the
+//! blocked serial kernel, and the pool-parallel kernel at 1 and 8
+//! threads. Also measures mean end-to-end `decode()` latency on a
+//! freshly trained tiny model. Results go to `BENCH_tensor.json` at the
+//! repo root (or `target/BENCH_tensor_smoke.json` under `--smoke`,
+//! which shrinks shapes and budgets so CI can validate the harness in
+//! seconds).
+
+use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
+use qrec_nn::transformer::TransformerConfig;
+use qrec_nn::Strategy;
+use qrec_tensor::kernel;
+use qrec_tensor::pool::{configured_threads, Pool};
+use qrec_workload::gen::{generate, WorkloadProfile};
+use qrec_workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The seed repository's matmul inner loop, copied verbatim so every
+/// future run compares against the same fixed baseline: row-major ikj
+/// with a per-element `a == 0.0` skip branch.
+fn seed_naive(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * m..(i + 1) * m];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * m..(kk + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Best-of-N wall time of each candidate in seconds. Candidates are
+/// timed round-robin — one rep of each per round — so slow drift in
+/// machine load (noisy neighbours, thermal throttling) hits every
+/// kernel equally instead of biasing whichever happened to run last;
+/// the minima, and so the speedup ratios, stay comparable. Runs until
+/// the time budget elapses (always at least two rounds — one warm).
+fn time_best(fns: &mut [&mut dyn FnMut() -> Vec<f32>], budget_s: f64, max_reps: usize) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; fns.len()];
+    let started = Instant::now();
+    for rep in 0..max_reps.max(2) {
+        for (f, slot) in fns.iter_mut().zip(&mut best) {
+            let t0 = Instant::now();
+            black_box(f());
+            *slot = slot.min(t0.elapsed().as_secs_f64());
+        }
+        if rep >= 1 && started.elapsed().as_secs_f64() > budget_s {
+            break;
+        }
+    }
+    best
+}
+
+/// Deterministic pseudo-random matrix data (no RNG state to drift).
+fn fill(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| (((i + salt) * 2654435761) % 2000) as f32 * 1e-3 - 1.0)
+        .collect()
+}
+
+struct Shape {
+    label: &'static str,
+    n: usize,
+    k: usize,
+    m: usize,
+    /// Decode-path shape: must stay serial, gated by the ≤10% rule.
+    decode: bool,
+}
+
+fn shapes(smoke: bool) -> Vec<Shape> {
+    if smoke {
+        return vec![
+            Shape {
+                label: "smoke 1x16.16x32",
+                n: 1,
+                k: 16,
+                m: 32,
+                decode: true,
+            },
+            Shape {
+                label: "smoke 8x16.16x16",
+                n: 8,
+                k: 16,
+                m: 16,
+                decode: false,
+            },
+            Shape {
+                label: "smoke 48x48.48x48",
+                n: 48,
+                k: 48,
+                m: 48,
+                decode: false,
+            },
+        ];
+    }
+    let cfg = TransformerConfig::small(2000);
+    let (d, ff, vocab, len) = (cfg.d_model, cfg.d_ff, cfg.vocab, cfg.max_len);
+    vec![
+        Shape {
+            label: "decode 1xd.dxd (attention proj)",
+            n: 1,
+            k: d,
+            m: d,
+            decode: true,
+        },
+        Shape {
+            label: "decode 1xd.dxff (ffn expand)",
+            n: 1,
+            k: d,
+            m: ff,
+            decode: true,
+        },
+        Shape {
+            label: "decode 1xd.dxvocab (vocab proj)",
+            n: 1,
+            k: d,
+            m: vocab,
+            decode: true,
+        },
+        Shape {
+            label: "train Lxd.dxd (attention proj)",
+            n: len,
+            k: d,
+            m: d,
+            decode: false,
+        },
+        Shape {
+            label: "train Lxd.dxvocab (vocab proj)",
+            n: len,
+            k: d,
+            m: vocab,
+            decode: false,
+        },
+        Shape {
+            label: "scale 512x512x512",
+            n: 512,
+            k: 512,
+            m: 512,
+            decode: false,
+        },
+    ]
+}
+
+/// Measured timings for one shape.
+struct ShapeRow {
+    label: &'static str,
+    n: usize,
+    k: usize,
+    m: usize,
+    decode: bool,
+    path_8t: String,
+    seed_s: f64,
+    naive_s: f64,
+    blocked_s: f64,
+    gemm_1t_s: f64,
+    gemm_8t_s: f64,
+}
+
+impl ShapeRow {
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "label": self.label,
+            "n": self.n, "k": self.k, "m": self.m,
+            "flops": 2 * self.n * self.k * self.m,
+            "decode_shape": self.decode,
+            "kernel_path_8t": self.path_8t,
+            "seed_naive_s": self.seed_s,
+            "naive_s": self.naive_s,
+            "blocked_s": self.blocked_s,
+            "gemm_1t_s": self.gemm_1t_s,
+            "gemm_8t_s": self.gemm_8t_s,
+            "speedup_1t_vs_seed": self.seed_s / self.gemm_1t_s,
+            "speedup_8t_vs_seed": self.seed_s / self.gemm_8t_s,
+        })
+    }
+}
+
+/// Time one shape under every kernel.
+fn bench_shape(s: &Shape, pool1: &Pool, pool8: &Pool, smoke: bool) -> ShapeRow {
+    let a = fill(s.n * s.k, 1);
+    let b = fill(s.k * s.m, 2);
+    let flops = 2 * s.n * s.k * s.m;
+    let budget = if smoke {
+        0.1
+    } else if flops > 1 << 24 {
+        4.0
+    } else {
+        1.0
+    };
+    let reps = if flops > 1 << 24 { 400 } else { 4096 };
+    let (n, k, m) = (s.n, s.k, s.m);
+    let times = time_best(
+        &mut [
+            &mut || seed_naive(&a, &b, n, k, m),
+            &mut || kernel::naive(&a, &b, n, k, m),
+            &mut || kernel::blocked(&a, &b, n, k, m),
+            &mut || kernel::gemm_on(pool1, &a, &b, n, k, m),
+            &mut || kernel::gemm_on(pool8, &a, &b, n, k, m),
+        ],
+        budget,
+        reps,
+    );
+    ShapeRow {
+        label: s.label,
+        n,
+        k,
+        m,
+        decode: s.decode,
+        path_8t: format!("{:?}", kernel::select(n, k, m, pool8.threads())),
+        seed_s: times[0],
+        naive_s: times[1],
+        blocked_s: times[2],
+        gemm_1t_s: times[3],
+        gemm_8t_s: times[4],
+    }
+}
+
+/// Mean end-to-end `decode()` latency: train the tiny demo model and
+/// greedy-decode test queries through the full tokenizer→model path.
+fn decode_latency(smoke: bool) -> (f64, usize, f64) {
+    let (workload, _catalog) = generate(&WorkloadProfile::tiny(), 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = Split::paper(workload.pairs(), &mut rng);
+    let cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    let t0 = Instant::now();
+    let (mut rec, _report) =
+        Recommender::try_train(&split, &workload, cfg).expect("tiny training succeeds");
+    let train_s = t0.elapsed().as_secs_f64();
+
+    let queries: Vec<_> = split.test.iter().take(if smoke { 5 } else { 40 }).collect();
+    for q in &queries {
+        let _ = rec.decode_candidates(&q.current, Strategy::Greedy); // warm-up
+    }
+    let t0 = Instant::now();
+    for q in &queries {
+        let _ = black_box(rec.decode_candidates(&q.current, Strategy::Greedy));
+    }
+    let mean = t0.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+    (mean, queries.len(), train_s)
+}
+
+fn run(smoke: bool, out: Option<PathBuf>) -> Result<(), String> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = out.unwrap_or_else(|| {
+        if smoke {
+            root.join("target/BENCH_tensor_smoke.json")
+        } else {
+            root.join("BENCH_tensor.json")
+        }
+    });
+
+    let pool1 = Pool::new(1);
+    let pool8 = Pool::new(8);
+    eprintln!(
+        "bench_tensor: mode={}, default pool size would be {} (QREC_THREADS overrides)",
+        if smoke { "smoke" } else { "full" },
+        configured_threads()
+    );
+
+    let mut rows = Vec::new();
+    for s in shapes(smoke) {
+        eprintln!("  timing {} ...", s.label);
+        rows.push(bench_shape(&s, &pool1, &pool8, smoke));
+    }
+
+    // Headline numbers the acceptance gate reads: the 512³ speedup and
+    // the worst decode-shape slowdown of the new dispatch vs the seed.
+    let scale_speedup = rows
+        .iter()
+        .filter(|r| r.label.starts_with("scale"))
+        .map(|r| r.seed_s / r.gemm_8t_s)
+        .fold(f64::NAN, f64::max);
+    let decode_regression = rows
+        .iter()
+        .filter(|r| r.decode)
+        .map(|r| r.gemm_1t_s / r.seed_s - 1.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    eprintln!("  timing end-to-end decode ...");
+    let (decode_mean_s, decode_queries, train_s) = decode_latency(smoke);
+
+    let report = json!({
+        "benchmark": "qrec-tensor GEMM kernel + end-to-end decode",
+        "mode": if smoke { "smoke" } else { "full" },
+        "threads": { "configured_default": configured_threads(), "bench_pools": [1, 8] },
+        "shapes": rows.iter().map(ShapeRow::to_json).collect::<Vec<_>>(),
+        "scale_512_speedup_8t_vs_seed": if smoke { json!(null) } else { json!(scale_speedup) },
+        "decode_shape_max_regression": decode_regression,
+        "decode_e2e": {
+            "queries": decode_queries,
+            "train_s": train_s,
+            "mean_decode_s": decode_mean_s,
+        },
+    });
+
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let bytes = serde_json::to_vec_pretty(&report).map_err(|e| format!("serialise: {e}"))?;
+    std::fs::write(&out, bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+
+    // Re-read and parse: the file on disk must be well-formed JSON with
+    // at least one shape row.
+    let text = std::fs::read_to_string(&out).map_err(|e| format!("read back: {e}"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("round-trip parse: {e}"))?;
+    let shape_count = parsed
+        .as_object()
+        .and_then(|o| o.get("shapes"))
+        .and_then(|s| s.as_array())
+        .map_or(0, <[serde_json::Value]>::len);
+    if shape_count == 0 {
+        return Err("no shape rows in the written report".into());
+    }
+
+    println!(
+        "{:<36} {:>12} {:>12} {:>12} {:>9}",
+        "shape", "seed (s)", "gemm 1t (s)", "gemm 8t (s)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<36} {:>12.6} {:>12.6} {:>12.6} {:>8.2}x",
+            r.label,
+            r.seed_s,
+            r.gemm_1t_s,
+            r.gemm_8t_s,
+            r.seed_s / r.gemm_8t_s,
+        );
+    }
+    if !smoke {
+        println!("512^3 speedup (8t vs seed): {scale_speedup:.2}x");
+    }
+    println!(
+        "decode-shape max regression vs seed: {:+.1}%",
+        decode_regression * 100.0
+    );
+    println!("end-to-end decode: {decode_mean_s:.4} s/query over {decode_queries} queries");
+    println!("[results written to {}]", out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("missing value for --out");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_tensor [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run(smoke, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_tensor failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

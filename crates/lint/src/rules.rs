@@ -39,7 +39,9 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            hot_path_crates: ["serve", "core", "nn", "sql"].map(String::from).to_vec(),
+            hot_path_crates: ["serve", "core", "nn", "sql", "tensor"]
+                .map(String::from)
+                .to_vec(),
             lock_call_crates: vec!["serve".to_string()],
             parking_lot_crates: vec!["serve".to_string()],
         }

@@ -14,6 +14,7 @@ use qrec_tensor::{Graph, Tensor};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Padding token id (never emitted).
 pub const PAD: usize = 0;
@@ -118,8 +119,10 @@ struct Decoder<'m, M: Seq2Seq + ?Sized> {
     params: &'m Params,
     rng: &'m mut StdRng,
     /// Encoder output cached per source sequence: decoding re-queries the
-    /// decoder many times against the same, frozen encoder state.
-    enc_cache: Option<(Vec<usize>, Tensor)>,
+    /// decoder many times against the same, frozen encoder state. Held as
+    /// an `Arc` so each step graph shares the one allocation instead of
+    /// cloning the tensor per step of every hypothesis.
+    enc_cache: Option<(Vec<usize>, Arc<Tensor>)>,
 }
 
 impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
@@ -132,10 +135,10 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
         }
     }
 
-    fn encoder_output(&mut self, src: &[usize]) -> Tensor {
+    fn encoder_output(&mut self, src: &[usize]) -> Arc<Tensor> {
         if let Some((cached_src, enc)) = &self.enc_cache {
             if cached_src == src {
-                return enc.clone();
+                return Arc::clone(enc); // refcount bump, no data copy
             }
         }
         let mut graph = Graph::new();
@@ -148,8 +151,8 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
             training: false,
         };
         let enc = self.model.encode(&mut fwd, src);
-        let out = graph.value(enc).clone();
-        self.enc_cache = Some((src.to_vec(), out.clone()));
+        let out = graph.value_shared(enc);
+        self.enc_cache = Some((src.to_vec(), Arc::clone(&out)));
         out
     }
 
@@ -166,7 +169,7 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
             rng: self.rng,
             training: false,
         };
-        let enc = fwd.constant(enc_val);
+        let enc = fwd.constant_shared(enc_val);
         let logits = self.model.decode_last_logits(&mut fwd, enc, prefix);
         graph.value(logits).softmax_rows().into_data()
     }

@@ -159,6 +159,13 @@ impl Fwd<'_> {
     pub fn constant(&mut self, t: Tensor) -> NodeId {
         self.graph.input(t)
     }
+
+    /// Register a shared constant without copying its data. The decoder
+    /// feeds the cached encoder output into every step graph through
+    /// this, so beam search never clones the encoder state per step.
+    pub fn constant_shared(&mut self, t: std::sync::Arc<Tensor>) -> NodeId {
+        self.graph.input_shared(t)
+    }
 }
 
 /// Run one forward-backward pass: build a graph with `f`, backprop from

@@ -47,7 +47,7 @@ pub use batcher::{DecodeEngine, DecodeRequest, EngineConfig, Recommendation};
 pub use cache::{CacheKey, RecCache};
 pub use client::Client;
 pub use error::ServeError;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{ComputeSnapshot, Metrics, MetricsSnapshot};
 pub use protocol::{Request, Response, StatsReply};
 pub use registry::ModelRegistry;
 pub use server::{Server, ServerConfig};

@@ -151,6 +151,36 @@ impl Metrics {
             swaps: load(&self.swaps),
             sessions_evicted: load(&self.sessions_evicted),
             latency: self.latency.snapshot(),
+            compute: ComputeSnapshot::current(),
+        }
+    }
+}
+
+/// Snapshot of the tensor compute pool: how many workers `QREC_THREADS`
+/// (or the machine) configured, and how many GEMM dispatches took the
+/// serial versus the pool-parallel path since process start.
+///
+/// [`ComputeSnapshot::current`] never spawns the pool — it reports the
+/// configured size even when every request so far stayed serial.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSnapshot {
+    /// Effective compute-pool size (`QREC_THREADS`, else the machine's
+    /// available parallelism).
+    pub pool_threads: u64,
+    /// GEMM calls dispatched to a serial kernel (naive or blocked).
+    pub gemm_serial: u64,
+    /// GEMM calls fanned out across the compute pool.
+    pub gemm_parallel: u64,
+}
+
+impl ComputeSnapshot {
+    /// Read the current pool configuration and kernel dispatch counters.
+    pub fn current() -> Self {
+        let counters = qrec_tensor::kernel::counters();
+        ComputeSnapshot {
+            pool_threads: qrec_tensor::pool::configured_threads() as u64,
+            gemm_serial: counters.serial,
+            gemm_parallel: counters.parallel,
         }
     }
 }
@@ -180,6 +210,10 @@ pub struct MetricsSnapshot {
     pub sessions_evicted: u64,
     /// See [`Metrics::latency`].
     pub latency: HistogramSnapshot,
+    /// Compute-pool configuration and GEMM kernel dispatch counters
+    /// (absent in snapshots from older servers).
+    #[serde(default)]
+    pub compute: ComputeSnapshot,
 }
 
 #[cfg(test)]
@@ -212,6 +246,36 @@ mod tests {
         assert_eq!(s.requests, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.overloaded, 0);
+    }
+
+    #[test]
+    fn compute_snapshot_reports_pool_and_dispatch_counters() {
+        let before = Metrics::new().snapshot().compute;
+        assert!(before.pool_threads >= 1);
+        // A small matmul stays on the serial path and bumps the counter.
+        let a = qrec_tensor::Tensor::from_vec(1, 4, vec![1.0; 4]);
+        let b = qrec_tensor::Tensor::from_vec(4, 2, vec![1.0; 8]);
+        let _ = a.matmul(&b);
+        let after = ComputeSnapshot::current();
+        assert!(after.gemm_serial > before.gemm_serial);
+        assert_eq!(after.pool_threads, before.pool_threads);
+    }
+
+    #[test]
+    fn snapshot_without_compute_field_deserialises_with_default() {
+        // Snapshots from servers that predate the `compute` field must
+        // stay parseable; the serde default fills it in.
+        let v = MetricsSnapshot::default().to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "compute")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let back = MetricsSnapshot::from_value(&stripped).unwrap();
+        assert_eq!(back.compute, ComputeSnapshot::default());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! exactly the life cycle of seq2seq training at the paper's scale.
 
 use crate::tensor::Tensor;
+use std::sync::Arc;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,12 +33,18 @@ impl GradStore<'_> {
     }
 }
 
-type BackFn = Box<dyn FnOnce(&Tensor, &[Tensor], &mut GradStore<'_>)>;
+type BackFn = Box<dyn FnOnce(&Tensor, &[Arc<Tensor>], &mut GradStore<'_>)>;
 
 /// A single-use reverse-mode autodiff tape.
+///
+/// Node values are held as `Arc<Tensor>` so callers that reuse a value
+/// across many graphs (the beam-search decoder re-feeding the encoder
+/// output every step) can share one allocation via
+/// [`Graph::input_shared`] / [`Graph::value_shared`] instead of cloning
+/// the tensor data.
 #[derive(Default)]
 pub struct Graph {
-    values: Vec<Tensor>,
+    values: Vec<Arc<Tensor>>,
     grads: Vec<Option<Tensor>>,
     backs: Vec<Option<BackFn>>,
 }
@@ -59,6 +66,10 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, back: Option<BackFn>) -> NodeId {
+        self.push_shared(Arc::new(value), back)
+    }
+
+    fn push_shared(&mut self, value: Arc<Tensor>, back: Option<BackFn>) -> NodeId {
         let id = NodeId(self.values.len());
         self.values.push(value);
         self.grads.push(None);
@@ -71,9 +82,20 @@ impl Graph {
         self.push(value, None)
     }
 
+    /// Register a leaf node backed by an existing shared tensor without
+    /// copying its data. Its gradient survives [`Graph::backward`].
+    pub fn input_shared(&mut self, value: Arc<Tensor>) -> NodeId {
+        self.push_shared(value, None)
+    }
+
     /// The value of a node.
     pub fn value(&self, id: NodeId) -> &Tensor {
-        &self.values[id.0]
+        self.values[id.0].as_ref()
+    }
+
+    /// The value of a node as a shared handle (no tensor data copied).
+    pub fn value_shared(&self, id: NodeId) -> Arc<Tensor> {
+        Arc::clone(&self.values[id.0])
     }
 
     /// The accumulated gradient of a leaf node after [`Graph::backward`],
@@ -176,7 +198,7 @@ impl Graph {
         let bv = &self.values[bias.0];
         assert_eq!(bv.rows(), 1, "bias must be 1 x d");
         assert_eq!(av.cols(), bv.cols(), "bias width mismatch");
-        let mut v = av.clone();
+        let mut v = av.as_ref().clone();
         for r in 0..v.rows() {
             for (x, &b) in v.row_mut(r).iter_mut().zip(bv.row(0)) {
                 *x += b;
@@ -239,9 +261,8 @@ impl Graph {
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
         let v = self.values[a.0].map(|x| 1.0 / (1.0 + (-x).exp()));
-        let id = self.push(v, Some(Box::new(move |_g, _vals, _store| unreachable!())));
-        // Rebuild the closure now that we know our own id (to reference the
-        // saved output). Replace the placeholder.
+        // Push first so the closure can reference its own saved output.
+        let id = self.push(v, None);
         let me = id;
         self.backs[id.0] = Some(Box::new(move |g, vals, store| {
             let out = &vals[me.0];

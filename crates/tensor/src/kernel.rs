@@ -1,0 +1,731 @@
+//! Cache-blocked GEMM kernels behind `Tensor::matmul{,_nt,_tn}`.
+//!
+//! ## Blocking scheme
+//!
+//! The blocked kernel is BLIS-shaped: `B` is packed once into NR-wide
+//! column panels (panel-major, row-major inside a panel, zero-padded on
+//! the right edge), split into KC-deep slabs along `k`. The micro-kernel
+//! then computes an MR×NR register tile per call, reading MR contiguous
+//! unpacked rows of `A` and one packed panel of `B`; the inner loops are
+//! written as exact-size slice iteration so the autovectorizer emits
+//! branch-free FMA lanes. Row tiles are grouped MC at a time so the
+//! active slice of `A` stays L2-resident across panels.
+//!
+//! ## Determinism
+//!
+//! Every path — the naive references, the blocked serial kernel, and the
+//! pool-parallel kernel at any thread or chunk count — computes each
+//! output element as the *same* fold: `acc = fmadd(a[i][kk], b[kk][j],
+//! acc)` over ascending `kk` with a single accumulator. KC slabs do not
+//! reorder `k`; row partitioning never splits a single element's
+//! reduction; spilling a partial accumulator to memory and reloading it
+//! does not change an `f32`. Parallel output is therefore **bitwise
+//! identical** to single-threaded output, and the blocked kernel is
+//! bitwise identical to [`naive`] — property-tested in
+//! `tests/gemm_equivalence.rs`.
+//!
+//! [`fmadd`] is compiled as fused `mul_add` only when the target has a
+//! hardware FMA unit (see `.cargo/config.toml`), so a given build is
+//! internally consistent; builds for different targets may round
+//! differently, as with any float kernel.
+//!
+//! ## Threshold policy
+//!
+//! [`select`] keeps small products (decode-time 1×d vectors, tiny
+//! training tiles) on [`naive`], whose only overhead is the call itself;
+//! mid-size products use the blocked serial kernel; large products split
+//! into contiguous row ranges on the shared [`Pool`]. The split depends
+//! only on `(n, threads)` — never on timing — so repeated calls take
+//! identical paths.
+
+use crate::pool::Pool;
+use crossbeam::channel;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Columns per packed panel (and per register tile).
+const NR: usize = 32;
+/// Depth of a packed slab along `k`.
+const KC: usize = 256;
+/// Row-block size keeping the active `A` slice cache-resident.
+const MC: usize = 128;
+
+/// Products with fewer than this many flops (`2·n·k·m`) stay on the
+/// naive kernel: packing B costs more than it saves.
+const NAIVE_MAX_FLOPS: usize = 1 << 17;
+/// Products with fewer than this many flops never go parallel: the
+/// clone + channel round-trip costs more than it saves.
+const PAR_MIN_FLOPS: usize = 1 << 24;
+/// A parallel chunk is never thinner than this many rows.
+const MIN_ROWS_PER_CHUNK: usize = 32;
+
+/// How long the gather loop waits for worker results before falling
+/// back to recomputing missing chunks inline.
+const GATHER_TIMEOUT: Duration = Duration::from_secs(30);
+
+static SERIAL_CALLS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide GEMM dispatch counters, for serving metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Calls that ran on the calling thread (naive or blocked path).
+    pub serial: u64,
+    /// Calls that fanned out over the compute pool.
+    pub parallel: u64,
+}
+
+/// Snapshot the dispatch counters (monotonic since process start).
+pub fn counters() -> KernelCounters {
+    KernelCounters {
+        serial: SERIAL_CALLS.load(Ordering::Relaxed),
+        parallel: PARALLEL_CALLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Fused multiply-add when the hardware has it, plain `a*b + acc`
+/// otherwise. The cfg split keeps non-FMA builds off the libm softfloat
+/// path while every build stays internally bitwise-consistent.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, acc: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
+
+// ---------------------------------------------------------------------
+// Path selection
+// ---------------------------------------------------------------------
+
+/// The execution path [`gemm`] takes for an `n×k · k×m` product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Small product: plain ikj loop, zero setup cost.
+    Naive,
+    /// Mid-size product: packed blocked kernel on the calling thread.
+    Blocked,
+    /// Large product: blocked kernel over `chunks` row ranges on the pool.
+    Parallel {
+        /// Number of contiguous row ranges the output is split into.
+        chunks: usize,
+    },
+}
+
+/// Pick the kernel path for an `n×k · k×m` product at `threads` workers.
+///
+/// Pure and deterministic: the same shape and thread count always select
+/// the same path, and every path produces bitwise-identical output, so
+/// selection is a pure performance decision.
+pub fn select(n: usize, k: usize, m: usize, threads: usize) -> KernelPath {
+    let flops = 2usize.saturating_mul(n).saturating_mul(k).saturating_mul(m);
+    if n < MR || flops < NAIVE_MAX_FLOPS {
+        KernelPath::Naive
+    } else if threads < 2 || flops < PAR_MIN_FLOPS || n < 2 * MIN_ROWS_PER_CHUNK {
+        KernelPath::Blocked
+    } else {
+        KernelPath::Parallel {
+            chunks: threads.min(n / MIN_ROWS_PER_CHUNK),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naive references (canonical accumulation order)
+// ---------------------------------------------------------------------
+
+/// Reference `n×k · k×m` product in canonical accumulation order.
+///
+/// This is the semantic ground truth the blocked and parallel kernels
+/// are property-tested against (bitwise, not epsilon), and the fast path
+/// for small products.
+pub fn naive(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * m..(i + 1) * m];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * m..(kk + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = fmadd(av, bv, *o);
+            }
+        }
+    }
+    out
+}
+
+/// Reference `A · Bᵀ` where `a` is `n×k` and `b` is `m×k`, in canonical
+/// accumulation order (ascending `k` per element).
+pub fn naive_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * m..(i + 1) * m];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                s = fmadd(av, bv, s);
+            }
+            *o = s;
+        }
+    }
+    out
+}
+
+/// Reference `Aᵀ · B` where `a` is `k×n` and `b` is `k×m`, in canonical
+/// accumulation order (ascending `k` per element).
+pub fn naive_tn(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for kk in 0..k {
+        let arow = &a[kk * n..(kk + 1) * n];
+        let brow = &b[kk * m..(kk + 1) * m];
+        for (i, &av) in arow.iter().enumerate() {
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = fmadd(av, bv, *o);
+            }
+        }
+    }
+    out
+}
+
+/// Transpose a `rows×cols` row-major matrix into `cols×rows`.
+fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for (c, &v) in x[r * cols..(r + 1) * cols].iter().enumerate() {
+            t[c * rows + r] = v;
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------
+
+/// `n×k · k×m` product with automatic path selection on the global pool.
+///
+/// Small products never touch (or lazily spawn) the pool at all.
+pub fn gemm(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    if select(n, k, m, 1) == KernelPath::Naive {
+        SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        return naive(a, b, n, k, m);
+    }
+    gemm_on(Pool::global(), a, b, n, k, m)
+}
+
+/// `A · Bᵀ` (`a` is `n×k`, `b` is `m×k`) with automatic path selection.
+///
+/// Small products use a dot-form serial loop; large ones transpose `b`
+/// (O(k·m), negligible next to O(n·k·m)) and reuse the blocked kernel.
+/// Both compute the identical ascending-`k` fold per element.
+pub fn gemm_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    if select(n, k, m, 1) == KernelPath::Naive {
+        SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        return naive_nt(a, b, n, k, m);
+    }
+    let bt = transpose(b, m, k);
+    gemm_on(Pool::global(), a, &bt, n, k, m)
+}
+
+/// `Aᵀ · B` (`a` is `k×n`, `b` is `k×m`) with automatic path selection.
+///
+/// Small products use a kk-outer serial loop; large ones transpose `a`
+/// and reuse the blocked kernel. Both compute the identical
+/// ascending-`k` fold per element.
+pub fn gemm_tn(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    if select(n, k, m, 1) == KernelPath::Naive {
+        SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        return naive_tn(a, b, n, k, m);
+    }
+    let at = transpose(a, k, n);
+    gemm_on(Pool::global(), &at, b, n, k, m)
+}
+
+/// [`gemm`] with an explicit pool (tests and benchmarks pin thread
+/// counts through this).
+pub fn gemm_on(pool: &Pool, a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    match select(n, k, m, pool.threads()) {
+        KernelPath::Naive => {
+            SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+            naive(a, b, n, k, m)
+        }
+        KernelPath::Blocked => {
+            SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+            blocked(a, b, n, k, m)
+        }
+        KernelPath::Parallel { chunks } => {
+            // Fan-out beyond the machine's physical parallelism only
+            // adds context switches and extra packed-panel re-walks (the
+            // pool may be configured larger than the hardware), so cap
+            // the executed chunk count there. Output bits are invariant
+            // under chunk count (see the determinism section), so this
+            // is purely an execution-schedule decision: on a one-core
+            // box the product degrades all the way to the blocked serial
+            // kernel with zero hand-off cost.
+            let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            let chunks = chunks.min(hw);
+            if chunks < 2 {
+                SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+                blocked(a, b, n, k, m)
+            } else {
+                parallel(pool, chunks, hw.saturating_sub(1), a, b, n, k, m)
+            }
+        }
+    }
+}
+
+/// Blocked serial kernel: pack `B` once, run every row on the caller.
+pub fn blocked(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let pb = pack_b(b, k, m);
+    let mut out = vec![0.0f32; n * m];
+    blocked_rows(a, &pb, k, m, 0, n, &mut out);
+    out
+}
+
+/// Run the blocked kernel split into exactly `chunks` row ranges on
+/// `pool`, bypassing the shape thresholds.
+///
+/// This is the forced-parallel entry the equivalence suite uses to pin
+/// chunk counts on arbitrary shapes; [`gemm`] dispatches to the same
+/// machinery only above the parallel threshold.
+pub fn gemm_chunked(
+    pool: &Pool,
+    chunks: usize,
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+) -> Vec<f32> {
+    // No hardware cap here: equivalence tests force worker involvement
+    // so the claim/gather path is exercised whatever the host machine.
+    parallel(pool, chunks, usize::MAX, a, b, n, k, m)
+}
+
+// ---------------------------------------------------------------------
+// Packed-B layout
+// ---------------------------------------------------------------------
+
+/// One KC-deep slab of the packed `B`.
+struct BBlock {
+    /// First `k` index this slab covers.
+    k0: usize,
+    /// Depth of the slab (`<= KC`).
+    kc: usize,
+    /// Start of the slab's panels in `PackedB::data`.
+    offset: usize,
+}
+
+/// `B` repacked into NR-wide panels per KC slab: panel-major, row-major
+/// inside a panel, right edge zero-padded to NR.
+struct PackedB {
+    data: Vec<f32>,
+    npanels: usize,
+    blocks: Vec<BBlock>,
+}
+
+fn pack_b(b: &[f32], k: usize, m: usize) -> PackedB {
+    let npanels = m.div_ceil(NR);
+    let mut data = vec![0.0f32; k * npanels * NR];
+    let mut blocks = Vec::with_capacity(k.div_ceil(KC.max(1)).max(1));
+    let mut k0 = 0;
+    let mut offset = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        for p in 0..npanels {
+            let j0 = p * NR;
+            let w = NR.min(m - j0);
+            for r in 0..kc {
+                let dst0 = offset + p * kc * NR + r * NR;
+                let src0 = (k0 + r) * m + j0;
+                data[dst0..dst0 + w].copy_from_slice(&b[src0..src0 + w]);
+            }
+        }
+        blocks.push(BBlock { k0, kc, offset });
+        offset += kc * npanels * NR;
+        k0 += kc;
+    }
+    PackedB {
+        data,
+        npanels,
+        blocks,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocked kernel core
+// ---------------------------------------------------------------------
+
+/// Compute output rows `r0..r1` into `out` (which holds exactly
+/// `(r1-r0)*m` elements, locally indexed from `r0`).
+///
+/// KC slabs run in ascending-`k` order; row grouping (MC blocks, MR
+/// tiles) never mixes rows arithmetically, so the result for each row is
+/// independent of the `(r0, r1)` partition — the parallel path's
+/// bitwise-determinism hinges on exactly this.
+fn blocked_rows(
+    a: &[f32],
+    pb: &PackedB,
+    k: usize,
+    m: usize,
+    r0: usize,
+    r1: usize,
+    out: &mut [f32],
+) {
+    let npanels = pb.npanels;
+    for blk in &pb.blocks {
+        let mut ii = r0;
+        while ii < r1 {
+            let mc = MC.min(r1 - ii);
+            let mut i = 0;
+            while i < mc {
+                let mr = MR.min(mc - i);
+                let i0 = ii + i;
+                for p in 0..npanels {
+                    let j0 = p * NR;
+                    let w = NR.min(m - j0);
+                    let bstart = blk.offset + p * blk.kc * NR;
+                    let bp = &pb.data[bstart..bstart + blk.kc * NR];
+                    if mr == MR && w == NR {
+                        micro_full(a, bp, out, i0, r0, blk.k0, blk.kc, k, m, j0);
+                    } else {
+                        micro_edge(a, bp, out, i0, r0, mr, blk.k0, k, m, j0, w);
+                    }
+                }
+                i += MR;
+            }
+            ii += MC;
+        }
+    }
+}
+
+/// Full MR×NR register tile. `A` rows are read as contiguous unpacked
+/// slices; the `chunks_exact`/`zip` iteration proves every bound to the
+/// compiler so the inner lanes compile branch-free.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_full(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    r0: usize,
+    kk: usize,
+    kc: usize,
+    k: usize,
+    m: usize,
+    j0: usize,
+) {
+    let o0 = (i0 - r0) * m + j0;
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&out[o0 + r * m..o0 + r * m + NR]);
+    }
+    let [acc0, acc1, acc2, acc3] = &mut acc;
+    let a0 = &a[i0 * k + kk..i0 * k + kk + kc];
+    let a1 = &a[(i0 + 1) * k + kk..(i0 + 1) * k + kk + kc];
+    let a2 = &a[(i0 + 2) * k + kk..(i0 + 2) * k + kk + kc];
+    let a3 = &a[(i0 + 3) * k + kk..(i0 + 3) * k + kk + kc];
+    for ((((brow, &v0), &v1), &v2), &v3) in bp.chunks_exact(NR).zip(a0).zip(a1).zip(a2).zip(a3) {
+        for j in 0..NR {
+            acc0[j] = fmadd(v0, brow[j], acc0[j]);
+        }
+        for j in 0..NR {
+            acc1[j] = fmadd(v1, brow[j], acc1[j]);
+        }
+        for j in 0..NR {
+            acc2[j] = fmadd(v2, brow[j], acc2[j]);
+        }
+        for j in 0..NR {
+            acc3[j] = fmadd(v3, brow[j], acc3[j]);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[o0 + r * m..o0 + r * m + NR].copy_from_slice(accr);
+    }
+}
+
+/// Edge tile: fewer than MR rows and/or a right-edge panel narrower than
+/// NR. Runs full NR lanes against the zero-padded panel and stores only
+/// the live `w` columns, so the discarded lanes cannot leak.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_edge(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    r0: usize,
+    mr: usize,
+    kk: usize,
+    k: usize,
+    m: usize,
+    j0: usize,
+    w: usize,
+) {
+    let o0 = (i0 - r0) * m + j0;
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..mr {
+        acc[r][..w].copy_from_slice(&out[o0 + r * m..o0 + r * m + w]);
+    }
+    for (kr, brow) in bp.chunks_exact(NR).enumerate() {
+        for r in 0..mr {
+            let av = a[(i0 + r) * k + kk + kr];
+            let accr = &mut acc[r];
+            for j in 0..NR {
+                accr[j] = fmadd(av, brow[j], accr[j]);
+            }
+        }
+    }
+    for r in 0..mr {
+        out[o0 + r * m..o0 + r * m + w].copy_from_slice(&acc[r][..w]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel driver
+// ---------------------------------------------------------------------
+
+/// Split `n` rows into `chunks` contiguous ranges: a pure function of
+/// `(n, chunks)`, never of timing, so the partition is reproducible.
+fn partition(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut r0 = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < rem);
+        ranges.push((r0, r0 + len));
+        r0 += len;
+    }
+    ranges
+}
+
+/// Pack `B` once, fan row ranges out over the pool, and assemble the
+/// output: caller-computed ranges are written directly into the result
+/// buffer, worker-computed ranges come back over a bounded channel and
+/// are copied into place.
+///
+/// Work is distributed help-first: the fixed ranges sit behind a shared
+/// claim counter, `threads − 1` pool workers loop claiming ranges, and
+/// the **caller claims ranges too** until the counter runs dry. On a
+/// saturated or single-core machine the caller ends up computing almost
+/// everything itself with no hand-off cost; on an idle multicore box the
+/// workers drain the counter concurrently. Which thread computes a range
+/// never changes its bits, so the output is identical either way.
+///
+/// If a worker result never arrives — spawn failure, a panicked job —
+/// the gather loop times out and the missing ranges are recomputed
+/// inline: slower, never wrong.
+#[allow(clippy::too_many_arguments)]
+fn parallel(
+    pool: &Pool,
+    chunks: usize,
+    helpers_cap: usize,
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+) -> Vec<f32> {
+    PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    let ranges = Arc::new(partition(n, chunks));
+    let pb = Arc::new(pack_b(b, k, m));
+    let shared_a: Arc<Vec<f32>> = Arc::new(a.to_vec());
+    let next = Arc::new(AtomicUsize::new(0));
+
+    let (tx, rx) = channel::bounded::<(usize, Vec<f32>)>(ranges.len().max(1));
+    let helpers = pool
+        .threads()
+        .saturating_sub(1)
+        .min(helpers_cap)
+        .min(ranges.len());
+    for _ in 0..helpers {
+        let a = Arc::clone(&shared_a);
+        let pb = Arc::clone(&pb);
+        let ranges = Arc::clone(&ranges);
+        let next = Arc::clone(&next);
+        let tx = tx.clone();
+        pool.submit(Box::new(move || loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&(c0, c1)) = ranges.get(idx) else {
+                break;
+            };
+            let mut part = vec![0.0f32; (c1 - c0) * m];
+            blocked_rows(&a, &pb, k, m, c0, c1, &mut part);
+            if tx.send((idx, part)).is_err() {
+                break;
+            }
+        }));
+    }
+    drop(tx);
+
+    // The caller races the workers for ranges instead of idling, and
+    // writes its ranges straight into the output — no splice for them.
+    let mut out = vec![0.0f32; n * m];
+    let mut done: Vec<bool> = ranges.iter().map(|_| false).collect();
+    let mut pending = ranges.len();
+    loop {
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&(c0, c1)) = ranges.get(idx) else {
+            break;
+        };
+        blocked_rows(&shared_a, &pb, k, m, c0, c1, &mut out[c0 * m..c1 * m]);
+        if let Some(flag) = done.get_mut(idx) {
+            *flag = true;
+            pending -= 1;
+        }
+    }
+
+    while pending > 0 {
+        match rx.recv_timeout(GATHER_TIMEOUT) {
+            Ok((idx, part)) => {
+                if let (Some(&(c0, c1)), Some(flag)) = (ranges.get(idx), done.get_mut(idx)) {
+                    if !*flag {
+                        out[c0 * m..c1 * m].copy_from_slice(&part);
+                        *flag = true;
+                        pending -= 1;
+                    }
+                }
+            }
+            Err(_) => break, // timeout or disconnect: fall through to inline recompute
+        }
+    }
+
+    // Anything still missing (a worker died): recompute inline.
+    if pending > 0 {
+        for (&(c0, c1), flag) in ranges.iter().zip(&done) {
+            if !flag {
+                blocked_rows(&shared_a, &pb, k, m, c0, c1, &mut out[c0 * m..c1 * m]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i + seed) * 2654435761) % 2000) as f32 * 1e-3 - 1.0)
+            .collect()
+    }
+
+    fn assert_bitwise(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_on_awkward_shapes() {
+        for &(n, k, m) in &[
+            (1, 7, 9),
+            (4, 32, 32),
+            (5, 33, 31),
+            (37, 300, 65),
+            (130, 17, 257),
+            (3, 512, 2),
+        ] {
+            let a = fill(n * k, 1);
+            let b = fill(k * m, 2);
+            assert_bitwise(&naive(&a, &b, n, k, m), &blocked(&a, &b, n, k, m));
+        }
+    }
+
+    #[test]
+    fn chunked_matches_naive_bitwise_at_every_chunk_count() {
+        let (n, k, m) = (67, 130, 45);
+        let a = fill(n * k, 3);
+        let b = fill(k * m, 4);
+        let want = naive(&a, &b, n, k, m);
+        let pool = Pool::new(4);
+        for chunks in [1, 2, 3, 8, 67, 200] {
+            assert_bitwise(&want, &gemm_chunked(&pool, chunks, &a, &b, n, k, m));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_empty_or_zero() {
+        let pool = Pool::new(2);
+        assert!(gemm_chunked(&pool, 4, &[], &[], 0, 0, 0).is_empty());
+        assert!(gemm_chunked(&pool, 4, &[], &fill(5, 1), 0, 1, 5).is_empty());
+        assert!(gemm_chunked(&pool, 4, &fill(5, 1), &[], 5, 1, 0).is_empty());
+        // k == 0: the product is a zero matrix, not an empty one.
+        let out = gemm_chunked(&pool, 2, &[], &[], 3, 0, 4);
+        assert_eq!(out, vec![0.0; 12]);
+    }
+
+    #[test]
+    fn nt_and_tn_match_their_references() {
+        let (n, k, m) = (70, 96, 110); // big enough to take the transpose path
+        let a = fill(n * k, 5);
+        let bt = fill(m * k, 6); // m×k
+        let want_nt = naive_nt(&a, &bt, n, k, m);
+        assert_bitwise(&want_nt, &gemm_nt(&a, &bt, n, k, m));
+
+        let at = fill(k * n, 7); // k×n
+        let b = fill(k * m, 8);
+        let want_tn = naive_tn(&at, &b, n, k, m);
+        assert_bitwise(&want_tn, &gemm_tn(&at, &b, n, k, m));
+    }
+
+    #[test]
+    fn select_keeps_decode_vectors_serial() {
+        assert_eq!(select(1, 48, 4096, 8), KernelPath::Naive);
+        assert_eq!(select(1, 512, 512, 8), KernelPath::Naive);
+        assert_eq!(select(2, 16, 16, 8), KernelPath::Naive);
+    }
+
+    #[test]
+    fn select_blocks_midsize_and_splits_large() {
+        assert_eq!(select(64, 64, 64, 1), KernelPath::Blocked);
+        assert_eq!(select(64, 64, 64, 8), KernelPath::Blocked); // < PAR_MIN_FLOPS
+        assert_eq!(select(512, 512, 512, 8), KernelPath::Parallel { chunks: 8 });
+        // Chunks are capped so no range is thinner than MIN_ROWS_PER_CHUNK.
+        assert_eq!(
+            select(96, 1024, 1024, 8),
+            KernelPath::Parallel { chunks: 3 }
+        );
+    }
+
+    #[test]
+    fn partition_covers_rows_exactly_once() {
+        for n in [0usize, 1, 5, 64, 67, 512] {
+            for chunks in [1usize, 2, 3, 8, 600] {
+                let ranges = partition(n, chunks);
+                let mut next = 0;
+                for &(r0, r1) in &ranges {
+                    assert_eq!(r0, next);
+                    assert!(r1 >= r0);
+                    next = r1;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_move() {
+        let before = counters();
+        let a = fill(16, 9);
+        let b = fill(16, 10);
+        let _ = gemm(&a, &b, 4, 4, 4);
+        let after = counters();
+        assert!(after.serial > before.serial);
+    }
+}

@@ -10,6 +10,9 @@
 //!   Every op's gradient is validated against central finite differences
 //!   in the test suite.
 //! * [`init`] — Xavier / Kaiming / Gaussian weight initialisers.
+//! * [`kernel`] — the cache-blocked GEMM behind `Tensor::matmul{,_nt,_tn}`,
+//!   with bitwise-deterministic parallel execution on [`pool::Pool`]
+//!   (sized by `QREC_THREADS`; see DESIGN.md §10).
 //!
 //! ```
 //! use qrec_tensor::{Graph, Tensor};
@@ -28,6 +31,8 @@
 
 pub mod graph;
 pub mod init;
+pub mod kernel;
+pub mod pool;
 pub mod tensor;
 
 pub use graph::{Graph, NodeId};

@@ -1,0 +1,194 @@
+//! A persistent compute pool for data-parallel kernels.
+//!
+//! The pool is a fixed set of worker threads draining a shared MPMC
+//! injector channel (the vendored `crossbeam` shim): every idle worker
+//! steals the next job from the shared queue, so a slow worker never
+//! strands work that a faster sibling could take. Jobs are plain boxed
+//! closures; result routing is the submitter's business (the GEMM
+//! driver in [`crate::kernel`] hands each job a sender half of a
+//! per-call channel).
+//!
+//! ## Lifecycle
+//!
+//! [`Pool::global`] lazily spawns the process-wide pool on first use and
+//! never tears it down; worker threads block in `recv` and exit only if
+//! the injector disconnects (which, for the global pool, is never).
+//! Tests and benchmarks can build private pools with [`Pool::new`];
+//! dropping such a pool disconnects its channel and the workers drain
+//! outstanding jobs and exit.
+//!
+//! ## Sizing
+//!
+//! The global pool is sized by the `QREC_THREADS` environment variable,
+//! read once at first use; unset, empty, unparsable, or `0` falls back
+//! to [`std::thread::available_parallelism`]. `QREC_THREADS=1` keeps
+//! every kernel on the caller thread (the pool still exists but the
+//! kernel's threshold logic never splits work for it).
+//!
+//! ## Determinism
+//!
+//! The pool itself makes no ordering promises — jobs run whenever a
+//! worker picks them up. Determinism of parallel kernels is the
+//! *kernel's* contract: work is partitioned into ranges whose per-element
+//! arithmetic is independent of the partition (see `crate::kernel`), so
+//! any interleaving produces bitwise-identical output.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::env;
+use std::sync::OnceLock;
+use std::thread;
+
+/// A unit of work executed on a worker thread.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool over a shared injector queue.
+pub struct Pool {
+    injector: Sender<Job>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    ///
+    /// Threads are named `qrec-pool-N` and detached; they exit when the
+    /// pool (and every outstanding clone of its injector) is dropped.
+    /// If the OS refuses to spawn some workers the pool degrades to the
+    /// count that did start — and if none did, [`Pool::submit`] runs
+    /// jobs inline on the caller.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::unbounded::<Job>();
+        let mut spawned = 0usize;
+        for i in 0..threads {
+            let rx: Receiver<Job> = rx.clone();
+            let res = thread::Builder::new()
+                .name(format!("qrec-pool-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                });
+            if res.is_ok() {
+                spawned += 1;
+            }
+        }
+        Pool {
+            injector: tx,
+            threads: spawned.max(1),
+        }
+    }
+
+    /// Number of live worker threads (at least 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueue a job. If the pool has no live workers (spawn failure at
+    /// construction), the job runs inline on the calling thread — the
+    /// work always happens, just without parallelism.
+    pub fn submit(&self, job: Job) {
+        if let Err(send_err) = self.injector.send(job) {
+            // Disconnected: no worker will ever run this; do it here.
+            let channel::SendError(job) = send_err;
+            job();
+        }
+    }
+
+    /// The process-wide pool, created on first use and sized by
+    /// [`configured_threads`].
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(configured_threads()))
+    }
+}
+
+/// The worker count the global pool uses: `QREC_THREADS` if it parses
+/// to a positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 if even that is unavailable).
+///
+/// This is a pure read — it never spawns the pool — so servers can
+/// report their effective compute-pool size without paying for workers
+/// they might not need.
+pub fn configured_threads() -> usize {
+    match env::var("QREC_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_and_results_route_back() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let (tx, rx) = channel::unbounded();
+        for i in 0..32usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i * i).unwrap();
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let (tx, rx) = channel::bounded(1);
+        pool.submit(Box::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+            tx.send(()).unwrap();
+        }));
+        rx.recv().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropping_a_private_pool_drains_outstanding_jobs() {
+        let (tx, rx) = channel::unbounded();
+        {
+            let pool = Pool::new(2);
+            for i in 0..8usize {
+                let tx = tx.clone();
+                pool.submit(Box::new(move || {
+                    tx.send(i).unwrap();
+                }));
+            }
+        } // pool dropped: workers drain the queue, then exit
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = Pool::global() as *const Pool;
+        let b = Pool::global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

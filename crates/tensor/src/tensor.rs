@@ -121,7 +121,7 @@ impl Tensor {
     /// The value of a `1 × 1` tensor. Panics otherwise.
     pub fn item(&self) -> f32 {
         assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
-        self.data[0]
+        self.data.first().copied().unwrap_or_default()
     }
 
     /// Borrow one row as a slice.
@@ -211,8 +211,9 @@ impl Tensor {
 
     /// Matrix product `self · other` with shapes `(n,k) · (k,m) -> (n,m)`.
     ///
-    /// Uses the i-k-j loop order so the inner loop streams contiguous rows
-    /// of both operands.
+    /// Dispatches to the cache-blocked (and, for large products,
+    /// pool-parallel) kernel in [`crate::kernel`]; every path is bitwise
+    /// deterministic regardless of thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -220,31 +221,18 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
         Tensor {
             rows: n,
             cols: m,
-            data: out,
+            data: crate::kernel::gemm(&self.data, &other.data, n, k, m),
         }
     }
 
     /// Matrix product `self · otherᵀ` with shapes `(n,k) · (m,k) -> (n,m)`.
     ///
-    /// This is the dot-product form; it avoids materialising a transpose in
-    /// attention (`Q · Kᵀ`) and in matmul backward passes.
+    /// Small products keep the dot-product form (no transpose
+    /// materialised in attention `Q · Kᵀ`); large ones transpose once and
+    /// reuse the blocked kernel. See [`crate::kernel::gemm_nt`].
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
@@ -252,29 +240,17 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
-        let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * m..(i + 1) * m];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
         Tensor {
             rows: n,
             cols: m,
-            data: out,
+            data: crate::kernel::gemm_nt(&self.data, &other.data, n, k, m),
         }
     }
 
     /// Matrix product `selfᵀ · other` with shapes `(k,n) · (k,m) -> (n,m)`.
     ///
-    /// Used in backward passes (`∂W = Xᵀ · ∂Y`).
+    /// Used in backward passes (`∂W = Xᵀ · ∂Y`). See
+    /// [`crate::kernel::gemm_tn`].
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -282,24 +258,10 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
-        for kk in 0..k {
-            let arow = &self.data[kk * n..(kk + 1) * n];
-            let brow = &other.data[kk * m..(kk + 1) * m];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * m..(i + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
         Tensor {
             rows: n,
             cols: m,
-            data: out,
+            data: crate::kernel::gemm_tn(&self.data, &other.data, n, k, m),
         }
     }
 

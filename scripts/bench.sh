@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Reproducible GEMM + decode performance baseline (README "Performance").
+#
+#   scripts/bench.sh              full run, writes BENCH_tensor.json at repo root
+#   scripts/bench.sh --smoke      tiny shapes, writes target/BENCH_tensor_smoke.json
+#   QREC_THREADS=4 scripts/bench.sh   size the serving pool (bench pools stay 1 and 8)
+#
+# Everything builds offline against the vendored shims in shims/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release -q -p qrec-bench --bin bench_tensor
+exec ./target/release/bench_tensor "$@"

@@ -19,4 +19,13 @@ cargo build --offline --release
 echo "==> cargo test -q"
 cargo test --offline -q
 
+echo "==> bench --smoke"
+./scripts/bench.sh --smoke >/dev/null
+python3 -m json.tool target/BENCH_tensor_smoke.json >/dev/null \
+    || { echo "BENCH_tensor_smoke.json is not well-formed JSON"; exit 1; }
+if [ -f BENCH_tensor.json ]; then
+    python3 -m json.tool BENCH_tensor.json >/dev/null \
+        || { echo "BENCH_tensor.json is not well-formed JSON"; exit 1; }
+fi
+
 echo "CI green."
