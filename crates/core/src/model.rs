@@ -3,11 +3,13 @@
 
 use qrec_nn::params::{Fwd, Params};
 use qrec_nn::{
-    ConvS2S, ConvS2SConfig, GruConfig, GruSeq2Seq, Seq2Seq, Transformer, TransformerConfig,
+    ConvS2S, ConvS2SConfig, DecodeState, GruConfig, GruSeq2Seq, Seq2Seq, Transformer,
+    TransformerConfig,
 };
-use qrec_tensor::NodeId;
+use qrec_tensor::{NodeId, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which architecture to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -121,6 +123,27 @@ impl Seq2Seq for AnyModel {
             AnyModel::Transformer(m) => m.decode_last_logits(fwd, enc, tgt_in),
             AnyModel::ConvS2S(m) => m.decode_last_logits(fwd, enc, tgt_in),
             AnyModel::Gru(m) => m.decode_last_logits(fwd, enc, tgt_in),
+        }
+    }
+
+    fn begin_decode(&self, fwd: &mut Fwd<'_>, enc: &Arc<Tensor>, batch: usize) -> DecodeState {
+        match self {
+            AnyModel::Transformer(m) => m.begin_decode(fwd, enc, batch),
+            AnyModel::ConvS2S(m) => m.begin_decode(fwd, enc, batch),
+            AnyModel::Gru(m) => m.begin_decode(fwd, enc, batch),
+        }
+    }
+
+    fn step_logits(
+        &self,
+        fwd: &mut Fwd<'_>,
+        state: &mut DecodeState,
+        last_toks: &[usize],
+    ) -> Tensor {
+        match self {
+            AnyModel::Transformer(m) => m.step_logits(fwd, state, last_toks),
+            AnyModel::ConvS2S(m) => m.step_logits(fwd, state, last_toks),
+            AnyModel::Gru(m) => m.step_logits(fwd, state, last_toks),
         }
     }
 

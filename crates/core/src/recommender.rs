@@ -6,7 +6,7 @@ use crate::data::{build_vocab, encode_pairs, SeqMode};
 use crate::lexicon::FragmentLexicon;
 use crate::model::{AnyModel, Arch, SizePreset};
 use crate::predict::{FragmentPredictor, PerKind};
-use qrec_nn::decode::{decode, Hypothesis, Strategy};
+use qrec_nn::decode::{decode, decode_with_cache, EncCache, Hypothesis, Strategy};
 use qrec_nn::params::Params;
 use qrec_nn::trainer::{try_train_seq2seq, TrainConfig, TrainError, TrainReport};
 use qrec_sql::{FragmentKind, FragmentSet};
@@ -329,6 +329,42 @@ impl Recommender {
         rng: &mut StdRng,
     ) -> PerKind<Vec<String>> {
         let hyps = self.decode_candidates_with(q, strategy, rng);
+        self.rank_hypothesis_fragments(&hyps)
+    }
+
+    /// [`Recommender::decode_candidates_for_tokens_with`] against a
+    /// caller-owned [`EncCache`], so a serving worker that interleaves
+    /// sessions reuses encoder passes across requests.
+    #[must_use]
+    pub fn decode_candidates_for_tokens_cached(
+        &self,
+        tokens: &[String],
+        strategy: Strategy,
+        rng: &mut StdRng,
+        cache: &mut EncCache,
+    ) -> Vec<Hypothesis> {
+        let src = self.vocab.encode(tokens);
+        decode_with_cache(
+            &self.model,
+            &self.params,
+            &src,
+            strategy,
+            self.cfg.max_decode_len,
+            rng,
+            cache,
+        )
+    }
+
+    /// [`Recommender::ranked_fragments_for_tokens_with`] against a
+    /// caller-owned [`EncCache`] (the qrec-serve worker path).
+    pub fn ranked_fragments_for_tokens_cached(
+        &self,
+        tokens: &[String],
+        strategy: Strategy,
+        rng: &mut StdRng,
+        cache: &mut EncCache,
+    ) -> PerKind<Vec<String>> {
+        let hyps = self.decode_candidates_for_tokens_cached(tokens, strategy, rng, cache);
         self.rank_hypothesis_fragments(&hyps)
     }
 

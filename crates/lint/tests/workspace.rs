@@ -130,6 +130,51 @@ fn tensor_kernel_and_pool_are_hot_path() {
     }
 }
 
+/// The incremental-decode state module is hot-path library code in
+/// `nn`: the shipped text is clean, and an injected panic is caught as
+/// exactly one R1 finding (same self-test shape as the tensor kernel).
+#[test]
+fn incremental_decode_state_is_hot_path() {
+    let root = workspace_root();
+    let ws = qrec_lint::collect_workspace(&root).expect("walk workspace");
+    assert!(
+        ws.config.hot_path_crates.iter().any(|c| c == "nn"),
+        "nn must be a hot-path crate: {:?}",
+        ws.config.hot_path_crates
+    );
+    let rel = "crates/nn/src/incremental.rs";
+    let file = ws
+        .files
+        .iter()
+        .find(|f| f.path == rel)
+        .unwrap_or_else(|| panic!("walker must see {rel}"));
+    assert_eq!(file.class, FileClass::Library, "{rel} is library code");
+    assert_eq!(file.crate_name, "nn");
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: rel.into(),
+                crate_name: "nn".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+    assert!(
+        lint(&file.text).is_empty(),
+        "shipped {rel} must be clean for the injection to be the delta"
+    );
+    let seeded = format!(
+        "fn injected(x: Option<u32>) -> u32 {{ x.unwrap() }}\n{}",
+        file.text
+    );
+    let findings = lint(&seeded);
+    assert_eq!(findings.len(), 1, "exactly the injected line: {findings:?}");
+    assert_eq!(findings[0].rule, "no-panic-in-hot-path");
+}
+
 /// An allow directive without the mandatory `-- <reason>` must not
 /// suppress the violation, and is itself reported.
 #[test]

@@ -49,11 +49,48 @@ impl MultiHeadAttention {
         x_kv: NodeId,
         mask: Option<&Tensor>,
     ) -> NodeId {
-        let dh = self.d / self.heads;
-        let scale = 1.0 / (dh as f32).sqrt();
         let q = self.q.forward(fwd, x_q);
         let k = self.k.forward(fwd, x_kv);
         let v = self.v.forward(fwd, x_kv);
+        let ctx = self.attend(fwd, q, k, v, mask);
+        self.out.forward(fwd, ctx)
+    }
+
+    /// Project queries only — the incremental decoder projects K/V once
+    /// per cached row and reuses them across steps.
+    pub(crate) fn project_q(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        self.q.forward(fwd, x)
+    }
+
+    /// Project keys only.
+    pub(crate) fn project_k(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        self.k.forward(fwd, x)
+    }
+
+    /// Project values only.
+    pub(crate) fn project_v(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
+        self.v.forward(fwd, x)
+    }
+
+    /// Output projection over a concatenated head context.
+    pub(crate) fn output(&self, fwd: &mut Fwd<'_>, ctx: NodeId) -> NodeId {
+        self.out.forward(fwd, ctx)
+    }
+
+    /// Scaled dot-product attention over already-projected `q`/`k`/`v`
+    /// (full width; heads are sliced by columns here). Shared by the
+    /// teacher-forced path and the incremental decode path so both
+    /// compute bit-for-bit the same context.
+    pub(crate) fn attend(
+        &self,
+        fwd: &mut Fwd<'_>,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        mask: Option<&Tensor>,
+    ) -> NodeId {
+        let dh = self.d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
         let mask_node = mask.map(|m| fwd.constant(m.clone()));
 
         // `new` guarantees heads >= 1, so head 0 seeds the concat
@@ -77,7 +114,7 @@ impl MultiHeadAttention {
             let ctx = head_ctx(fwd, h);
             concat = fwd.graph.hcat(concat, ctx);
         }
-        self.out.forward(fwd, concat)
+        concat
     }
 }
 

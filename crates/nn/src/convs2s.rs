@@ -6,12 +6,14 @@
 //! dot-product attention over the encoder output, exactly the shape of
 //! the original model (per-layer attention, residual scaling by √0.5).
 
+use crate::incremental::{full_prefix_step, shift_window, ConvState, DecodeState, StateKind};
 use crate::layers::{Dropout, Embedding, Linear};
 use crate::params::{Fwd, Params};
 use crate::seq2seq::Seq2Seq;
-use qrec_tensor::NodeId;
+use qrec_tensor::{NodeId, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// ConvS2S hyper-parameters. The paper fixes these as in the original
 /// ConvS2S work; our defaults scale them down proportionally.
@@ -192,6 +194,75 @@ impl Seq2Seq for ConvS2S {
         let rows = fwd.graph.value(states).rows();
         let last = fwd.graph.slice_rows(states, rows - 1, rows);
         self.out_proj.forward(fwd, last)
+    }
+
+    fn begin_decode(&self, fwd: &mut Fwd<'_>, enc: &Arc<Tensor>, batch: usize) -> DecodeState {
+        let _ = fwd;
+        // Each decoder block's causal convolution at the next position
+        // sees the previous `kernel - 1` rows of that block's input; the
+        // rolling windows start as zeros, matching `unfold_causal`'s
+        // zero padding before position 0.
+        let slot = self.cfg.kernel.saturating_sub(1) * self.cfg.d_model;
+        let windows = vec![Tensor::zeros(batch, slot); self.cfg.layers];
+        DecodeState::with_kind(
+            StateKind::ConvS2S(ConvState { windows }),
+            enc,
+            batch,
+            self.cfg.max_len,
+        )
+    }
+
+    fn step_logits(
+        &self,
+        fwd: &mut Fwd<'_>,
+        state: &mut DecodeState,
+        last_toks: &[usize],
+    ) -> Tensor {
+        if !matches!(state.kind, StateKind::ConvS2S(_)) || last_toks.is_empty() {
+            return full_prefix_step(self, fwd, state, last_toks);
+        }
+        let pos = match state.advance(last_toks) {
+            Some(pos) => pos,
+            None => return state.frozen_logits(),
+        };
+        let batch = last_toks.len();
+        let e = self.tgt_embed.forward(fwd, last_toks);
+        let p = self.pos_embed.forward(fwd, &vec![pos; batch]);
+        let mut x = fwd.graph.add(e, p);
+        let enc_node = fwd.constant_shared(Arc::clone(&state.enc));
+        if let StateKind::ConvS2S(cs) = &mut state.kind {
+            let layers = self
+                .dec_blocks
+                .iter()
+                .zip(&self.attn_proj)
+                .zip(&mut cs.windows);
+            for ((block, attn), window) in layers {
+                // Causal convolution over [window | new row] — the same
+                // `kernel · d_model` slice `unfold_causal` builds for
+                // the newest position, batched across hypotheses.
+                let x_in = block.drop.forward(fwd, x);
+                let win = fwd.constant(window.clone());
+                let u = fwd.graph.hcat(win, x_in);
+                let h = block.conv.forward(fwd, u);
+                let h = fwd.graph.glu(h);
+                let s = fwd.graph.add(x, h);
+                let conv_out = fwd.graph.scale(s, RESIDUAL_SCALE);
+                *window = shift_window(window, &fwd.graph.value(x_in).clone());
+                // Per-layer dot-product attention over the encoder
+                // output, exactly as in `decode_states`.
+                let q = attn.forward(fwd, conv_out);
+                let scale = 1.0 / (self.cfg.d_model as f32).sqrt();
+                let logits = fwd.graph.matmul_nt(q, enc_node);
+                let logits = fwd.graph.scale(logits, scale);
+                let a = fwd.graph.softmax_rows(logits);
+                let ctx = fwd.graph.matmul(a, enc_node);
+                let s = fwd.graph.add(conv_out, ctx);
+                x = fwd.graph.scale(s, RESIDUAL_SCALE);
+            }
+        }
+        let logits = self.out_proj.forward(fwd, x);
+        let value = fwd.graph.value(logits).clone();
+        state.remember_logits(value)
     }
 
     fn vocab(&self) -> usize {

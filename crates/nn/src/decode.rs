@@ -3,17 +3,30 @@
 //! diverse beam search / stochastic sampling for *N-fragments*
 //! prediction.
 //!
-//! All strategies operate through [`Seq2Seq::decode`]'s causal interface
-//! and return [`Hypothesis`] lists carrying per-token probabilities, from
-//! which the recommender aggregates fragment probabilities over the
-//! partial search tree exactly as the paper describes.
+//! All strategies run **incrementally**: the encoder output is computed
+//! once per source (and cached across calls in an [`EncCache`]), each
+//! architecture carries a [`DecodeState`] of per-layer caches (see
+//! [`crate::incremental`]), and every step runs **one batched
+//! `B × vocab` forward** across all live hypotheses instead of one
+//! full-prefix forward per hypothesis. The batched logits are bitwise
+//! identical to the serial full-prefix path — [`decode_reference`]
+//! keeps that path alive as the equivalence-suite ground truth and the
+//! pre-optimisation benchmark baseline.
+//!
+//! All strategies return [`Hypothesis`] lists carrying per-token
+//! probabilities, from which the recommender aggregates fragment
+//! probabilities over the partial search tree exactly as the paper
+//! describes.
 
+use crate::incremental::DecodeState;
 use crate::params::{Binding, Fwd, Params};
 use crate::seq2seq::Seq2Seq;
 use qrec_tensor::{Graph, Tensor};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Padding token id (never emitted).
@@ -22,6 +35,107 @@ pub const PAD: usize = 0;
 pub const SOS: usize = 1;
 /// End-of-sequence id.
 pub const EOS: usize = 2;
+
+static DECODE_STEPS: AtomicU64 = AtomicU64::new(0);
+static ENC_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static ENC_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide decode activity counters (monotonic, relaxed ordering),
+/// surfaced by qrec-serve's STATS verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeCounters {
+    /// Batched decode-step forwards executed (one per step across all
+    /// live hypotheses, not one per hypothesis).
+    pub steps: u64,
+    /// Encoder-output cache hits across every [`EncCache`].
+    pub enc_cache_hits: u64,
+    /// Encoder-output cache misses (each one paid a full encoder pass).
+    pub enc_cache_misses: u64,
+}
+
+/// Read the current decode counters.
+pub fn counters() -> DecodeCounters {
+    DecodeCounters {
+        steps: DECODE_STEPS.load(Ordering::Relaxed),
+        enc_cache_hits: ENC_CACHE_HITS.load(Ordering::Relaxed),
+        enc_cache_misses: ENC_CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// A small keyed LRU over encoder outputs.
+///
+/// qrec-serve's micro-batcher interleaves sessions through one decode
+/// engine, so a single-entry cache thrashes on every interleave; a few
+/// slots keyed by source tokens keep each session's encoder pass warm.
+/// Entries are `Arc`-shared with decode graphs, so a hit costs a
+/// refcount bump. Hits and misses feed the process-wide [`counters`].
+///
+/// The `generation` tag guards hot-swap: a cache must never serve
+/// encoder outputs computed under old weights, so bump the generation
+/// (qrec-serve uses the model-registry epoch) to invalidate wholesale.
+#[derive(Debug)]
+pub struct EncCache {
+    capacity: usize,
+    generation: u64,
+    /// Most-recently used last.
+    entries: Vec<(Vec<usize>, Arc<Tensor>)>,
+}
+
+impl EncCache {
+    /// Create with room for `capacity` encoder outputs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        EncCache {
+            capacity: capacity.max(1),
+            generation: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Tag the cache with the weights' generation, dropping every entry
+    /// when it changes.
+    pub fn set_generation(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.entries.clear();
+            self.generation = generation;
+        }
+    }
+
+    /// Number of cached encoder outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the encoder output for `src`, refreshing its recency.
+    pub fn lookup(&mut self, src: &[usize]) -> Option<Arc<Tensor>> {
+        match self.entries.iter().position(|(key, _)| key == src) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                let enc = Arc::clone(&entry.1);
+                self.entries.push(entry);
+                ENC_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                Some(enc)
+            }
+            None => {
+                ENC_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert an encoder output, evicting the least-recently used entry
+    /// at capacity.
+    pub fn insert(&mut self, src: Vec<usize>, enc: Arc<Tensor>) {
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((src, enc));
+    }
+}
 
 /// Zero out tokens a decoder must never emit (`<PAD>`, `<SOS>`).
 fn suppress_specials(probs: &mut [f32]) {
@@ -44,6 +158,17 @@ pub struct Hypothesis {
     pub log_prob: f32,
     /// Whether the hypothesis emitted `<EOS>` before the length cap.
     pub finished: bool,
+}
+
+impl Hypothesis {
+    fn empty() -> Self {
+        Hypothesis {
+            ids: Vec::new(),
+            token_probs: Vec::new(),
+            log_prob: 0.0,
+            finished: false,
+        }
+    }
 }
 
 /// The decoding strategy to use.
@@ -91,8 +216,31 @@ pub fn decode<M: Seq2Seq + ?Sized>(
     max_len: usize,
     rng: &mut StdRng,
 ) -> Vec<Hypothesis> {
-    let mut dec = Decoder::new(model, params, rng);
-    let mut hyps = match strategy {
+    let mut cache = EncCache::new(1);
+    decode_with_cache(model, params, src, strategy, max_len, rng, &mut cache)
+}
+
+/// [`decode`] against a caller-owned [`EncCache`], so repeated decodes
+/// over interleaved sources (qrec-serve's micro-batcher) reuse encoder
+/// passes across calls.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors decode() plus the cache
+pub fn decode_with_cache<M: Seq2Seq + ?Sized>(
+    model: &M,
+    params: &Params,
+    src: &[usize],
+    strategy: Strategy,
+    max_len: usize,
+    rng: &mut StdRng,
+    cache: &mut EncCache,
+) -> Vec<Hypothesis> {
+    let mut dec = Decoder {
+        model,
+        params,
+        rng,
+        cache,
+    };
+    let hyps = match strategy {
         Strategy::Greedy => vec![dec.greedy(src, max_len)],
         Strategy::Beam { width } => dec.beam(src, max_len, width, 1, 0.0),
         Strategy::DiverseBeam {
@@ -102,6 +250,45 @@ pub fn decode<M: Seq2Seq + ?Sized>(
         } => dec.beam(src, max_len, width, groups.max(1), penalty),
         Strategy::Sampling { samples, min_prob } => dec.sample(src, max_len, samples, min_prob),
     };
+    rank(hyps)
+}
+
+/// The serial full-prefix decode path this module had before the
+/// incremental rewrite: every step re-runs the decoder over the entire
+/// prefix, once per live hypothesis. Kept verbatim as the ground truth
+/// the equivalence suite compares [`decode`] against bitwise, and as
+/// the baseline `bench_decode` measures the speedup from.
+#[must_use]
+pub fn decode_reference<M: Seq2Seq + ?Sized>(
+    model: &M,
+    params: &Params,
+    src: &[usize],
+    strategy: Strategy,
+    max_len: usize,
+    rng: &mut StdRng,
+) -> Vec<Hypothesis> {
+    let mut dec = ReferenceDecoder {
+        model,
+        params,
+        rng,
+        enc_cache: None,
+    };
+    let hyps = match strategy {
+        Strategy::Greedy => vec![dec.greedy(src, max_len)],
+        Strategy::Beam { width } => dec.beam(src, max_len, width, 1, 0.0),
+        Strategy::DiverseBeam {
+            width,
+            groups,
+            penalty,
+        } => dec.beam(src, max_len, width, groups.max(1), penalty),
+        Strategy::Sampling { samples, min_prob } => dec.sample(src, max_len, samples, min_prob),
+    };
+    rank(hyps)
+}
+
+/// Shared ranking: sort by descending log-probability, deduplicate on
+/// token ids.
+fn rank(mut hyps: Vec<Hypothesis>) -> Vec<Hypothesis> {
     hyps.sort_by(|a, b| {
         b.log_prob
             .partial_cmp(&a.log_prob)
@@ -111,30 +298,282 @@ pub fn decode<M: Seq2Seq + ?Sized>(
     hyps
 }
 
-/// Incremental decoder: one graph per step batchlet, recomputing the
-/// prefix (sequence lengths here are short, so O(L²) re-encoding is
-/// cheaper than maintaining per-architecture caches).
+/// Incremental decoder: one [`DecodeState`] per source, one batched
+/// forward per step across all live hypotheses, encoder outputs shared
+/// through an [`EncCache`].
 struct Decoder<'m, M: Seq2Seq + ?Sized> {
     model: &'m M,
     params: &'m Params,
     rng: &'m mut StdRng,
-    /// Encoder output cached per source sequence: decoding re-queries the
-    /// decoder many times against the same, frozen encoder state. Held as
-    /// an `Arc` so each step graph shares the one allocation instead of
-    /// cloning the tensor per step of every hypothesis.
-    enc_cache: Option<(Vec<usize>, Arc<Tensor>)>,
+    cache: &'m mut EncCache,
 }
 
 impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
-    fn new(model: &'m M, params: &'m Params, rng: &'m mut StdRng) -> Self {
-        Decoder {
-            model,
-            params,
-            rng,
-            enc_cache: None,
+    fn encoder_output(&mut self, src: &[usize]) -> Arc<Tensor> {
+        if let Some(enc) = self.cache.lookup(src) {
+            return enc; // refcount bump, no data copy
         }
+        let mut graph = Graph::new();
+        let mut bind = Binding::new(self.params.len());
+        let mut fwd = Fwd {
+            graph: &mut graph,
+            params: self.params,
+            bind: &mut bind,
+            rng: self.rng,
+            training: false,
+        };
+        let enc = self.model.encode(&mut fwd, src);
+        let out = graph.value_shared(enc);
+        self.cache.insert(src.to_vec(), Arc::clone(&out));
+        out
     }
 
+    /// Start a decode state for `batch` hypothesis rows.
+    fn begin(&mut self, enc: &Arc<Tensor>, batch: usize) -> DecodeState {
+        let mut graph = Graph::new();
+        let mut bind = Binding::new(self.params.len());
+        let mut fwd = Fwd {
+            graph: &mut graph,
+            params: self.params,
+            bind: &mut bind,
+            rng: self.rng,
+            training: false,
+        };
+        self.model.begin_decode(&mut fwd, enc, batch)
+    }
+
+    /// One batched decode step: feed one token per live row, return the
+    /// per-row next-token *probability* rows (softmax over the batched
+    /// logits — row-independent, so identical to per-row softmax).
+    fn step_probs(&mut self, state: &mut DecodeState, last_toks: &[usize]) -> Tensor {
+        DECODE_STEPS.fetch_add(1, Ordering::Relaxed);
+        let mut graph = Graph::new();
+        let mut bind = Binding::new(self.params.len());
+        let mut fwd = Fwd {
+            graph: &mut graph,
+            params: self.params,
+            bind: &mut bind,
+            rng: self.rng,
+            training: false,
+        };
+        let logits = self.model.step_logits(&mut fwd, state, last_toks);
+        logits.softmax_rows()
+    }
+
+    fn greedy(&mut self, src: &[usize], max_len: usize) -> Hypothesis {
+        let mut hyp = Hypothesis::empty();
+        if max_len == 0 {
+            return hyp;
+        }
+        let enc = self.encoder_output(src);
+        let mut state = self.begin(&enc, 1);
+        let mut last = SOS;
+        for _ in 0..max_len {
+            let probs = self.step_probs(&mut state, &[last]);
+            let mut probs = probs.into_data();
+            suppress_specials(&mut probs);
+            let (tok, p) = argmax(&probs);
+            hyp.log_prob += p.max(1e-12).ln();
+            if tok == EOS {
+                hyp.finished = true;
+                break;
+            }
+            hyp.ids.push(tok);
+            hyp.token_probs.push(p);
+            last = tok;
+        }
+        hyp
+    }
+
+    /// Beam search; with `groups > 1` runs diverse beam search.
+    ///
+    /// All groups' live hypotheses occupy one [`DecodeState`], rows laid
+    /// out group by group, so every step is a single batched forward;
+    /// after pruning, [`DecodeState::reorder`] gathers the survivors'
+    /// cache rows (a parent spawning several children duplicates its
+    /// rows). Candidate enumeration, scoring, sorting, and retirement
+    /// mirror the reference path statement for statement, so selections
+    /// are identical.
+    fn beam(
+        &mut self,
+        src: &[usize],
+        max_len: usize,
+        width: usize,
+        groups: usize,
+        penalty: f32,
+    ) -> Vec<Hypothesis> {
+        let width = width.max(1);
+        let groups = groups.min(width);
+        let group_width = width.div_ceil(groups);
+
+        if max_len == 0 {
+            return vec![Hypothesis::empty(); groups];
+        }
+        let enc = self.encoder_output(src);
+        // Every group starts from the same `<SOS>` root: `groups`
+        // identical rows whose first step is computed in one forward.
+        let mut state = self.begin(&enc, groups);
+        let mut group_hyps: Vec<Vec<Hypothesis>> = vec![vec![Hypothesis::empty()]; groups];
+        let mut pending: Vec<usize> = vec![SOS; groups];
+        let mut done: Vec<Hypothesis> = Vec::new();
+
+        for _step in 0..max_len {
+            let probs = self.step_probs(&mut state, &pending);
+            let mut row_probs: Vec<Vec<f32>> = Vec::with_capacity(probs.rows());
+            for r in 0..probs.rows() {
+                let mut p = probs.row(r).to_vec();
+                suppress_specials(&mut p);
+                row_probs.push(p);
+            }
+            // Hamming diversity bookkeeping: token → times chosen this
+            // step by earlier groups (and earlier slots of this group).
+            let mut chosen_counts: HashMap<usize, usize> = HashMap::new();
+            let mut parents: Vec<usize> = Vec::new();
+            let mut next_tokens: Vec<usize> = Vec::new();
+            let mut next_group_hyps: Vec<Vec<Hypothesis>> = Vec::with_capacity(groups);
+            let mut row_base = 0usize;
+            for hyps in &group_hyps {
+                if hyps.is_empty() {
+                    next_group_hyps.push(Vec::new());
+                    continue;
+                }
+                let mut candidates: Vec<(f32, usize, usize)> = Vec::new(); // (score, live idx, token)
+                for (li, hyp) in hyps.iter().enumerate() {
+                    for (tok, &p) in row_probs[row_base + li].iter().enumerate() {
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        let mut score = hyp.log_prob + p.max(1e-12).ln();
+                        if penalty > 0.0 {
+                            let count = chosen_counts.get(&tok).copied().unwrap_or(0);
+                            score -= penalty * count as f32;
+                        }
+                        candidates.push((score, li, tok));
+                    }
+                }
+                candidates
+                    .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                // Standard beam step: the top `group_width` candidates each
+                // take one slot; an EOS candidate retires its hypothesis.
+                let mut next: Vec<Hypothesis> = Vec::with_capacity(group_width);
+                for (_score, li, tok) in candidates.into_iter().take(group_width) {
+                    let p = row_probs[row_base + li][tok];
+                    let mut hyp = hyps[li].clone();
+                    hyp.log_prob += p.max(1e-12).ln();
+                    if tok == EOS {
+                        hyp.finished = true;
+                        done.push(hyp);
+                        continue;
+                    }
+                    hyp.ids.push(tok);
+                    hyp.token_probs.push(p);
+                    *chosen_counts.entry(tok).or_insert(0) += 1;
+                    parents.push(row_base + li);
+                    next_tokens.push(tok);
+                    next.push(hyp);
+                }
+                next_group_hyps.push(next);
+                row_base += hyps.len();
+            }
+            group_hyps = next_group_hyps;
+            state.reorder(&parents);
+            pending = next_tokens;
+            if group_hyps.iter().all(|g| g.is_empty()) || done.len() >= width * 2 {
+                break;
+            }
+        }
+        // Unfinished survivors still count as candidates.
+        for hyps in group_hyps {
+            for hyp in hyps {
+                done.push(hyp);
+            }
+        }
+        done
+    }
+
+    /// Stochastic rollouts. The first-step distribution depends only on
+    /// the source, so it is computed once and shared across all samples
+    /// (each rollout clones the post-first-step state).
+    fn sample(
+        &mut self,
+        src: &[usize],
+        max_len: usize,
+        samples: usize,
+        min_prob: f32,
+    ) -> Vec<Hypothesis> {
+        if max_len == 0 {
+            return vec![Hypothesis::empty(); samples];
+        }
+        let enc = self.encoder_output(src);
+        let mut root = self.begin(&enc, 1);
+        let first = self.step_probs(&mut root, &[SOS]);
+        let mut first_probs = first.into_data();
+        suppress_specials(&mut first_probs);
+
+        let mut out = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut state = root.clone();
+            let mut suppressed = first_probs.clone();
+            let mut hyp = Hypothesis::empty();
+            let mut picks = 0usize;
+            loop {
+                // The paper zeroes low-score tokens before sampling.
+                let mut filtered = suppressed.clone();
+                let mut total = 0.0f32;
+                for p in filtered.iter_mut() {
+                    if *p < min_prob {
+                        *p = 0.0;
+                    }
+                    total += *p;
+                }
+                let (tok, p) = if total <= 0.0 {
+                    // Degenerate distribution: fall back to argmax over
+                    // the unfiltered (suppressed) distribution.
+                    argmax(&suppressed)
+                } else {
+                    let mut u = self.rng.gen_range(0.0..total);
+                    let mut tok = filtered.len() - 1;
+                    for (i, &p) in filtered.iter().enumerate() {
+                        if u < p {
+                            tok = i;
+                            break;
+                        }
+                        u -= p;
+                    }
+                    (tok, filtered[tok] / total)
+                };
+                hyp.log_prob += p.max(1e-12).ln();
+                if tok == EOS {
+                    hyp.finished = true;
+                    break;
+                }
+                hyp.ids.push(tok);
+                hyp.token_probs.push(p);
+                picks += 1;
+                if picks >= max_len {
+                    break;
+                }
+                let next = self.step_probs(&mut state, &[tok]);
+                suppressed = next.into_data();
+                suppress_specials(&mut suppressed);
+            }
+            out.push(hyp);
+        }
+        out
+    }
+}
+
+/// The pre-incremental decoder: one graph per step per hypothesis,
+/// recomputing the full prefix each time (O(L²) per emitted token), with
+/// the original single-slot encoder cache. See [`decode_reference`].
+struct ReferenceDecoder<'m, M: Seq2Seq + ?Sized> {
+    model: &'m M,
+    params: &'m Params,
+    rng: &'m mut StdRng,
+    enc_cache: Option<(Vec<usize>, Arc<Tensor>)>,
+}
+
+impl<'m, M: Seq2Seq + ?Sized> ReferenceDecoder<'m, M> {
     fn encoder_output(&mut self, src: &[usize]) -> Arc<Tensor> {
         if let Some((cached_src, enc)) = &self.enc_cache {
             if cached_src == src {
@@ -176,12 +615,7 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
 
     fn greedy(&mut self, src: &[usize], max_len: usize) -> Hypothesis {
         let mut prefix = vec![SOS];
-        let mut hyp = Hypothesis {
-            ids: Vec::new(),
-            token_probs: Vec::new(),
-            log_prob: 0.0,
-            finished: false,
-        };
+        let mut hyp = Hypothesis::empty();
         for _ in 0..max_len {
             let mut probs = self.next_probs(src, &prefix);
             suppress_specials(&mut probs);
@@ -218,12 +652,7 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
         }
         let root = Live {
             prefix: vec![SOS],
-            hyp: Hypothesis {
-                ids: Vec::new(),
-                token_probs: Vec::new(),
-                log_prob: 0.0,
-                finished: false,
-            },
+            hyp: Hypothesis::empty(),
         };
         // One beam per group.
         let mut beams: Vec<Vec<Live>> = vec![vec![root]; groups];
@@ -300,12 +729,7 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
         let mut out = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut prefix = vec![SOS];
-            let mut hyp = Hypothesis {
-                ids: Vec::new(),
-                token_probs: Vec::new(),
-                log_prob: 0.0,
-                finished: false,
-            };
+            let mut hyp = Hypothesis::empty();
             for _ in 0..max_len {
                 let mut probs = self.next_probs(src, &prefix);
                 suppress_specials(&mut probs);
@@ -568,5 +992,109 @@ mod tests {
             &mut rng,
         );
         assert!(hyps[0].ids.len() <= 4);
+    }
+
+    #[test]
+    fn enc_cache_lru_evicts_oldest_and_refreshes_on_hit() {
+        let mut cache = EncCache::new(2);
+        let t = |v: f32| Arc::new(Tensor::full(1, 1, v));
+        cache.insert(vec![1], t(1.0));
+        cache.insert(vec![2], t(2.0));
+        // Hit on [1] refreshes it, so inserting [3] evicts [2].
+        assert!(cache.lookup(&[1]).is_some());
+        cache.insert(vec![3], t(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&[2]).is_none());
+        assert!(cache.lookup(&[1]).is_some());
+        assert!(cache.lookup(&[3]).is_some());
+    }
+
+    #[test]
+    fn enc_cache_generation_change_invalidates() {
+        let mut cache = EncCache::new(4);
+        cache.insert(vec![1, 2], Arc::new(Tensor::ones(1, 1)));
+        cache.set_generation(0); // unchanged generation keeps entries
+        assert_eq!(cache.len(), 1);
+        cache.set_generation(7);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn enc_cache_counters_track_hits_and_misses() {
+        let before = counters();
+        let mut cache = EncCache::new(2);
+        assert!(cache.lookup(&[9, 9]).is_none());
+        cache.insert(vec![9, 9], Arc::new(Tensor::ones(1, 1)));
+        assert!(cache.lookup(&[9, 9]).is_some());
+        let after = counters();
+        // Other tests run concurrently, so deltas are lower bounds.
+        assert!(after.enc_cache_misses > before.enc_cache_misses);
+        assert!(after.enc_cache_hits > before.enc_cache_hits);
+    }
+
+    #[test]
+    fn cached_decode_reuses_encoder_output_across_calls() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Transformer::new(&mut params, TransformerConfig::test(12), &mut rng);
+        let mut cache = EncCache::new(4);
+        let src = [SOS, 4, 5, EOS];
+        let a = decode_with_cache(
+            &model,
+            &params,
+            &src,
+            Strategy::Greedy,
+            4,
+            &mut StdRng::seed_from_u64(0),
+            &mut cache,
+        );
+        assert_eq!(cache.len(), 1);
+        let before = counters();
+        let b = decode_with_cache(
+            &model,
+            &params,
+            &src,
+            Strategy::Greedy,
+            4,
+            &mut StdRng::seed_from_u64(0),
+            &mut cache,
+        );
+        let after = counters();
+        assert!(after.enc_cache_hits > before.enc_cache_hits);
+        assert_eq!(a, b, "cached encoder output must not change results");
+    }
+
+    /// The first-step distribution is shared across sampling rollouts:
+    /// `n` rollouts of a deterministic (degenerate min_prob) sample take
+    /// `n·d − (n−1)` batched steps where one rollout takes `d`.
+    #[test]
+    fn sampling_shares_first_step_across_rollouts() {
+        let (params, model) = trained_copy_model();
+        let src = [SOS, 7, 8, EOS];
+        let run = |samples: usize| {
+            let before = counters().steps;
+            let hyps = decode(
+                &model,
+                &params,
+                &src,
+                Strategy::Sampling {
+                    samples,
+                    min_prob: 0.9,
+                },
+                10,
+                &mut StdRng::seed_from_u64(1),
+            );
+            assert_eq!(hyps[0].ids, vec![7, 8]);
+            counters().steps - before
+        };
+        let d1 = run(1);
+        let d3 = run(3);
+        assert!(d1 >= 2, "one rollout must take at least two steps");
+        assert_eq!(
+            d3,
+            3 * d1 - 2,
+            "three rollouts must reuse the first-step distribution twice"
+        );
     }
 }

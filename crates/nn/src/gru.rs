@@ -4,12 +4,14 @@
 //! include it both for completeness and for the architecture ablation
 //! benches.
 
+use crate::incremental::{full_prefix_step, repeat_row, DecodeState, GruState, StateKind};
 use crate::layers::{Dropout, Embedding, Linear};
 use crate::params::{Fwd, Params};
 use crate::seq2seq::Seq2Seq;
 use qrec_tensor::{NodeId, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// GRU seq2seq hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -158,6 +160,55 @@ impl Seq2Seq for GruSeq2Seq {
         let rows = fwd.graph.value(states).rows();
         let last = fwd.graph.slice_rows(states, rows - 1, rows);
         self.out_proj.forward(fwd, last)
+    }
+
+    fn begin_decode(&self, fwd: &mut Fwd<'_>, enc: &Arc<Tensor>, batch: usize) -> DecodeState {
+        let _ = fwd;
+        // Initial hidden: the final encoder state, one copy per
+        // hypothesis row (matching `decode_states`' slice of the last
+        // encoder row).
+        let h = repeat_row(enc.row(enc.rows() - 1), batch);
+        DecodeState::with_kind(StateKind::Gru(GruState { h }), enc, batch, self.cfg.max_len)
+    }
+
+    fn step_logits(
+        &self,
+        fwd: &mut Fwd<'_>,
+        state: &mut DecodeState,
+        last_toks: &[usize],
+    ) -> Tensor {
+        if !matches!(state.kind, StateKind::Gru(_)) || last_toks.is_empty() {
+            return full_prefix_step(self, fwd, state, last_toks);
+        }
+        if state.advance(last_toks).is_none() {
+            return state.frozen_logits();
+        }
+        let emb = self.tgt_embed.forward(fwd, last_toks);
+        let x = self.drop.forward(fwd, emb);
+        let enc_node = fwd.constant_shared(Arc::clone(&state.enc));
+        let scale = 1.0 / (self.cfg.d_model as f32).sqrt();
+        let mut new_h = None;
+        if let StateKind::Gru(gs) = &mut state.kind {
+            let h = fwd.constant(gs.h.clone());
+            // Dot-product attention with the previous hidden state,
+            // batched across hypothesis rows.
+            let logits = fwd.graph.matmul_nt(h, enc_node);
+            let logits = fwd.graph.scale(logits, scale);
+            let attn = fwd.graph.softmax_rows(logits);
+            let ctx = fwd.graph.matmul(attn, enc_node);
+            let xin = fwd.graph.hcat(x, ctx);
+            let next = self.dec_cell.step(fwd, xin, h);
+            gs.h = fwd.graph.value(next).clone();
+            new_h = Some(next);
+        }
+        match new_h {
+            Some(h) => {
+                let logits = self.out_proj.forward(fwd, h);
+                let value = fwd.graph.value(logits).clone();
+                state.remember_logits(value)
+            }
+            None => state.frozen_logits(),
+        }
     }
 
     fn vocab(&self) -> usize {

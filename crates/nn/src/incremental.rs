@@ -1,0 +1,374 @@
+//! Incremental decode state: per-architecture caches that turn the
+//! O(L²)-per-token full-prefix decode into O(L) steps.
+//!
+//! A [`DecodeState`] is created once per source sequence by
+//! [`crate::seq2seq::Seq2Seq::begin_decode`] and advanced one target
+//! position at a time by [`crate::seq2seq::Seq2Seq::step_logits`], which
+//! runs **one batched `B × d` forward** across all live hypotheses
+//! instead of `B` separate full-prefix forwards. What each architecture
+//! caches:
+//!
+//! * **Transformer** — per layer, per hypothesis, the self-attention K/V
+//!   rows of every position decoded so far (one row appended per step),
+//!   plus the cross-attention K/V of the source projected *once* in
+//!   `begin_decode` instead of once per step.
+//! * **ConvS2S** — per decoder layer, the rolling window of the last
+//!   `kernel - 1` block-input rows per hypothesis (what the causal
+//!   convolution at the next position will see).
+//! * **GRU** — the hidden state, carried forward as a `B × d` matrix.
+//!
+//! Every cached value is bitwise identical to the value the full-prefix
+//! path recomputes, because the GEMM kernel folds each output element in
+//! a fixed ascending-`k` order regardless of batching (see
+//! `qrec_tensor::kernel`) and masked softmax columns contribute exact
+//! `0.0` terms. The `decode_equivalence` test suite enforces this.
+//!
+//! After beam pruning, [`DecodeState::reorder`] gathers the state rows
+//! of the surviving hypotheses (indices may repeat when one parent
+//! spawns several children) so caches follow their hypotheses.
+
+use crate::params::Fwd;
+use crate::seq2seq::Seq2Seq;
+use qrec_tensor::Tensor;
+use std::sync::Arc;
+
+/// Incremental decoding state for one source sequence and a batch of
+/// live hypotheses. Created by
+/// [`crate::seq2seq::Seq2Seq::begin_decode`]; advanced by
+/// [`crate::seq2seq::Seq2Seq::step_logits`]; reordered after beam
+/// pruning with [`DecodeState::reorder`].
+///
+/// Cloning is cheap: the per-architecture caches are behind [`Arc`]s or
+/// small matrices, and appends copy-on-write. Stochastic decoding clones
+/// the post-first-step state once per rollout so the first-step
+/// distribution is computed exactly once per source.
+#[derive(Debug, Clone)]
+pub struct DecodeState {
+    pub(crate) kind: StateKind,
+    /// The frozen encoder output this state decodes against.
+    pub(crate) enc: Arc<Tensor>,
+    /// Consumed target tokens per hypothesis row (the full-prefix
+    /// fallback decodes these; incremental paths keep them for parity
+    /// and diagnostics — they are a few words per row).
+    pub(crate) prefixes: Vec<Vec<usize>>,
+    /// Steps consumed so far (target positions fed in).
+    pub(crate) steps: usize,
+    /// The architecture's positional capacity: every model truncates
+    /// target ids with `take(max_len)`, so last-row logits freeze once
+    /// `steps` reaches it and further steps replay [`Self::last_logits`].
+    pub(crate) arch_max_len: usize,
+    /// Logits of the most recent step (`B × vocab`), replayed verbatim
+    /// once the position cap freezes the distribution.
+    pub(crate) last_logits: Option<Tensor>,
+}
+
+/// Architecture-specific cache payload.
+#[derive(Debug, Clone)]
+pub(crate) enum StateKind {
+    /// No cache: every step re-decodes the stored prefixes in full. The
+    /// default for any [`crate::seq2seq::Seq2Seq`] implementation that
+    /// does not override the incremental API.
+    FullPrefix,
+    /// Transformer per-layer K/V caches.
+    Transformer(TransformerState),
+    /// ConvS2S per-layer causal-convolution windows.
+    ConvS2S(ConvState),
+    /// GRU hidden state.
+    Gru(GruState),
+}
+
+/// Per-layer, per-hypothesis Transformer decoder caches.
+#[derive(Debug, Clone)]
+pub(crate) struct TransformerState {
+    pub(crate) layers: Vec<TransformerLayerState>,
+}
+
+/// One Transformer decoder layer's caches.
+#[derive(Debug, Clone)]
+pub(crate) struct TransformerLayerState {
+    /// Self-attention keys per hypothesis: `t × d_model`, full width
+    /// (head slicing happens by columns, exactly as in the full path).
+    pub(crate) self_k: Vec<Arc<Tensor>>,
+    /// Self-attention values per hypothesis: `t × d_model`.
+    pub(crate) self_v: Vec<Arc<Tensor>>,
+    /// Cross-attention keys of the source (`m × d_model`), projected
+    /// once per source in `begin_decode` and shared by every step and
+    /// every hypothesis.
+    pub(crate) cross_k: Arc<Tensor>,
+    /// Cross-attention values of the source (`m × d_model`).
+    pub(crate) cross_v: Arc<Tensor>,
+}
+
+/// Per-layer ConvS2S rolling windows.
+#[derive(Debug, Clone)]
+pub(crate) struct ConvState {
+    /// One `B × ((kernel-1) · d_model)` matrix per decoder layer: the
+    /// last `kernel - 1` block-input rows of each hypothesis, oldest
+    /// first, zero-padded before position 0.
+    pub(crate) windows: Vec<Tensor>,
+}
+
+/// GRU carry.
+#[derive(Debug, Clone)]
+pub(crate) struct GruState {
+    /// Hidden state, one row per hypothesis (`B × d_model`).
+    pub(crate) h: Tensor,
+}
+
+impl DecodeState {
+    /// A full-prefix fallback state (no caching) — correct for any
+    /// architecture, used by the default trait methods.
+    pub(crate) fn full_prefix(enc: &Arc<Tensor>, batch: usize) -> Self {
+        DecodeState {
+            kind: StateKind::FullPrefix,
+            enc: Arc::clone(enc),
+            prefixes: vec![Vec::new(); batch],
+            steps: 0,
+            // The fallback re-decodes through `decode_last_logits`,
+            // which applies the architecture's own truncation — it
+            // never needs to freeze explicitly.
+            arch_max_len: usize::MAX,
+            last_logits: None,
+        }
+    }
+
+    /// An architecture-backed state.
+    pub(crate) fn with_kind(
+        kind: StateKind,
+        enc: &Arc<Tensor>,
+        batch: usize,
+        arch_max_len: usize,
+    ) -> Self {
+        DecodeState {
+            kind,
+            enc: Arc::clone(enc),
+            prefixes: vec![Vec::new(); batch],
+            steps: 0,
+            arch_max_len,
+            last_logits: None,
+        }
+    }
+
+    /// Number of live hypothesis rows.
+    pub fn batch(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Target positions consumed so far.
+    pub fn positions(&self) -> usize {
+        self.steps
+    }
+
+    /// Record this step's tokens (one per row) and return the 0-based
+    /// position the new row occupies, or `None` when the architecture's
+    /// positional capacity has frozen the logits (the caller replays
+    /// [`Self::frozen_logits`]).
+    pub(crate) fn advance(&mut self, last_toks: &[usize]) -> Option<usize> {
+        assert_eq!(
+            last_toks.len(),
+            self.prefixes.len(),
+            "step_logits batch mismatch: {} tokens for {} state rows",
+            last_toks.len(),
+            self.prefixes.len()
+        );
+        for (prefix, &tok) in self.prefixes.iter_mut().zip(last_toks) {
+            prefix.push(tok);
+        }
+        let pos = self.steps;
+        self.steps += 1;
+        if pos >= self.arch_max_len {
+            None
+        } else {
+            Some(pos)
+        }
+    }
+
+    /// The replayed distribution once the position cap is reached: the
+    /// full-prefix path truncates target ids at `max_len`, so its
+    /// last-row logits stop changing — replaying the stored step is
+    /// bitwise identical.
+    pub(crate) fn frozen_logits(&self) -> Tensor {
+        match &self.last_logits {
+            Some(t) => t.clone(),
+            None => Tensor::zeros(self.batch(), 0),
+        }
+    }
+
+    /// Store this step's logits (for freeze replay) and hand back an
+    /// owned copy for the caller.
+    pub(crate) fn remember_logits(&mut self, logits: Tensor) -> Tensor {
+        self.last_logits = Some(logits.clone());
+        logits
+    }
+
+    /// Keep the state rows listed in `parents`, in that order: row `i`
+    /// of the reordered state is row `parents[i]` of the current state.
+    /// Indices may repeat (one parent spawning several children) and the
+    /// batch may grow or shrink — beam pruning, diverse-group fan-out,
+    /// and sampling clones all route through here.
+    pub fn reorder(&mut self, parents: &[usize]) {
+        let batch = self.prefixes.len();
+        for &p in parents {
+            assert!(
+                p < batch,
+                "reorder parent {p} out of range for batch {batch}"
+            );
+        }
+        self.prefixes = parents.iter().map(|&p| self.prefixes[p].clone()).collect();
+        if let Some(logits) = &self.last_logits {
+            self.last_logits = Some(logits.gather_rows(parents));
+        }
+        match &mut self.kind {
+            StateKind::FullPrefix => {}
+            StateKind::Transformer(ts) => {
+                for layer in &mut ts.layers {
+                    layer.self_k = parents
+                        .iter()
+                        .map(|&p| Arc::clone(&layer.self_k[p]))
+                        .collect();
+                    layer.self_v = parents
+                        .iter()
+                        .map(|&p| Arc::clone(&layer.self_v[p]))
+                        .collect();
+                }
+            }
+            StateKind::ConvS2S(cs) => {
+                for window in &mut cs.windows {
+                    *window = window.gather_rows(parents);
+                }
+            }
+            StateKind::Gru(gs) => {
+                gs.h = gs.h.gather_rows(parents);
+            }
+        }
+    }
+}
+
+/// The cache-free step shared by the trait default and by architecture
+/// overrides handed a state of a foreign kind (e.g. a cloned
+/// `FullPrefix` state): re-decode every stored prefix in full through
+/// [`Seq2Seq::decode_last_logits`]. Correct for any architecture,
+/// O(L²) per token.
+pub(crate) fn full_prefix_step<M: Seq2Seq + ?Sized>(
+    model: &M,
+    fwd: &mut Fwd<'_>,
+    state: &mut DecodeState,
+    last_toks: &[usize],
+) -> Tensor {
+    let _ = state.advance(last_toks);
+    let enc = fwd.constant_shared(Arc::clone(&state.enc));
+    let mut out = Tensor::zeros(0, model.vocab());
+    for prefix in &state.prefixes {
+        let node = model.decode_last_logits(fwd, enc, prefix);
+        let row = fwd.graph.value(node).row(0).to_vec();
+        out.append_row(&row);
+    }
+    state.remember_logits(out)
+}
+
+/// `count` stacked copies of a single row (broadcast a positional
+/// encoding row across a batch).
+pub(crate) fn repeat_row(row: &[f32], count: usize) -> Tensor {
+    let mut data = Vec::with_capacity(row.len() * count);
+    for _ in 0..count {
+        data.extend_from_slice(row);
+    }
+    Tensor::from_vec(count, row.len(), data)
+}
+
+/// Advance a `B × ((k-1)·d)` rolling window: drop the oldest `d`-wide
+/// slot of each row and append the matching row of `incoming` (`B × d`).
+/// With `k == 1` the window is zero-width and stays empty.
+pub(crate) fn shift_window(window: &Tensor, incoming: &Tensor) -> Tensor {
+    let d = incoming.cols();
+    let rows = window.rows();
+    assert_eq!(rows, incoming.rows(), "shift_window batch mismatch");
+    if window.cols() == 0 {
+        return window.clone();
+    }
+    assert!(window.cols() >= d, "shift_window slot mismatch");
+    let mut data = Vec::with_capacity(rows * window.cols());
+    for r in 0..rows {
+        data.extend_from_slice(&window.row(r)[d..]);
+        data.extend_from_slice(incoming.row(r));
+    }
+    Tensor::from_vec(rows, window.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(kind: StateKind, batch: usize, max_len: usize) -> DecodeState {
+        let enc = Arc::new(Tensor::zeros(2, 4));
+        DecodeState::with_kind(kind, &enc, batch, max_len)
+    }
+
+    #[test]
+    fn advance_tracks_positions_and_freezes_at_capacity() {
+        let mut s = state_with(StateKind::FullPrefix, 2, 2);
+        assert_eq!(s.advance(&[1, 1]), Some(0));
+        assert_eq!(s.advance(&[4, 5]), Some(1));
+        assert_eq!(s.advance(&[6, 7]), None, "position 2 is past max_len 2");
+        assert_eq!(s.positions(), 3);
+        assert_eq!(s.prefixes, vec![vec![1, 4, 6], vec![1, 5, 7]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn advance_rejects_wrong_batch() {
+        let mut s = state_with(StateKind::FullPrefix, 2, 8);
+        let _ = s.advance(&[1]);
+    }
+
+    #[test]
+    fn reorder_gathers_prefixes_and_logits() {
+        let mut s = state_with(StateKind::FullPrefix, 3, 8);
+        let _ = s.advance(&[7, 8, 9]);
+        s.last_logits = Some(Tensor::from_vec(3, 1, vec![0.7, 0.8, 0.9]));
+        s.reorder(&[2, 0, 2]);
+        assert_eq!(s.batch(), 3);
+        assert_eq!(s.prefixes, vec![vec![9], vec![7], vec![9]]);
+        let logits = s.last_logits.clone().map(Tensor::into_data);
+        assert_eq!(logits, Some(vec![0.9, 0.7, 0.9]));
+    }
+
+    #[test]
+    fn reorder_gathers_gru_hidden_rows() {
+        let mut s = state_with(
+            StateKind::Gru(GruState {
+                h: Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]),
+            }),
+            2,
+            8,
+        );
+        s.reorder(&[1, 1, 0]);
+        match &s.kind {
+            StateKind::Gru(gs) => {
+                assert_eq!(gs.h.shape(), (3, 2));
+                assert_eq!(gs.h.row(0), &[3., 4.]);
+                assert_eq!(gs.h.row(2), &[1., 2.]);
+            }
+            other => unreachable!("kind changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_row_broadcasts() {
+        let t = repeat_row(&[1., 2.], 3);
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.row(2), &[1., 2.]);
+    }
+
+    #[test]
+    fn shift_window_rolls_oldest_slot_out() {
+        // kernel 3, d 2: window holds two slots per row.
+        let w = Tensor::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        let x = Tensor::from_vec(1, 2, vec![5., 6.]);
+        let w2 = shift_window(&w, &x);
+        assert_eq!(w2.row(0), &[3., 4., 5., 6.]);
+        // kernel 1: zero-width window stays empty.
+        let w0 = Tensor::zeros(1, 0);
+        assert_eq!(shift_window(&w0, &x).cols(), 0);
+    }
+}

@@ -203,6 +203,20 @@ pub fn positional_encoding(len: usize, d: usize) -> Tensor {
     pe
 }
 
+/// A single row of [`positional_encoding`]: the encoding of `pos` alone.
+/// Bitwise identical to `positional_encoding(n, d).row(pos)` for any
+/// `n > pos` (each row is a pure function of its position) — the
+/// incremental decoder uses this to avoid rebuilding the whole table
+/// every step.
+pub fn positional_encoding_row(pos: usize, d: usize) -> Vec<f32> {
+    let mut row = vec![0.0; d];
+    for (i, slot) in row.iter_mut().enumerate() {
+        let angle = pos as f32 / 10_000f32.powf((2 * (i / 2)) as f32 / d as f32);
+        *slot = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+    }
+    row
+}
+
 /// A causal attention mask: `len × len` with 0 on/below the diagonal and
 /// a large negative value above it (added to logits before softmax).
 pub fn causal_mask(len: usize) -> Tensor {
@@ -318,6 +332,14 @@ mod tests {
         // Distinct positions get distinct encodings.
         assert_ne!(pe.row(1), pe.row(2));
         assert!(pe.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn positional_encoding_row_matches_table_bitwise() {
+        let pe = positional_encoding(9, 6);
+        for pos in 0..9 {
+            assert_eq!(positional_encoding_row(pos, 6), pe.row(pos));
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`mod@decode`] — greedy, beam, diverse-beam, and stochastic decoding,
 //!   returning per-token probabilities for the paper's search-tree
 //!   fragment aggregation.
+//! * [`incremental`] — per-architecture KV/window/hidden decode caches
+//!   that let the beam family run one batched forward per step instead
+//!   of a full-prefix forward per hypothesis.
 //! * [`classifier`] — the two-layer template classification head
 //!   (Section 4.1.2).
 
@@ -27,6 +30,7 @@ pub mod classifier;
 pub mod convs2s;
 pub mod decode;
 pub mod gru;
+pub mod incremental;
 pub mod layers;
 pub mod params;
 pub mod schedule;
@@ -39,6 +43,7 @@ pub use classifier::ClassifierHead;
 pub use convs2s::{ConvS2S, ConvS2SConfig};
 pub use decode::{decode, Hypothesis, Strategy};
 pub use gru::{GruConfig, GruSeq2Seq};
+pub use incremental::DecodeState;
 pub use params::{Binding, Fwd, ParamId, Params};
 pub use schedule::LrSchedule;
 pub use seq2seq::Seq2Seq;

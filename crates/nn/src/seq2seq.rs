@@ -6,8 +6,10 @@
 //! per-position next-token logits. Training, greedy decoding, and the
 //! beam-search family are all built on this interface.
 
+use crate::incremental::DecodeState;
 use crate::params::Fwd;
-use qrec_tensor::NodeId;
+use qrec_tensor::{NodeId, Tensor};
+use std::sync::Arc;
 
 /// A sequence-to-sequence architecture (weights live in a
 /// [`crate::params::Params`] store created alongside the model).
@@ -32,6 +34,39 @@ pub trait Seq2Seq {
         let logits = self.decode(fwd, enc, tgt_in);
         let rows = fwd.graph.value(logits).rows();
         fwd.graph.slice_rows(logits, rows - 1, rows)
+    }
+
+    /// Start an incremental decode against a frozen encoder output,
+    /// with `batch` hypothesis rows (all starting from an empty prefix).
+    ///
+    /// The default keeps no cache: every [`Seq2Seq::step_logits`] call
+    /// re-decodes the stored prefixes in full, so any implementation is
+    /// correct out of the box. Architectures override this to build real
+    /// per-layer caches (Transformer K/V rows, ConvS2S windows, the GRU
+    /// hidden state) and, where profitable, to project step-invariant
+    /// quantities — e.g. cross-attention K/V of the source — exactly
+    /// once here instead of once per step.
+    fn begin_decode(&self, fwd: &mut Fwd<'_>, enc: &Arc<Tensor>, batch: usize) -> DecodeState {
+        let _ = fwd;
+        DecodeState::full_prefix(enc, batch)
+    }
+
+    /// Feed one token per hypothesis row and return next-token logits of
+    /// shape `batch × vocab`: row `i` is the distribution after row `i`'s
+    /// prefix grows by `last_toks[i]`.
+    ///
+    /// Must be bitwise identical to calling [`Seq2Seq::decode_last_logits`]
+    /// per row on the full prefix — the decode equivalence suite enforces
+    /// this for every architecture. The default does exactly that
+    /// (correct, O(L²) per token); overrides advance their caches and
+    /// run one batched forward instead.
+    fn step_logits(
+        &self,
+        fwd: &mut Fwd<'_>,
+        state: &mut DecodeState,
+        last_toks: &[usize],
+    ) -> Tensor {
+        crate::incremental::full_prefix_step(self, fwd, state, last_toks)
     }
 
     /// Vocabulary size (logit width).

@@ -2,14 +2,19 @@
 //! paper's query-prediction task.
 
 use crate::attention::MultiHeadAttention;
+use crate::incremental::{
+    full_prefix_step, repeat_row, DecodeState, StateKind, TransformerLayerState, TransformerState,
+};
 use crate::layers::{
-    causal_mask, positional_encoding, Dropout, Embedding, FeedForward, LayerNorm, Linear,
+    causal_mask, positional_encoding, positional_encoding_row, Dropout, Embedding, FeedForward,
+    LayerNorm, Linear,
 };
 use crate::params::{Fwd, Params};
 use crate::seq2seq::Seq2Seq;
-use qrec_tensor::NodeId;
+use qrec_tensor::{NodeId, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Transformer hyper-parameters. The paper tunes heads in `[8, 16]`,
 /// hidden size in `[512, 1024]`, and layers in `[2, 12]`; our scaled-down
@@ -154,6 +159,59 @@ impl DecoderLayer {
         let x = fwd.graph.add(x, f);
         self.ln3.forward(fwd, x)
     }
+
+    /// One incremental step for a batch of hypothesis rows: `x` is
+    /// `B × d_model` (one new position per row), `ls` carries this
+    /// layer's K/V caches. Appends this step's K/V rows, attends each
+    /// row against its own cache (the only per-hypothesis work — the
+    /// caches differ per row), and runs every projection batched.
+    ///
+    /// The full-prefix path's causal-mask row for the newest position is
+    /// all zeros, so attending the new query over exactly the cached
+    /// positions — no mask — computes the same softmax term for term.
+    fn step(&self, fwd: &mut Fwd<'_>, x: NodeId, ls: &mut TransformerLayerState) -> NodeId {
+        let q = self.self_attn.project_q(fwd, x);
+        let k_new = self.self_attn.project_k(fwd, x);
+        let v_new = self.self_attn.project_v(fwd, x);
+        let k_rows = fwd.graph.value_shared(k_new);
+        let v_rows = fwd.graph.value_shared(v_new);
+        for (i, cache) in ls.self_k.iter_mut().enumerate() {
+            Arc::make_mut(cache).append_row(k_rows.row(i));
+        }
+        for (i, cache) in ls.self_v.iter_mut().enumerate() {
+            Arc::make_mut(cache).append_row(v_rows.row(i));
+        }
+        let batch = ls.self_k.len();
+        let row_ctx = |fwd: &mut Fwd<'_>, i: usize| {
+            let qi = fwd.graph.slice_rows(q, i, i + 1);
+            let ki = fwd.constant_shared(Arc::clone(&ls.self_k[i]));
+            let vi = fwd.constant_shared(Arc::clone(&ls.self_v[i]));
+            self.self_attn.attend(fwd, qi, ki, vi, None)
+        };
+        let mut ctx = row_ctx(fwd, 0);
+        for i in 1..batch {
+            let ci = row_ctx(fwd, i);
+            ctx = fwd.graph.vcat(ctx, ci);
+        }
+        let a = self.self_attn.output(fwd, ctx);
+        let a = self.drop.forward(fwd, a);
+        let x = fwd.graph.add(x, a);
+        let x = self.ln1.forward(fwd, x);
+
+        let qc = self.cross_attn.project_q(fwd, x);
+        let kc = fwd.constant_shared(Arc::clone(&ls.cross_k));
+        let vc = fwd.constant_shared(Arc::clone(&ls.cross_v));
+        let cctx = self.cross_attn.attend(fwd, qc, kc, vc, None);
+        let c = self.cross_attn.output(fwd, cctx);
+        let c = self.drop.forward(fwd, c);
+        let x = fwd.graph.add(x, c);
+        let x = self.ln2.forward(fwd, x);
+
+        let f = self.ff.forward(fwd, x);
+        let f = self.drop.forward(fwd, f);
+        let x = fwd.graph.add(x, f);
+        self.ln3.forward(fwd, x)
+    }
 }
 
 /// A full Transformer encoder–decoder.
@@ -235,6 +293,64 @@ impl Seq2Seq for Transformer {
         let rows = fwd.graph.value(states).rows();
         let last = fwd.graph.slice_rows(states, rows - 1, rows);
         self.out_proj.forward(fwd, last)
+    }
+
+    fn begin_decode(&self, fwd: &mut Fwd<'_>, enc: &Arc<Tensor>, batch: usize) -> DecodeState {
+        let enc_node = fwd.constant_shared(Arc::clone(enc));
+        let layers = self
+            .dec_layers
+            .iter()
+            .map(|layer| {
+                // Cross-attention K/V depend only on the source: project
+                // them once here instead of once per decode step.
+                let k = layer.cross_attn.project_k(fwd, enc_node);
+                let v = layer.cross_attn.project_v(fwd, enc_node);
+                let empty_rows =
+                    |n: usize| (0..n).map(|_| Arc::new(Tensor::zeros(0, self.cfg.d_model)));
+                TransformerLayerState {
+                    self_k: empty_rows(batch).collect(),
+                    self_v: empty_rows(batch).collect(),
+                    cross_k: fwd.graph.value_shared(k),
+                    cross_v: fwd.graph.value_shared(v),
+                }
+            })
+            .collect();
+        DecodeState::with_kind(
+            StateKind::Transformer(TransformerState { layers }),
+            enc,
+            batch,
+            self.cfg.max_len,
+        )
+    }
+
+    fn step_logits(
+        &self,
+        fwd: &mut Fwd<'_>,
+        state: &mut DecodeState,
+        last_toks: &[usize],
+    ) -> Tensor {
+        if !matches!(state.kind, StateKind::Transformer(_)) || last_toks.is_empty() {
+            return full_prefix_step(self, fwd, state, last_toks);
+        }
+        let pos = match state.advance(last_toks) {
+            Some(pos) => pos,
+            None => return state.frozen_logits(),
+        };
+        let batch = last_toks.len();
+        let e = self.tgt_embed.forward(fwd, last_toks);
+        let e = fwd.graph.scale(e, (self.cfg.d_model as f32).sqrt());
+        let pe_row = positional_encoding_row(pos, self.cfg.d_model);
+        let pe = fwd.constant(repeat_row(&pe_row, batch));
+        let mut x = fwd.graph.add(e, pe);
+        x = self.embed_drop.forward(fwd, x);
+        if let StateKind::Transformer(ts) = &mut state.kind {
+            for (layer, ls) in self.dec_layers.iter().zip(&mut ts.layers) {
+                x = layer.step(fwd, x, ls);
+            }
+        }
+        let logits = self.out_proj.forward(fwd, x);
+        let value = fwd.graph.value(logits).clone();
+        state.remember_logits(value)
     }
 
     fn vocab(&self) -> usize {

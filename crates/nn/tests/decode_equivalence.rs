@@ -1,0 +1,273 @@
+//! Bitwise equivalence of the incremental, step-batched decoder against
+//! the serial full-prefix reference path.
+//!
+//! The decode rewrite's contract (DESIGN.md §11) is that KV-cached,
+//! batched decoding is *bitwise* identical to re-running the decoder
+//! over the full prefix once per hypothesis — not epsilon-close. These
+//! tests drive all three architectures through every strategy the
+//! recommender uses and compare hypothesis lists bit for bit, replay
+//! state reorders against fresh per-prefix decodes, walk steps past the
+//! architecture's positional capacity (the logit-freeze path), and
+//! re-run the whole suite under 1-, 2-, and 8-thread compute pools
+//! (the pool is process-global, so each size runs in a child process).
+
+use qrec_nn::decode::{decode, decode_reference, Hypothesis, Strategy, SOS};
+use qrec_nn::params::{forward_eval, Params};
+use qrec_nn::{
+    ConvS2S, ConvS2SConfig, DecodeState, GruConfig, GruSeq2Seq, Seq2Seq, Transformer,
+    TransformerConfig,
+};
+use qrec_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const ARCHS: [&str; 3] = ["transformer", "convs2s", "gru"];
+const VOCAB: usize = 30;
+
+/// Untrained (random-init) model: distributions are near-uniform, which
+/// exercises beam pruning and sampling far better than a converged model
+/// that collapses every strategy onto one sequence.
+fn build(arch: &str) -> (Params, Box<dyn Seq2Seq>) {
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model: Box<dyn Seq2Seq> = match arch {
+        "transformer" => Box::new(Transformer::new(
+            &mut params,
+            TransformerConfig::test(VOCAB),
+            &mut rng,
+        )),
+        "convs2s" => Box::new(ConvS2S::new(
+            &mut params,
+            ConvS2SConfig::test(VOCAB),
+            &mut rng,
+        )),
+        _ => Box::new(GruSeq2Seq::new(
+            &mut params,
+            GruConfig::test(VOCAB),
+            &mut rng,
+        )),
+    };
+    (params, model)
+}
+
+fn assert_hyps_bitwise(want: &[Hypothesis], got: &[Hypothesis], ctx: &str) {
+    assert_eq!(want.len(), got.len(), "{ctx}: hypothesis count");
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        assert_eq!(w.ids, g.ids, "{ctx}: ids of hyp {i}");
+        assert_eq!(w.finished, g.finished, "{ctx}: finished flag of hyp {i}");
+        assert_eq!(
+            w.log_prob.to_bits(),
+            g.log_prob.to_bits(),
+            "{ctx}: log_prob of hyp {i}: {} vs {}",
+            w.log_prob,
+            g.log_prob
+        );
+        assert_eq!(
+            w.token_probs.len(),
+            g.token_probs.len(),
+            "{ctx}: token_probs length of hyp {i}"
+        );
+        for (j, (a, b)) in w.token_probs.iter().zip(&g.token_probs).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{ctx}: token_prob {j} of hyp {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+fn assert_rows_bitwise(want: &Tensor, got: &Tensor, ctx: &str) {
+    assert_eq!(want.shape(), got.shape(), "{ctx}: shape");
+    for (j, (a, b)) in want.data().iter().zip(got.data()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: element {j}: {a} vs {b}");
+    }
+}
+
+/// Every strategy × fixed RNG seed: the incremental path must reproduce
+/// the reference path's hypothesis list exactly.
+fn check_strategies(arch: &str) {
+    let (params, model) = build(arch);
+    let src = [SOS, 4, 9, 5, 2];
+    let cases: [(Strategy, u64); 6] = [
+        (Strategy::Greedy, 0),
+        (Strategy::Beam { width: 1 }, 0),
+        (Strategy::Beam { width: 4 }, 0),
+        (
+            Strategy::DiverseBeam {
+                width: 4,
+                groups: 2,
+                penalty: 1.5,
+            },
+            0,
+        ),
+        // Low threshold: real multinomial draws share the RNG stream.
+        (
+            Strategy::Sampling {
+                samples: 4,
+                min_prob: 0.02,
+            },
+            7,
+        ),
+        // High threshold: the degenerate argmax fallback path.
+        (
+            Strategy::Sampling {
+                samples: 3,
+                min_prob: 0.9,
+            },
+            3,
+        ),
+    ];
+    for (strategy, seed) in cases {
+        let want = decode_reference(
+            model.as_ref(),
+            &params,
+            &src,
+            strategy,
+            24,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let got = decode(
+            model.as_ref(),
+            &params,
+            &src,
+            strategy,
+            24,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert_hyps_bitwise(&want, &got, &format!("{arch} {strategy:?}"));
+    }
+}
+
+#[test]
+fn transformer_matches_reference() {
+    check_strategies("transformer");
+}
+
+#[test]
+fn convs2s_matches_reference() {
+    check_strategies("convs2s");
+}
+
+#[test]
+fn gru_matches_reference() {
+    check_strategies("gru");
+}
+
+/// Step-level equivalence on a forced 70-token walk: every incremental
+/// logits row must equal the reference full-prefix last-row logits,
+/// including past the architecture's positional capacity (64 in the
+/// test configs), where both paths freeze on the last computable row.
+#[test]
+fn steps_past_positional_capacity_freeze_identically() {
+    for arch in ARCHS {
+        let (params, model) = build(arch);
+        let model = model.as_ref();
+        let src = [SOS, 6, 3, 2];
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc: Arc<Tensor> = forward_eval(&params, &mut rng, |fwd| {
+            let e = model.encode(fwd, &src);
+            fwd.graph.value_shared(e)
+        });
+        let mut state: DecodeState =
+            forward_eval(&params, &mut rng, |fwd| model.begin_decode(fwd, &enc, 1));
+        let mut prefix = vec![SOS];
+        for t in 0..70 {
+            let last = *prefix.last().expect("prefix starts with SOS");
+            let got = forward_eval(&params, &mut rng, |fwd| {
+                model.step_logits(fwd, &mut state, &[last])
+            });
+            let want = forward_eval(&params, &mut rng, |fwd| {
+                let enc_node = fwd.constant_shared(Arc::clone(&enc));
+                let logits = model.decode_last_logits(fwd, enc_node, &prefix);
+                fwd.graph.value(logits).clone()
+            });
+            assert_rows_bitwise(&want, &got, &format!("{arch} step {t}"));
+            prefix.push(3 + (t % 5));
+        }
+    }
+}
+
+/// Beam pruning permutes and duplicates survivors; after
+/// `DecodeState::reorder` the batched step must match fresh batch-1
+/// states replaying each surviving row's full prefix.
+#[test]
+fn reorder_matches_replayed_prefixes() {
+    for arch in ARCHS {
+        let (params, model) = build(arch);
+        let model = model.as_ref();
+        let src = [SOS, 5, 7, 2];
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc: Arc<Tensor> = forward_eval(&params, &mut rng, |fwd| {
+            let e = model.encode(fwd, &src);
+            fwd.graph.value_shared(e)
+        });
+        // Three divergent rows, two steps deep.
+        let mut state = forward_eval(&params, &mut rng, |fwd| model.begin_decode(fwd, &enc, 3));
+        forward_eval(&params, &mut rng, |fwd| {
+            model.step_logits(fwd, &mut state, &[SOS, SOS, SOS])
+        });
+        forward_eval(&params, &mut rng, |fwd| {
+            model.step_logits(fwd, &mut state, &[4, 5, 6])
+        });
+        // Prune to a permutation with a duplicated parent: rows now
+        // follow prefixes [SOS,6], [SOS,4], [SOS,5], [SOS,5].
+        let parents = [2usize, 0, 1, 1];
+        state.reorder(&parents);
+        let feed = [7usize, 8, 9, 3];
+        let got = forward_eval(&params, &mut rng, |fwd| {
+            model.step_logits(fwd, &mut state, &feed)
+        });
+        assert_eq!(got.shape(), (4, VOCAB), "{arch}: batched step shape");
+
+        let second = [4usize, 5, 6];
+        for (r, (&parent, &tok)) in parents.iter().zip(&feed).enumerate() {
+            let mut solo = forward_eval(&params, &mut rng, |fwd| model.begin_decode(fwd, &enc, 1));
+            forward_eval(&params, &mut rng, |fwd| {
+                model.step_logits(fwd, &mut solo, &[SOS])
+            });
+            forward_eval(&params, &mut rng, |fwd| {
+                model.step_logits(fwd, &mut solo, &[second[parent]])
+            });
+            let want = forward_eval(&params, &mut rng, |fwd| {
+                model.step_logits(fwd, &mut solo, &[tok])
+            });
+            let got_row = Tensor::from_vec(1, VOCAB, got.row(r).to_vec());
+            assert_rows_bitwise(&want, &got_row, &format!("{arch} reordered row {r}"));
+        }
+    }
+}
+
+/// The compute pool is process-global (sized once from `QREC_THREADS`),
+/// so each pool size re-runs the strategy equivalence tests in a child
+/// process. Batched decode shapes can cross the parallel-dispatch
+/// threshold where serial 1-row shapes do not; bitwise identity must
+/// survive that path change.
+#[test]
+fn equivalence_holds_across_pool_sizes() {
+    if std::env::var_os("QREC_EQ_CHILD").is_some() {
+        return; // already inside a child run
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    for threads in ["1", "2", "8"] {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "transformer_matches_reference",
+                "convs2s_matches_reference",
+                "gru_matches_reference",
+                "--exact",
+                "--test-threads=1",
+            ])
+            .env("QREC_THREADS", threads)
+            .env("QREC_EQ_CHILD", "1")
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "equivalence failed under QREC_THREADS={threads}:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! retry.
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use qrec_nn::decode::EncCache;
 use qrec_nn::Strategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,11 +115,20 @@ impl DecodeEngine {
                 thread::Builder::new()
                     .name(format!("qrec-serve-decode-{i}"))
                     .spawn(move || {
-                        // Each worker owns its RNG; decodes share the
-                        // model immutably via `*_with` entry points.
+                        // Each worker owns its RNG and encoder cache;
+                        // decodes share the model immutably via the
+                        // `*_cached` entry points.
                         let mut rng = StdRng::seed_from_u64(0x5eed ^ (i as u64));
+                        let mut enc_cache = EncCache::new(8);
                         worker_loop(
-                            &rx, max_batch, strategy, &registry, &cache, &metrics, &mut rng,
+                            &rx,
+                            max_batch,
+                            strategy,
+                            &registry,
+                            &cache,
+                            &metrics,
+                            &mut rng,
+                            &mut enc_cache,
                         );
                     })
             })
@@ -183,6 +193,7 @@ impl Drop for DecodeEngine {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // worker state is deliberately thread-owned, not shared
 fn worker_loop(
     rx: &Receiver<Job>,
     max_batch: usize,
@@ -191,6 +202,7 @@ fn worker_loop(
     cache: &RecCache,
     metrics: &Metrics,
     rng: &mut StdRng,
+    enc_cache: &mut EncCache,
 ) {
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
@@ -206,8 +218,10 @@ fn worker_loop(
             .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
 
         // One registry read per batch: every job in the batch is served
-        // by the same model at the same epoch.
+        // by the same model at the same epoch. Tagging the encoder cache
+        // with the epoch drops stale entries after a hot-swap.
         let (epoch, model) = registry.current();
+        enc_cache.set_generation(epoch);
         for job in batch {
             let key = CacheKey::new(epoch, &job.req.tokens);
             let (ranked, cached) = match cache.get(&key) {
@@ -217,8 +231,12 @@ fn worker_loop(
                 }
                 None => {
                     Metrics::bump(&metrics.cache_misses);
-                    let ranked =
-                        model.ranked_fragments_for_tokens_with(&job.req.tokens, strategy, rng);
+                    let ranked = model.ranked_fragments_for_tokens_cached(
+                        &job.req.tokens,
+                        strategy,
+                        rng,
+                        enc_cache,
+                    );
                     cache.put(key, ranked.clone());
                     (ranked, false)
                 }

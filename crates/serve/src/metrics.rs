@@ -152,6 +152,7 @@ impl Metrics {
             sessions_evicted: load(&self.sessions_evicted),
             latency: self.latency.snapshot(),
             compute: ComputeSnapshot::current(),
+            decode: DecodeSnapshot::current(),
         }
     }
 }
@@ -185,6 +186,34 @@ impl ComputeSnapshot {
     }
 }
 
+/// Snapshot of the incremental decode engine: batched step forwards and
+/// encoder-output cache traffic since process start (see
+/// `qrec_nn::decode::counters`). A healthy interleaved workload shows
+/// `enc_cache_hits` climbing with repeat sources, and `steps` growing
+/// linearly — not quadratically — with emitted tokens.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DecodeSnapshot {
+    /// Batched decode-step forwards (one per step across all live
+    /// hypotheses).
+    pub steps: u64,
+    /// Encoder-output cache hits across all decode workers.
+    pub enc_cache_hits: u64,
+    /// Encoder-output cache misses (each paid a full encoder pass).
+    pub enc_cache_misses: u64,
+}
+
+impl DecodeSnapshot {
+    /// Read the current process-wide decode counters.
+    pub fn current() -> Self {
+        let c = qrec_nn::decode::counters();
+        DecodeSnapshot {
+            steps: c.steps,
+            enc_cache_hits: c.enc_cache_hits,
+            enc_cache_misses: c.enc_cache_misses,
+        }
+    }
+}
+
 /// Serialisable view of [`Metrics`], returned by the `STATS` verb.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -214,6 +243,10 @@ pub struct MetricsSnapshot {
     /// (absent in snapshots from older servers).
     #[serde(default)]
     pub compute: ComputeSnapshot,
+    /// Incremental-decode step and encoder-cache counters (absent in
+    /// snapshots from older servers).
+    #[serde(default)]
+    pub decode: DecodeSnapshot,
 }
 
 #[cfg(test)]
@@ -276,6 +309,30 @@ mod tests {
         );
         let back = MetricsSnapshot::from_value(&stripped).unwrap();
         assert_eq!(back.compute, ComputeSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_without_decode_field_deserialises_with_default() {
+        let v = MetricsSnapshot::default().to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "decode")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let back = MetricsSnapshot::from_value(&stripped).unwrap();
+        assert_eq!(back.decode, DecodeSnapshot::default());
+    }
+
+    #[test]
+    fn decode_snapshot_tracks_enc_cache_traffic() {
+        let before = DecodeSnapshot::current();
+        let mut cache = qrec_nn::decode::EncCache::new(2);
+        assert!(cache.lookup(&[3, 1, 4]).is_none());
+        let after = DecodeSnapshot::current();
+        assert!(after.enc_cache_misses > before.enc_cache_misses);
     }
 
     #[test]

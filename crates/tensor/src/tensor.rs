@@ -387,6 +387,41 @@ impl Tensor {
         }
     }
 
+    /// Append one row in place (grow a `t × d` cache tensor to
+    /// `(t+1) × d` without reallocating the prefix). The incremental
+    /// decoder appends one K/V row per step this way.
+    pub fn append_row(&mut self, row: &[f32]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "append_row width mismatch: row has {} values, tensor has {} columns",
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Gather rows by index: row `i` of the result is `self.row(idx[i])`.
+    /// Indices may repeat (beam search spawns several hypotheses from one
+    /// parent) and the result may have more or fewer rows than `self`.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &r in idx {
+            assert!(
+                r < self.rows,
+                "gather_rows index {r} out of range for {} rows",
+                self.rows
+            );
+            data.extend_from_slice(self.row(r));
+        }
+        Tensor {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
     fn assert_same_shape(&self, other: &Tensor) {
         assert_eq!(
             self.shape(),
@@ -504,6 +539,39 @@ mod tests {
         let h = a.hcat(&t(1, 1, &[9.]));
         assert_eq!(h.data(), &[1., 2., 9.]);
         assert_eq!(v.slice_rows(1, 3), b);
+    }
+
+    #[test]
+    fn append_row_grows_cache_tensors() {
+        let mut a = Tensor::zeros(0, 3);
+        a.append_row(&[1., 2., 3.]);
+        a.append_row(&[4., 5., 6.]);
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "append_row width mismatch")]
+    fn append_row_rejects_wrong_width() {
+        let mut a = Tensor::zeros(1, 3);
+        a.append_row(&[1., 2.]);
+    }
+
+    #[test]
+    fn gather_rows_permutes_and_repeats() {
+        let a = t(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let g = a.gather_rows(&[2, 0, 2, 2]);
+        assert_eq!(g.shape(), (4, 2));
+        assert_eq!(g.row(0), &[5., 6.]);
+        assert_eq!(g.row(1), &[1., 2.]);
+        assert_eq!(g.row(3), &[5., 6.]);
+        assert_eq!(a.gather_rows(&[]).shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "gather_rows index")]
+    fn gather_rows_rejects_out_of_range() {
+        let _ = t(2, 1, &[1., 2.]).gather_rows(&[2]);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Reproducible GEMM + decode performance baseline (README "Performance").
+# Reproducible GEMM + decode performance baselines (README "Performance").
 #
-#   scripts/bench.sh              full run, writes BENCH_tensor.json at repo root
-#   scripts/bench.sh --smoke      tiny shapes, writes target/BENCH_tensor_smoke.json
+#   scripts/bench.sh              full run, writes BENCH_tensor.json and
+#                                 BENCH_decode.json at the repo root
+#   scripts/bench.sh --smoke      tiny shapes, writes target/BENCH_*_smoke.json
 #   QREC_THREADS=4 scripts/bench.sh   size the serving pool (bench pools stay 1 and 8)
 #
 # Everything builds offline against the vendored shims in shims/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --offline --release -q -p qrec-bench --bin bench_tensor
-exec ./target/release/bench_tensor "$@"
+cargo build --offline --release -q -p qrec-bench --bin bench_tensor --bin bench_decode
+./target/release/bench_tensor "$@"
+./target/release/bench_decode "$@"

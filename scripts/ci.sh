@@ -23,9 +23,15 @@ echo "==> bench --smoke"
 ./scripts/bench.sh --smoke >/dev/null
 python3 -m json.tool target/BENCH_tensor_smoke.json >/dev/null \
     || { echo "BENCH_tensor_smoke.json is not well-formed JSON"; exit 1; }
+python3 -m json.tool target/BENCH_decode_smoke.json >/dev/null \
+    || { echo "BENCH_decode_smoke.json is not well-formed JSON"; exit 1; }
 if [ -f BENCH_tensor.json ]; then
     python3 -m json.tool BENCH_tensor.json >/dev/null \
         || { echo "BENCH_tensor.json is not well-formed JSON"; exit 1; }
+fi
+if [ -f BENCH_decode.json ]; then
+    python3 -m json.tool BENCH_decode.json >/dev/null \
+        || { echo "BENCH_decode.json is not well-formed JSON"; exit 1; }
 fi
 
 echo "CI green."
