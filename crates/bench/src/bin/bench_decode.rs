@@ -18,6 +18,7 @@
 //! `BENCH_decode.json` at the repo root (or
 //! `target/BENCH_decode_smoke.json` under `--smoke`).
 
+use qrec_bench::timing::{time_stats, RepStats};
 use qrec_nn::decode::{decode, decode_reference, Strategy, SOS};
 use qrec_nn::params::Params;
 use qrec_nn::transformer::{Transformer, TransformerConfig};
@@ -27,27 +28,6 @@ use serde_json::json;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
-
-/// Best-of-N wall time of each candidate in seconds, timed round-robin
-/// (one rep of each per round) so machine-load drift hits every
-/// candidate equally. Runs until the budget elapses, always at least two
-/// rounds (one warm).
-fn time_best(fns: &mut [&mut dyn FnMut() -> usize], budget_s: f64, max_reps: usize) -> Vec<f64> {
-    let mut best = vec![f64::INFINITY; fns.len()];
-    let started = Instant::now();
-    for rep in 0..max_reps.max(2) {
-        for (f, slot) in fns.iter_mut().zip(&mut best) {
-            let t0 = Instant::now();
-            black_box(f());
-            *slot = slot.min(t0.elapsed().as_secs_f64());
-        }
-        if rep >= 1 && started.elapsed().as_secs_f64() > budget_s {
-            break;
-        }
-    }
-    best
-}
 
 /// An untrained model with near-uniform output distributions: decodes
 /// run to the length cap (EOS is almost never the argmax of 500 logits),
@@ -124,13 +104,21 @@ struct Row {
     max_len: usize,
     /// Longest emitted hypothesis (the step count both paths executed).
     tokens: usize,
-    reference_s: f64,
-    incremental_s: f64,
+    reference: RepStats,
+    incremental: RepStats,
 }
 
 impl Row {
+    fn reference_s(&self) -> f64 {
+        self.reference.best_s
+    }
+
+    fn incremental_s(&self) -> f64 {
+        self.incremental.best_s
+    }
+
     fn speedup(&self) -> f64 {
-        self.reference_s / self.incremental_s
+        self.reference.best_s / self.incremental.best_s
     }
 
     fn to_json(&self) -> serde_json::Value {
@@ -140,10 +128,12 @@ impl Row {
             "strategy": self.strategy,
             "max_len": self.max_len,
             "tokens": self.tokens,
-            "reference_s": self.reference_s,
-            "incremental_s": self.incremental_s,
-            "reference_per_token_s": per_tok(self.reference_s),
-            "incremental_per_token_s": per_tok(self.incremental_s),
+            "reference_s": self.reference.best_s,
+            "incremental_s": self.incremental.best_s,
+            "reference_percentiles": self.reference.to_json(),
+            "incremental_percentiles": self.incremental.to_json(),
+            "reference_per_token_s": per_tok(self.reference.best_s),
+            "incremental_per_token_s": per_tok(self.incremental.best_s),
             "speedup": self.speedup(),
         })
     }
@@ -181,29 +171,27 @@ fn bench_scenario(s: &Scenario, params: &Params, model: &Transformer, smoke: boo
 
     let budget = if smoke { 0.2 } else { 6.0 };
     let reps = if smoke { 4 } else { 40 };
-    let times = time_best(
+    let times = time_stats(
         &mut [
             &mut || {
-                decode_reference(
+                black_box(decode_reference(
                     model,
                     params,
                     &src,
                     s.strategy,
                     s.max_len,
                     &mut StdRng::seed_from_u64(seed),
-                )
-                .len()
+                ));
             },
             &mut || {
-                decode(
+                black_box(decode(
                     model,
                     params,
                     &src,
                     s.strategy,
                     s.max_len,
                     &mut StdRng::seed_from_u64(seed),
-                )
-                .len()
+                ));
             },
         ],
         budget,
@@ -214,8 +202,8 @@ fn bench_scenario(s: &Scenario, params: &Params, model: &Transformer, smoke: boo
         strategy: format!("{:?}", s.strategy),
         max_len: s.max_len,
         tokens,
-        reference_s: times[0],
-        incremental_s: times[1],
+        reference: times[0],
+        incremental: times[1],
     }
 }
 
@@ -259,8 +247,8 @@ fn run(smoke: bool, out: Option<PathBuf>) -> Result<(), String> {
         let last = greedy.last()?;
         Some((pick(last) / last.tokens.max(1) as f64) / (pick(first) / first.tokens.max(1) as f64))
     };
-    let ref_growth = per_token_growth(&|r: &Row| r.reference_s);
-    let inc_growth = per_token_growth(&|r: &Row| r.incremental_s);
+    let ref_growth = per_token_growth(&|r: &Row| r.reference_s());
+    let inc_growth = per_token_growth(&|r: &Row| r.incremental_s());
 
     let report = json!({
         "benchmark": "qrec-nn incremental decode vs full-prefix reference",
@@ -300,8 +288,8 @@ fn run(smoke: bool, out: Option<PathBuf>) -> Result<(), String> {
             "{:<16} {:>6} {:>12.6} {:>14.6} {:>8.2}x",
             r.label,
             r.tokens,
-            r.reference_s,
-            r.incremental_s,
+            r.reference_s(),
+            r.incremental_s(),
             r.speedup(),
         );
     }

@@ -1,0 +1,333 @@
+//! `bench_obs` — measured overhead of the observability spine on the
+//! live serving path (DESIGN.md §12).
+//!
+//! ```text
+//! bench_obs [--out PATH] [--threshold FRAC] [--rounds N] [--requests N]
+//! ```
+//!
+//! Boots the real TCP server on a tiny trained model and drives two
+//! scenarios through a real client:
+//!
+//! - **cache-hit** — the same window repeated, so each request is
+//!   session push + cache lookup + rank (no decode). This is the
+//!   worst case for relative overhead: the request is cheap, so span
+//!   and flight-recording cost is the largest possible fraction of it.
+//! - **decode-heavy** — alternating windows against a one-entry cache,
+//!   so every request runs the full encoder/decoder path.
+//!
+//! Each round times both scenarios with recording forced **on**
+//! (`qrec_obs::set_enabled(true)`: spans, traces, and flight records
+//! all active) and forced **off**. The two modes are interleaved at
+//! sub-block granularity — a round is split into [`SUB_BLOCKS`]
+//! alternating on/off request blocks, with the leading mode flipping
+//! per block pair — so the modes are measured within milliseconds of
+//! each other and frequency-scaling or load drift hits both equally.
+//! Fast scenarios run a request multiple (`weight`) so every block has
+//! enough samples. Per round each mode reports the mean of its fastest
+//! half of per-request timings (latency noise is one-sided: the slow
+//! half is scheduler spikes, not signal), giving one on/off ratio per
+//! round; per scenario the **median** ratio across rounds discards
+//! outlier rounds entirely. The geometric mean of the per-scenario
+//! median ratios must not exceed `1 + threshold` (default 3%, override
+//! with `--threshold` or `QREC_OBS_OVERHEAD_MAX`). Results go to
+//! `target/BENCH_obs_smoke.json`; a breach exits non-zero so CI fails.
+
+use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
+use qrec_serve::{Client, EngineConfig, Server, ServerConfig};
+use qrec_workload::gen::{generate, WorkloadProfile};
+use qrec_workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn train_tiny(seed: u64) -> Recommender {
+    let (workload, _catalog) = generate(&WorkloadProfile::tiny(), seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = Split::paper(workload.pairs(), &mut rng);
+    let mut cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    cfg.train.epochs = 2;
+    let (model, _report) = Recommender::try_train(&split, &workload, cfg).expect("tiny training");
+    model
+}
+
+/// One-entry cache: the decode-heavy scenario alternates two windows so
+/// every request misses, while the cache-hit scenario repeats one
+/// window so every timed request hits.
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        conn_threads: 2,
+        engine: EngineConfig {
+            workers: 1,
+            queue_cap: 64,
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+        session_ttl: Duration::from_secs(600),
+        sweep_interval: Duration::from_secs(600),
+        cache_capacity: 1,
+        ..ServerConfig::default()
+    }
+}
+
+struct Scenario {
+    label: &'static str,
+    session: &'static str,
+    sqls: &'static [&'static str],
+    /// Multiplier on `--requests` for this scenario: fast requests need
+    /// many more reps before a timed block rises above scheduler noise.
+    weight: usize,
+}
+
+const SCENARIOS: [Scenario; 2] = [
+    Scenario {
+        label: "cache-hit",
+        session: "obs-cache",
+        sqls: &["SELECT a FROM t WHERE b < 2"],
+        weight: 16,
+    },
+    Scenario {
+        label: "decode-heavy",
+        session: "obs-decode",
+        sqls: &["SELECT a FROM t", "SELECT b FROM t WHERE a > 1"],
+        weight: 1,
+    },
+];
+
+/// How many alternating on/off request blocks one round is split into
+/// (per mode). Finer interleaving keeps the two modes' samples close in
+/// time, so slow drift cancels in the per-round ratio.
+const SUB_BLOCKS: usize = 10;
+
+/// Time `requests` requests, appending per-request latencies (seconds)
+/// to `lat`. `cursor` carries the sql rotation across blocks: if every
+/// block restarted at sql 0, a block whose predecessor ended on sql 0
+/// would open with a recommendation-cache hit, polluting the
+/// decode-heavy sample with ~50× faster outliers.
+fn run_block(
+    client: &mut Client,
+    s: &Scenario,
+    requests: usize,
+    cursor: &mut usize,
+    lat: &mut Vec<f64>,
+) -> Result<(), String> {
+    for _ in 0..requests {
+        let sql = s.sqls[*cursor % s.sqls.len()];
+        *cursor += 1;
+        let t0 = Instant::now();
+        client
+            .recommend(s.session, sql, 5)
+            .map_err(|e| format!("{}: {e}", s.label))?;
+        lat.push(t0.elapsed().as_secs_f64());
+    }
+    Ok(())
+}
+
+/// Robust per-request latency, in seconds: the mean of the fastest
+/// half of the individual timings. Latency noise is one-sided
+/// (scheduler preemption and page faults only ever add time), so
+/// discarding the slow half removes the spikes while still averaging
+/// enough samples to resolve sub-microsecond deltas.
+fn fastest_half_mean(lat: &mut [f64]) -> f64 {
+    lat.sort_by(f64::total_cmp);
+    let half = lat.len().div_ceil(2).max(1);
+    lat[..half].iter().sum::<f64>() / half as f64
+}
+
+/// One round of a scenario: `SUB_BLOCKS` alternating (on, off) block
+/// pairs, with the leading mode flipping per pair. Returns the round's
+/// `(on, off)` fastest-half means.
+fn run_round(
+    client: &mut Client,
+    s: &Scenario,
+    requests_per_mode: usize,
+    round: usize,
+) -> Result<(f64, f64), String> {
+    let block = (requests_per_mode / SUB_BLOCKS).max(1);
+    let mut lat = [Vec::with_capacity(requests_per_mode), Vec::new()];
+    let mut cursor = 0usize;
+    for pair in 0..SUB_BLOCKS {
+        let first_on = (round + pair).is_multiple_of(2);
+        for on in [first_on, !first_on] {
+            qrec_obs::set_enabled(on);
+            run_block(client, s, block, &mut cursor, &mut lat[usize::from(!on)])?;
+        }
+    }
+    let [mut on_lat, mut off_lat] = lat;
+    Ok((
+        fastest_half_mean(&mut on_lat),
+        fastest_half_mean(&mut off_lat),
+    ))
+}
+
+/// The median of `xs` (mean of the middle two when even).
+fn median(xs: &[f64]) -> f64 {
+    let mut xs = xs.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+struct Args {
+    out: Option<PathBuf>,
+    threshold: Option<f64>,
+    rounds: usize,
+    requests: usize,
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| root.join("target/BENCH_obs_smoke.json"));
+    let threshold = args
+        .threshold
+        .or_else(|| {
+            std::env::var("QREC_OBS_OVERHEAD_MAX")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0.03);
+
+    eprintln!("bench_obs: training tiny model ...");
+    let mut server = Server::start(train_tiny(1), "127.0.0.1:0", server_config())
+        .map_err(|e| format!("start server: {e}"))?;
+    let mut client = Client::connect(server.local_addr()).map_err(|e| format!("connect: {e}"))?;
+
+    // Per-round on/off ratios (and last round's means, for the report),
+    // per scenario. Round 0 is warm-up and is not kept.
+    let rounds = args.rounds.max(2);
+    let mut round_ratios: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut last_means = [[0.0f64; 2]; 2];
+    for round in 0..rounds {
+        for (si, s) in SCENARIOS.iter().enumerate() {
+            let (on, off) = run_round(&mut client, s, args.requests * s.weight, round)?;
+            if round > 0 {
+                round_ratios[si].push(on / off);
+                last_means[si] = [on, off];
+            }
+        }
+    }
+    qrec_obs::set_enabled(true);
+
+    let ratios: Vec<f64> = round_ratios.iter().map(|r| median(r)).collect();
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let overhead = geomean - 1.0;
+    let pass = overhead <= threshold;
+
+    let report = json!({
+        "benchmark": "qrec-obs serving overhead (recording on vs off)",
+        "rounds": rounds,
+        "requests_base": args.requests,
+        "sub_blocks": SUB_BLOCKS,
+        "threshold": threshold,
+        "scenarios": SCENARIOS.iter().enumerate().map(|(si, s)| json!({
+            "label": s.label,
+            "requests_per_mode_per_round": args.requests * s.weight,
+            "last_round_fast_half_mean_on_s": last_means[si][0],
+            "last_round_fast_half_mean_off_s": last_means[si][1],
+            "round_ratios": round_ratios[si],
+            "median_ratio": ratios[si],
+        })).collect::<Vec<_>>(),
+        "geomean_ratio": geomean,
+        "overhead": overhead,
+        "pass": pass,
+    });
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let bytes = serde_json::to_vec_pretty(&report).map_err(|e| format!("serialise: {e}"))?;
+    std::fs::write(&out, bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+
+    for (si, s) in SCENARIOS.iter().enumerate() {
+        println!(
+            "{:<14} last on {:.6}s  off {:.6}s  median ratio {:.4}  (rounds: {})",
+            s.label,
+            last_means[si][0],
+            last_means[si][1],
+            ratios[si],
+            round_ratios[si]
+                .iter()
+                .map(|r| format!("{r:.4}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    println!(
+        "geomean overhead: {:+.2}% (threshold {:.1}%)",
+        overhead * 100.0,
+        threshold * 100.0
+    );
+    println!("[results written to {}]", out.display());
+
+    drop(client);
+    server.shutdown();
+    if pass {
+        Ok(())
+    } else {
+        Err(format!(
+            "observability overhead {:.2}% exceeds the {:.1}% budget",
+            overhead * 100.0,
+            threshold * 100.0
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = Args {
+        out: None,
+        threshold: None,
+        // Rounds are cheap (~0.2 s each; model training dominates the
+        // wall time), and the median across rounds is what kills
+        // outliers — so default to plenty of them.
+        rounds: 10,
+        requests: 50,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let parsed = match flag.as_str() {
+            "--out" => value("--out").map(|p| args.out = Some(PathBuf::from(p))),
+            "--threshold" => value("--threshold").and_then(|v| {
+                v.parse()
+                    .map(|t| args.threshold = Some(t))
+                    .map_err(|e| format!("--threshold: {e}"))
+            }),
+            "--rounds" => value("--rounds").and_then(|v| {
+                v.parse()
+                    .map(|r| args.rounds = r)
+                    .map_err(|e| format!("--rounds: {e}"))
+            }),
+            "--requests" => value("--requests").and_then(|v| {
+                v.parse()
+                    .map(|r| args.requests = r)
+                    .map_err(|e| format!("--requests: {e}"))
+            }),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_obs [--out PATH] [--threshold FRAC] [--rounds N] [--requests N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("bench_obs: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_obs failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

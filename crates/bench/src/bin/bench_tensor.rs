@@ -16,6 +16,7 @@
 //! which shrinks shapes and budgets so CI can validate the harness in
 //! seconds).
 
+use qrec_bench::timing::{time_stats, RepStats};
 use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
 use qrec_nn::transformer::TransformerConfig;
 use qrec_nn::Strategy;
@@ -50,28 +51,6 @@ fn seed_naive(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
         }
     }
     out
-}
-
-/// Best-of-N wall time of each candidate in seconds. Candidates are
-/// timed round-robin — one rep of each per round — so slow drift in
-/// machine load (noisy neighbours, thermal throttling) hits every
-/// kernel equally instead of biasing whichever happened to run last;
-/// the minima, and so the speedup ratios, stay comparable. Runs until
-/// the time budget elapses (always at least two rounds — one warm).
-fn time_best(fns: &mut [&mut dyn FnMut() -> Vec<f32>], budget_s: f64, max_reps: usize) -> Vec<f64> {
-    let mut best = vec![f64::INFINITY; fns.len()];
-    let started = Instant::now();
-    for rep in 0..max_reps.max(2) {
-        for (f, slot) in fns.iter_mut().zip(&mut best) {
-            let t0 = Instant::now();
-            black_box(f());
-            *slot = slot.min(t0.elapsed().as_secs_f64());
-        }
-        if rep >= 1 && started.elapsed().as_secs_f64() > budget_s {
-            break;
-        }
-    }
-    best
 }
 
 /// Deterministic pseudo-random matrix data (no RNG state to drift).
@@ -164,7 +143,8 @@ fn shapes(smoke: bool) -> Vec<Shape> {
     ]
 }
 
-/// Measured timings for one shape.
+/// Measured timings for one shape (best-of-N plus rep percentiles per
+/// kernel).
 struct ShapeRow {
     label: &'static str,
     n: usize,
@@ -172,28 +152,48 @@ struct ShapeRow {
     m: usize,
     decode: bool,
     path_8t: String,
-    seed_s: f64,
-    naive_s: f64,
-    blocked_s: f64,
-    gemm_1t_s: f64,
-    gemm_8t_s: f64,
+    seed: RepStats,
+    naive: RepStats,
+    blocked: RepStats,
+    gemm_1t: RepStats,
+    gemm_8t: RepStats,
 }
 
 impl ShapeRow {
+    fn seed_s(&self) -> f64 {
+        self.seed.best_s
+    }
+
+    fn gemm_1t_s(&self) -> f64 {
+        self.gemm_1t.best_s
+    }
+
+    fn gemm_8t_s(&self) -> f64 {
+        self.gemm_8t.best_s
+    }
+
     fn to_json(&self) -> serde_json::Value {
+        let percentiles = json!({
+            "seed_naive": self.seed.to_json(),
+            "naive": self.naive.to_json(),
+            "blocked": self.blocked.to_json(),
+            "gemm_1t": self.gemm_1t.to_json(),
+            "gemm_8t": self.gemm_8t.to_json(),
+        });
         json!({
             "label": self.label,
             "n": self.n, "k": self.k, "m": self.m,
             "flops": 2 * self.n * self.k * self.m,
             "decode_shape": self.decode,
             "kernel_path_8t": self.path_8t,
-            "seed_naive_s": self.seed_s,
-            "naive_s": self.naive_s,
-            "blocked_s": self.blocked_s,
-            "gemm_1t_s": self.gemm_1t_s,
-            "gemm_8t_s": self.gemm_8t_s,
-            "speedup_1t_vs_seed": self.seed_s / self.gemm_1t_s,
-            "speedup_8t_vs_seed": self.seed_s / self.gemm_8t_s,
+            "seed_naive_s": self.seed.best_s,
+            "naive_s": self.naive.best_s,
+            "blocked_s": self.blocked.best_s,
+            "gemm_1t_s": self.gemm_1t.best_s,
+            "gemm_8t_s": self.gemm_8t.best_s,
+            "percentiles": percentiles,
+            "speedup_1t_vs_seed": self.seed.best_s / self.gemm_1t.best_s,
+            "speedup_8t_vs_seed": self.seed.best_s / self.gemm_8t.best_s,
         })
     }
 }
@@ -212,13 +212,13 @@ fn bench_shape(s: &Shape, pool1: &Pool, pool8: &Pool, smoke: bool) -> ShapeRow {
     };
     let reps = if flops > 1 << 24 { 400 } else { 4096 };
     let (n, k, m) = (s.n, s.k, s.m);
-    let times = time_best(
+    let times = time_stats(
         &mut [
-            &mut || seed_naive(&a, &b, n, k, m),
-            &mut || kernel::naive(&a, &b, n, k, m),
-            &mut || kernel::blocked(&a, &b, n, k, m),
-            &mut || kernel::gemm_on(pool1, &a, &b, n, k, m),
-            &mut || kernel::gemm_on(pool8, &a, &b, n, k, m),
+            &mut || drop(black_box(seed_naive(&a, &b, n, k, m))),
+            &mut || drop(black_box(kernel::naive(&a, &b, n, k, m))),
+            &mut || drop(black_box(kernel::blocked(&a, &b, n, k, m))),
+            &mut || drop(black_box(kernel::gemm_on(pool1, &a, &b, n, k, m))),
+            &mut || drop(black_box(kernel::gemm_on(pool8, &a, &b, n, k, m))),
         ],
         budget,
         reps,
@@ -230,11 +230,11 @@ fn bench_shape(s: &Shape, pool1: &Pool, pool8: &Pool, smoke: bool) -> ShapeRow {
         m,
         decode: s.decode,
         path_8t: format!("{:?}", kernel::select(n, k, m, pool8.threads())),
-        seed_s: times[0],
-        naive_s: times[1],
-        blocked_s: times[2],
-        gemm_1t_s: times[3],
-        gemm_8t_s: times[4],
+        seed: times[0],
+        naive: times[1],
+        blocked: times[2],
+        gemm_1t: times[3],
+        gemm_8t: times[4],
     }
 }
 
@@ -291,12 +291,12 @@ fn run(smoke: bool, out: Option<PathBuf>) -> Result<(), String> {
     let scale_speedup = rows
         .iter()
         .filter(|r| r.label.starts_with("scale"))
-        .map(|r| r.seed_s / r.gemm_8t_s)
+        .map(|r| r.seed_s() / r.gemm_8t_s())
         .fold(f64::NAN, f64::max);
     let decode_regression = rows
         .iter()
         .filter(|r| r.decode)
-        .map(|r| r.gemm_1t_s / r.seed_s - 1.0)
+        .map(|r| r.gemm_1t_s() / r.seed_s() - 1.0)
         .fold(f64::NEG_INFINITY, f64::max);
 
     eprintln!("  timing end-to-end decode ...");
@@ -344,10 +344,10 @@ fn run(smoke: bool, out: Option<PathBuf>) -> Result<(), String> {
         println!(
             "{:<36} {:>12.6} {:>12.6} {:>12.6} {:>8.2}x",
             r.label,
-            r.seed_s,
-            r.gemm_1t_s,
-            r.gemm_8t_s,
-            r.seed_s / r.gemm_8t_s,
+            r.seed_s(),
+            r.gemm_1t_s(),
+            r.gemm_8t_s(),
+            r.seed_s() / r.gemm_8t_s(),
         );
     }
     if !smoke {

@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod timing;
+
 use qrec_core::prelude::*;
 use qrec_nn::trainer::TrainReport;
 use qrec_nn::{ClassifierHead, Params};

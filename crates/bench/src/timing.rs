@@ -1,0 +1,126 @@
+//! Round-robin wall-clock timing with per-rep latency distributions.
+//!
+//! Every benchmark binary used to keep only the best-of-N time per
+//! candidate; this module additionally feeds each rep into a
+//! fine-grained [`qrec_obs::Histogram`] (geometric 5%-step bounds from
+//! 100 ns to 100 s) so reports can carry p50/p95/p99 alongside the
+//! minimum. Candidates are still timed round-robin — one rep of each
+//! per round — so machine-load drift hits every candidate equally and
+//! the minima stay comparable.
+
+use qrec_obs::Histogram;
+use std::time::Instant;
+
+/// Timing summary of one candidate: the best rep plus distribution
+/// percentiles over every rep taken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepStats {
+    /// Fastest single rep, seconds.
+    pub best_s: f64,
+    /// Median rep, seconds (histogram bucket resolution, ~5%).
+    pub p50_s: f64,
+    /// 95th-percentile rep, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile rep, seconds.
+    pub p99_s: f64,
+    /// Number of reps measured.
+    pub reps: u64,
+}
+
+impl RepStats {
+    /// The percentile fields as a JSON object fragment, for embedding
+    /// in `BENCH_*.json` rows.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "best_s": self.best_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "reps": self.reps,
+        })
+    }
+}
+
+/// Geometric bucket bounds in nanoseconds: 5% steps spanning 100 ns to
+/// 100 s (~460 buckets), fine enough that percentile error is bounded
+/// by the step width.
+fn rep_bounds() -> Vec<u64> {
+    let mut bounds = Vec::with_capacity(512);
+    let mut v = 100.0f64;
+    while v < 1e11 {
+        bounds.push(v as u64);
+        v *= 1.05;
+    }
+    bounds
+}
+
+/// Time each candidate round-robin until `budget_s` elapses (at least
+/// two rounds — one warm), returning best-of-N plus per-rep
+/// percentiles for each.
+pub fn time_stats(fns: &mut [&mut dyn FnMut()], budget_s: f64, max_reps: usize) -> Vec<RepStats> {
+    let bounds = rep_bounds();
+    let hists: Vec<Histogram> = (0..fns.len())
+        .map(|_| Histogram::with_bounds("bench.rep_ns", &bounds))
+        .collect();
+    let mut best = vec![f64::INFINITY; fns.len()];
+    let started = Instant::now();
+    for rep in 0..max_reps.max(2) {
+        for (i, f) in fns.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            f();
+            let elapsed = t0.elapsed();
+            best[i] = best[i].min(elapsed.as_secs_f64());
+            if let Some(h) = hists.get(i) {
+                h.record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+            }
+        }
+        if rep >= 1 && started.elapsed().as_secs_f64() > budget_s {
+            break;
+        }
+    }
+    best.iter()
+        .zip(&hists)
+        .map(|(&best_s, h)| {
+            let snap = h.snapshot();
+            let q = |q: f64| snap.quantile(q) as f64 * 1e-9;
+            RepStats {
+                best_s,
+                p50_s: q(0.50),
+                p95_s: q(0.95),
+                p99_s: q(0.99),
+                reps: snap.count,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_counted() {
+        let mut spin = || {
+            let t0 = Instant::now();
+            while t0.elapsed().as_micros() < 50 {
+                std::hint::black_box(0u64);
+            }
+        };
+        let stats = time_stats(&mut [&mut spin], 0.05, 64);
+        assert_eq!(stats.len(), 1);
+        let s = stats[0];
+        assert!(s.reps >= 2);
+        assert!(s.best_s > 0.0);
+        // Percentiles are monotone and bracket the best rep (p50 is a
+        // bucket upper bound, so it sits at or above the minimum).
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s);
+        assert!(s.p50_s >= s.best_s * 0.5);
+    }
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        let b = rep_bounds();
+        assert!(b.len() > 100);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+}

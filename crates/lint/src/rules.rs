@@ -1,4 +1,4 @@
-//! The six project rules and the engine that runs them.
+//! The seven project rules and the engine that runs them.
 //!
 //! | id                    | invariant it protects                              |
 //! |-----------------------|----------------------------------------------------|
@@ -8,20 +8,22 @@
 //! | `error-type-hygiene`  | every public error enum is a real `Error`          |
 //! | `safety-comments`     | every `unsafe` block carries a `// SAFETY:` note   |
 //! | `shim-surface-drift`  | parking_lot crates never regress to `std::sync`    |
+//! | `no-alloc-in-metric-path` | metric recording never allocates per call      |
 
 use crate::diag::Finding;
 use crate::file::{FileClass, FileContext, SourceFile};
 use crate::lexer::Tok;
 use std::collections::{HashMap, HashSet};
 
-/// Every rule id, in R1..R6 order.
-pub const RULES: [&str; 6] = [
+/// Every rule id, in R1..R7 order.
+pub const RULES: [&str; 7] = [
     "no-panic-in-hot-path",
     "no-lock-across-call",
     "no-stdout-in-lib",
     "error-type-hygiene",
     "safety-comments",
     "shim-surface-drift",
+    "no-alloc-in-metric-path",
 ];
 
 /// Which crates each cross-cutting rule applies to.
@@ -39,7 +41,7 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            hot_path_crates: ["serve", "core", "nn", "sql", "tensor"]
+            hot_path_crates: ["serve", "core", "nn", "sql", "tensor", "obs"]
                 .map(String::from)
                 .to_vec(),
             lock_call_crates: vec!["serve".to_string()],
@@ -80,6 +82,9 @@ pub fn analyze(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
         if applies_r6(file, cfg) {
             shim_surface_drift(&ctx, &mut raw);
         }
+        if applies_r7(file, cfg) {
+            no_alloc_in_metric_path(&ctx, &mut raw);
+        }
 
         findings.extend(raw.into_iter().filter(|f| !ctx.allowed(&f.rule, f.line)));
     }
@@ -118,6 +123,11 @@ fn applies_r4(file: &SourceFile) -> bool {
 fn applies_r6(file: &SourceFile, cfg: &Config) -> bool {
     matches!(file.class, FileClass::Library | FileClass::Binary)
         && cfg.parking_lot_crates.contains(&file.crate_name)
+}
+
+fn applies_r7(file: &SourceFile, cfg: &Config) -> bool {
+    file.class == FileClass::Library
+        && (file.crate_name == "obs" || cfg.hot_path_crates.contains(&file.crate_name))
 }
 
 fn finding(ctx: &FileContext<'_>, rule: &str, line: u32, message: String) -> Finding {
@@ -568,6 +578,150 @@ fn shim_surface_drift(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// R7: no-alloc-in-metric-path
+// ---------------------------------------------------------------------
+
+/// Is `name` a metric recording entry point whose body must stay
+/// allocation-free? These are the functions on the single-fetch-add hot
+/// path of `qrec-obs`: counters, gauges, histograms, and span entry.
+fn is_metric_fn(name: &str) -> bool {
+    name.starts_with("record")
+        || name.starts_with("enter")
+        || name.starts_with("observe")
+        || matches!(name, "inc" | "add" | "set")
+}
+
+/// Flags per-call allocation (`format!`, `vec!`, `String::…`,
+/// `Vec::new`, `Box::new`, `.to_string()`, `.to_owned()`) in metric
+/// recording paths:
+///
+/// - in the `obs` crate, inside the body of any recording function
+///   ([`is_metric_fn`]);
+/// - in every hot-path crate, inside the argument list of a
+///   `Span::in_span` / `Span::in_span_with` call — those closures run
+///   under span timing, so an allocation there is both measured as
+///   stage time and repeated per request.
+///
+/// `Vec::with_capacity` is deliberately allowed: registration-time
+/// pre-sizing is the pattern the rule exists to protect.
+fn no_alloc_in_metric_path(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-alloc-in-metric-path";
+    let toks = &ctx.lexed.tokens;
+
+    if ctx.file.crate_name == "obs" {
+        let mut i = 0;
+        while i < toks.len() {
+            let is_fn = toks[i].kind.ident() == Some("fn") && !ctx.in_test(i);
+            let name = toks.get(i + 1).and_then(|t| t.kind.ident());
+            if let (true, Some(name)) = (is_fn, name) {
+                if is_metric_fn(name) {
+                    if let Some((start, end)) = fn_body(toks, i + 2) {
+                        scan_alloc(ctx, RULE, start, end, &format!("fn `{name}`"), out);
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    let mut i = 0;
+    while i < toks.len() {
+        let spanish = matches!(toks[i].kind.ident(), Some("in_span" | "in_span_with"));
+        let called = toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('));
+        if spanish && called && !ctx.in_test(i) {
+            if let Some(end) = match_group(toks, i + 1, b'(', b')') {
+                let name = toks[i].kind.ident().unwrap_or("in_span");
+                scan_alloc(ctx, RULE, i + 2, end, &format!("`{name}` closure"), out);
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Locate a function body starting at or after `from`: the first `{`
+/// (nothing in a signature opens a brace before the body) through its
+/// matching `}`. Returns the token range strictly inside the braces.
+fn fn_body(toks: &[crate::lexer::Token], from: usize) -> Option<(usize, usize)> {
+    let open = (from..toks.len()).find(|&i| toks[i].kind.is_punct(b'{'))?;
+    let close = match_group(toks, open, b'{', b'}')?;
+    Some((open + 1, close))
+}
+
+/// Index of the punct closing the group opened at `open_idx`.
+fn match_group(
+    toks: &[crate::lexer::Token],
+    open_idx: usize,
+    open: u8,
+    close: u8,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, tok) in toks.iter().enumerate().skip(open_idx) {
+        if tok.kind.is_punct(open) {
+            depth += 1;
+        } else if tok.kind.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Scan `toks[start..end]` for allocating constructs, reporting each as
+/// an R7 finding located in `place`.
+fn scan_alloc(
+    ctx: &FileContext<'_>,
+    rule: &str,
+    start: usize,
+    end: usize,
+    place: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &ctx.lexed.tokens;
+    let path_sep = |i: usize| {
+        toks.get(i).is_some_and(|t| t.kind.is_punct(b':'))
+            && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b':'))
+    };
+    for i in start..end.min(toks.len()) {
+        let Tok::Ident(name) = &toks[i].kind else {
+            continue;
+        };
+        let bang = toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'!'));
+        let after_dot = i > 0 && toks[i - 1].kind.is_punct(b'.');
+        let called = toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('));
+        let what = match name.as_str() {
+            "format" | "vec" if bang => format!("`{name}!`"),
+            "String" if path_sep(i + 1) => "`String::…`".to_string(),
+            "Vec" | "Box"
+                if path_sep(i + 1)
+                    && toks
+                        .get(i + 3)
+                        .is_some_and(|t| t.kind.ident() == Some("new")) =>
+            {
+                format!("`{name}::new`")
+            }
+            "to_string" | "to_owned" if after_dot && called => format!("`.{name}()`"),
+            _ => continue,
+        };
+        out.push(finding(
+            ctx,
+            rule,
+            toks[i].line,
+            format!(
+                "{what} allocates inside the metric recording path ({place}); \
+                 pre-register names at startup and keep the record path \
+                 allocation-free"
+            ),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +812,49 @@ mod tests {
             parse_impl(&crate::lexer::lex("impl ServeError {").tokens, 0),
             None
         );
+    }
+
+    #[test]
+    fn alloc_in_obs_record_fn_is_flagged() {
+        let f = lib_file(
+            "obs",
+            "pub fn record(v: u64) -> u64 { let s = v.to_string(); s.len() as u64 }",
+        );
+        assert_eq!(rules_hit(&[f]), vec!["no-alloc-in-metric-path"]);
+    }
+
+    #[test]
+    fn alloc_outside_record_fns_in_obs_is_fine() {
+        // Snapshotting and rendering may allocate; only the record path
+        // is constrained.
+        let f = lib_file(
+            "obs",
+            "pub fn snapshot(n: u64) -> String { format!(\"n={n}\") }",
+        );
+        assert!(rules_hit(&[f]).is_empty());
+    }
+
+    #[test]
+    fn with_capacity_in_record_path_is_allowed() {
+        let f = lib_file(
+            "obs",
+            "pub fn record_reserve(n: usize) -> Vec<u64> { Vec::with_capacity(n) }",
+        );
+        assert!(rules_hit(&[f]).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_span_closure_is_flagged_in_hot_path_crates() {
+        let f = lib_file(
+            "serve",
+            "fn f(h: &H, key: &K) { Span::in_span_with(\"cache\", h, || key.to_string()); }",
+        );
+        assert_eq!(rules_hit(&[f]), vec!["no-alloc-in-metric-path"]);
+        let clean = lib_file(
+            "serve",
+            "fn f(h: &H, cache: &C, key: &K) -> V { Span::in_span_with(\"cache\", h, || cache.get(key)) }",
+        );
+        assert!(rules_hit(&[clean]).is_empty());
     }
 
     #[test]

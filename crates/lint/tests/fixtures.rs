@@ -180,6 +180,42 @@ fn r6_shim_surface_drift() {
 }
 
 #[test]
+fn r7_no_alloc_in_metric_path() {
+    check_rule(
+        "no-alloc-in-metric-path",
+        "obs",
+        include_str!("fixtures/r7_alloc/pos.rs"),
+        include_str!("fixtures/r7_alloc/neg.rs"),
+    );
+    // Both shapes fire: the allocating record fn and the span closure.
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/obs/src/fixture.rs".into(),
+            crate_name: "obs".into(),
+            class: FileClass::Library,
+            text: include_str!("fixtures/r7_alloc/pos.rs").into(),
+        }],
+        &Config::default(),
+    );
+    assert_eq!(findings.len(), 2, "record fn + span closure: {findings:?}");
+}
+
+#[test]
+fn r7_span_closures_are_checked_in_hot_path_crates_too() {
+    let pos = include_str!("fixtures/r7_alloc/pos.rs");
+    let hits = rules_hit("serve", pos);
+    assert_eq!(
+        hits,
+        vec!["no-alloc-in-metric-path"],
+        "the in_span closure check follows hot-path crates"
+    );
+    assert!(
+        rules_hit("workload", pos).is_empty(),
+        "R7 is scoped to obs and the hot-path crates"
+    );
+}
+
+#[test]
 fn r6_does_not_apply_outside_parking_lot_crates() {
     let pos = include_str!("fixtures/r6_drift/pos.rs");
     assert!(

@@ -1,0 +1,40 @@
+//! R7 negative fixture: recording reuses pre-registered state, and
+//! registration-time pre-sizing (`Vec::with_capacity`) stays allowed.
+
+pub struct Counter {
+    value: u64,
+    buf: Vec<u64>,
+}
+
+impl Counter {
+    pub fn record(&mut self, v: u64) {
+        self.value += v;
+    }
+
+    /// Pre-sizing inside a recording path is the sanctioned pattern.
+    pub fn record_reserve(&mut self, n: usize) {
+        if self.buf.capacity() == 0 {
+            self.buf = Vec::with_capacity(n);
+        }
+    }
+
+    /// Allocation outside the recording path (snapshotting) is fine.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        s.push('c');
+        s
+    }
+}
+
+pub fn lookup(key: &Key, cache: &Cache) -> Option<Entry> {
+    Span::in_span("cache", || cache.get(key))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate_freely() {
+        let label = format!("value-{}", 1);
+        assert!(!label.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! R7 positive fixture: per-call allocation on metric recording paths.
+
+pub struct Counter {
+    hits: u64,
+}
+
+impl Counter {
+    /// A recording function that builds a `String` every call.
+    pub fn record(&mut self, v: u64) {
+        let label = format!("value-{v}");
+        self.hits += u64::from(!label.is_empty());
+    }
+}
+
+/// A span closure that allocates: the allocation is both measured as
+/// stage time and repeated per request.
+pub fn lookup(key: &Key, cache: &Cache) -> Option<Entry> {
+    Span::in_span("cache", || cache.get(&key.text.to_string()))
+}

@@ -175,6 +175,55 @@ fn incremental_decode_state_is_hot_path() {
     assert_eq!(findings[0].rule, "no-panic-in-hot-path");
 }
 
+/// The metric hot path in `qrec-obs` must stay allocation-free: the
+/// shipped `metric.rs` is clean under R7, and an allocation seeded into
+/// a recording function is caught as exactly one finding.
+#[test]
+fn obs_metric_record_path_is_allocation_free() {
+    let root = workspace_root();
+    let ws = qrec_lint::collect_workspace(&root).expect("walk workspace");
+    assert!(
+        ws.config.hot_path_crates.iter().any(|c| c == "obs"),
+        "obs must be covered by the metric-path rule: {:?}",
+        ws.config.hot_path_crates
+    );
+    let rel = "crates/obs/src/metric.rs";
+    let file = ws
+        .files
+        .iter()
+        .find(|f| f.path == rel)
+        .unwrap_or_else(|| panic!("walker must see {rel}"));
+    assert_eq!(file.class, FileClass::Library, "{rel} is library code");
+    assert_eq!(file.crate_name, "obs");
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: rel.into(),
+                crate_name: "obs".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+    assert!(
+        lint(&file.text).is_empty(),
+        "shipped {rel} must be clean for the injection to be the delta"
+    );
+    let seeded = format!(
+        "pub fn record_injected(v: u64) -> usize {{ v.to_string().len() }}\n{}",
+        file.text
+    );
+    let findings = lint(&seeded);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the injected allocation: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "no-alloc-in-metric-path");
+}
+
 /// An allow directive without the mandatory `-- <reason>` must not
 /// suppress the violation, and is itself reported.
 #[test]

@@ -40,6 +40,19 @@ static DECODE_STEPS: AtomicU64 = AtomicU64::new(0);
 static ENC_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static ENC_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
+/// Per-step decode-forward duration histogram, registered lazily in the
+/// global obs registry. Timed only while the obs spine is enabled.
+fn step_hist() -> &'static Arc<qrec_obs::Histogram> {
+    static H: std::sync::OnceLock<Arc<qrec_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| qrec_obs::global().histogram_log2("nn.decode.step_us"))
+}
+
+/// Encoder-pass duration histogram (paid only on an [`EncCache`] miss).
+fn encode_hist() -> &'static Arc<qrec_obs::Histogram> {
+    static H: std::sync::OnceLock<Arc<qrec_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| qrec_obs::global().histogram_log2("nn.decode.encode_us"))
+}
+
 /// Process-wide decode activity counters (monotonic, relaxed ordering),
 /// surfaced by qrec-serve's STATS verb.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -118,10 +131,12 @@ impl EncCache {
                 let enc = Arc::clone(&entry.1);
                 self.entries.push(entry);
                 ENC_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                qrec_obs::trace::note_enc_cache(true);
                 Some(enc)
             }
             None => {
                 ENC_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                qrec_obs::trace::note_enc_cache(false);
                 None
             }
         }
@@ -313,6 +328,7 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
         if let Some(enc) = self.cache.lookup(src) {
             return enc; // refcount bump, no data copy
         }
+        let _span = qrec_obs::Span::enter_with("encode", encode_hist());
         let mut graph = Graph::new();
         let mut bind = Binding::new(self.params.len());
         let mut fwd = Fwd {
@@ -347,6 +363,10 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
     /// logits — row-independent, so identical to per-row softmax).
     fn step_probs(&mut self, state: &mut DecodeState, last_toks: &[usize]) -> Tensor {
         DECODE_STEPS.fetch_add(1, Ordering::Relaxed);
+        // Explicit gated timing instead of a span: per-step granularity
+        // would flood the 32-stage trace cap, so steps are attributed as
+        // a count plus a histogram sample.
+        let t0 = qrec_obs::enabled().then(std::time::Instant::now);
         let mut graph = Graph::new();
         let mut bind = Binding::new(self.params.len());
         let mut fwd = Fwd {
@@ -357,7 +377,12 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
             training: false,
         };
         let logits = self.model.step_logits(&mut fwd, state, last_toks);
-        logits.softmax_rows()
+        let probs = logits.softmax_rows();
+        if let Some(t0) = t0 {
+            step_hist().record_duration(t0.elapsed());
+            qrec_obs::trace::note_decode_step();
+        }
+        probs
     }
 
     fn greedy(&mut self, src: &[usize], max_len: usize) -> Hypothesis {

@@ -32,6 +32,15 @@ use crate::seq2seq::Seq2Seq;
 use qrec_tensor::Tensor;
 use std::sync::Arc;
 
+/// State-reorder (beam pruning gather) duration histogram, registered
+/// lazily. Reorders shuffle every cached K/V row, so their cost scales
+/// with beam width × layers and is worth watching separately from the
+/// step forwards.
+fn reorder_hist() -> &'static Arc<qrec_obs::Histogram> {
+    static H: std::sync::OnceLock<Arc<qrec_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| qrec_obs::global().histogram_log2("nn.decode.reorder_us"))
+}
+
 /// Incremental decoding state for one source sequence and a batch of
 /// live hypotheses. Created by
 /// [`crate::seq2seq::Seq2Seq::begin_decode`]; advanced by
@@ -207,6 +216,7 @@ impl DecodeState {
     /// batch may grow or shrink — beam pruning, diverse-group fan-out,
     /// and sampling clones all route through here.
     pub fn reorder(&mut self, parents: &[usize]) {
+        let t0 = qrec_obs::enabled().then(std::time::Instant::now);
         let batch = self.prefixes.len();
         for &p in parents {
             assert!(
@@ -240,6 +250,9 @@ impl DecodeState {
             StateKind::Gru(gs) => {
                 gs.h = gs.h.gather_rows(parents);
             }
+        }
+        if let Some(t0) = t0 {
+            reorder_hist().record_duration(t0.elapsed());
         }
     }
 }

@@ -11,7 +11,26 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Epochs completed across all training runs in this process.
+fn epochs_counter() -> &'static Arc<qrec_obs::Counter> {
+    static C: OnceLock<Arc<qrec_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| qrec_obs::global().counter("nn.train.epochs"))
+}
+
+/// Supervision tokens consumed across all training runs.
+fn tokens_counter() -> &'static Arc<qrec_obs::Counter> {
+    static C: OnceLock<Arc<qrec_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| qrec_obs::global().counter("nn.train.tokens"))
+}
+
+/// Epoch wall-clock duration histogram.
+fn epoch_hist() -> &'static Arc<qrec_obs::Histogram> {
+    static H: OnceLock<Arc<qrec_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| qrec_obs::global().histogram_log2("nn.train.epoch_us"))
+}
 
 /// An encoded training pair: source ids and target ids, both wrapped in
 /// `<SOS> … <EOS>`.
@@ -55,6 +74,24 @@ impl Default for TrainConfig {
     }
 }
 
+/// Per-epoch training telemetry, recorded alongside the loss pair.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss of this epoch.
+    pub train_loss: f32,
+    /// Mean validation loss after this epoch.
+    pub val_loss: f32,
+    /// L2 norm of the last mini-batch's accumulated gradient, captured
+    /// just before the optimizer step consumed it.
+    pub grad_norm: f32,
+    /// Supervision tokens consumed per wall-clock second.
+    pub tokens_per_sec: f32,
+    /// Wall-clock epoch duration in seconds.
+    pub seconds: f32,
+}
+
 /// What happened during training.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -66,6 +103,11 @@ pub struct TrainReport {
     pub train_time: Duration,
     /// Whether early stopping fired.
     pub early_stopped: bool,
+    /// Per-epoch telemetry (loss, gradient norm, throughput). Defaults
+    /// to empty when deserializing reports written before this field
+    /// existed.
+    #[serde(default)]
+    pub epochs: Vec<EpochReport>,
 }
 
 impl TrainReport {
@@ -102,6 +144,37 @@ impl std::fmt::Display for TrainError {
 }
 
 impl std::error::Error for TrainError {}
+
+/// One epoch's closing bookkeeping, shared by both training loops: bump
+/// the process-wide counters, record the epoch duration, and append the
+/// telemetry row.
+fn finish_epoch(
+    epochs: &mut Vec<EpochReport>,
+    epoch: usize,
+    train_loss: f32,
+    val_loss: f32,
+    grad_norm: f32,
+    tokens: usize,
+    epoch_start: Instant,
+) {
+    let elapsed = epoch_start.elapsed();
+    let seconds = elapsed.as_secs_f32();
+    epochs_counter().inc();
+    tokens_counter().add(tokens as u64);
+    epoch_hist().record_duration(elapsed);
+    epochs.push(EpochReport {
+        epoch,
+        train_loss,
+        val_loss,
+        grad_norm,
+        tokens_per_sec: if seconds > 0.0 {
+            tokens as f32 / seconds
+        } else {
+            0.0
+        },
+        seconds,
+    });
+}
 
 fn validate_training(cfg: &TrainConfig, train_len: usize) -> Result<(), TrainError> {
     if cfg.epochs == 0 {
@@ -151,16 +224,21 @@ pub fn try_train_seq2seq<M: Seq2Seq>(
     let mut best: Option<(f32, Params)> = None;
     let mut best_epoch = 0usize;
     let mut epoch_losses = Vec::new();
+    let mut epochs = Vec::new();
     let mut early_stopped = false;
 
     for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
+        let epoch_start = Instant::now();
+        let mut epoch_tokens = 0usize;
+        let mut last_grad_norm = 0.0f32;
         let mut train_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let mut batch_loss = 0.0f32;
             for &i in chunk {
                 let pair = &train[i];
+                epoch_tokens += pair.tgt.len().saturating_sub(1);
                 let loss = forward_backward(params, &mut rng, |fwd| {
                     let enc = model.encode(fwd, &pair.src);
                     let tgt_in = &pair.tgt[..pair.tgt.len() - 1];
@@ -173,6 +251,7 @@ pub fn try_train_seq2seq<M: Seq2Seq>(
             }
             adam.set_lr(cfg.schedule.lr(base_lr, global_step));
             global_step += 1;
+            last_grad_norm = params.grad_norm();
             adam.step(params, 1.0 / chunk.len() as f32);
             train_loss += (batch_loss / chunk.len() as f32) as f64;
             batches += 1;
@@ -180,6 +259,15 @@ pub fn try_train_seq2seq<M: Seq2Seq>(
         let train_loss = (train_loss / batches.max(1) as f64) as f32;
         let val_loss = eval_seq2seq(model, params, val, cfg.seed);
         epoch_losses.push((train_loss, val_loss));
+        finish_epoch(
+            &mut epochs,
+            epoch,
+            train_loss,
+            val_loss,
+            last_grad_norm,
+            epoch_tokens,
+            epoch_start,
+        );
 
         let improved = best.as_ref().is_none_or(|(b, _)| val_loss < *b);
         if improved {
@@ -198,6 +286,7 @@ pub fn try_train_seq2seq<M: Seq2Seq>(
         best_epoch,
         train_time: start.elapsed(),
         early_stopped,
+        epochs,
     })
 }
 
@@ -281,16 +370,21 @@ pub fn try_train_classifier<M: Seq2Seq>(
     let mut best: Option<(f32, Params)> = None;
     let mut best_epoch = 0usize;
     let mut epoch_losses = Vec::new();
+    let mut epochs = Vec::new();
     let mut early_stopped = false;
 
     for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
+        let epoch_start = Instant::now();
+        let mut epoch_tokens = 0usize;
+        let mut last_grad_norm = 0.0f32;
         let mut train_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let mut batch_loss = 0.0f32;
             for &i in chunk {
                 let ex = &train[i];
+                epoch_tokens += ex.src.len();
                 let loss = forward_backward(params, &mut rng, |fwd| {
                     let logits = classify_logits(model, head, fwd, &ex.src);
                     fwd.graph.cross_entropy(logits, &[ex.label])
@@ -299,6 +393,7 @@ pub fn try_train_classifier<M: Seq2Seq>(
             }
             adam.set_lr(cfg.schedule.lr(base_lr, global_step));
             global_step += 1;
+            last_grad_norm = params.grad_norm();
             adam.step(params, 1.0 / chunk.len() as f32);
             train_loss += (batch_loss / chunk.len() as f32) as f64;
             batches += 1;
@@ -306,6 +401,15 @@ pub fn try_train_classifier<M: Seq2Seq>(
         let train_loss = (train_loss / batches.max(1) as f64) as f32;
         let val_loss = eval_classifier(model, head, params, val, cfg.seed);
         epoch_losses.push((train_loss, val_loss));
+        finish_epoch(
+            &mut epochs,
+            epoch,
+            train_loss,
+            val_loss,
+            last_grad_norm,
+            epoch_tokens,
+            epoch_start,
+        );
 
         let improved = best.as_ref().is_none_or(|(b, _)| val_loss < *b);
         if improved {
@@ -324,6 +428,7 @@ pub fn try_train_classifier<M: Seq2Seq>(
         best_epoch,
         train_time: start.elapsed(),
         early_stopped,
+        epochs,
     })
 }
 
@@ -498,15 +603,10 @@ mod tests {
             epoch_losses: vec![(2.0, 2.1), (1.0, 1.2)],
             best_epoch: 1,
             train_time: Duration::from_millis(1),
-            early_stopped: false,
+            ..TrainReport::default()
         };
         assert_eq!(report.final_train_loss(), Some(1.0));
-        let empty = TrainReport {
-            epoch_losses: vec![],
-            best_epoch: 0,
-            train_time: Duration::ZERO,
-            early_stopped: false,
-        };
+        let empty = TrainReport::default();
         assert_eq!(empty.final_train_loss(), None);
     }
 
@@ -536,5 +636,28 @@ mod tests {
         assert_eq!(report.epoch_losses.len(), 3);
         assert!(!report.early_stopped);
         assert!(report.train_time.as_nanos() > 0);
+        // Telemetry rows track the loss pairs one-to-one.
+        assert_eq!(report.epochs.len(), 3);
+        for (i, e) in report.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert_eq!((e.train_loss, e.val_loss), report.epoch_losses[i]);
+            assert!(e.grad_norm > 0.0, "gradient norm should be captured");
+            assert!(e.tokens_per_sec > 0.0, "throughput should be captured");
+            assert!(e.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn reports_without_epoch_telemetry_still_deserialize() {
+        // A report serialized before the `epochs` field existed.
+        let old = r#"{
+            "epoch_losses": [[2.0, 2.5], [1.0, 1.5]],
+            "best_epoch": 1,
+            "train_time": {"secs": 1, "nanos": 0},
+            "early_stopped": false
+        }"#;
+        let report: TrainReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.best_epoch, 1);
+        assert!(report.epochs.is_empty());
     }
 }

@@ -1,0 +1,80 @@
+//! Prometheus-style text exposition of a registry snapshot.
+//!
+//! Renders `# TYPE` headers, plain `name value` lines for counters and
+//! gauges, and cumulative `_bucket{le="…"}`/`_sum`/`_count` lines for
+//! histograms. All metric names are prefixed `qrec_` and sanitised to
+//! `[a-zA-Z0-9_]`. This is the body of the `DUMP` protocol verb.
+
+use crate::registry::{Registry, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Render the current state of `reg` as exposition text.
+pub fn render(reg: &Registry) -> String {
+    render_snapshot(&reg.snapshot())
+}
+
+/// Render an already-taken snapshot as exposition text.
+pub fn render_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let name = sanitize(&c.name);
+        let _ = writeln!(out, "# TYPE qrec_{name} counter");
+        let _ = writeln!(out, "qrec_{name} {}", c.value);
+    }
+    for g in &snap.gauges {
+        let name = sanitize(&g.name);
+        let _ = writeln!(out, "# TYPE qrec_{name} gauge");
+        let _ = writeln!(out, "qrec_{name} {}", g.value);
+    }
+    for h in &snap.histograms {
+        let name = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE qrec_{name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.counts.get(i).copied().unwrap_or(0);
+            let _ = writeln!(out, "qrec_{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "qrec_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "qrec_{name}_sum {}", h.sum);
+        let _ = writeln!(out, "qrec_{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Map a metric name onto the exposition charset (`[a-zA-Z0-9_]`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_buckets() {
+        let reg = Registry::new();
+        reg.counter("serve.requests").add(12);
+        reg.gauge("pool.threads").set(4);
+        let h = reg.histogram("serve.latency_us", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let text = render(&reg);
+        assert!(text.contains("# TYPE qrec_serve_requests counter\n"));
+        assert!(text.contains("qrec_serve_requests 12\n"));
+        assert!(text.contains("qrec_pool_threads 4\n"));
+        assert!(text.contains("qrec_serve_latency_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("qrec_serve_latency_us_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("qrec_serve_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("qrec_serve_latency_us_sum 5055\n"));
+        assert!(text.contains("qrec_serve_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn sanitize_maps_punctuation_to_underscores() {
+        assert_eq!(sanitize("a.b-c/d e"), "a_b_c_d_e");
+        assert_eq!(sanitize("plain_name9"), "plain_name9");
+    }
+}

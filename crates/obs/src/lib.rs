@@ -1,0 +1,113 @@
+//! # qrec-obs — the workspace observability spine
+//!
+//! Serving-grade performance work needs per-stage evidence, not endpoint
+//! totals: when a RECOMMEND request is slow, the question is whether the
+//! time went to session lookup, batcher queueing, an encoder-cache miss,
+//! or the per-step decode loop. This crate is the shared substrate every
+//! runtime crate (serve, nn, tensor) records into:
+//!
+//! * [`metric`] — allocation-free [`Counter`]s, [`Gauge`]s, and bucketed
+//!   [`Histogram`]s (log2 by default). Recording is relaxed atomic
+//!   fetch-adds; snapshots derive `count`/`sum` from one pass over the
+//!   copied bucket arrays so they are internally consistent.
+//! * [`registry`] — a process-wide [`Registry`] of named metrics behind
+//!   [`global()`]. Registration allocates; recording never does (a
+//!   dedicated qrec-lint rule, `no-alloc-in-metric-path`, enforces it).
+//! * [`span`] — scoped monotonic-clock timing with a thread-local span
+//!   stack, so nested stages (request → batch wait → encode → per-step
+//!   decode → rank) aggregate into a stage-time breakdown.
+//! * [`trace`] / [`flight`] — per-request [`TraceContext`]s that travel
+//!   with a request across thread hand-offs and land in a lock-free
+//!   ring-buffer [`FlightRecorder`] (last N completed requests plus an
+//!   always-kept slowest-K reservoir).
+//! * [`expo`] — Prometheus-style text exposition of the registry, served
+//!   by qrec-serve's `DUMP` verb.
+//!
+//! The whole spine can be switched off with `QREC_OBS=off` (or at
+//! runtime with [`set_enabled`]): spans and flight recording become
+//! no-ops while plain counters and histograms — which STATS accounting
+//! depends on — keep recording.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod expo;
+pub mod flight;
+pub mod metric;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use flight::{FlightRecord, FlightRecorder, StageSpan};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, Registry, RegistrySnapshot};
+pub use span::{Span, SpanGuard};
+pub use trace::{FinishedTrace, StageList, TraceContext};
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override of the `QREC_OBS` environment default:
+/// 0 = follow the environment, 1 = forced on, 2 = forced off.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether span timing and flight recording are active.
+///
+/// Resolution order: a [`set_enabled`] override wins; otherwise the
+/// `QREC_OBS` environment variable, read once per process (`off`, `0`,
+/// or `false` disable; anything else — including unset — enables).
+#[inline]
+pub fn enabled() -> bool {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_default(),
+    }
+}
+
+/// Force the spine on or off at runtime, overriding `QREC_OBS`.
+///
+/// Exists so one process can measure its own instrumentation overhead
+/// (the CI obs-overhead smoke stage toggles this between rounds).
+pub fn set_enabled(on: bool) {
+    FORCED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+fn env_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !std::env::var("QREC_OBS").is_ok_and(|v| {
+            v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false")
+        })
+    })
+}
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique request id for flight recording. Ids are
+/// assigned once at the protocol front end and travel with the request
+/// through every thread hand-off, so a flight record's stages all carry
+/// the id of the request that produced them.
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_monotonic() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn set_enabled_overrides_default() {
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

@@ -1,0 +1,351 @@
+//! Allocation-free metric primitives: counters, gauges, and bucketed
+//! histograms.
+//!
+//! Every recording path is one or two relaxed atomic fetch-adds on
+//! storage allocated at registration time — no locks, no allocation, no
+//! formatting (the `no-alloc-in-metric-path` lint rule keeps it that
+//! way). Snapshots copy the atomics and derive every aggregate from the
+//! copies, so a snapshot is always internally consistent: `count` is
+//! exactly the sum of its own `counts`, and `sum` the sum of its own
+//! per-bucket sums.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two bounds in a [`Histogram::log2`] histogram
+/// (`1, 2, 4, …, 2^39`); values above the last bound land in the
+/// overflow bucket.
+pub const LOG2_BOUNDS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter. Prefer [`crate::Registry::counter`] so the
+    /// counter shows up in snapshots and the `DUMP` exposition.
+    pub fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The name given at registration.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Increment by one (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge. Prefer [`crate::Registry::gauge`].
+    pub fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The name given at registration.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Overwrite the value (relaxed).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A bucketed histogram with a per-bucket count *and* a per-bucket sum.
+///
+/// The parallel sum array is what makes snapshots consistent: deriving
+/// `sum` from per-bucket sums copied in the same pass as the counts
+/// removes the torn-read skew a separate `count`/`sum` atomic pair has
+/// under concurrent recording.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    /// Inclusive upper bounds, ascending; `counts`/`sums` carry one
+    /// extra overflow slot.
+    bounds: Vec<u64>,
+    /// True when `bounds` is exactly the [`Histogram::log2`] layout, so
+    /// `record` can index with a bit-scan instead of a binary search.
+    log2_bounds: bool,
+    counts: Vec<AtomicU64>,
+    sums: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    /// A histogram over explicit inclusive upper `bounds` (sorted and
+    /// deduplicated internally). Prefer [`crate::Registry::histogram`].
+    pub fn with_bounds(name: &'static str, bounds: &[u64]) -> Histogram {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let slots = sorted.len() + 1;
+        let log2_bounds = sorted.len() == LOG2_BOUNDS
+            && sorted
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == 1u64 << (i as u32));
+        Histogram {
+            name,
+            bounds: sorted,
+            log2_bounds,
+            counts: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            sums: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A histogram over power-of-two bounds `1, 2, 4, …, 2^39` — a
+    /// fixed ~2× relative resolution across nine decades, which is
+    /// plenty for latency work. Prefer
+    /// [`crate::Registry::histogram_log2`].
+    pub fn log2(name: &'static str) -> Histogram {
+        let bounds: Vec<u64> = (0..LOG2_BOUNDS as u32).map(|i| 1u64 << i).collect();
+        Histogram::with_bounds(name, &bounds)
+    }
+
+    /// The name given at registration.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The inclusive bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Record one observation: two atomic fetch-adds, no allocation.
+    ///
+    /// The sum is bumped before the count (release), and snapshots load
+    /// counts (acquire) before sums, so every observation a snapshot
+    /// counts has already contributed its value — `sum` never trails
+    /// `count`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        // For the log2 layout the bucket index is the bit position of
+        // the value's rounded-up power of two; the general layout binary
+        // searches. Both agree: the index counts bounds strictly below
+        // `value` (inclusive upper bounds).
+        let idx = if self.log2_bounds {
+            if value <= 1 {
+                0
+            } else {
+                (64 - (value - 1).leading_zeros() as usize).min(self.bounds.len())
+            }
+        } else {
+            self.bounds.partition_point(|&b| b < value)
+        };
+        if let (Some(c), Some(s)) = (self.counts.get(idx), self.sums.get(idx)) {
+            s.fetch_add(value, Ordering::Relaxed);
+            c.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Record a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Copy the buckets and derive every aggregate from the copies.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect();
+        let sums: Vec<u64> = self
+            .sums
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            bounds: self.bounds.clone(),
+            count: counts.iter().sum(),
+            sum: sums.iter().fold(0u64, |a, &b| a.saturating_add(b)),
+            counts,
+        }
+    }
+}
+
+/// Serialisable view of a [`Histogram`], internally consistent by
+/// construction (`count == counts.iter().sum()`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Inclusive bucket upper bounds (parallel to `counts`, which has
+    /// one extra overflow slot).
+    pub bounds: Vec<u64>,
+    /// Observation counts per bucket, plus the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations, derived from `counts`.
+    pub count: u64,
+    /// Sum of all observed values, derived from the per-bucket sums.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`) as the upper bound of the
+    /// bucket containing it; observations in the overflow bucket report
+    /// the largest finite bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .or_else(|| self.bounds.last())
+                    .copied()
+                    .unwrap_or(0);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new("y");
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper() {
+        let h = Histogram::with_bounds("h", &[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 0, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn log2_histogram_covers_microseconds_to_minutes() {
+        let h = Histogram::log2("us");
+        h.record(1);
+        h.record(1 << 20);
+        h.record(u64::MAX); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.bounds.len(), LOG2_BOUNDS);
+        assert_eq!(s.counts.len(), LOG2_BOUNDS + 1);
+        assert_eq!(*s.counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::with_bounds("h", &[10, 100, 1000]);
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(500);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 10);
+        assert_eq!(s.quantile(0.95), 1000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    /// The satellite invariant: under concurrent recording, every
+    /// snapshot's `count` equals the sum of its own buckets, and `sum`
+    /// is never behind `count` (per-bucket sums are copied after the
+    /// counts, so they have seen at least as many records).
+    #[test]
+    fn snapshots_are_internally_consistent_under_concurrency() {
+        let h = Arc::new(Histogram::log2("mt"));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        h.record(100);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let s = h.snapshot();
+            assert_eq!(
+                s.count,
+                s.counts.iter().sum::<u64>(),
+                "count must be derived from the same bucket copy"
+            );
+            assert_eq!(s.sum % 100, 0, "all observations are 100");
+            assert!(s.sum >= s.count * 100, "sums are copied after counts");
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.sum, 80_000 * 100);
+    }
+}

@@ -1,0 +1,222 @@
+//! Process-wide registry of named metrics.
+//!
+//! Registration hands back an `Arc` to a freshly allocated metric and
+//! remembers it for snapshotting; the caller caches the `Arc` and
+//! records through it without ever touching the registry again, so the
+//! registry lock is never on a hot path. Duplicate names are allowed —
+//! each `Metrics` instance in a test process registers its own storage —
+//! and snapshots aggregate same-named instruments (counters/gauges by
+//! sum/max, histograms element-wise when their bounds agree).
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<Arc<Counter>>,
+    gauges: Vec<Arc<Gauge>>,
+    histograms: Vec<Arc<Histogram>>,
+}
+
+/// A set of named metrics that can be snapshotted together.
+///
+/// Use [`global()`] for the process-wide instance that `STATS`/`DUMP`
+/// report from; standalone registries are for tests and tools.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a new counter under `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new(name));
+        self.inner.lock().counters.push(Arc::clone(&c));
+        c
+    }
+
+    /// Register a new gauge under `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new(name));
+        self.inner.lock().gauges.push(Arc::clone(&g));
+        g
+    }
+
+    /// Register a new histogram under `name` with explicit bounds.
+    pub fn histogram(&self, name: &'static str, bounds: &[u64]) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::with_bounds(name, bounds));
+        self.inner.lock().histograms.push(Arc::clone(&h));
+        h
+    }
+
+    /// Register a new log2-bucketed histogram under `name`.
+    pub fn histogram_log2(&self, name: &'static str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::log2(name));
+        self.inner.lock().histograms.push(Arc::clone(&h));
+        h
+    }
+
+    /// Snapshot every registered metric, aggregating duplicates by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock();
+        let mut counters: Vec<CounterValue> = Vec::new();
+        for c in &inner.counters {
+            match counters.iter_mut().find(|v| v.name == c.name()) {
+                Some(v) => v.value += c.get(),
+                None => counters.push(CounterValue {
+                    name: c.name().to_string(),
+                    value: c.get(),
+                }),
+            }
+        }
+        let mut gauges: Vec<CounterValue> = Vec::new();
+        for g in &inner.gauges {
+            match gauges.iter_mut().find(|v| v.name == g.name()) {
+                Some(v) => v.value = v.value.max(g.get()),
+                None => gauges.push(CounterValue {
+                    name: g.name().to_string(),
+                    value: g.get(),
+                }),
+            }
+        }
+        let mut histograms: Vec<HistogramSnapshot> = Vec::new();
+        for h in &inner.histograms {
+            let snap = h.snapshot();
+            match histograms
+                .iter_mut()
+                .find(|s| s.name == snap.name && s.bounds == snap.bounds)
+            {
+                Some(agg) => {
+                    for (a, b) in agg.counts.iter_mut().zip(&snap.counts) {
+                        *a += b;
+                    }
+                    agg.count += snap.count;
+                    agg.sum += snap.sum;
+                }
+                None => histograms.push(snap),
+            }
+        }
+        drop(inner);
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-wide registry that `STATS` and `DUMP` report from.
+pub fn global() -> &'static Registry {
+    static G: OnceLock<Registry> = OnceLock::new();
+    G.get_or_init(Registry::new)
+}
+
+/// A named counter or gauge reading.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Metric name.
+    pub name: String,
+    /// Aggregated value.
+    pub value: u64,
+}
+
+/// Serialisable view of a [`Registry`], names sorted, duplicates merged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All counters, summed by name.
+    pub counters: Vec<CounterValue>,
+    /// All gauges, merged by max.
+    pub gauges: Vec<CounterValue>,
+    /// All histograms, merged element-wise when name and bounds match.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Look up an aggregated counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up an aggregated histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_counters_aggregate_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        let c = reg.counter("misses");
+        a.add(3);
+        b.add(4);
+        c.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits"), Some(7));
+        assert_eq!(snap.counter("misses"), Some(1));
+        assert_eq!(snap.counter("absent"), None);
+    }
+
+    #[test]
+    fn gauges_merge_by_max_and_histograms_elementwise() {
+        let reg = Registry::new();
+        let g1 = reg.gauge("depth");
+        let g2 = reg.gauge("depth");
+        g1.set(2);
+        g2.set(9);
+        let h1 = reg.histogram("lat", &[10, 100]);
+        let h2 = reg.histogram("lat", &[10, 100]);
+        h1.record(5);
+        h2.record(50);
+        h2.record(5000);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.gauges,
+            vec![CounterValue {
+                name: "depth".into(),
+                value: 9
+            }]
+        );
+        let lat = snap.histogram("lat").expect("lat registered");
+        assert_eq!(lat.counts, vec![1, 1, 1]);
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.sum, 5 + 50 + 5000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.histogram_log2("h").record(17);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: RegistrySnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("test.registry.shared");
+        c.add(2);
+        let snap = global().snapshot();
+        assert!(snap.counter("test.registry.shared").is_some_and(|v| v >= 2));
+    }
+}

@@ -1,0 +1,149 @@
+//! Scoped monotonic-clock stage timing.
+//!
+//! A [`Span`] is entered at the top of a pipeline stage and measures
+//! wall time until its guard drops. While a [`crate::trace::TraceContext`]
+//! is installed on the thread, the completed span is also appended to
+//! that request's stage list with its nesting depth, so the flight
+//! record reconstructs the stage tree. When the spine is disabled
+//! ([`crate::enabled`] is false) entering a span is a branch and nothing
+//! else — no clock read, no TLS write.
+
+use crate::metric::Histogram;
+use crate::trace;
+use std::time::Instant;
+
+/// Entry points for scoped stage timing.
+pub struct Span;
+
+impl Span {
+    /// Enter a stage; timing stops when the guard drops.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard<'static> {
+        Span::begin(name, None)
+    }
+
+    /// Enter a stage and also record its duration into `hist` (in
+    /// microseconds) when the guard drops. The guard borrows the
+    /// histogram — no refcount traffic on the hot path.
+    #[inline]
+    pub fn enter_with<'a>(name: &'static str, hist: &'a Histogram) -> SpanGuard<'a> {
+        Span::begin(name, Some(hist))
+    }
+
+    /// Run `f` inside a span named `name`.
+    #[inline]
+    pub fn in_span<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _guard = Span::enter(name);
+        f()
+    }
+
+    /// Run `f` inside a span named `name`, recording the duration into
+    /// `hist`.
+    #[inline]
+    pub fn in_span_with<R>(name: &'static str, hist: &Histogram, f: impl FnOnce() -> R) -> R {
+        let _guard = Span::enter_with(name, hist);
+        f()
+    }
+
+    fn begin<'a>(name: &'static str, hist: Option<&'a Histogram>) -> SpanGuard<'a> {
+        if !crate::enabled() {
+            return SpanGuard {
+                name,
+                hist: None,
+                start: None,
+                depth: 0,
+            };
+        }
+        let depth = trace::stack_push(name);
+        SpanGuard {
+            name,
+            hist,
+            start: Some(Instant::now()),
+            depth,
+        }
+    }
+}
+
+/// Live span; completes (and records) when dropped.
+pub struct SpanGuard<'a> {
+    name: &'static str,
+    hist: Option<&'a Histogram>,
+    /// `None` when the spine was disabled at entry — drop is a no-op.
+    start: Option<Instant>,
+    depth: u8,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur = start.elapsed();
+            if let Some(h) = self.hist {
+                h.record_duration(dur);
+            }
+            trace::stack_pop_record(self.name, self.depth, start, dur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceContext;
+    use std::time::Duration;
+
+    #[test]
+    fn nested_spans_record_depths_into_the_active_trace() {
+        crate::set_enabled(true);
+        trace::install(TraceContext::start(5).expect("enabled"));
+        {
+            let _outer = Span::enter("request");
+            Span::in_span("decode", || {
+                std::thread::sleep(Duration::from_micros(200));
+            });
+        }
+        let t = trace::uninstall().expect("installed");
+        // Inner span completes (and is pushed) before the outer one.
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!((t.stages[0].name, t.stages[0].depth), ("decode", 1));
+        assert_eq!((t.stages[1].name, t.stages[1].depth), ("request", 0));
+        assert!(t.stages[0].dur_us > 0, "sleep must register");
+        assert!(t.stages[1].dur_us >= t.stages[0].dur_us);
+    }
+
+    #[test]
+    fn enter_with_records_into_the_histogram() {
+        crate::set_enabled(true);
+        let h = Histogram::log2("span_us");
+        Span::in_span_with("stage", &h, || {
+            std::thread::sleep(Duration::from_micros(100));
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum > 0);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        crate::set_enabled(false);
+        let h = Histogram::log2("off_us");
+        trace::install(Box::new(TraceContext {
+            request_id: 1,
+            origin: Instant::now(),
+            stages: trace::StageList::new(),
+            queue_depth: 0,
+            batch_size: 0,
+            cache_hit: false,
+            epoch: 0,
+            strategy: "",
+            beam_width: 0,
+            decode_steps: 0,
+            enc_cache_hits: 0,
+            enc_cache_misses: 0,
+        }));
+        Span::in_span_with("stage", &h, || {});
+        let t = trace::uninstall().expect("installed");
+        crate::set_enabled(true);
+        assert!(t.stages.is_empty(), "disabled span must not record stages");
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

@@ -15,6 +15,7 @@
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use qrec_nn::decode::EncCache;
 use qrec_nn::Strategy;
+use qrec_obs::{trace, Span, TraceContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -34,6 +35,9 @@ pub struct DecodeRequest {
     pub tokens: Vec<String>,
     /// Fragments to return per kind.
     pub n: usize,
+    /// Flight-recorder trace riding with the request across the batcher
+    /// hand-off (`None` when the obs spine is disabled).
+    pub trace: Option<Box<TraceContext>>,
 }
 
 /// A served recommendation.
@@ -45,6 +49,9 @@ pub struct Recommendation {
     pub epoch: u64,
     /// True when the ranking came from the LRU cache.
     pub cached: bool,
+    /// The request's trace, carried back so the connection thread can
+    /// finish it with the end-to-end duration.
+    pub trace: Option<Box<TraceContext>>,
 }
 
 struct Job {
@@ -193,6 +200,24 @@ impl Drop for DecodeEngine {
     }
 }
 
+/// Static strategy label recorded into flight traces.
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Greedy => "greedy",
+        Strategy::Beam { .. } => "beam",
+        Strategy::DiverseBeam { .. } => "diverse_beam",
+        Strategy::Sampling { .. } => "sampling",
+    }
+}
+
+/// Beam width recorded into flight traces (0 for non-beam strategies).
+fn beam_width(s: Strategy) -> u64 {
+    match s {
+        Strategy::Beam { width } | Strategy::DiverseBeam { width, .. } => width as u64,
+        Strategy::Greedy | Strategy::Sampling { .. } => 0,
+    }
+}
+
 #[allow(clippy::too_many_arguments)] // worker state is deliberately thread-owned, not shared
 fn worker_loop(
     rx: &Receiver<Job>,
@@ -213,41 +238,58 @@ fn worker_loop(
             }
         }
         Metrics::bump(&metrics.batches);
-        metrics
-            .batched_jobs
-            .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        metrics.batched_jobs.add(batch.len() as u64);
+        let batch_len = batch.len() as u64;
 
         // One registry read per batch: every job in the batch is served
         // by the same model at the same epoch. Tagging the encoder cache
         // with the epoch drops stale entries after a hot-swap.
         let (epoch, model) = registry.current();
         enc_cache.set_generation(epoch);
-        for job in batch {
+        for mut job in batch {
+            // Re-install the request's trace on this worker thread so the
+            // spans below (and the per-step attribution inside the model)
+            // land in the right flight record.
+            if let Some(ctx) = job.req.trace.take() {
+                trace::install(ctx);
+            }
+            let wait = job.enqueued.elapsed();
+            metrics.stage_batch_wait.record_duration(wait);
+            trace::record_stage("batch_wait", job.enqueued, wait);
+            trace::note_batch(batch_len, epoch);
+            trace::note_strategy(strategy_name(strategy), beam_width(strategy));
             let key = CacheKey::new(epoch, &job.req.tokens);
-            let (ranked, cached) = match cache.get(&key) {
+            let lookup = Span::in_span_with("cache", &metrics.stage_cache, || cache.get(&key));
+            let (ranked, cached) = match lookup {
                 Some(hit) => {
                     Metrics::bump(&metrics.cache_hits);
                     (hit, true)
                 }
                 None => {
                     Metrics::bump(&metrics.cache_misses);
-                    let ranked = model.ranked_fragments_for_tokens_cached(
-                        &job.req.tokens,
-                        strategy,
-                        rng,
-                        enc_cache,
-                    );
+                    let ranked = Span::in_span_with("decode", &metrics.stage_decode, || {
+                        model.ranked_fragments_for_tokens_cached(
+                            &job.req.tokens,
+                            strategy,
+                            rng,
+                            enc_cache,
+                        )
+                    });
                     cache.put(key, ranked.clone());
                     (ranked, false)
                 }
             };
-            let fragments = ranked.map(|_, r| r.iter().take(job.req.n).cloned().collect());
+            trace::note_cache_hit(cached);
+            let fragments = Span::in_span_with("rank", &metrics.stage_rank, || {
+                ranked.map(|_, r| r.iter().take(job.req.n).cloned().collect())
+            });
             metrics.latency.record(job.enqueued.elapsed());
             // A dropped receiver (client gone) is fine; ignore the error.
             let _ = job.reply.send(Ok(Recommendation {
                 fragments,
                 epoch,
                 cached,
+                trace: trace::uninstall(),
             }));
         }
     }
@@ -272,6 +314,7 @@ mod tests {
         let req = DecodeRequest {
             tokens: vec!["select".into()],
             n: 3,
+            trace: None,
         };
         assert!(engine.submit(req.clone()).is_ok());
         assert!(engine.submit(req.clone()).is_ok());
@@ -295,6 +338,7 @@ mod tests {
         let req = DecodeRequest {
             tokens: vec![],
             n: 1,
+            trace: None,
         };
         match engine.submit(req) {
             Err(ServeError::ShuttingDown) => {}

@@ -15,7 +15,16 @@
 
 use parking_lot::Mutex;
 use qrec_core::predict::PerKind;
+use qrec_obs::Counter;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide count of LRU evictions, registered lazily so the `DUMP`
+/// exposition can distinguish capacity pressure from epoch turnover.
+fn evictions() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qrec_obs::global().counter("serve.cache.evictions"))
+}
 
 /// Cache key: model epoch plus the canonical window text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,6 +113,7 @@ impl RecCache {
                 break;
             };
             g.map.remove(&evicted);
+            evictions().inc();
         }
     }
 

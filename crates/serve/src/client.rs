@@ -9,7 +9,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::error::ServeError;
-use crate::protocol::{Request, Response, StatsReply};
+use crate::protocol::{Request, Response, StatsReply, TraceReply};
 
 /// A connected client.
 pub struct Client {
@@ -67,6 +67,26 @@ impl Client {
         let resp = self.call(&Request::bare("STATS"))?;
         resp.stats
             .ok_or_else(|| ServeError::Io("STATS reply missing payload".into()))
+    }
+
+    /// Fetch the server's flight recorder: up to `n` recent request
+    /// traces plus the slowest-seen reservoir.
+    pub fn trace(&mut self, n: usize) -> Result<TraceReply, ServeError> {
+        let req = Request {
+            verb: "TRACE".into(),
+            n: Some(n as u64),
+            ..Request::default()
+        };
+        let resp = self.call(&req)?;
+        resp.trace
+            .ok_or_else(|| ServeError::Io("TRACE reply missing payload".into()))
+    }
+
+    /// Fetch the server's Prometheus-style metrics exposition.
+    pub fn dump(&mut self) -> Result<String, ServeError> {
+        let resp = self.call(&Request::bare("DUMP"))?;
+        resp.dump
+            .ok_or_else(|| ServeError::Io("DUMP reply missing payload".into()))
     }
 
     /// Ask the server to shut down gracefully. The server acknowledges

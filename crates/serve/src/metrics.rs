@@ -1,13 +1,16 @@
-//! Serving metrics: lock-free counters and fixed-bucket latency
-//! histograms.
+//! Serving metrics on the `qrec-obs` registry.
 //!
-//! Workers and connection handlers record into shared atomics; the
-//! `STATS` protocol verb serialises a [`MetricsSnapshot`] taken with
-//! [`Metrics::snapshot`]. Buckets are fixed at compile time so recording
-//! is a single relaxed fetch-add with no allocation on the hot path.
+//! Workers and connection handlers record into shared `qrec-obs`
+//! counters and histograms registered under `serve.*` names in the
+//! process-wide registry, so the same storage feeds the `STATS` JSON
+//! snapshot, the `DUMP` exposition, and per-stage latency breakdowns.
+//! Recording stays a relaxed fetch-add with no allocation on the hot
+//! path, and the [`MetricsSnapshot`] wire shape is unchanged — snapshots
+//! from older servers still parse.
 
+use qrec_obs::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper bounds (inclusive, in microseconds) of the latency buckets; a
@@ -16,68 +19,53 @@ pub const LATENCY_BOUNDS_US: [u64; 12] = [
     50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
 ];
 
-/// A fixed-bucket histogram of request latencies.
-#[derive(Debug, Default)]
+/// A fixed-bucket histogram of request latencies, backed by a
+/// registered [`qrec_obs::Histogram`].
+///
+/// Snapshots derive `count`/`sum_us` from the summed per-bucket copies
+/// (the obs histogram keeps a per-bucket sum array), so a snapshot taken
+/// during concurrent [`record`](LatencyHistogram::record) calls is
+/// internally consistent — the old separate count/sum atomics could
+/// disagree with the bucket totals.
+#[derive(Debug)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
-    count: AtomicU64,
-    sum_us: AtomicU64,
+    inner: Arc<Histogram>,
 }
 
 impl LatencyHistogram {
-    /// Record one observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = LATENCY_BOUNDS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(LATENCY_BOUNDS_US.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    /// A fresh histogram registered in the global obs registry.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            inner: qrec_obs::global().histogram("serve.latency_us", &LATENCY_BOUNDS_US),
+        }
     }
 
-    /// Consistent-enough copy of the histogram state (relaxed loads; the
-    /// snapshot may straddle concurrent records but never tears a value).
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        self.inner.record_duration(latency);
+    }
+
+    /// Internally consistent copy of the histogram state: `count` and
+    /// `sum_us` are derived from the same pass over the bucket copies.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count = self.count.load(Ordering::Relaxed);
-        let sum_us = self.sum_us.load(Ordering::Relaxed);
-        let p50 = percentile(&buckets, count, 0.50);
-        let p99 = percentile(&buckets, count, 0.99);
+        let s = self.inner.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
         HistogramSnapshot {
-            bounds_us: LATENCY_BOUNDS_US.to_vec(),
-            buckets,
-            count,
-            sum_us,
+            bounds_us: s.bounds,
+            buckets: s.counts,
+            count: s.count,
+            sum_us: s.sum,
             p50_us: p50,
             p99_us: p99,
         }
     }
 }
 
-/// Estimate a percentile as the upper bound of the bucket containing it
-/// (the overflow bucket reports the largest finite bound).
-fn percentile(buckets: &[u64], count: u64, q: f64) -> u64 {
-    if count == 0 {
-        return 0;
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
     }
-    let rank = (q * count as f64).ceil() as u64;
-    let mut seen = 0u64;
-    for (i, &c) in buckets.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            return LATENCY_BOUNDS_US
-                .get(i)
-                .copied()
-                .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]);
-        }
-    }
-    LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]
 }
 
 /// Serialisable view of a [`LatencyHistogram`].
@@ -98,62 +86,101 @@ pub struct HistogramSnapshot {
 }
 
 /// All serving counters, shared across threads behind an `Arc`.
-#[derive(Debug, Default)]
+///
+/// Every instrument is also registered in [`qrec_obs::global`], so the
+/// `DUMP` exposition sees the same storage `STATS` reports. Snapshots
+/// read this instance's own `Arc`s directly — multiple servers in one
+/// process (as in tests) keep isolated `STATS` while `DUMP` aggregates.
+#[derive(Debug)]
 pub struct Metrics {
     /// Protocol requests of any verb.
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// RECOMMEND requests accepted into the decode queue.
-    pub recommends: AtomicU64,
+    pub recommends: Arc<Counter>,
     /// Recommendations answered from the LRU cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Recommendations that required a model decode.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Requests rejected with [`crate::ServeError::Overloaded`].
-    pub overloaded: AtomicU64,
+    pub overloaded: Arc<Counter>,
     /// Requests that failed for any other reason.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// Batches drained by decode workers.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Jobs processed across all batches (`batched_jobs / batches` is
     /// the mean batch size).
-    pub batched_jobs: AtomicU64,
+    pub batched_jobs: Arc<Counter>,
     /// Model hot-swaps performed.
-    pub swaps: AtomicU64,
+    pub swaps: Arc<Counter>,
     /// Sessions evicted by the TTL sweeper.
-    pub sessions_evicted: AtomicU64,
+    pub sessions_evicted: Arc<Counter>,
     /// End-to-end RECOMMEND latency (queue wait + decode).
     pub latency: LatencyHistogram,
+    /// Session lookup + push time per RECOMMEND (`"session"` span).
+    pub stage_session: Arc<Histogram>,
+    /// Time jobs spend queued before a worker drains them
+    /// (`"batch_wait"` span).
+    pub stage_batch_wait: Arc<Histogram>,
+    /// Recommendation-cache lookup time (`"cache"` span).
+    pub stage_cache: Arc<Histogram>,
+    /// Model decode time per job (`"decode"` span).
+    pub stage_decode: Arc<Histogram>,
+    /// Ranked-fragment truncation time (`"rank"` span).
+    pub stage_rank: Arc<Histogram>,
 }
 
 impl Metrics {
-    /// Fresh zeroed metrics.
+    /// Fresh zeroed metrics, registered in the global obs registry.
     pub fn new() -> Self {
-        Metrics::default()
+        let reg = qrec_obs::global();
+        Metrics {
+            requests: reg.counter("serve.requests"),
+            recommends: reg.counter("serve.recommends"),
+            cache_hits: reg.counter("serve.cache_hits"),
+            cache_misses: reg.counter("serve.cache_misses"),
+            overloaded: reg.counter("serve.overloaded"),
+            errors: reg.counter("serve.errors"),
+            batches: reg.counter("serve.batches"),
+            batched_jobs: reg.counter("serve.batched_jobs"),
+            swaps: reg.counter("serve.swaps"),
+            sessions_evicted: reg.counter("serve.sessions_evicted"),
+            latency: LatencyHistogram::new(),
+            stage_session: reg.histogram_log2("serve.stage.session_us"),
+            stage_batch_wait: reg.histogram_log2("serve.stage.batch_wait_us"),
+            stage_cache: reg.histogram_log2("serve.stage.cache_us"),
+            stage_decode: reg.histogram_log2("serve.stage.decode_us"),
+            stage_rank: reg.histogram_log2("serve.stage.rank_us"),
+        }
     }
 
     /// Increment a counter by one (relaxed).
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub fn bump(counter: &Counter) {
+        counter.inc();
     }
 
     /// Copy every counter into a serialisable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         MetricsSnapshot {
-            requests: load(&self.requests),
-            recommends: load(&self.recommends),
-            cache_hits: load(&self.cache_hits),
-            cache_misses: load(&self.cache_misses),
-            overloaded: load(&self.overloaded),
-            errors: load(&self.errors),
-            batches: load(&self.batches),
-            batched_jobs: load(&self.batched_jobs),
-            swaps: load(&self.swaps),
-            sessions_evicted: load(&self.sessions_evicted),
+            requests: self.requests.get(),
+            recommends: self.recommends.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            overloaded: self.overloaded.get(),
+            errors: self.errors.get(),
+            batches: self.batches.get(),
+            batched_jobs: self.batched_jobs.get(),
+            swaps: self.swaps.get(),
+            sessions_evicted: self.sessions_evicted.get(),
             latency: self.latency.snapshot(),
             compute: ComputeSnapshot::current(),
             decode: DecodeSnapshot::current(),
         }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
     }
 }
 
@@ -255,7 +282,7 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_percentiles() {
-        let h = LatencyHistogram::default();
+        let h = LatencyHistogram::new();
         for us in [40u64, 60, 300, 2_000, 900_000] {
             h.record(Duration::from_micros(us));
         }
@@ -269,6 +296,43 @@ mod tests {
         assert_eq!(s.sum_us, 40 + 60 + 300 + 2_000 + 900_000);
     }
 
+    /// The torn-read fix: a snapshot taken during concurrent recording
+    /// must have `count` equal to its own bucket totals and a `sum_us`
+    /// that accounts for every counted observation.
+    #[test]
+    fn concurrent_snapshots_are_internally_consistent() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        h.record(Duration::from_micros(100));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let s = h.snapshot();
+            assert_eq!(
+                s.count,
+                s.buckets.iter().sum::<u64>(),
+                "count must equal the summed buckets of the same snapshot"
+            );
+            assert_eq!(s.sum_us % 100, 0, "every observation is exactly 100us");
+            assert!(
+                s.sum_us >= s.count * 100,
+                "sum may run ahead of count, never behind"
+            );
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.sum_us, 40_000 * 100);
+    }
+
     #[test]
     fn snapshot_copies_counters() {
         let m = Metrics::new();
@@ -279,6 +343,18 @@ mod tests {
         assert_eq!(s.requests, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.overloaded, 0);
+    }
+
+    #[test]
+    fn separate_metrics_instances_stay_isolated() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        Metrics::bump(&a.requests);
+        assert_eq!(a.snapshot().requests, 1);
+        assert_eq!(b.snapshot().requests, 0);
+        // ... while the shared registry aggregates both instances.
+        let agg = qrec_obs::global().snapshot();
+        assert!(agg.counter("serve.requests").is_some_and(|v| v >= 1));
     }
 
     #[test]
@@ -337,7 +413,7 @@ mod tests {
 
     #[test]
     fn empty_histogram_percentiles_are_zero() {
-        let s = LatencyHistogram::default().snapshot();
+        let s = LatencyHistogram::new().snapshot();
         assert_eq!(s.p50_us, 0);
         assert_eq!(s.count, 0);
     }

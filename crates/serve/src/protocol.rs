@@ -10,10 +10,13 @@
 //! |-------------|------------------------|-----------------------------------------|
 //! | `RECOMMEND` | `session`, `sql`, `n`  | record the query, return top-n fragments |
 //! | `STATS`     | —                      | metrics + store/cache/registry snapshot |
+//! | `TRACE`     | `n`                    | last-n flight records + slowest reservoir |
+//! | `DUMP`      | —                      | Prometheus-style text exposition        |
 //! | `PING`      | —                      | liveness check                          |
 //! | `SHUTDOWN`  | —                      | acknowledge, then stop the server       |
 
 use qrec_core::predict::PerKind;
+use qrec_obs::FlightRecord;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
@@ -22,16 +25,22 @@ use crate::metrics::MetricsSnapshot;
 /// Default number of fragments per kind when a request omits `n`.
 pub const DEFAULT_N: usize = 5;
 
+/// Default number of recent flight records a `TRACE` request returns.
+pub const DEFAULT_TRACE_N: usize = 16;
+
 /// A client request: one JSON object per line.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// `RECOMMEND`, `STATS`, `PING`, or `SHUTDOWN` (case-insensitive).
+    /// `RECOMMEND`, `STATS`, `TRACE`, `DUMP`, `PING`, or `SHUTDOWN`
+    /// (case-insensitive).
     pub verb: String,
     /// Session id (`RECOMMEND` only).
     pub session: Option<String>,
     /// The SQL statement the user just ran (`RECOMMEND` only).
     pub sql: Option<String>,
-    /// Fragments per kind to return; defaults to [`DEFAULT_N`].
+    /// Fragments per kind to return (`RECOMMEND`, defaults to
+    /// [`DEFAULT_N`]) or recent flight records to return (`TRACE`,
+    /// defaults to [`DEFAULT_TRACE_N`]).
     pub n: Option<u64>,
 }
 
@@ -73,6 +82,14 @@ pub struct Response {
     pub cached: Option<bool>,
     /// Serving statistics (`STATS`).
     pub stats: Option<StatsReply>,
+    /// Flight-recorder traces (`TRACE`); absent in responses from older
+    /// servers.
+    #[serde(default)]
+    pub trace: Option<TraceReply>,
+    /// Prometheus-style exposition text (`DUMP`); absent in responses
+    /// from older servers.
+    #[serde(default)]
+    pub dump: Option<String>,
 }
 
 impl Response {
@@ -105,6 +122,24 @@ impl Response {
         }
     }
 
+    /// A successful `TRACE` response.
+    pub fn traces(recent: Vec<FlightRecord>, slowest: Vec<FlightRecord>) -> Self {
+        Response {
+            ok: true,
+            trace: Some(TraceReply { recent, slowest }),
+            ..Response::default()
+        }
+    }
+
+    /// A successful `DUMP` response.
+    pub fn dump(text: String) -> Self {
+        Response {
+            ok: true,
+            dump: Some(text),
+            ..Response::default()
+        }
+    }
+
     /// Convert a wire response back into a typed result (client side).
     pub fn into_result(self) -> Result<Response, ServeError> {
         if self.ok {
@@ -128,6 +163,15 @@ pub struct StatsReply {
     pub cache_entries: u64,
     /// Current model epoch.
     pub model_epoch: u64,
+}
+
+/// Payload of a `TRACE` response.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceReply {
+    /// Most recent completed request traces, newest first.
+    pub recent: Vec<FlightRecord>,
+    /// Slowest requests seen since process start, slowest first.
+    pub slowest: Vec<FlightRecord>,
 }
 
 #[cfg(test)]
@@ -158,6 +202,31 @@ mod tests {
             Err(ServeError::Overloaded) => {}
             other => panic!("expected Overloaded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn responses_without_trace_fields_still_parse() {
+        // Responses from servers that predate TRACE/DUMP omit both
+        // fields; the serde defaults keep the client compatible.
+        let back: Response = serde_json::from_str(r#"{"ok":true}"#).unwrap();
+        assert!(back.ok && back.trace.is_none() && back.dump.is_none());
+    }
+
+    #[test]
+    fn trace_response_round_trips() {
+        let rec = FlightRecord {
+            request_id: 9,
+            total_us: 1200,
+            strategy: "beam".to_string(),
+            ..FlightRecord::default()
+        };
+        let resp = Response::traces(vec![rec.clone()], vec![rec]);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        let reply = back.trace.expect("trace payload");
+        assert_eq!(reply.recent.len(), 1);
+        assert_eq!(reply.recent[0].request_id, 9);
+        assert_eq!(reply.slowest[0].strategy, "beam");
     }
 
     #[test]

@@ -14,18 +14,19 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qrec_core::Recommender;
+use qrec_obs::{flight, trace, Span, TraceContext};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::batcher::{DecodeEngine, DecodeRequest, EngineConfig};
 use crate::cache::RecCache;
 use crate::error::ServeError;
 use crate::metrics::Metrics;
-use crate::protocol::{Request, Response, StatsReply, DEFAULT_N};
+use crate::protocol::{Request, Response, StatsReply, DEFAULT_N, DEFAULT_TRACE_N};
 use crate::registry::ModelRegistry;
 use crate::session_store::{SessionStore, SweeperHandle};
 
@@ -348,6 +349,8 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
         "PING" => (Response::ok(), false),
         "RECOMMEND" => (recommend(&req, shared), false),
         "STATS" => (stats(shared), false),
+        "TRACE" => (traces(&req), false),
+        "DUMP" => (dump(), false),
         "SHUTDOWN" => {
             shared.request_shutdown();
             (Response::ok(), true)
@@ -375,17 +378,40 @@ fn recommend(req: &Request, shared: &Shared) -> Response {
             ));
         }
     };
-    let tokens = match shared.store.push_sql(session, sql) {
+    // Start the flight trace once the request is known to be well
+    // formed; it rides the DecodeRequest across the batcher hand-off
+    // and comes back on the Recommendation for flight recording.
+    let t0 = Instant::now();
+    if let Some(ctx) = TraceContext::start(qrec_obs::next_request_id()) {
+        trace::install(ctx);
+    }
+    let tokens = match Span::in_span_with("session", &shared.metrics.stage_session, || {
+        shared.store.push_sql(session, sql)
+    }) {
         Ok(t) => t,
         Err(e) => {
+            trace::uninstall();
             Metrics::bump(&shared.metrics.errors);
             return Response::err(&e);
         }
     };
     let n = req.n.map(|n| n as usize).unwrap_or(DEFAULT_N);
     Metrics::bump(&shared.metrics.recommends);
-    match shared.engine.recommend(DecodeRequest { tokens, n }) {
-        Ok(rec) => Response::recommendation(rec.fragments, rec.epoch, rec.cached),
+    trace::note_queue_depth(shared.engine.queued() as u64);
+    let trace_ctx = trace::uninstall();
+    match shared.engine.recommend(DecodeRequest {
+        tokens,
+        n,
+        trace: trace_ctx,
+    }) {
+        Ok(rec) => {
+            // Only completed requests land in the flight recorder; the
+            // total covers queue wait, decode, and the reply hand-off.
+            if let Some(ctx) = rec.trace {
+                flight::global().record(ctx, t0.elapsed());
+            }
+            Response::recommendation(rec.fragments, rec.epoch, rec.cached)
+        }
         Err(e) => {
             match e {
                 ServeError::Overloaded => Metrics::bump(&shared.metrics.overloaded),
@@ -394,6 +420,41 @@ fn recommend(req: &Request, shared: &Shared) -> Response {
             Response::err(&e)
         }
     }
+}
+
+/// `TRACE`: recent flight records (client-bounded by `n`) plus the
+/// slowest-seen reservoir.
+fn traces(req: &Request) -> Response {
+    let n = req.n.map(|n| n as usize).unwrap_or(DEFAULT_TRACE_N);
+    let recorder = flight::global();
+    Response::traces(recorder.recent(n), recorder.slowest())
+}
+
+/// `DUMP`: Prometheus-style exposition of the global registry, with the
+/// nn/tensor process-wide static counters appended (they predate the
+/// registry and remain the source of truth for their subsystems).
+fn dump() -> Response {
+    use std::fmt::Write as _;
+    let mut text = qrec_obs::expo::render(qrec_obs::global());
+    let d = qrec_nn::decode::counters();
+    let k = qrec_tensor::kernel::counters();
+    let _ = writeln!(text, "# TYPE qrec_nn_decode_steps counter");
+    let _ = writeln!(text, "qrec_nn_decode_steps {}", d.steps);
+    let _ = writeln!(text, "# TYPE qrec_nn_enc_cache_hits counter");
+    let _ = writeln!(text, "qrec_nn_enc_cache_hits {}", d.enc_cache_hits);
+    let _ = writeln!(text, "# TYPE qrec_nn_enc_cache_misses counter");
+    let _ = writeln!(text, "qrec_nn_enc_cache_misses {}", d.enc_cache_misses);
+    let _ = writeln!(text, "# TYPE qrec_tensor_gemm_serial counter");
+    let _ = writeln!(text, "qrec_tensor_gemm_serial {}", k.serial);
+    let _ = writeln!(text, "# TYPE qrec_tensor_gemm_parallel counter");
+    let _ = writeln!(text, "qrec_tensor_gemm_parallel {}", k.parallel);
+    let _ = writeln!(text, "# TYPE qrec_tensor_pool_threads gauge");
+    let _ = writeln!(
+        text,
+        "qrec_tensor_pool_threads {}",
+        qrec_tensor::pool::configured_threads()
+    );
+    Response::dump(text)
 }
 
 fn stats(shared: &Shared) -> Response {

@@ -10,14 +10,22 @@
 
 use parking_lot::RwLock;
 use qrec_core::SessionContext;
+use qrec_obs::{Histogram, Span};
 use qrec_workload::QueryRecord;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
+
+/// Sweep duration histogram, registered lazily: eviction scans hold
+/// every shard's write lock in turn, so their cost is worth watching.
+fn sweep_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qrec_obs::global().histogram_log2("serve.sweep_us"))
+}
 
 struct Entry {
     ctx: SessionContext,
@@ -116,6 +124,7 @@ impl SessionStore {
     /// Returns the number evicted. Called by the sweeper thread, public
     /// for deterministic tests.
     pub fn sweep(&self, now: Instant) -> usize {
+        let _span = Span::enter_with("sweep", sweep_hist());
         let mut evicted = 0;
         for shard in self.shards.iter() {
             let mut g = shard.write();

@@ -137,6 +137,7 @@ fn serve_end_to_end() {
         let req = DecodeRequest {
             tokens: vec!["select".into(), "a".into()],
             n: 3,
+            trace: None,
         };
         assert!(idle.submit(req.clone()).is_ok());
         assert!(idle.submit(req.clone()).is_ok());

@@ -69,6 +69,25 @@ const GATHER_TIMEOUT: Duration = Duration::from_secs(30);
 static SERIAL_CALLS: AtomicU64 = AtomicU64::new(0);
 static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
 
+/// Per-path dispatch counters in the process-wide observability
+/// registry: the legacy serial/parallel pair folds naive and blocked
+/// together, but the size-class split is what tuning the
+/// `NAIVE_MAX_FLOPS` / `PAR_MIN_FLOPS` thresholds actually needs.
+struct DispatchCounters {
+    naive: Arc<qrec_obs::Counter>,
+    blocked: Arc<qrec_obs::Counter>,
+    parallel: Arc<qrec_obs::Counter>,
+}
+
+fn dispatch() -> &'static DispatchCounters {
+    static D: std::sync::OnceLock<DispatchCounters> = std::sync::OnceLock::new();
+    D.get_or_init(|| DispatchCounters {
+        naive: qrec_obs::global().counter("tensor.gemm.naive"),
+        blocked: qrec_obs::global().counter("tensor.gemm.blocked"),
+        parallel: qrec_obs::global().counter("tensor.gemm.parallel"),
+    })
+}
+
 /// Process-wide GEMM dispatch counters, for serving metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelCounters {
@@ -218,6 +237,7 @@ fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
 pub fn gemm(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
     if select(n, k, m, 1) == KernelPath::Naive {
         SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        dispatch().naive.inc();
         return naive(a, b, n, k, m);
     }
     gemm_on(Pool::global(), a, b, n, k, m)
@@ -231,6 +251,7 @@ pub fn gemm(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
 pub fn gemm_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
     if select(n, k, m, 1) == KernelPath::Naive {
         SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        dispatch().naive.inc();
         return naive_nt(a, b, n, k, m);
     }
     let bt = transpose(b, m, k);
@@ -245,6 +266,7 @@ pub fn gemm_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
 pub fn gemm_tn(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
     if select(n, k, m, 1) == KernelPath::Naive {
         SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        dispatch().naive.inc();
         return naive_tn(a, b, n, k, m);
     }
     let at = transpose(a, k, n);
@@ -257,10 +279,12 @@ pub fn gemm_on(pool: &Pool, a: &[f32], b: &[f32], n: usize, k: usize, m: usize) 
     match select(n, k, m, pool.threads()) {
         KernelPath::Naive => {
             SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+            dispatch().naive.inc();
             naive(a, b, n, k, m)
         }
         KernelPath::Blocked => {
             SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+            dispatch().blocked.inc();
             blocked(a, b, n, k, m)
         }
         KernelPath::Parallel { chunks } => {
@@ -276,6 +300,7 @@ pub fn gemm_on(pool: &Pool, a: &[f32], b: &[f32], n: usize, k: usize, m: usize) 
             let chunks = chunks.min(hw);
             if chunks < 2 {
                 SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+                dispatch().blocked.inc();
                 blocked(a, b, n, k, m)
             } else {
                 parallel(pool, chunks, hw.saturating_sub(1), a, b, n, k, m)
@@ -540,6 +565,7 @@ fn parallel(
     m: usize,
 ) -> Vec<f32> {
     PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    dispatch().parallel.inc();
     let ranges = Arc::new(partition(n, chunks));
     let pb = Arc::new(pack_b(b, k, m));
     let shared_a: Arc<Vec<f32>> = Arc::new(a.to_vec());
@@ -727,5 +753,19 @@ mod tests {
         let _ = gemm(&a, &b, 4, 4, 4);
         let after = counters();
         assert!(after.serial > before.serial);
+    }
+
+    #[test]
+    fn dispatch_counters_track_size_classes() {
+        let read = |name: &str| qrec_obs::global().snapshot().counter(name).unwrap_or(0);
+        let naive0 = read("tensor.gemm.naive");
+        let blocked0 = read("tensor.gemm.blocked");
+        // 4×4·4×4 is far below NAIVE_MAX_FLOPS; 64×64·64×64 is above it
+        // but below PAR_MIN_FLOPS, so it lands on the blocked path.
+        let _ = gemm(&fill(16, 9), &fill(16, 10), 4, 4, 4);
+        let a = fill(64 * 64, 11);
+        let _ = gemm(&a, &a, 64, 64, 64);
+        assert!(read("tensor.gemm.naive") > naive0);
+        assert!(read("tensor.gemm.blocked") > blocked0);
     }
 }

@@ -13,3 +13,42 @@ cd "$(dirname "$0")/.."
 cargo build --offline --release -q -p qrec-bench --bin bench_tensor --bin bench_decode
 ./target/release/bench_tensor "$@"
 ./target/release/bench_decode "$@"
+
+# In smoke mode, validate the extended report schema: every row must
+# carry the per-rep latency distribution (best/p50/p95/p99/reps)
+# alongside the legacy best-of-N keys.
+if [[ " $* " == *" --smoke "* || "${1:-}" == "--smoke" ]]; then
+    python3 - <<'PYEOF'
+import json, sys
+
+PCT_KEYS = {"best_s", "p50_s", "p95_s", "p99_s", "reps"}
+
+def check_pct(obj, where):
+    missing = PCT_KEYS - set(obj)
+    if missing:
+        sys.exit(f"{where}: missing percentile keys {sorted(missing)}")
+    if not all(obj[k] >= 0 for k in PCT_KEYS):
+        sys.exit(f"{where}: negative timing values: {obj}")
+    if not obj["p50_s"] <= obj["p95_s"] <= obj["p99_s"]:
+        sys.exit(f"{where}: percentiles not monotone: {obj}")
+
+tensor = json.load(open("target/BENCH_tensor_smoke.json"))
+for row in tensor["shapes"]:
+    pct = row.get("percentiles")
+    if pct is None:
+        sys.exit(f"tensor shape {row.get('shape')}: no 'percentiles' object")
+    for case, obj in pct.items():
+        check_pct(obj, f"tensor shape {row.get('shape')} case {case}")
+
+decode = json.load(open("target/BENCH_decode_smoke.json"))
+for row in decode["rows"]:
+    for key in ("reference_percentiles", "incremental_percentiles"):
+        obj = row.get(key)
+        if obj is None:
+            sys.exit(f"decode row {row.get('label')}: no {key!r} object")
+        check_pct(obj, f"decode row {row.get('label')} {key}")
+
+print("bench.sh: extended schema OK "
+      f"({len(tensor['shapes'])} tensor shapes, {len(decode['rows'])} decode rows)")
+PYEOF
+fi

@@ -34,4 +34,11 @@ if [ -f BENCH_decode.json ]; then
         || { echo "BENCH_decode.json is not well-formed JSON"; exit 1; }
 fi
 
+echo "==> obs overhead gate (bench_obs, budget ${QREC_OBS_OVERHEAD_MAX:-0.03})"
+cargo build --offline --release -q -p qrec-bench --bin bench_obs
+# Exits non-zero when the geomean on/off overhead exceeds the budget.
+./target/release/bench_obs --out target/BENCH_obs_smoke.json
+python3 -m json.tool target/BENCH_obs_smoke.json >/dev/null \
+    || { echo "BENCH_obs_smoke.json is not well-formed JSON"; exit 1; }
+
 echo "CI green."
