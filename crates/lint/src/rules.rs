@@ -41,10 +41,10 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            hot_path_crates: ["serve", "core", "nn", "sql", "tensor", "obs"]
+            hot_path_crates: ["serve", "core", "nn", "sql", "tensor", "obs", "store"]
                 .map(String::from)
                 .to_vec(),
-            lock_call_crates: vec!["serve".to_string()],
+            lock_call_crates: vec!["serve".to_string(), "store".to_string()],
             parking_lot_crates: vec!["serve".to_string()],
         }
     }

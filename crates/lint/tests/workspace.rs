@@ -224,6 +224,58 @@ fn obs_metric_record_path_is_allocation_free() {
     assert_eq!(findings[0].rule, "no-alloc-in-metric-path");
 }
 
+/// The durable store is hot-path library code (every session write
+/// crosses its WAL): the shipped modules are clean, and an injected
+/// panic in the WAL append path is caught as exactly one R1 finding.
+#[test]
+fn store_wal_path_is_hot_path() {
+    let root = workspace_root();
+    let ws = qrec_lint::collect_workspace(&root).expect("walk workspace");
+    assert!(
+        ws.config.hot_path_crates.iter().any(|c| c == "store"),
+        "store must be a hot-path crate: {:?}",
+        ws.config.hot_path_crates
+    );
+    assert!(
+        ws.config.lock_call_crates.iter().any(|c| c == "store"),
+        "store must be covered by the lock-across-call rule: {:?}",
+        ws.config.lock_call_crates
+    );
+    for module in ["wal", "store"] {
+        let rel = format!("crates/store/src/{module}.rs");
+        let file = ws
+            .files
+            .iter()
+            .find(|f| f.path == rel)
+            .unwrap_or_else(|| panic!("walker must see {rel}"));
+        assert_eq!(file.class, FileClass::Library, "{rel} is library code");
+        assert_eq!(file.crate_name, "store");
+
+        let lint = |text: &str| {
+            analyze(
+                &[SourceFile {
+                    path: rel.clone(),
+                    crate_name: "store".into(),
+                    class: FileClass::Library,
+                    text: text.into(),
+                }],
+                &Config::default(),
+            )
+        };
+        assert!(
+            lint(&file.text).is_empty(),
+            "shipped {rel} must be clean for the injection to be the delta"
+        );
+        let seeded = format!(
+            "fn injected(x: Option<u32>) -> u32 {{ x.unwrap() }}\n{}",
+            file.text
+        );
+        let findings = lint(&seeded);
+        assert_eq!(findings.len(), 1, "exactly the injected line: {findings:?}");
+        assert_eq!(findings[0].rule, "no-panic-in-hot-path");
+    }
+}
+
 /// An allow directive without the mandatory `-- <reason>` must not
 /// suppress the violation, and is itself reported.
 #[test]

@@ -101,6 +101,25 @@ impl Params {
         self.data.iter_mut().zip(self.grad.iter())
     }
 
+    /// Iterate `(name, value)` pairs in id order — the serialisation
+    /// surface for model persistence. Ids are positional, so a store
+    /// rebuilt by feeding this iterator's output to
+    /// [`Params::from_named_tensors`] preserves every [`ParamId`].
+    pub fn named_tensors(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.names.iter().map(String::as_str).zip(self.data.iter())
+    }
+
+    /// Rebuild a store from `(name, value)` pairs in id order (the
+    /// inverse of [`Params::named_tensors`]), with freshly zeroed
+    /// gradient buffers.
+    pub fn from_named_tensors(tensors: Vec<(String, Tensor)>) -> Params {
+        let mut params = Params::new();
+        for (name, value) in tensors {
+            params.add(name, value);
+        }
+        params
+    }
+
     /// Global L2 norm of all gradients (for clipping).
     pub fn grad_norm(&self) -> f32 {
         self.grad.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
@@ -223,6 +242,23 @@ mod tests {
         assert_eq!(p.scalar_count(), 9);
         assert_eq!(p.name(a), "w");
         assert_eq!(p.value(b).shape(), (1, 3));
+    }
+
+    #[test]
+    fn named_tensor_round_trip_preserves_ids_and_values() {
+        let mut p = Params::new();
+        let a = p.add("w", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = p.add("b", Tensor::from_vec(1, 2, vec![-0.5, 0.25]));
+        let rebuilt = Params::from_named_tensors(
+            p.named_tensors()
+                .map(|(n, t)| (n.to_string(), t.clone()))
+                .collect(),
+        );
+        assert_eq!(rebuilt.len(), p.len());
+        assert_eq!(rebuilt.name(a), "w");
+        assert_eq!(rebuilt.value(a).data(), p.value(a).data());
+        assert_eq!(rebuilt.value(b).data(), p.value(b).data());
+        assert_eq!(rebuilt.grad(a).data(), vec![0.0; 4], "grads start zeroed");
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! qrec-serve [--addr HOST:PORT] [--seed N] [--profile tiny|sqlshare|sdss]
+//!            [--data-dir PATH]
 //! ```
 //!
 //! Generates a synthetic workload, trains a small transformer
 //! recommender, and serves it with the JSON-lines protocol until a
 //! client sends `{"verb":"SHUTDOWN"}`.
+//!
+//! With `--data-dir`, sessions and hot-swapped models persist to a
+//! WAL-backed store under that directory and survive restarts; if the
+//! directory already holds a model zoo, the persisted model is served
+//! instead of training a fresh one.
 
 use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
 use qrec_serve::{Server, ServerConfig};
@@ -20,6 +26,7 @@ struct Args {
     addr: String,
     seed: u64,
     profile: String,
+    data_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".into(),
         seed: 1,
         profile: "tiny".into(),
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -39,11 +47,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--profile" => args.profile = value("--profile")?,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?.into()),
             "--help" | "-h" => {
-                return Err(
-                    "usage: qrec-serve [--addr HOST:PORT] [--seed N] [--profile tiny|sqlshare|sdss]"
-                        .into(),
-                );
+                return Err("usage: qrec-serve [--addr HOST:PORT] [--seed N] \
+                     [--profile tiny|sqlshare|sdss] [--data-dir PATH]"
+                    .into());
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -99,7 +107,11 @@ fn main() -> ExitCode {
         report.final_train_loss()
     );
 
-    let mut server = match Server::start(model, args.addr.as_str(), ServerConfig::default()) {
+    let server_cfg = ServerConfig {
+        data_dir: args.data_dir.clone(),
+        ..ServerConfig::default()
+    };
+    let mut server = match Server::start(model, args.addr.as_str(), server_cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bind {} failed: {e}", args.addr);
@@ -107,6 +119,13 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("serving on {}", server.local_addr());
+    if let Some(dir) = &args.data_dir {
+        eprintln!(
+            "durable store at {} (epoch {})",
+            dir.display(),
+            server.model_epoch()
+        );
+    }
     eprintln!(
         "compute pool: {} thread(s){}",
         qrec_tensor::pool::configured_threads(),

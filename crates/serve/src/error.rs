@@ -22,6 +22,11 @@ pub enum ServeError {
     /// The session exists but has no queries yet, so there is no input
     /// window to decode from.
     EmptySession,
+    /// The durable session store could not acknowledge a write (or a
+    /// persisted record failed validation). The request must fail —
+    /// acknowledging a session update the WAL did not accept would break
+    /// the durability guarantee.
+    Store(String),
     /// A transport-level failure (connection dropped, malformed reply).
     Io(String),
 }
@@ -35,6 +40,7 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Sql(_) => "sql_error",
             ServeError::EmptySession => "empty_session",
+            ServeError::Store(_) => "store_error",
             ServeError::Io(_) => "io_error",
         }
     }
@@ -47,6 +53,7 @@ impl ServeError {
             "bad_request" => ServeError::BadRequest(message),
             "sql_error" => ServeError::Sql(message),
             "empty_session" => ServeError::EmptySession,
+            "store_error" => ServeError::Store(message),
             _ => ServeError::Io(message),
         }
     }
@@ -60,6 +67,7 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Sql(m) => write!(f, "invalid SQL: {m}"),
             ServeError::EmptySession => write!(f, "session has no queries yet"),
+            ServeError::Store(m) => write!(f, "durable store error: {m}"),
             ServeError::Io(m) => write!(f, "transport error: {m}"),
         }
     }
@@ -85,6 +93,7 @@ mod tests {
             ServeError::BadRequest("x".into()),
             ServeError::Sql("y".into()),
             ServeError::EmptySession,
+            ServeError::Store("w".into()),
             ServeError::Io("z".into()),
         ] {
             let back = ServeError::from_wire(e.code(), e.to_string());

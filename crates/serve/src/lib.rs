@@ -20,6 +20,12 @@
 //!   pool, graceful shutdown, and an in-process client.
 //! * [`metrics`] — atomic counters and fixed-bucket latency histograms
 //!   behind the `STATS` verb.
+//! * [`zoo`] — versioned on-disk model persistence: each hot-swap writes
+//!   a checksummed weight blob plus an atomically-updated `CURRENT`
+//!   pointer, so a restarted server resumes serving the exact model (and
+//!   epoch) it last swapped in. Together with the write-through durable
+//!   session tier in [`session_store`] (backed by `qrec-store`'s WAL +
+//!   sorted runs), a SIGKILL loses no acknowledged session write.
 //!
 //! ```no_run
 //! use qrec_serve::{Client, Server, ServerConfig};
@@ -42,6 +48,7 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session_store;
+pub mod zoo;
 
 pub use batcher::{DecodeEngine, DecodeRequest, EngineConfig, Recommendation};
 pub use cache::{CacheKey, RecCache};
@@ -52,3 +59,4 @@ pub use protocol::{Request, Response, StatsReply};
 pub use registry::ModelRegistry;
 pub use server::{Server, ServerConfig};
 pub use session_store::{SessionStore, SweeperHandle};
+pub use zoo::ModelZoo;

@@ -174,6 +174,7 @@ impl Metrics {
             latency: self.latency.snapshot(),
             compute: ComputeSnapshot::current(),
             decode: DecodeSnapshot::current(),
+            store: qrec_store::StoreStats::default(),
         }
     }
 }
@@ -274,6 +275,12 @@ pub struct MetricsSnapshot {
     /// snapshots from older servers).
     #[serde(default)]
     pub decode: DecodeSnapshot,
+    /// Durable-store traffic: WAL appends and latency percentiles,
+    /// flush/run/bloom counters, and the last recovery time. All-zero
+    /// when the server runs without a data directory; absent in
+    /// snapshots from older servers (the serde default fills it in).
+    #[serde(default)]
+    pub store: qrec_store::StoreStats,
 }
 
 #[cfg(test)]
@@ -400,6 +407,23 @@ mod tests {
         );
         let back = MetricsSnapshot::from_value(&stripped).unwrap();
         assert_eq!(back.decode, DecodeSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_without_store_field_deserialises_with_default() {
+        // Pre-durability snapshots (PR ≤ 5 servers) have no `store`
+        // section; they must keep parsing with an all-zero default.
+        let v = MetricsSnapshot::default().to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "store")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let back = MetricsSnapshot::from_value(&stripped).unwrap();
+        assert_eq!(back.store, qrec_store::StoreStats::default());
     }
 
     #[test]

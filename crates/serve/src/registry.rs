@@ -22,9 +22,17 @@ pub struct ModelRegistry {
 impl ModelRegistry {
     /// Register the initial model at epoch 1.
     pub fn new(model: Recommender) -> Self {
+        ModelRegistry::with_epoch(model, 1)
+    }
+
+    /// Register the initial model at a specific epoch — used when the
+    /// model zoo restores a persisted model across a restart, so the
+    /// epoch sequence (and everything keyed on it, like the
+    /// recommendation cache) continues instead of resetting to 1.
+    pub fn with_epoch(model: Recommender, epoch: u64) -> Self {
         ModelRegistry {
             current: RwLock::new(Arc::new(model)),
-            epoch: AtomicU64::new(1),
+            epoch: AtomicU64::new(epoch.max(1)),
         }
     }
 

@@ -29,6 +29,8 @@ use crate::metrics::Metrics;
 use crate::protocol::{Request, Response, StatsReply, DEFAULT_N, DEFAULT_TRACE_N};
 use crate::registry::ModelRegistry;
 use crate::session_store::{SessionStore, SweeperHandle};
+use crate::zoo::ModelZoo;
+use qrec_store::Store;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -48,6 +50,16 @@ pub struct ServerConfig {
     pub sweep_interval: Duration,
     /// Capacity of the recommendation LRU cache.
     pub cache_capacity: usize,
+    /// Durable data directory. `Some(dir)` turns on persistence:
+    /// sessions are write-through to a WAL-backed store under
+    /// `dir/sessions`, models persist to a zoo under `dir/zoo`, and
+    /// startup recovers both (preferring the zoo's model over the one
+    /// passed to [`Server::start`]). `None` (the default) serves
+    /// entirely in memory, as before.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Tuning for the durable store (fsync policy, memtable budget).
+    /// Ignored without `data_dir`.
+    pub store: qrec_store::StoreConfig,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +72,8 @@ impl Default for ServerConfig {
             session_ttl: Duration::from_secs(30 * 60),
             sweep_interval: Duration::from_secs(30),
             cache_capacity: 1024,
+            data_dir: None,
+            store: qrec_store::StoreConfig::default(),
         }
     }
 }
@@ -77,6 +91,10 @@ struct Shared {
     cache: Arc<RecCache>,
     metrics: Arc<Metrics>,
     engine: Arc<DecodeEngine>,
+    /// Durable tier behind the session store, when configured.
+    durable: Option<Arc<Store>>,
+    /// Persistent model zoo, when configured.
+    zoo: Option<ModelZoo>,
     shutdown: AtomicBool,
     /// Signalled when a client issues the SHUTDOWN verb; see
     /// [`ShutdownMutex`].
@@ -112,6 +130,13 @@ impl Server {
     /// Train-free start: serve an already trained model on `addr`
     /// (use port 0 for an ephemeral port; read it back with
     /// [`Server::local_addr`]).
+    ///
+    /// With [`ServerConfig::data_dir`] set, startup first recovers the
+    /// durable state: the session store replays its WAL (healing a torn
+    /// tail), and the model zoo's `CURRENT` model — when one was
+    /// persisted — replaces `model`, with the registry resuming at the
+    /// persisted epoch. A corrupt zoo blob or manifest is a hard boot
+    /// error: the server refuses to serve garbage weights.
     pub fn start(
         model: Recommender,
         addr: impl ToSocketAddrs,
@@ -121,12 +146,41 @@ impl Server {
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let registry = Arc::new(ModelRegistry::new(model));
-        let store = Arc::new(SessionStore::new(
-            cfg.session_shards,
-            cfg.session_window,
-            cfg.session_ttl,
-        ));
+        let store_err = |e: qrec_store::StoreError| std::io::Error::other(e.to_string());
+        let mut durable: Option<Arc<Store>> = None;
+        let mut zoo: Option<ModelZoo> = None;
+        let mut boot_model = model;
+        let mut boot_epoch = 1u64;
+        if let Some(dir) = &cfg.data_dir {
+            let sessions = Store::open(&dir.join("sessions"), cfg.store).map_err(store_err)?;
+            durable = Some(Arc::new(sessions));
+            let z = ModelZoo::open(&dir.join("zoo")).map_err(store_err)?;
+            match z.load_current().map_err(store_err)? {
+                Some((epoch, recovered)) => {
+                    // The zoo's model is the newest the previous process
+                    // served; it outranks the caller's boot model.
+                    boot_model = recovered;
+                    boot_epoch = epoch;
+                }
+                None => {
+                    // First boot with persistence: seed the zoo so a
+                    // crash before the first swap still recovers.
+                    z.save(boot_epoch, &boot_model).map_err(store_err)?;
+                }
+            }
+            zoo = Some(z);
+        }
+
+        let registry = Arc::new(ModelRegistry::with_epoch(boot_model, boot_epoch));
+        let store = Arc::new(match &durable {
+            Some(d) => SessionStore::with_durable(
+                cfg.session_shards,
+                cfg.session_window,
+                cfg.session_ttl,
+                Arc::clone(d),
+            ),
+            None => SessionStore::new(cfg.session_shards, cfg.session_window, cfg.session_ttl),
+        });
         let cache = Arc::new(RecCache::new(cfg.cache_capacity));
         let metrics = Arc::new(Metrics::new());
         let engine = Arc::new(DecodeEngine::start(
@@ -143,6 +197,8 @@ impl Server {
             cache,
             metrics,
             engine: Arc::clone(&engine),
+            durable,
+            zoo,
             shutdown: AtomicBool::new(false),
             shutdown_requested: ShutdownMutex::new(false),
             shutdown_cv: std::sync::Condvar::new(),
@@ -200,12 +256,47 @@ impl Server {
         &self.shared.store
     }
 
+    /// The current model epoch (continues across restarts when a model
+    /// zoo is configured).
+    pub fn model_epoch(&self) -> u64 {
+        self.shared.registry.epoch()
+    }
+
     /// Hot-swap the serving model; returns the new epoch. In-flight
-    /// requests finish on the old model.
+    /// requests finish on the old model. With persistence configured, a
+    /// failed zoo save is recorded in the error counter but the
+    /// in-memory swap stands — use [`Server::try_swap_model`] when the
+    /// caller must know the new model is durable.
     pub fn swap_model(&self, model: Recommender) -> u64 {
+        match self.try_swap_model(model) {
+            Ok(epoch) => epoch,
+            Err(_) => {
+                Metrics::bump(&self.shared.metrics.errors);
+                self.shared.registry.epoch()
+            }
+        }
+    }
+
+    /// Hot-swap the serving model and, when persistence is configured,
+    /// persist it to the model zoo before returning. On
+    /// [`ServeError::Store`] the swap has already taken effect in
+    /// memory but is *not* durable — a restart would recover the
+    /// previously persisted model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the zoo write fails.
+    pub fn try_swap_model(&self, model: Recommender) -> Result<u64, ServeError> {
         let epoch = self.shared.registry.swap(model);
         Metrics::bump(&self.shared.metrics.swaps);
-        epoch
+        if let Some(zoo) = &self.shared.zoo {
+            // Persist whatever is current *now*: if another swap raced
+            // in between, saving the newer model is still correct.
+            let (cur_epoch, cur_model) = self.shared.registry.current();
+            zoo.save(cur_epoch, &cur_model)
+                .map_err(|e| ServeError::Store(e.to_string()))?;
+        }
+        Ok(epoch)
     }
 
     /// Block until a client sends the `SHUTDOWN` verb (or the timeout
@@ -462,6 +553,10 @@ fn stats(shared: &Shared) -> Response {
     // The store tracks its own eviction count (the sweeper has no
     // metrics handle); fold it into the snapshot here.
     snapshot.sessions_evicted = shared.store.evicted();
+    // Same for the durable tier: its stats live on the Store handle.
+    if let Some(durable) = &shared.durable {
+        snapshot.store = durable.stats();
+    }
     Response {
         ok: true,
         stats: Some(StatsReply {

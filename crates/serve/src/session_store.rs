@@ -1,4 +1,5 @@
-//! Sharded concurrent session store with TTL eviction.
+//! Sharded concurrent session store with TTL eviction and an optional
+//! durable write-through tier.
 //!
 //! Live analyst sessions ([`SessionContext`]) are keyed by a client
 //! supplied session id. The map is split into `N` shards, each behind
@@ -7,10 +8,22 @@
 //! FNV-1a hash. A background sweeper thread periodically evicts
 //! sessions idle longer than the configured TTL — abandoned sessions
 //! would otherwise accumulate without bound under real workloads.
+//!
+//! With a durable tier ([`SessionStore::with_durable`]) every push is
+//! **write-through**: the session's raw SQL history is persisted to the
+//! [`qrec_store::Store`] *before* the in-memory context is updated, so
+//! a request is acknowledged only once its session update is WAL'd.
+//! TTL eviction then becomes *tiering*: the sweeper drops the memory
+//! copy but the disk record remains, and a later request for the same
+//! id rehydrates the context by re-parsing the persisted statements
+//! (parsing is deterministic, so the rebuilt window matches the
+//! original). A `SIGKILL`ed server therefore comes back with its
+//! sessions intact — the restart integration test pins this end to end.
 
 use parking_lot::RwLock;
 use qrec_core::SessionContext;
 use qrec_obs::{Histogram, Span};
+use qrec_store::Store;
 use qrec_workload::QueryRecord;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -19,6 +32,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
+
+/// Cap on persisted statements per session: enough to rebuild any
+/// realistic model window (the paper serves window 1–3) while bounding
+/// the per-session disk record.
+const MAX_PERSISTED_QUERIES: usize = 64;
 
 /// Sweep duration histogram, registered lazily: eviction scans hold
 /// every shard's write lock in turn, so their cost is worth watching.
@@ -29,6 +47,10 @@ fn sweep_hist() -> &'static Arc<Histogram> {
 
 struct Entry {
     ctx: SessionContext,
+    /// The raw statements backing `ctx`, in arrival order — the durable
+    /// record (re-parsed on rehydration). Empty when no durable tier is
+    /// configured.
+    raws: Vec<String>,
     last_seen: Instant,
 }
 
@@ -38,6 +60,8 @@ pub struct SessionStore {
     window: usize,
     ttl: Duration,
     evicted: AtomicU64,
+    durable: Option<Arc<Store>>,
+    rehydrated: AtomicU64,
 }
 
 /// FNV-1a, stable across runs (unlike `DefaultHasher`'s random keys),
@@ -55,6 +79,17 @@ impl SessionStore {
     /// A store with `shards` lock shards (minimum 1), per-session model
     /// input window `window`, and idle eviction after `ttl`.
     pub fn new(shards: usize, window: usize, ttl: Duration) -> Self {
+        SessionStore::build(shards, window, ttl, None)
+    }
+
+    /// A store with a durable write-through tier: pushes persist before
+    /// they are acknowledged, TTL eviction keeps the disk copy, and
+    /// misses rehydrate from it.
+    pub fn with_durable(shards: usize, window: usize, ttl: Duration, store: Arc<Store>) -> Self {
+        SessionStore::build(shards, window, ttl, Some(store))
+    }
+
+    fn build(shards: usize, window: usize, ttl: Duration, durable: Option<Arc<Store>>) -> Self {
         let n = shards.max(1);
         let shards = (0..n)
             .map(|_| RwLock::new(HashMap::new()))
@@ -65,6 +100,8 @@ impl SessionStore {
             window,
             ttl,
             evicted: AtomicU64::new(0),
+            durable,
+            rehydrated: AtomicU64::new(0),
         }
     }
 
@@ -73,36 +110,152 @@ impl SessionStore {
         &self.shards[idx]
     }
 
+    /// The durable key of a session id.
+    fn durable_key(id: &str) -> Vec<u8> {
+        let mut key = Vec::with_capacity(8 + id.len());
+        key.extend_from_slice(b"session/");
+        key.extend_from_slice(id.as_bytes());
+        key
+    }
+
+    /// True when the session is resident in memory.
+    fn resident(&self, id: &str) -> bool {
+        self.shard(id).read().contains_key(id)
+    }
+
+    /// Load a session's persisted statement list, if any.
+    fn load_raws(&self, id: &str) -> Result<Option<Vec<String>>, ServeError> {
+        let Some(store) = &self.durable else {
+            return Ok(None);
+        };
+        let Some(bytes) = store
+            .get(&SessionStore::durable_key(id))
+            .map_err(|e| ServeError::Store(e.to_string()))?
+        else {
+            return Ok(None);
+        };
+        let raws: Vec<String> = serde_json::from_slice(&bytes)
+            .map_err(|e| ServeError::Store(format!("persisted session record invalid: {e}")))?;
+        Ok(Some(raws))
+    }
+
+    /// Rebuild a session context from its persisted statements.
+    /// Statements are re-parsed; parsing is deterministic, so the
+    /// rebuilt window matches what the original process served.
+    fn rehydrate(&self, id: &str) -> Result<Option<(SessionContext, Vec<String>)>, ServeError> {
+        let Some(raws) = self.load_raws(id)? else {
+            return Ok(None);
+        };
+        let mut ctx = SessionContext::new(self.window);
+        let mut kept = Vec::with_capacity(raws.len());
+        for sql in raws {
+            // Statements were valid when persisted; skip (rather than
+            // fail on) any the parser no longer accepts so one stale
+            // record cannot brick a session.
+            if let Ok(record) = QueryRecord::new(&sql) {
+                ctx.push(record);
+                kept.push(sql);
+            }
+        }
+        self.rehydrated.fetch_add(1, Ordering::Relaxed);
+        Ok(Some((ctx, kept)))
+    }
+
     /// Append a SQL statement to a session, creating the session on
     /// first use. Parsing happens *outside* the shard lock, so a slow or
     /// invalid statement never blocks other sessions on this shard.
     ///
+    /// With a durable tier: an absent session is first rehydrated from
+    /// disk, and the updated statement list is persisted (and WAL-
+    /// acknowledged) *before* the in-memory context changes — a
+    /// [`ServeError::Store`] means nothing was applied.
+    ///
     /// Returns the session's windowed model-input tokens after the push.
     pub fn push_sql(&self, id: &str, sql: &str) -> Result<Vec<String>, ServeError> {
         let record = QueryRecord::new(sql).map_err(|e| ServeError::Sql(e.to_string()))?;
+        // Tiered miss: rebuild the context from disk before taking the
+        // shard lock, so re-parsing history never blocks the shard.
+        let mut resurrected = if self.durable.is_some() && !self.resident(id) {
+            self.rehydrate(id)?
+        } else {
+            None
+        };
         let mut shard = self.shard(id).write();
-        let entry = shard.entry(id.to_string()).or_insert_with(|| Entry {
-            ctx: SessionContext::new(self.window),
-            last_seen: Instant::now(),
-        });
+        let entry = match shard.entry(id.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let (ctx, raws) = match resurrected.take() {
+                    Some(pair) => pair,
+                    // Evicted between the residency probe and the lock:
+                    // the disk copy is authoritative, fetch it now.
+                    None => self
+                        .rehydrate(id)?
+                        .unwrap_or_else(|| (SessionContext::new(self.window), Vec::new())),
+                };
+                v.insert(Entry {
+                    ctx,
+                    raws,
+                    last_seen: Instant::now(),
+                })
+            }
+        };
+        if let Some(store) = &self.durable {
+            let mut raws = entry.raws.clone();
+            raws.push(sql.to_string());
+            if raws.len() > MAX_PERSISTED_QUERIES {
+                let excess = raws.len() - MAX_PERSISTED_QUERIES;
+                raws.drain(..excess);
+            }
+            let bytes = serde_json::to_vec(&raws)
+                .map_err(|e| ServeError::Store(format!("serialise session record: {e}")))?;
+            store
+                .put(&SessionStore::durable_key(id), &bytes)
+                .map_err(|e| ServeError::Store(e.to_string()))?;
+            entry.raws = raws;
+        }
         entry.ctx.push(record);
         entry.last_seen = Instant::now();
         Ok(entry.ctx.input_tokens())
     }
 
     /// The windowed input tokens of a session, refreshing its TTL.
-    /// `None` if the session does not exist.
+    /// `None` if the session does not exist (in memory or, with a
+    /// durable tier, on disk).
     pub fn window_tokens(&self, id: &str) -> Option<Vec<String>> {
+        {
+            let mut shard = self.shard(id).write();
+            if let Some(entry) = shard.get_mut(id) {
+                entry.last_seen = Instant::now();
+                return Some(entry.ctx.input_tokens());
+            }
+        }
+        // Tiered miss: rehydrate outside the lock, insert, serve.
+        let (ctx, raws) = self.rehydrate(id).ok().flatten()?;
         let mut shard = self.shard(id).write();
-        let entry = shard.get_mut(id)?;
+        let entry = shard.entry(id.to_string()).or_insert_with(|| Entry {
+            ctx,
+            raws,
+            last_seen: Instant::now(),
+        });
         entry.last_seen = Instant::now();
         Some(entry.ctx.input_tokens())
     }
 
-    /// Number of queries recorded in a session (read lock only).
+    /// Number of queries recorded in a session. Resident sessions
+    /// answer from memory (read lock only); with a durable tier, tiered
+    /// sessions report their persisted statement count without being
+    /// rehydrated.
     pub fn session_len(&self, id: &str) -> Option<usize> {
-        let shard = self.shard(id).read();
-        shard.get(id).map(|e| e.ctx.len())
+        let in_memory = { self.shard(id).read().get(id).map(|e| e.ctx.len()) };
+        if in_memory.is_some() {
+            return in_memory;
+        }
+        self.load_raws(id).ok().flatten().map(|raws| raws.len())
+    }
+
+    /// Sessions rehydrated from the durable tier so far.
+    pub fn rehydrated(&self) -> u64 {
+        self.rehydrated.load(Ordering::Relaxed)
     }
 
     /// Total live sessions across all shards.
@@ -115,14 +268,26 @@ impl SessionStore {
         self.len() == 0
     }
 
-    /// Drop one session; true if it existed.
+    /// Drop one session from memory *and* the durable tier; true if it
+    /// existed in either.
     pub fn remove(&self, id: &str) -> bool {
-        self.shard(id).write().remove(id).is_some()
+        let in_memory = self.shard(id).write().remove(id).is_some();
+        let on_disk = self.durable.as_ref().is_some_and(|store| {
+            let key = SessionStore::durable_key(id);
+            let existed = matches!(store.get(&key), Ok(Some(_)));
+            let _ = store.delete(&key);
+            existed
+        });
+        in_memory || on_disk
     }
 
     /// Evict every session idle longer than the TTL, as of `now`.
     /// Returns the number evicted. Called by the sweeper thread, public
     /// for deterministic tests.
+    ///
+    /// With a durable tier this is *tiering*, not deletion: only the
+    /// memory copy is dropped; the persisted record remains and the next
+    /// request for the id rehydrates it.
     pub fn sweep(&self, now: Instant) -> usize {
         let _span = Span::enter_with("sweep", sweep_hist());
         let mut evicted = 0;
@@ -254,6 +419,78 @@ mod tests {
         assert_eq!(s.len(), 64);
         let populated = s.shards.iter().filter(|sh| !sh.read().is_empty()).count();
         assert!(populated > 1, "FNV routing should use multiple shards");
+    }
+
+    fn durable_store(name: &str) -> (Arc<qrec_store::Store>, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("qrec-serve-sessions-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = qrec_store::StoreConfig {
+            fsync: qrec_store::FsyncPolicy::Never, // unit tests skip fsync cost
+            ..qrec_store::StoreConfig::default()
+        };
+        (Arc::new(qrec_store::Store::open(&dir, cfg).unwrap()), dir)
+    }
+
+    #[test]
+    fn durable_sessions_survive_store_reopen() {
+        let (disk, dir) = durable_store("reopen");
+        let cfg = disk.config();
+        {
+            let s = SessionStore::with_durable(4, 2, Duration::from_secs(600), disk);
+            s.push_sql("alice", "SELECT a FROM t").unwrap();
+            s.push_sql("alice", "SELECT b FROM u").unwrap();
+        }
+        // A fresh SessionStore over a re-opened Store (as after a
+        // restart) sees the same session.
+        let disk = Arc::new(qrec_store::Store::open(&dir, cfg).unwrap());
+        let s = SessionStore::with_durable(4, 2, Duration::from_secs(600), disk);
+        assert_eq!(s.session_len("alice"), Some(2));
+        let toks = s.window_tokens("alice").expect("rehydrated");
+        assert!(toks.contains(&"u".to_string()) && toks.contains(&"t".to_string()));
+        assert_eq!(s.rehydrated(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_tiers_to_disk_instead_of_deleting() {
+        let (disk, dir) = durable_store("tier");
+        let s = SessionStore::with_durable(4, 1, Duration::from_millis(0), disk);
+        s.push_sql("bob", "SELECT a FROM t").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(s.sweep(Instant::now()), 1, "memory copy evicted");
+        assert_eq!(s.len(), 0);
+        // ... but the session is still there: length from disk, then a
+        // push rehydrates and continues the history.
+        assert_eq!(s.session_len("bob"), Some(1));
+        s.push_sql("bob", "SELECT b FROM u").unwrap();
+        assert_eq!(s.session_len("bob"), Some(2));
+        assert_eq!(s.rehydrated(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_the_durable_record_too() {
+        let (disk, dir) = durable_store("remove");
+        let s = SessionStore::with_durable(4, 1, Duration::from_secs(600), disk);
+        s.push_sql("carol", "SELECT a FROM t").unwrap();
+        assert!(s.remove("carol"));
+        assert_eq!(s.session_len("carol"), None);
+        assert!(s.window_tokens("carol").is_none(), "disk copy is gone");
+        assert!(!s.remove("carol"), "second remove finds nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_persisted_record_is_typed_not_a_panic() {
+        let (disk, dir) = durable_store("corrupt");
+        disk.put(b"session/eve", b"{{{ not json").unwrap();
+        let s = SessionStore::with_durable(4, 1, Duration::from_secs(600), disk);
+        let err = s.push_sql("eve", "SELECT a FROM t").unwrap_err();
+        assert!(matches!(err, ServeError::Store(_)), "{err}");
+        assert_eq!(s.session_len("eve"), None, "unreadable record is absent");
+        assert!(s.window_tokens("eve").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

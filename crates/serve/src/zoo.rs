@@ -1,0 +1,227 @@
+//! The model zoo: versioned on-disk persistence for serving models.
+//!
+//! Each epoch's [`Recommender`] is written as a [`qrec_store::blob`]
+//! container (`model-<epoch>.qmz`): the JSON header carries the
+//! architecture config, the model structure, the vocabulary, the
+//! fragment lexicon, and per-tensor metadata; one binary section per
+//! parameter tensor holds its `f32` values in little-endian byte order.
+//! Weights therefore round-trip **bitwise** — the restored model decodes
+//! identically to the one that was saved — and every section has its own
+//! CRC, so a flipped bit in any weight blob is a typed
+//! [`StoreError::Corrupt`], never silently different recommendations.
+//!
+//! A `CURRENT` pointer file (JSON, installed by atomic rename) names the
+//! live epoch; [`ModelZoo::load_current`] follows it on boot. Blobs and
+//! pointer are each atomic, and the blob is written before the pointer,
+//! so a crash anywhere leaves the previous model loadable.
+
+use qrec_core::{AnyModel, FragmentLexicon, Recommender, RecommenderConfig};
+use qrec_nn::Params;
+use qrec_store::{blob, StoreError};
+use qrec_tensor::Tensor;
+use qrec_workload::Vocab;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Zoo format version (the blob container has its own version too).
+pub const ZOO_VERSION: u32 = 1;
+
+/// Name of the pointer file naming the live model.
+pub const CURRENT_FILE: &str = "CURRENT";
+
+/// Shape and name of one persisted parameter tensor; section `i` of the
+/// blob holds the `f32` LE bytes of tensor `i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TensorMeta {
+    name: String,
+    rows: usize,
+    cols: usize,
+}
+
+/// The blob's JSON header.
+#[derive(Debug, Serialize, Deserialize)]
+struct ZooHeader {
+    format_version: u32,
+    epoch: u64,
+    cfg: RecommenderConfig,
+    model: AnyModel,
+    vocab: Vocab,
+    lexicon: FragmentLexicon,
+    tensors: Vec<TensorMeta>,
+}
+
+/// The `CURRENT` pointer contents.
+#[derive(Debug, Serialize, Deserialize)]
+struct CurrentPointer {
+    epoch: u64,
+    file: String,
+}
+
+/// A directory of persisted models with a `CURRENT` pointer.
+#[derive(Debug)]
+pub struct ModelZoo {
+    dir: PathBuf,
+}
+
+impl ModelZoo {
+    /// Open (creating if needed) the zoo directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> Result<ModelZoo, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ModelZoo {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The blob file name for an epoch.
+    pub fn blob_name(epoch: u64) -> String {
+        format!("model-{epoch}.qmz")
+    }
+
+    /// Persist `model` as the live model for `epoch`: blob first, then
+    /// the `CURRENT` pointer, each atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and filesystem errors; on error the
+    /// previously persisted model remains current.
+    pub fn save(&self, epoch: u64, model: &Recommender) -> Result<(), StoreError> {
+        let params = model.params();
+        let mut tensors = Vec::with_capacity(params.len());
+        let mut sections: Vec<Vec<u8>> = Vec::with_capacity(params.len());
+        for (name, value) in params.named_tensors() {
+            tensors.push(TensorMeta {
+                name: name.to_string(),
+                rows: value.rows(),
+                cols: value.cols(),
+            });
+            let mut bytes = Vec::with_capacity(value.len() * 4);
+            for v in value.data() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            sections.push(bytes);
+        }
+        let header = ZooHeader {
+            format_version: ZOO_VERSION,
+            epoch,
+            cfg: *model.config(),
+            model: model.model().clone(),
+            vocab: model.vocab().clone(),
+            lexicon: model.lexicon().clone(),
+            tensors,
+        };
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| StoreError::Io(format!("zoo header serialise: {e}")))?;
+        let file = ModelZoo::blob_name(epoch);
+        let blob_path = self.dir.join(&file);
+        let refs: Vec<&[u8]> = sections.iter().map(Vec::as_slice).collect();
+        blob::write_blob(&blob_path, &header_json, &refs)?;
+
+        let pointer = serde_json::to_string(&CurrentPointer { epoch, file })
+            .map_err(|e| StoreError::Io(format!("zoo pointer serialise: {e}")))?;
+        qrec_store::atomic_write(&self.dir.join(CURRENT_FILE), pointer.as_bytes())?;
+        Ok(())
+    }
+
+    /// Load the model the `CURRENT` pointer names, fully validating the
+    /// blob. `Ok(None)` when the zoo has never saved a model.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the pointer, header, or any weight
+    /// section fails validation — a damaged zoo refuses to load rather
+    /// than serving garbage weights.
+    pub fn load_current(&self) -> Result<Option<(u64, Recommender)>, StoreError> {
+        let pointer_path = self.dir.join(CURRENT_FILE);
+        let pointer_bytes = match std::fs::read(&pointer_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let pointer_text = String::from_utf8(pointer_bytes)
+            .map_err(|_| StoreError::corrupt(&pointer_path, 0, "pointer is not UTF-8"))?;
+        let pointer: CurrentPointer = serde_json::from_str(&pointer_text)
+            .map_err(|e| StoreError::corrupt(&pointer_path, 0, format!("pointer parse: {e}")))?;
+
+        let blob_path = self.dir.join(&pointer.file);
+        let b = blob::read_blob(&blob_path)?;
+        let header: ZooHeader = serde_json::from_str(&b.header)
+            .map_err(|e| StoreError::corrupt(&blob_path, 0, format!("header parse: {e}")))?;
+        if header.format_version != ZOO_VERSION {
+            return Err(StoreError::corrupt(
+                &blob_path,
+                0,
+                format!("unsupported zoo format version {}", header.format_version),
+            ));
+        }
+        if header.epoch != pointer.epoch {
+            return Err(StoreError::corrupt(
+                &blob_path,
+                0,
+                format!(
+                    "pointer names epoch {} but blob holds epoch {}",
+                    pointer.epoch, header.epoch
+                ),
+            ));
+        }
+        if header.tensors.len() != b.sections.len() {
+            return Err(StoreError::corrupt(
+                &blob_path,
+                0,
+                format!(
+                    "header lists {} tensors but blob has {} sections",
+                    header.tensors.len(),
+                    b.sections.len()
+                ),
+            ));
+        }
+
+        let mut named = Vec::with_capacity(header.tensors.len());
+        for (meta, section) in header.tensors.iter().zip(&b.sections) {
+            let want = meta
+                .rows
+                .checked_mul(meta.cols)
+                .and_then(|n| n.checked_mul(4));
+            if want != Some(section.len()) {
+                return Err(StoreError::corrupt(
+                    &blob_path,
+                    0,
+                    format!(
+                        "tensor {:?} declares {}x{} but its section holds {} bytes",
+                        meta.name,
+                        meta.rows,
+                        meta.cols,
+                        section.len()
+                    ),
+                ));
+            }
+            let mut data = Vec::with_capacity(section.len() / 4);
+            for chunk in section.chunks_exact(4) {
+                let mut b4 = [0u8; 4];
+                b4.copy_from_slice(chunk);
+                data.push(f32::from_le_bytes(b4));
+            }
+            named.push((
+                meta.name.clone(),
+                Tensor::from_vec(meta.rows, meta.cols, data),
+            ));
+        }
+        let params = Params::from_named_tensors(named);
+        let rec = Recommender::from_parts(
+            header.cfg,
+            header.model,
+            params,
+            header.vocab,
+            header.lexicon,
+        );
+        Ok(Some((header.epoch, rec)))
+    }
+
+    /// The zoo's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

@@ -1,0 +1,244 @@
+//! Versioned checksummed blob container — the on-disk model format.
+//!
+//! A blob is a JSON header plus N binary sections, each independently
+//! CRC-checked, installed atomically:
+//!
+//! ```text
+//! [magic "QBLB": u32][version: u32]
+//! [header_len: u32][header_crc: u32][header JSON bytes]
+//! [n_sections: u32]
+//! n × ([len: u32][crc: u32][bytes])
+//! ```
+//!
+//! The model zoo stores the recommender's architecture, vocab, and
+//! lexicon in the header and one section of little-endian `f32` bytes
+//! per parameter tensor — weights survive a round trip **bitwise**, and
+//! a flipped bit in any section surfaces as a typed
+//! [`StoreError::Corrupt`] naming the section, never as silently wrong
+//! weights.
+
+use crate::checksum::crc32;
+use crate::error::StoreError;
+use std::path::Path;
+
+/// Blob magic ("QBLB" little-endian).
+const MAGIC: u32 = 0x424C_4251;
+
+/// Current container format version.
+pub const BLOB_VERSION: u32 = 1;
+
+/// Keep header and section sizes plausible (256 MiB cap).
+const MAX_REGION_BYTES: u32 = 1 << 28;
+
+/// A decoded blob: the header text plus its binary sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blob {
+    /// Container format version the file was written with.
+    pub version: u32,
+    /// The JSON header, verbatim.
+    pub header: String,
+    /// Checksummed binary sections in written order.
+    pub sections: Vec<Vec<u8>>,
+}
+
+/// Serialise a blob image (without writing it anywhere).
+fn encode(header: &str, sections: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&BLOB_VERSION.to_le_bytes());
+    out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(header.as_bytes()).to_le_bytes());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for s in sections {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(s).to_le_bytes());
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+/// Write a blob to `path` atomically (tmp sibling + fsync + rename).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; on error the previous file (if any) is
+/// untouched.
+pub fn write_blob(path: &Path, header: &str, sections: &[&[u8]]) -> Result<(), StoreError> {
+    crate::atomic_write(path, &encode(header, sections))?;
+    Ok(())
+}
+
+/// Read and fully validate a blob: magic, version, header checksum, and
+/// every section checksum.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] naming the file, byte offset, and failing
+/// region; [`StoreError::Io`] for filesystem errors.
+pub fn read_blob(path: &Path) -> Result<Blob, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let mut pos = 0usize;
+
+    let u32_at = |pos: &mut usize, what: &str| -> Result<u32, StoreError> {
+        let end = pos
+            .checked_add(4)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| StoreError::corrupt(path, *pos as u64, format!("{what} truncated")))?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(bytes.get(*pos..end).unwrap_or_default());
+        *pos = end;
+        Ok(u32::from_le_bytes(b))
+    };
+
+    let magic = u32_at(&mut pos, "magic")?;
+    if magic != MAGIC {
+        return Err(StoreError::corrupt(
+            path,
+            0,
+            format!("bad blob magic {magic:#x}"),
+        ));
+    }
+    let version = u32_at(&mut pos, "version")?;
+    if version == 0 || version > BLOB_VERSION {
+        return Err(StoreError::corrupt(
+            path,
+            4,
+            format!("unsupported blob version {version}"),
+        ));
+    }
+
+    let take = |pos: &mut usize, n: u32, what: &str| -> Result<&[u8], StoreError> {
+        if n > MAX_REGION_BYTES {
+            return Err(StoreError::corrupt(
+                path,
+                *pos as u64,
+                format!("{what} declares implausible length {n}"),
+            ));
+        }
+        let end = pos
+            .checked_add(n as usize)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| StoreError::corrupt(path, *pos as u64, format!("{what} truncated")))?;
+        let slice = bytes.get(*pos..end).unwrap_or_default();
+        *pos = end;
+        Ok(slice)
+    };
+
+    let header_len = u32_at(&mut pos, "header length")?;
+    let header_crc = u32_at(&mut pos, "header checksum")?;
+    let header_off = pos as u64;
+    let header_bytes = take(&mut pos, header_len, "header")?;
+    if crc32(header_bytes) != header_crc {
+        return Err(StoreError::corrupt(
+            path,
+            header_off,
+            "header checksum mismatch",
+        ));
+    }
+    let header = String::from_utf8(header_bytes.to_vec())
+        .map_err(|_| StoreError::corrupt(path, header_off, "header is not UTF-8"))?;
+
+    let n_sections = u32_at(&mut pos, "section count")?;
+    if u64::from(n_sections) > bytes.len() as u64 {
+        return Err(StoreError::corrupt(
+            path,
+            pos as u64,
+            format!("implausible section count {n_sections}"),
+        ));
+    }
+    let mut sections = Vec::with_capacity(n_sections as usize);
+    for i in 0..n_sections {
+        let len = u32_at(&mut pos, "section length")?;
+        let crc = u32_at(&mut pos, "section checksum")?;
+        let off = pos as u64;
+        let body = take(&mut pos, len, "section body")?;
+        if crc32(body) != crc {
+            return Err(StoreError::corrupt(
+                path,
+                off,
+                format!("section {i} checksum mismatch"),
+            ));
+        }
+        sections.push(body.to_vec());
+    }
+    if pos != bytes.len() {
+        return Err(StoreError::corrupt(
+            path,
+            pos as u64,
+            "trailing bytes after last section",
+        ));
+    }
+    Ok(Blob {
+        version,
+        header,
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_blob(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrec-blob-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("model.blob")
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = temp_blob("roundtrip");
+        let header = r#"{"epoch": 7, "tensors": ["w1", "w2"]}"#;
+        let s1: Vec<u8> = (0..=255).collect();
+        let s2 = vec![0xAB; 10_000];
+        write_blob(&path, header, &[&s1, &s2, &[]]).unwrap();
+        let blob = read_blob(&path).unwrap();
+        assert_eq!(blob.version, BLOB_VERSION);
+        assert_eq!(blob.header, header);
+        assert_eq!(blob.sections, vec![s1, s2, vec![]]);
+    }
+
+    #[test]
+    fn flipped_section_bit_is_typed_error() {
+        let path = temp_blob("flip");
+        write_blob(&path, "{}", &[&[1, 2, 3, 4], &[5, 6, 7, 8]]).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit in the *last* section's body (the file tail).
+        let mut bytes = clean.clone();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_blob(&path).unwrap_err();
+        assert!(err.is_corrupt());
+        assert!(err.to_string().contains("section 1"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_header_is_typed_error() {
+        let path = temp_blob("header");
+        write_blob(&path, r#"{"k": "value"}"#, &[&[9u8; 4]]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[17] ^= 0x20; // inside the header JSON
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_blob(&path).unwrap_err();
+        assert!(
+            err.is_corrupt() && err.to_string().contains("header"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let path = temp_blob("truncate");
+        write_blob(&path, "{}", &[&[1u8; 100]]).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 3, 7, 12, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(read_blob(&path).unwrap_err().is_corrupt(), "cut at {cut}");
+        }
+        std::fs::write(&path, b"random junk not a blob").unwrap();
+        assert!(read_blob(&path).unwrap_err().is_corrupt());
+    }
+}

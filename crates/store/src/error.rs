@@ -1,0 +1,87 @@
+//! Typed storage errors.
+//!
+//! Durability code must never panic and never silently load garbage:
+//! every failure mode — I/O, a checksum mismatch, a structurally
+//! invalid file — is a [`StoreError`] variant that tells the caller
+//! *which* file and *where*, so recovery logic can decide between
+//! "truncate and continue" (a torn WAL tail) and "refuse to load"
+//! (a corrupt model blob).
+
+use std::fmt;
+
+/// Everything that can go wrong in the storage subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure (message retains the OS error).
+    Io(String),
+    /// A file failed structural or checksum validation. Never returned
+    /// for a torn WAL tail — that is recoverable and reported as a
+    /// [`crate::wal::TailDefect`] instead.
+    Corrupt {
+        /// The offending file (display path).
+        file: String,
+        /// Byte offset of the defect within the file.
+        offset: u64,
+        /// What failed to validate.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// Build a [`StoreError::Corrupt`] for `path` at `offset`.
+    pub fn corrupt(path: &std::path::Path, offset: u64, reason: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            file: path.display().to_string(),
+            offset,
+            reason: reason.into(),
+        }
+    }
+
+    /// True when the error is a corruption (as opposed to plain I/O).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, StoreError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "storage i/o error: {m}"),
+            StoreError::Corrupt {
+                file,
+                offset,
+                reason,
+            } => {
+                write!(f, "corrupt storage file {file} at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_file_and_offset() {
+        let e = StoreError::corrupt(std::path::Path::new("wal.log"), 42, "bad crc");
+        assert!(e.is_corrupt());
+        let msg = e.to_string();
+        assert!(msg.contains("wal.log") && msg.contains("42") && msg.contains("bad crc"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: StoreError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(!e.is_corrupt());
+        assert!(e.to_string().contains("gone"));
+    }
+}

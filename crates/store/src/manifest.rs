@@ -1,0 +1,170 @@
+//! The manifest: which sorted runs are live, committed atomically.
+//!
+//! A flush produces a new run file, then commits a new manifest listing
+//! it. The commit is `MANIFEST.tmp` → fsync → rename → parent-dir fsync
+//! ([`crate::atomic_write`]), so a crash at any point leaves either the
+//! old manifest (the new run file is unreferenced garbage, harmlessly
+//! re-created on the next flush) or the new one — never a torn state.
+//!
+//! Runs are listed **newest first**; readers consult them in that order
+//! so a fresh tombstone shadows an older value.
+
+use crate::error::StoreError;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One live run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Monotonic run id (also the file-name stem).
+    pub id: u64,
+    /// File name relative to the store directory, e.g. `000007.run`.
+    pub file: String,
+    /// Entry count (tombstones included), for stats.
+    pub entries: u64,
+}
+
+/// The durable run-set descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The id the next flushed run will take.
+    pub next_run_id: u64,
+    /// Live runs, newest first.
+    pub runs: Vec<RunMeta>,
+}
+
+impl Default for Manifest {
+    fn default() -> Manifest {
+        Manifest {
+            version: MANIFEST_VERSION,
+            next_run_id: 1,
+            runs: Vec::new(),
+        }
+    }
+}
+
+impl Manifest {
+    /// Load the manifest from `dir`, or `None` when the store is fresh.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the file exists but does not parse
+    /// or declares an unknown version; [`StoreError::Io`] otherwise.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let text = String::from_utf8(bytes)
+            .map_err(|_| StoreError::corrupt(&path, 0, "manifest is not UTF-8"))?;
+        let m: Manifest = serde_json::from_str(&text)
+            .map_err(|e| StoreError::corrupt(&path, 0, format!("manifest parse error: {e}")))?;
+        if m.version != MANIFEST_VERSION {
+            return Err(StoreError::corrupt(
+                &path,
+                0,
+                format!("unsupported manifest version {}", m.version),
+            ));
+        }
+        Ok(Some(m))
+    }
+
+    /// Atomically commit this manifest into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and filesystem errors.
+    pub fn commit(&self, dir: &Path) -> Result<(), StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| StoreError::Io(format!("manifest serialise: {e}")))?;
+        crate::atomic_write(&path, text.as_bytes())?;
+        Ok(())
+    }
+
+    /// The file name a run with `id` uses.
+    pub fn run_file_name(id: u64) -> String {
+        format!("{id:06}.run")
+    }
+
+    /// Absolute path of a run listed in this manifest.
+    pub fn run_path(dir: &Path, meta: &RunMeta) -> PathBuf {
+        dir.join(&meta.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrec-manifest-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fresh_dir_has_no_manifest() {
+        let dir = temp_dir("fresh");
+        assert!(Manifest::load(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn commit_and_reload_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let m = Manifest {
+            version: MANIFEST_VERSION,
+            next_run_id: 3,
+            runs: vec![
+                RunMeta {
+                    id: 2,
+                    file: Manifest::run_file_name(2),
+                    entries: 10,
+                },
+                RunMeta {
+                    id: 1,
+                    file: Manifest::run_file_name(1),
+                    entries: 7,
+                },
+            ],
+        };
+        m.commit(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap().expect("present");
+        assert_eq!(back, m);
+        // Re-commit overwrites atomically.
+        let mut m2 = back;
+        m2.next_run_id = 4;
+        m2.commit(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap().next_run_id, 4);
+    }
+
+    #[test]
+    fn garbage_manifest_is_typed_error() {
+        let dir = temp_dir("garbage");
+        std::fs::write(dir.join(MANIFEST_FILE), b"not json at all {{{").unwrap();
+        assert!(Manifest::load(&dir).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let dir = temp_dir("version");
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            br#"{"version": 99, "next_run_id": 1, "runs": []}"#,
+        )
+        .unwrap();
+        let err = Manifest::load(&dir).unwrap_err();
+        assert!(err.is_corrupt() && err.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Immutable sorted-run files (SSTable-like).
+//!
+//! A run is the durable form of a flushed memtable. Layout:
+//!
+//! ```text
+//! [block 0][block 1]…[block index][bloom filter][footer]
+//! ```
+//!
+//! Each **block** is a run of key-ordered entries
+//! `[klen: u32][vtag: u32][key][value]`, where `vtag == u32::MAX`
+//! marks a tombstone (no value bytes) and any other value is the value
+//! length. Blocks close at ~`block_bytes`. The **index** stores, per
+//! block, its first key, file offset, length, and CRC-32 — so a point
+//! read binary-searches the index, reads exactly one block with
+//! `read_at`, verifies its checksum, and scans it. The **bloom filter**
+//! ([`crate::Bloom`]) lets reads skip runs that cannot contain the key.
+//! The fixed-size **footer** at EOF locates index and bloom and carries
+//! a magic number; every region is CRC-checked before interpretation,
+//! so a truncated or bit-rotted run surfaces as a typed
+//! [`StoreError::Corrupt`], never garbage.
+//!
+//! Runs are written to a `.tmp` sibling and atomically renamed into
+//! place ([`crate::atomic_write`]), and are immutable afterwards —
+//! readers can share the file handle freely (`read_at` takes `&File`).
+
+use crate::bloom::Bloom;
+use crate::checksum::crc32;
+use crate::error::StoreError;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Footer magic ("QRUN" little-endian).
+const MAGIC: u32 = 0x4E55_5251;
+
+/// Fixed footer size in bytes.
+const FOOTER_BYTES: u64 = 44;
+
+/// Tombstone marker in the entry `vtag` field.
+const TOMBSTONE: u32 = u32::MAX;
+
+/// One index entry: the block's first key and where to find the block.
+#[derive(Debug, Clone)]
+struct BlockRef {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+    crc: u32,
+}
+
+/// An open, immutable sorted run.
+#[derive(Debug)]
+pub struct Run {
+    file: File,
+    path: PathBuf,
+    index: Vec<BlockRef>,
+    bloom: Bloom,
+    entries: u64,
+}
+
+/// Serialise one entry into `out`.
+fn push_entry(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    match value {
+        Some(v) => out.extend_from_slice(&(v.len() as u32).to_le_bytes()),
+        None => out.extend_from_slice(&TOMBSTONE.to_le_bytes()),
+    }
+    out.extend_from_slice(key);
+    if let Some(v) = value {
+        out.extend_from_slice(v);
+    }
+}
+
+/// Build a run file at `path` from key-ordered `entries` (tombstones as
+/// `None` values). Returns the number of entries written.
+///
+/// The whole image is assembled in memory (memtables are flushed at a
+/// bounded size) and installed with [`crate::atomic_write`], so a crash
+/// mid-build never leaves a partial run at `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn build<'a, I>(
+    path: &Path,
+    entries: I,
+    block_bytes: usize,
+    bloom_bits_per_key: usize,
+) -> Result<u64, StoreError>
+where
+    I: IntoIterator<Item = (&'a [u8], Option<&'a [u8]>)>,
+{
+    let items: Vec<(&[u8], Option<&[u8]>)> = entries.into_iter().collect();
+    let mut bloom = Bloom::with_capacity(items.len(), bloom_bits_per_key);
+    let mut image: Vec<u8> = Vec::new();
+    let mut index: Vec<BlockRef> = Vec::new();
+    let mut block: Vec<u8> = Vec::new();
+    let mut block_first: Option<Vec<u8>> = None;
+
+    let close_block = |image: &mut Vec<u8>,
+                       index: &mut Vec<BlockRef>,
+                       block: &mut Vec<u8>,
+                       first: &mut Option<Vec<u8>>| {
+        if let Some(first_key) = first.take() {
+            index.push(BlockRef {
+                first_key,
+                offset: image.len() as u64,
+                len: block.len() as u32,
+                crc: crc32(block),
+            });
+            image.extend_from_slice(block);
+            block.clear();
+        }
+    };
+
+    for (key, value) in &items {
+        bloom.insert(key);
+        if block_first.is_none() {
+            block_first = Some(key.to_vec());
+        }
+        push_entry(&mut block, key, *value);
+        if block.len() >= block_bytes.max(64) {
+            close_block(&mut image, &mut index, &mut block, &mut block_first);
+        }
+    }
+    close_block(&mut image, &mut index, &mut block, &mut block_first);
+
+    // Index region.
+    let index_off = image.len() as u64;
+    let mut index_bytes: Vec<u8> = Vec::new();
+    index_bytes.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    for b in &index {
+        index_bytes.extend_from_slice(&(b.first_key.len() as u32).to_le_bytes());
+        index_bytes.extend_from_slice(&b.first_key);
+        index_bytes.extend_from_slice(&b.offset.to_le_bytes());
+        index_bytes.extend_from_slice(&b.len.to_le_bytes());
+        index_bytes.extend_from_slice(&b.crc.to_le_bytes());
+    }
+    let index_crc = crc32(&index_bytes);
+    image.extend_from_slice(&index_bytes);
+
+    // Bloom region.
+    let bloom_off = image.len() as u64;
+    let bloom_bytes = bloom.encode();
+    let bloom_crc = crc32(&bloom_bytes);
+    image.extend_from_slice(&bloom_bytes);
+
+    // Footer.
+    image.extend_from_slice(&index_off.to_le_bytes());
+    image.extend_from_slice(&(index_bytes.len() as u32).to_le_bytes());
+    image.extend_from_slice(&index_crc.to_le_bytes());
+    image.extend_from_slice(&bloom_off.to_le_bytes());
+    image.extend_from_slice(&(bloom_bytes.len() as u32).to_le_bytes());
+    image.extend_from_slice(&bloom_crc.to_le_bytes());
+    image.extend_from_slice(&(items.len() as u64).to_le_bytes());
+    image.extend_from_slice(&MAGIC.to_le_bytes());
+
+    crate::atomic_write(path, &image)?;
+    Ok(items.len() as u64)
+}
+
+/// Cursor over a byte slice with typed-corruption bounds checks.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    file: &'a Path,
+    base: u64,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], file: &'a Path, base: u64) -> Reader<'a> {
+        Reader {
+            bytes,
+            pos: 0,
+            file,
+            base,
+        }
+    }
+
+    fn corrupt(&self, what: &str) -> StoreError {
+        StoreError::corrupt(self.file, self.base + self.pos as u64, what)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.corrupt("region truncated"))?;
+        let slice = self.bytes.get(self.pos..end).unwrap_or_default();
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+impl Run {
+    /// Open and validate a run file: footer magic, then index and bloom
+    /// regions (each checksum-verified before parsing).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] for structural or checksum failures,
+    /// [`StoreError::Io`] for filesystem errors.
+    pub fn open(path: &Path) -> Result<Run, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < FOOTER_BYTES {
+            return Err(StoreError::corrupt(path, 0, "file shorter than footer"));
+        }
+        let mut footer = vec![0u8; FOOTER_BYTES as usize];
+        file.read_exact_at(&mut footer, file_len - FOOTER_BYTES)?;
+        let mut r = Reader::new(&footer, path, file_len - FOOTER_BYTES);
+        let index_off = r.u64()?;
+        let index_len = r.u32()?;
+        let index_crc = r.u32()?;
+        let bloom_off = r.u64()?;
+        let bloom_len = r.u32()?;
+        let bloom_crc = r.u32()?;
+        let entries = r.u64()?;
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(StoreError::corrupt(
+                path,
+                file_len - 4,
+                format!("bad run magic {magic:#x}"),
+            ));
+        }
+
+        let index_bytes = read_region(&file, path, index_off, index_len, index_crc, file_len)?;
+        let bloom_bytes = read_region(&file, path, bloom_off, bloom_len, bloom_crc, file_len)?;
+
+        let mut ir = Reader::new(&index_bytes, path, index_off);
+        let n_blocks = ir.u32()? as usize;
+        if n_blocks > (index_len as usize) {
+            return Err(ir.corrupt("implausible block count"));
+        }
+        let mut index = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let klen = ir.u32()? as usize;
+            let first_key = ir.take(klen)?.to_vec();
+            let offset = ir.u64()?;
+            let len = ir.u32()?;
+            let crc = ir.u32()?;
+            if offset.saturating_add(u64::from(len)) > file_len {
+                return Err(ir.corrupt("block extends past end of file"));
+            }
+            index.push(BlockRef {
+                first_key,
+                offset,
+                len,
+                crc,
+            });
+        }
+        let bloom = Bloom::decode(&bloom_bytes, path, bloom_off)?;
+        Ok(Run {
+            file,
+            path: path.to_path_buf(),
+            index,
+            bloom,
+            entries,
+        })
+    }
+
+    /// Point lookup. `Ok(None)` — key definitely absent from this run;
+    /// `Ok(Some(None))` — a tombstone (deleted; stop searching older
+    /// runs); `Ok(Some(Some(v)))` — the live value.
+    ///
+    /// `bloom_negative` is bumped when the bloom filter short-circuits
+    /// the read; `block_reads` when a block is actually fetched.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on block checksum mismatch or malformed
+    /// entries; [`StoreError::Io`] on read failure.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, StoreError> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Last block whose first key <= key.
+        let idx = self
+            .index
+            .partition_point(|b| b.first_key.as_slice() <= key);
+        let Some(block_ref) = idx.checked_sub(1).and_then(|i| self.index.get(i)) else {
+            return Ok(None); // key sorts before the first block
+        };
+        let mut block = vec![0u8; block_ref.len as usize];
+        self.file.read_exact_at(&mut block, block_ref.offset)?;
+        if crc32(&block) != block_ref.crc {
+            return Err(StoreError::corrupt(
+                &self.path,
+                block_ref.offset,
+                "block checksum mismatch",
+            ));
+        }
+        let mut r = Reader::new(&block, &self.path, block_ref.offset);
+        while !r.done() {
+            let klen = r.u32()? as usize;
+            let vtag = r.u32()?;
+            let k = r.take(klen)?;
+            let value = if vtag == TOMBSTONE {
+                None
+            } else {
+                Some(r.take(vtag as usize)?)
+            };
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => return Ok(Some(value.map(<[u8]>::to_vec))),
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// True when the bloom filter rules the key out without any I/O.
+    pub fn definitely_absent(&self, key: &[u8]) -> bool {
+        !self.bloom.may_contain(key)
+    }
+
+    /// Total entries in the run (tombstones included).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// The run's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read `len` bytes at `off` and verify their CRC.
+fn read_region(
+    file: &File,
+    path: &Path,
+    off: u64,
+    len: u32,
+    crc: u32,
+    file_len: u64,
+) -> Result<Vec<u8>, StoreError> {
+    if off.saturating_add(u64::from(len)) > file_len {
+        return Err(StoreError::corrupt(
+            path,
+            off,
+            "region extends past end of file",
+        ));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    file.read_exact_at(&mut bytes, off)?;
+    if crc32(&bytes) != crc {
+        return Err(StoreError::corrupt(path, off, "region checksum mismatch"));
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_run(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrec-run-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("000001.run")
+    }
+
+    fn sample(n: usize) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let k = format!("key:{i:06}").into_bytes();
+                let v = if i % 7 == 0 {
+                    None // tombstone
+                } else {
+                    Some(format!("value-{i}").repeat(i % 5 + 1).into_bytes())
+                };
+                (k, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_get_round_trip() {
+        let path = temp_run("roundtrip");
+        let items = sample(300);
+        let n = build(
+            &path,
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_deref())),
+            256, // small blocks to exercise the index
+            10,
+        )
+        .unwrap();
+        assert_eq!(n, 300);
+        let run = Run::open(&path).unwrap();
+        assert_eq!(run.entries(), 300);
+        for (k, v) in &items {
+            let got = run.get(k).unwrap().expect("present");
+            assert_eq!(
+                got.as_deref(),
+                v.as_deref(),
+                "key {:?}",
+                String::from_utf8_lossy(k)
+            );
+        }
+        assert_eq!(run.get(b"key:999999").unwrap(), None);
+        assert_eq!(run.get(b"aaa-before-first").unwrap(), None);
+    }
+
+    #[test]
+    fn empty_run_is_valid() {
+        let path = temp_run("empty");
+        build(&path, std::iter::empty(), 4096, 10).unwrap();
+        let run = Run::open(&path).unwrap();
+        assert_eq!(run.entries(), 0);
+        assert_eq!(run.get(b"anything").unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_block_is_typed_error() {
+        let path = temp_run("corrupt-block");
+        let items = sample(100);
+        build(
+            &path,
+            items.iter().map(|(k, v)| (k.as_slice(), v.as_deref())),
+            256,
+            10,
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF; // inside the first block
+        std::fs::write(&path, &bytes).unwrap();
+        let run = Run::open(&path).unwrap(); // index/bloom/footer intact
+        let err = run.get(b"key:000001").unwrap_err();
+        assert!(err.is_corrupt(), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error() {
+        let path = temp_run("truncated");
+        build(&path, [(b"k".as_slice(), Some(b"v".as_slice()))], 4096, 10).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(Run::open(&path).unwrap_err().is_corrupt());
+        std::fs::write(&path, b"").unwrap();
+        assert!(Run::open(&path).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn bad_magic_is_typed_error() {
+        let path = temp_run("magic");
+        build(&path, [(b"k".as_slice(), Some(b"v".as_slice()))], 4096, 10).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Run::open(&path).unwrap_err().is_corrupt());
+    }
+}

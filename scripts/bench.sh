@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Reproducible GEMM + decode performance baselines (README "Performance").
+# Reproducible GEMM + decode + durability baselines (README "Performance"
+# and "Durability").
 #
-#   scripts/bench.sh              full run, writes BENCH_tensor.json and
-#                                 BENCH_decode.json at the repo root
+#   scripts/bench.sh              full run, writes BENCH_tensor.json,
+#                                 BENCH_decode.json and BENCH_store.json
+#                                 at the repo root
 #   scripts/bench.sh --smoke      tiny shapes, writes target/BENCH_*_smoke.json
 #   QREC_THREADS=4 scripts/bench.sh   size the serving pool (bench pools stay 1 and 8)
 #
@@ -10,9 +12,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --offline --release -q -p qrec-bench --bin bench_tensor --bin bench_decode
+cargo build --offline --release -q -p qrec-bench \
+    --bin bench_tensor --bin bench_decode --bin bench_store
 ./target/release/bench_tensor "$@"
 ./target/release/bench_decode "$@"
+./target/release/bench_store "$@"
 
 # In smoke mode, validate the extended report schema: every row must
 # carry the per-rep latency distribution (best/p50/p95/p99/reps)
@@ -48,7 +52,26 @@ for row in decode["rows"]:
             sys.exit(f"decode row {row.get('label')}: no {key!r} object")
         check_pct(obj, f"decode row {row.get('label')} {key}")
 
+store = json.load(open("target/BENCH_store_smoke.json"))
+STORE_APPEND_KEYS = {"policy", "p50_us", "p99_us", "appends_per_s"}
+policies = set()
+for row in store["append"]:
+    missing = STORE_APPEND_KEYS - set(row)
+    if missing:
+        sys.exit(f"store append row {row.get('policy')}: missing keys {sorted(missing)}")
+    if not 0 <= row["p50_us"] <= row["p99_us"]:
+        sys.exit(f"store append row {row['policy']}: quantiles not monotone: {row}")
+    policies.add(row["policy"])
+if not {"always", "never"} <= policies:
+    sys.exit(f"store append rows must cover the fsync policy range, got {sorted(policies)}")
+for row in store["recovery"]:
+    if row.get("recovery_ms", -1) < 0 or "records" not in row:
+        sys.exit(f"store recovery row malformed: {row}")
+    if row.get("recovered_records") != row["records"]:
+        sys.exit(f"store recovery dropped records: {row}")
+
 print("bench.sh: extended schema OK "
-      f"({len(tensor['shapes'])} tensor shapes, {len(decode['rows'])} decode rows)")
+      f"({len(tensor['shapes'])} tensor shapes, {len(decode['rows'])} decode rows, "
+      f"{len(store['append'])}+{len(store['recovery'])} store rows)")
 PYEOF
 fi
