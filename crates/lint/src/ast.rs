@@ -1,0 +1,268 @@
+//! A brace-tree item parser on top of the token stream.
+//!
+//! The per-file rules (R1–R7) get away with flat token scans, but the
+//! interprocedural rules (R8–R10) need to know *which function* a token
+//! belongs to: a lock acquired in `Batcher::submit` and a lock acquired
+//! in `worker_loop` are different analysis facts even when the tokens
+//! look identical. This module recovers exactly that much structure —
+//! `fn` items with their body token ranges, nested inside `mod` and
+//! `impl` blocks — by brace-matching the token stream. It is not a Rust
+//! parser: generics, where-clauses, and expression grammar are skipped
+//! over, because the only invariant the IR needs is "these tokens are
+//! the body of this function".
+
+use crate::lexer::{Lexed, Tok, Token};
+
+/// One `fn` item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's simple name (`submit`, `worker_loop`).
+    pub name: String,
+    /// The enclosing `impl` block's type name, when inside one.
+    pub impl_type: Option<String>,
+    /// Enclosing `mod` names, outermost first (inline mods only).
+    pub mods: Vec<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token range strictly inside the body braces (`open+1..close`).
+    /// `None` for bodyless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl FnItem {
+    /// Display name for diagnostics: `Type::name` or `name`.
+    pub fn qual_name(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// What kind of scope a brace on the context stack opened.
+#[derive(Debug)]
+enum Scope {
+    /// `mod name {` — named module scope.
+    Mod(String),
+    /// `impl … Type {` — the implementing type's name.
+    Impl(String),
+    /// Any other brace (fn body, block, match arm, struct literal…).
+    Other,
+}
+
+/// Parse every `fn` item in the token stream, with its enclosing
+/// `impl` / `mod` context and its body token range.
+///
+/// Nested functions are reported too (their bodies are sub-ranges of
+/// the enclosing body); closures are not items and stay part of the
+/// surrounding function's body.
+pub fn parse_fns(lexed: &Lexed) -> Vec<FnItem> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    // Stack of scopes opened by `{` tokens seen so far.
+    let mut scopes: Vec<Scope> = Vec::new();
+    // When an item header (`mod x` / `impl … X`) has been parsed and we
+    // are waiting for its `{`, this holds the scope to push.
+    let mut pending: Option<Scope> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct(b'{') => {
+                scopes.push(pending.take().unwrap_or(Scope::Other));
+            }
+            Tok::Punct(b'}') => {
+                scopes.pop();
+            }
+            Tok::Punct(b';') => {
+                // `mod x;` / `impl X;` never materialises: drop it.
+                pending = None;
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                if let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) {
+                    pending = Some(Scope::Mod(name.to_string()));
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                pending = Some(Scope::Impl(impl_type_name(toks, i).unwrap_or_default()));
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                if let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) {
+                    let item = fn_item(toks, i, name, &scopes);
+                    // Resume at the body's `{` so its scope is pushed
+                    // normally and nested fns inside are still seen.
+                    let next = item.body.map(|(start, _)| start - 1).unwrap_or(i + 1);
+                    out.push(item);
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Build the [`FnItem`] for the `fn` keyword at `fn_idx`.
+fn fn_item(toks: &[Token], fn_idx: usize, name: &str, scopes: &[Scope]) -> FnItem {
+    let impl_type = scopes.iter().rev().find_map(|s| match s {
+        Scope::Impl(ty) => Some(ty.clone()),
+        _ => None,
+    });
+    let mods = scopes
+        .iter()
+        .filter_map(|s| match s {
+            Scope::Mod(m) => Some(m.clone()),
+            _ => None,
+        })
+        .collect();
+    FnItem {
+        name: name.to_string(),
+        impl_type,
+        mods,
+        fn_idx,
+        body: fn_body_range(toks, fn_idx + 2),
+        line: toks[fn_idx].line,
+    }
+}
+
+/// Find the body braces of a `fn` whose signature starts after `from`:
+/// the first `{` before a top-level `;` (a `;` means a bodyless
+/// declaration). Signatures cannot contain `{`, so the first one seen
+/// opens the body.
+fn fn_body_range(toks: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut j = from;
+    // `;` only terminates the declaration at group depth 0 — array
+    // types (`[u8; 4]`) legally put `;` inside `[`…`]` in a signature.
+    let mut group = 0isize;
+    while let Some(t) = toks.get(j) {
+        match &t.kind {
+            Tok::Punct(b'(' | b'[') => group += 1,
+            Tok::Punct(b')' | b']') => group -= 1,
+            Tok::Punct(b'{') => {
+                let close = match_brace(toks, j)?;
+                return Some((j + 1, close));
+            }
+            Tok::Punct(b';') if group <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` closing the `{` at `open_idx`.
+pub fn match_brace(toks: &[Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, tok) in toks.iter().enumerate().skip(open_idx) {
+        if tok.kind.is_punct(b'{') {
+            depth += 1;
+        } else if tok.kind.is_punct(b'}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// The implementing type of an `impl` header at `impl_idx`:
+/// `impl Foo {` → `Foo`, `impl Trait for Foo {` → `Foo`,
+/// `impl<T> Trait<U> for Foo<T> {` → `Foo`.
+fn impl_type_name(toks: &[Token], impl_idx: usize) -> Option<String> {
+    let mut j = impl_idx + 1;
+    let mut angle = 0isize;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut seen_for = false;
+    while let Some(t) = toks.get(j) {
+        match &t.kind {
+            Tok::Punct(b'<') => angle += 1,
+            Tok::Punct(b'>') => angle -= 1,
+            Tok::Punct(b'{') | Tok::Punct(b';') if angle <= 0 => break,
+            Tok::Ident(seg) if angle == 0 => {
+                if seg == "for" {
+                    seen_for = true;
+                } else if seen_for {
+                    if after_for.is_none() {
+                        after_for = Some(seg.clone());
+                    }
+                } else {
+                    last_ident = Some(seg.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    after_for.or(last_ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_fns(&lex(src))
+    }
+
+    #[test]
+    fn free_fn_with_body() {
+        let items = fns("fn alpha(x: u32) -> u32 { x + 1 }");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "alpha");
+        assert!(items[0].impl_type.is_none());
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_know_their_type() {
+        let items = fns("impl Batcher { fn submit(&self) {} fn queued(&self) -> usize { 0 } }");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].qual_name(), "Batcher::submit");
+        assert_eq!(items[1].qual_name(), "Batcher::queued");
+    }
+
+    #[test]
+    fn trait_impl_uses_the_implementing_type() {
+        let items = fns("impl Drop for Batcher { fn drop(&mut self) { self.stop(); } }");
+        assert_eq!(items[0].qual_name(), "Batcher::drop");
+        let items = fns("impl<T: Clone> From<Vec<T>> for Holder<T> { fn from(v: Vec<T>) -> Self { Holder(v) } }");
+        assert_eq!(items[0].qual_name(), "Holder::from");
+    }
+
+    #[test]
+    fn mods_are_tracked_and_bodyless_fns_have_no_range() {
+        let items = fns("mod inner { trait T { fn sig(&self); fn given(&self) {} } }");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "sig");
+        assert!(items[0].body.is_none());
+        assert_eq!(items[0].mods, vec!["inner".to_string()]);
+        assert!(items[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_are_items_and_struct_literals_are_not_scopes() {
+        let src = "fn outer() { let s = S { a: 1 }; fn inner() {} inner(); }";
+        let items = fns(src);
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // inner's body is a sub-range of outer's.
+        let (oo, oc) = items[0].body.unwrap();
+        let (io, ic) = items[1].body.unwrap();
+        assert!(oo < io && ic <= oc);
+    }
+
+    #[test]
+    fn generic_return_types_do_not_end_the_signature() {
+        let items =
+            fns("fn gen<T: Ord>(v: Vec<T>) -> Option<T> where T: Clone { v.into_iter().max() }");
+        assert_eq!(items.len(), 1);
+        assert!(items[0].body.is_some());
+    }
+}

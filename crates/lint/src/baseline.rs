@@ -125,6 +125,17 @@ impl Baseline {
         self.entries.contains(&finding.key())
     }
 
+    /// Baseline entries no current finding matches, sorted. A stale
+    /// entry means the violation was fixed (or the file moved) but the
+    /// tolerance was left behind — dead weight that could mask a
+    /// future regression at the same spot.
+    pub fn stale(&self, findings: &[Finding]) -> Vec<(String, String, u32)> {
+        let live: HashSet<_> = findings.iter().map(Finding::key).collect();
+        let mut dead: Vec<_> = self.entries.difference(&live).cloned().collect();
+        dead.sort();
+        dead
+    }
+
     /// Number of baselined entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -3,7 +3,6 @@
 
 use crate::diag::Finding;
 use crate::lexer::{lex, Lexed, Tok};
-use crate::rules::RULES;
 use std::collections::HashMap;
 
 /// What kind of source file this is, which determines the rules that
@@ -26,7 +25,7 @@ pub enum FileClass {
 }
 
 /// One source file, ready for analysis.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Workspace-relative path with `/` separators.
     pub path: String,
@@ -245,18 +244,20 @@ fn parse_directive(body: &str) -> Result<Vec<String>, String> {
     let Some(close) = rest.find(')') else {
         return Err("missing `)`".into());
     };
+    // Aliases (`atomics`, `lock-order`, `blocking`) resolve to their
+    // canonical rule ids, so the allows map always holds canonical ids.
     let rules: Vec<String> = rest[..close]
         .split(',')
-        .map(|r| r.trim().to_string())
+        .map(str::trim)
         .filter(|r| !r.is_empty())
-        .collect();
+        .map(|r| {
+            crate::rules::resolve_rule(r)
+                .map(str::to_string)
+                .ok_or_else(|| format!("unknown rule {r:?}"))
+        })
+        .collect::<Result<_, _>>()?;
     if rules.is_empty() {
         return Err("empty rule list".into());
-    }
-    for rule in &rules {
-        if !RULES.contains(&rule.as_str()) {
-            return Err(format!("unknown rule {rule:?}"));
-        }
     }
     let tail = rest[close + 1..].trim();
     let Some(reason) = tail.strip_prefix("--") else {

@@ -11,26 +11,36 @@
 //! The engine reuses the token-stream lexer design proven by
 //! `crates/sql/src/lexer.rs`, walks every workspace source file,
 //! separates library code from `#[cfg(test)]` modules / test files /
-//! binaries / benches, and runs six rules (see [`rules`]). Violations
-//! can be waived inline with
-//! `// qrec-lint: allow(<rule>) -- <reason>` (the reason is mandatory)
-//! or tolerated via the checked-in `lint-baseline.toml` ratchet.
+//! binaries / benches, and runs ten rules (see [`rules`]) — seven
+//! local ones plus three interprocedural concurrency rules
+//! (lock-order inversion, atomics-ordering hygiene, blocking calls in
+//! hot paths) that reason over a workspace call graph built by
+//! [`ast`], [`callgraph`], and [`lockgraph`]. Violations can be waived
+//! inline with `// qrec-lint: allow(<rule>) -- <reason>` (the reason
+//! is mandatory) or tolerated via the checked-in `lint-baseline.toml`
+//! ratchet; `--check-baseline` additionally fails on stale baseline
+//! entries.
 //!
 //! Run it with `cargo run -p qrec-lint --` (CI does, between clippy and
-//! the build); add `--json` for machine-readable output.
+//! the build); add `--json` for machine-readable output, or
+//! `--explain <rule>` for a rule's rationale and a minimal violating
+//! example.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod file;
 pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
 pub mod walk;
 
 pub use baseline::{Baseline, BaselineError};
 pub use diag::Finding;
 pub use file::{FileClass, SourceFile};
-pub use rules::{analyze, Config, RULES};
+pub use rules::{analyze, explain, Config, RULES};
 pub use walk::{collect_workspace, Workspace};

@@ -1,0 +1,384 @@
+//! Lock-acquisition facts: which locks each function takes, in what
+//! order, and which calls happen while a lock is held.
+//!
+//! A lock *identity* is a name, not an object: `self.inner.read()`
+//! inside `impl EncCache` becomes `serve:EncCache.inner`, a local or
+//! static receiver becomes `serve:GLOBAL`. Identity is deliberately
+//! *narrow* (qualified by crate and impl type) — merging two unrelated
+//! locks into one node manufactures false deadlock cycles, while a
+//! too-narrow identity merely misses an edge, and the runtime sanitizer
+//! in `shims/parking_lot` exists to catch what the static pass misses.
+//! The call-graph side (see [`crate::callgraph`]) leans the opposite
+//! way, merging by simple name, so between the two passes the deadlock
+//! rule over-approximates where it is cheap to review and
+//! under-approximates only where a false positive would be noise.
+//!
+//! Only argument-less `.lock()` / `.read()` / `.write()` calls count as
+//! acquisitions: `file.read(&mut buf)` and `sock.write(bytes)` are I/O,
+//! not locking.
+
+use crate::ast::FnItem;
+use crate::file::FileContext;
+use crate::lexer::{Tok, Token};
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Qualified lock identity (`crate:Type.field` / `crate:name`).
+    pub lock: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// An intra-function ordered pair: `to` acquired while `from` is held.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub from: String,
+    /// The lock being acquired.
+    pub to: String,
+    /// Line of the `to` acquisition.
+    pub line: u32,
+}
+
+/// A call made while at least one lock is held.
+#[derive(Debug, Clone)]
+pub struct LockCall {
+    /// Locks held at the call site, acquisition order.
+    pub held: Vec<String>,
+    /// Simple name of the callee.
+    pub callee: String,
+    /// 1-based source line of the call.
+    pub line: u32,
+}
+
+/// Everything the deadlock rule needs to know about one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnLockFacts {
+    /// Direct acquisitions.
+    pub acquires: Vec<LockAcq>,
+    /// Intra-function acquisition-order edges.
+    pub edges: Vec<LockEdge>,
+    /// Calls made under a lock.
+    pub calls: Vec<LockCall>,
+}
+
+/// Identifiers that look like calls but are control flow or declarations.
+const NON_CALL_KEYWORDS: [&str; 10] = [
+    "if", "while", "match", "for", "loop", "return", "fn", "where", "move", "in",
+];
+
+/// Extract the lock facts of one function body.
+pub fn lock_facts(ctx: &FileContext<'_>, item: &FnItem) -> FnLockFacts {
+    let mut facts = FnLockFacts::default();
+    let Some((start, end)) = item.body else {
+        return facts;
+    };
+    let toks = &ctx.lexed.tokens;
+    let crate_name = &ctx.file.crate_name;
+    let impl_type = item.impl_type.as_deref();
+
+    // Guards held at the current token, innermost last.
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // Acquisition tokens already attributed to a `let` guard binding,
+    // so the linear scan does not double-count them.
+    let mut bound_acqs: Vec<usize> = Vec::new();
+
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        if ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        match &toks[i].kind {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                held.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                if let Some((name, lock_idx)) = guard_binding(toks, i, end) {
+                    let lock = lock_identity(toks, lock_idx, crate_name, impl_type);
+                    record_acq(&mut facts, &held, &lock, toks[lock_idx].line);
+                    held.push(Guard { name, lock, depth });
+                    bound_acqs.push(lock_idx);
+                }
+            }
+            // `drop(g)` releases g.
+            Tok::Ident(name)
+                if name == "drop"
+                    && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('))
+                    && toks.get(i + 3).is_some_and(|t| t.kind.is_punct(b')')) =>
+            {
+                if let Some(Tok::Ident(dropped)) = toks.get(i + 2).map(|t| &t.kind) {
+                    if let Some(pos) = held.iter().rposition(|g| &g.name == dropped) {
+                        held.remove(pos);
+                    }
+                }
+            }
+            Tok::Ident(name) if is_lock_method(name, toks, i) && !bound_acqs.contains(&i) => {
+                let lock = lock_identity(toks, i, crate_name, impl_type);
+                record_acq(&mut facts, &held, &lock, toks[i].line);
+            }
+            // A lock call already recorded at its `let` binding: not a
+            // fresh acquisition, and not a plain call either.
+            Tok::Ident(name) if is_lock_method(name, toks, i) => {}
+            Tok::Ident(name)
+                if toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('))
+                    && !NON_CALL_KEYWORDS.contains(&name.as_str())
+                    && (i == 0 || toks[i - 1].kind.ident() != Some("fn"))
+                    && !held.is_empty()
+                    && name != "drop" =>
+            {
+                facts.calls.push(LockCall {
+                    held: held.iter().map(|g| g.lock.clone()).collect(),
+                    callee: name.clone(),
+                    line: toks[i].line,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// A live lock guard being tracked by the scan.
+struct Guard {
+    name: String,
+    lock: String,
+    depth: usize,
+}
+
+fn record_acq(facts: &mut FnLockFacts, held: &[Guard], lock: &str, line: u32) {
+    facts.acquires.push(LockAcq {
+        lock: lock.to_string(),
+        line,
+    });
+    for g in held {
+        // Same identity re-acquired (sharded locks, loops over a lock
+        // array) is not an order fact between *two* locks; skip.
+        if g.lock != lock {
+            facts.edges.push(LockEdge {
+                from: g.lock.clone(),
+                to: lock.to_string(),
+                line,
+            });
+        }
+    }
+}
+
+/// `name` at `i` is an argument-less `.lock()` / `.read()` / `.write()`.
+fn is_lock_method(name: &str, toks: &[Token], i: usize) -> bool {
+    matches!(name, "lock" | "read" | "write")
+        && i > 0
+        && toks[i - 1].kind.is_punct(b'.')
+        && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('))
+        && toks.get(i + 2).is_some_and(|t| t.kind.is_punct(b')'))
+}
+
+/// If `let_idx` starts `let [mut] NAME … = … .lock()/.read()/.write() … ;`
+/// with the lock call at the binding's top bracket level, return the
+/// bound name and the token index of the lock method ident.
+fn guard_binding(toks: &[Token], let_idx: usize, limit: usize) -> Option<(String, usize)> {
+    let mut j = let_idx + 1;
+    if toks.get(j)?.kind.ident() == Some("mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?.kind.ident()?.to_string();
+    if name == "_" {
+        return None;
+    }
+    let mut rel = 0isize;
+    let mut k = j + 1;
+    while k < limit {
+        let tok = toks.get(k)?;
+        match &tok.kind {
+            Tok::Punct(b'(' | b'[' | b'{') => rel += 1,
+            Tok::Punct(b')' | b']' | b'}') => rel -= 1,
+            Tok::Punct(b';') if rel <= 0 => return None,
+            Tok::Ident(m) if rel == 0 && is_lock_method(m, toks, k) => {
+                return Some((name, k));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// The qualified identity of the lock acquired by the method ident at
+/// `method_idx`: walk the receiver chain back one step to the field or
+/// binding the lock lives in.
+fn lock_identity(
+    toks: &[Token],
+    method_idx: usize,
+    crate_name: &str,
+    impl_type: Option<&str>,
+) -> String {
+    let j = receiver_field_idx(toks, method_idx);
+    let field = toks.get(j).and_then(|t| t.kind.ident()).unwrap_or("<expr>");
+    // `self.field.lock()` is qualified by the impl type; anything else
+    // (locals, params, statics, free paths) by its own name.
+    let via_self = j >= 2
+        && toks.get(j - 1).is_some_and(|t| t.kind.is_punct(b'.'))
+        && toks
+            .get(j - 2)
+            .is_some_and(|t| t.kind.ident() == Some("self"));
+    match (via_self, impl_type) {
+        (true, Some(ty)) => format!("{crate_name}:{ty}.{field}"),
+        _ => format!("{crate_name}:{field}"),
+    }
+}
+
+/// Token index of the field/binding ident the method call at
+/// `method_idx` is invoked on: `self.inner.read()` → `inner`,
+/// `self.slots[idx].lock()` → `slots`, `shard(n).lock()` → `shard`.
+/// Shared with the atomics rule, which needs the same walk for
+/// `self.epoch.load(Ordering::…)`.
+pub(crate) fn receiver_field_idx(toks: &[Token], method_idx: usize) -> usize {
+    // toks[method_idx - 1] is the `.`; the receiver ends at - 2.
+    let mut j = method_idx.saturating_sub(2);
+    // Skip trailing index/call groups.
+    loop {
+        match toks.get(j).map(|t| &t.kind) {
+            Some(Tok::Punct(b']')) => {
+                j = rewind_group(toks, j, b'[', b']').saturating_sub(1);
+            }
+            Some(Tok::Punct(b')')) => {
+                j = rewind_group(toks, j, b'(', b')').saturating_sub(1);
+            }
+            _ => break,
+        }
+    }
+    j
+}
+
+/// Index of the token opening the group that closes at `close_idx`.
+fn rewind_group(toks: &[Token], close_idx: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0isize;
+    let mut j = close_idx;
+    loop {
+        match toks.get(j).map(|t| &t.kind) {
+            Some(Tok::Punct(p)) if *p == close => depth += 1,
+            Some(Tok::Punct(p)) if *p == open => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return 0;
+        }
+        j -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_fns;
+    use crate::file::{FileClass, SourceFile};
+
+    fn facts_of(src: &str) -> Vec<FnLockFacts> {
+        let file = SourceFile {
+            path: "crates/serve/src/x.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: src.into(),
+        };
+        let ctx = FileContext::new(&file);
+        parse_fns(&ctx.lexed)
+            .iter()
+            .map(|item| lock_facts(&ctx, item))
+            .collect()
+    }
+
+    #[test]
+    fn ordered_acquisition_is_an_edge() {
+        let f =
+            &facts_of("fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }")[0];
+        assert_eq!(f.acquires.len(), 2);
+        assert_eq!(f.edges.len(), 1);
+        assert_eq!(f.edges[0].from, "serve:alpha");
+        assert_eq!(f.edges[0].to, "serve:beta");
+    }
+
+    #[test]
+    fn impl_type_qualifies_self_fields() {
+        let f = &facts_of(
+            "impl Cache { fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } }",
+        )[0];
+        assert_eq!(f.edges[0].from, "serve:Cache.alpha");
+        assert_eq!(f.edges[0].to, "serve:Cache.beta");
+    }
+
+    #[test]
+    fn drop_and_scope_end_liveness() {
+        let f = &facts_of(
+            "fn f(&self) { let a = self.alpha.lock(); drop(a); let b = self.beta.lock(); }",
+        )[0];
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+        let g =
+            &facts_of("fn g(&self) { { let a = self.alpha.lock(); } let b = self.beta.lock(); }")
+                [0];
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn temporary_locks_make_edges_but_do_not_hold() {
+        let f = &facts_of(
+            "fn f(&self) { let a = self.alpha.lock(); self.beta.lock().push(1); self.gamma.lock().pop(); }",
+        )[0];
+        // beta and gamma each get an edge from alpha, not from each other.
+        let pairs: Vec<(&str, &str)> = f
+            .edges
+            .iter()
+            .map(|e| (e.from.as_str(), e.to.as_str()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("serve:alpha", "serve:beta"),
+                ("serve:alpha", "serve:gamma")
+            ]
+        );
+    }
+
+    #[test]
+    fn io_read_write_are_not_acquisitions() {
+        let f =
+            &facts_of("fn f(&self, buf: &mut [u8]) { self.file.read(buf); self.sock.write(buf); }")
+                [0];
+        assert!(f.acquires.is_empty(), "{:?}", f.acquires);
+    }
+
+    #[test]
+    fn indexed_receivers_use_the_collection_field() {
+        let f =
+            &facts_of("impl Ring { fn f(&self, i: usize) { let s = self.slots[i].lock(); } }")[0];
+        assert_eq!(f.acquires[0].lock, "serve:Ring.slots");
+    }
+
+    #[test]
+    fn calls_under_lock_are_recorded() {
+        let f = &facts_of("fn f(&self) { let a = self.alpha.lock(); helper(&a); }")[0];
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(f.calls[0].callee, "helper");
+        assert_eq!(f.calls[0].held, vec!["serve:alpha".to_string()]);
+        let g = &facts_of("fn g(&self) { helper(); }")[0];
+        assert!(g.calls.is_empty());
+    }
+
+    #[test]
+    fn same_identity_reacquisition_is_not_an_edge() {
+        let f = &facts_of(
+            "impl S { fn f(&self, i: usize, j: usize) { let a = self.shards[i].lock(); let b = self.shards[j].lock(); } }",
+        )[0];
+        assert!(f.edges.is_empty(), "{:?}", f.edges);
+        assert_eq!(f.acquires.len(), 2);
+    }
+}

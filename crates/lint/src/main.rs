@@ -15,8 +15,12 @@ USAGE:
     cargo run -p qrec-lint -- [OPTIONS]
 
 OPTIONS:
-    --json               emit findings as a JSON array
+    --json               emit findings as a JSON array (per-rule counts on stderr)
     --write-baseline     rewrite lint-baseline.toml from current findings
+    --check-baseline     also fail when the baseline lists violations that no
+                         longer exist (stale entries must be pruned)
+    --explain <RULE>     print what a rule checks and a minimal violating
+                         example, then exit (accepts aliases)
     --baseline <PATH>    baseline file (default: <root>/lint-baseline.toml)
     --root <DIR>         workspace root (default: auto-detected)
     -h, --help           show this help
@@ -25,6 +29,7 @@ OPTIONS:
 struct Args {
     json: bool,
     write_baseline: bool,
+    check_baseline: bool,
     baseline: Option<PathBuf>,
     root: Option<PathBuf>,
 }
@@ -33,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
         write_baseline: false,
+        check_baseline: false,
         baseline: None,
         root: None,
     };
@@ -41,6 +47,17 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--json" => args.json = true,
             "--write-baseline" => args.write_baseline = true,
+            "--check-baseline" => args.check_baseline = true,
+            "--explain" => {
+                let rule = it.next().ok_or("--explain needs a rule name")?;
+                match qrec_lint::explain(&rule) {
+                    Some((doc, example)) => {
+                        println!("{doc}\n\nMinimal violating example:\n\n{example}");
+                        std::process::exit(0);
+                    }
+                    None => return Err(format!("unknown rule {rule:?}; see README for the list")),
+                }
+            }
             "--baseline" => {
                 args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
             }
@@ -127,11 +144,30 @@ fn main() -> ExitCode {
         Err(_) => Baseline::default(), // no baseline file: nothing tolerated
     };
 
+    let stale = if args.check_baseline {
+        baseline.stale(&findings)
+    } else {
+        Vec::new()
+    };
     let (tolerated, fresh): (Vec<_>, Vec<_>) =
         findings.into_iter().partition(|f| baseline.contains(f));
 
     if args.json {
         println!("{}", diag::to_json(&fresh));
+        // Per-rule counts go to stderr so stdout stays parseable JSON.
+        let mut by_rule: std::collections::BTreeMap<&str, usize> = Default::default();
+        for f in &fresh {
+            *by_rule.entry(f.rule.as_str()).or_default() += 1;
+        }
+        eprintln!(
+            "qrec-lint: {} file(s), {} new finding(s), {} baselined",
+            ws.files.len(),
+            fresh.len(),
+            tolerated.len()
+        );
+        for (rule, n) in &by_rule {
+            eprintln!("  {rule}: {n}");
+        }
     } else {
         for f in &fresh {
             println!("{}\n", f.render());
@@ -148,6 +184,18 @@ fn main() -> ExitCode {
                  regenerate the baseline with --write-baseline"
             );
         }
+    }
+    if !stale.is_empty() {
+        eprintln!(
+            "qrec-lint: baseline is stale — {} entr{} without a matching finding:",
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" }
+        );
+        for (rule, file, line) in &stale {
+            eprintln!("  {rule} at {file}:{line}");
+        }
+        eprintln!("prune them (or regenerate with --write-baseline)");
+        return ExitCode::FAILURE;
     }
     if fresh.is_empty() {
         ExitCode::SUCCESS

@@ -1,4 +1,4 @@
-//! The seven project rules and the engine that runs them.
+//! The ten project rules and the engine that runs them.
 //!
 //! | id                    | invariant it protects                              |
 //! |-----------------------|----------------------------------------------------|
@@ -9,14 +9,25 @@
 //! | `safety-comments`     | every `unsafe` block carries a `// SAFETY:` note   |
 //! | `shim-surface-drift`  | parking_lot crates never regress to `std::sync`    |
 //! | `no-alloc-in-metric-path` | metric recording never allocates per call      |
+//! | `lock-order-inversion` | no two locks are ever taken in both orders        |
+//! | `atomics-ordering-hygiene` | relaxed atomics never publish data            |
+//! | `blocking-call-in-hot-path` | decode/recommend paths never block on I/O    |
+//!
+//! R1–R7 are per-file token scans. R8–R10 are *workspace* passes built
+//! on the analysis IR (`ast` → `callgraph` / `lockgraph`): they see
+//! `a.lock(); helper()` where `helper` locks `b` as an `a → b` edge,
+//! which no single-file rule can.
 
+use crate::ast::{parse_fns, FnItem};
+use crate::callgraph::CallGraph;
 use crate::diag::Finding;
 use crate::file::{FileClass, FileContext, SourceFile};
 use crate::lexer::Tok;
-use std::collections::{HashMap, HashSet};
+use crate::lockgraph::{lock_facts, receiver_field_idx, FnLockFacts};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
-/// Every rule id, in R1..R7 order.
-pub const RULES: [&str; 7] = [
+/// Every rule id, in R1..R10 order.
+pub const RULES: [&str; 10] = [
     "no-panic-in-hot-path",
     "no-lock-across-call",
     "no-stdout-in-lib",
@@ -24,7 +35,29 @@ pub const RULES: [&str; 7] = [
     "safety-comments",
     "shim-surface-drift",
     "no-alloc-in-metric-path",
+    "lock-order-inversion",
+    "atomics-ordering-hygiene",
+    "blocking-call-in-hot-path",
 ];
+
+/// Directive shorthands: `allow(atomics)` reads better in an annotated
+/// `fetch_add` forest than the full rule id.
+pub const RULE_ALIASES: [(&str, &str); 3] = [
+    ("atomics", "atomics-ordering-hygiene"),
+    ("lock-order", "lock-order-inversion"),
+    ("blocking", "blocking-call-in-hot-path"),
+];
+
+/// Resolve a rule name or alias to its canonical rule id.
+pub fn resolve_rule(name: &str) -> Option<&'static str> {
+    if let Some(&canonical) = RULES.iter().find(|&&r| r == name) {
+        return Some(canonical);
+    }
+    RULE_ALIASES
+        .iter()
+        .find(|(alias, _)| *alias == name)
+        .map(|(_, canonical)| *canonical)
+}
 
 /// Which crates each cross-cutting rule applies to.
 #[derive(Debug, Clone)]
@@ -36,6 +69,10 @@ pub struct Config {
     /// Crates standardized on `parking_lot` (R6): `std::sync` locks are
     /// surface drift there.
     pub parking_lot_crates: Vec<String>,
+    /// Direct path dependencies per crate, from the manifests. Feeds
+    /// the call graph's dependency-direction filter (R8/R10); an empty
+    /// map disables it.
+    pub crate_deps: HashMap<String, Vec<String>>,
 }
 
 impl Default for Config {
@@ -46,6 +83,7 @@ impl Default for Config {
                 .to_vec(),
             lock_call_crates: vec!["serve".to_string(), "store".to_string()],
             parking_lot_crates: vec!["serve".to_string()],
+            crate_deps: HashMap::new(),
         }
     }
 }
@@ -54,39 +92,53 @@ impl Default for Config {
 /// by (file, line, rule). Inline-allowed findings are dropped;
 /// malformed allow directives are themselves findings.
 pub fn analyze(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    // Lex and annotate everything up front: the workspace passes
+    // (R8–R10) need every file's IR before any verdict.
+    let ctxs: Vec<FileContext<'_>> = files.iter().map(FileContext::new).collect();
     let mut findings = Vec::new();
     // Crate-level state for R4: enums and trait impls seen per crate.
     // An enum in `error.rs` is satisfied by impls in any sibling file,
     // so verdicts wait until the whole crate has been scanned.
     let mut error_enums: Vec<ErrorEnum> = Vec::new();
     let mut impls: HashMap<String, HashSet<(String, String)>> = HashMap::new();
+    // Analysis IR for the workspace passes: non-test `fn` items of
+    // every non-shim library file.
+    let mut ir: Vec<(&FileContext<'_>, Vec<FnItem>)> = Vec::new();
 
-    for file in files {
-        let ctx = FileContext::new(file);
+    for ctx in &ctxs {
+        let file = ctx.file;
         findings.extend(ctx.malformed.iter().cloned());
 
         let mut raw = Vec::new();
         if applies_r1(file, cfg) {
-            no_panic_in_hot_path(&ctx, &mut raw);
+            no_panic_in_hot_path(ctx, &mut raw);
         }
         if applies_r2(file, cfg) {
-            no_lock_across_call(&ctx, &mut raw);
+            no_lock_across_call(ctx, &mut raw);
         }
         if applies_r3(file) {
-            no_stdout_in_lib(&ctx, &mut raw);
+            no_stdout_in_lib(ctx, &mut raw);
         }
         if applies_r4(file) {
-            collect_error_types(&ctx, &mut error_enums, &mut impls);
+            collect_error_types(ctx, &mut error_enums, &mut impls);
         }
-        safety_comments(&ctx, &mut raw); // R5: every file, every class
+        safety_comments(ctx, &mut raw); // R5: every file, every class
         if applies_r6(file, cfg) {
-            shim_surface_drift(&ctx, &mut raw);
+            shim_surface_drift(ctx, &mut raw);
         }
         if applies_r7(file, cfg) {
-            no_alloc_in_metric_path(&ctx, &mut raw);
+            no_alloc_in_metric_path(ctx, &mut raw);
         }
+        if applies_r9(file, cfg) {
+            atomics_ordering_local(ctx, &mut raw);
+        }
+        findings.extend(raw);
 
-        findings.extend(raw.into_iter().filter(|f| !ctx.allowed(&f.rule, f.line)));
+        if file.class == FileClass::Library && !file.crate_name.starts_with("shim:") {
+            let mut items = parse_fns(&ctx.lexed);
+            items.retain(|it| !ctx.in_test(it.fn_idx));
+            ir.push((ctx, items));
+        }
     }
 
     for e in error_enums {
@@ -98,6 +150,23 @@ pub fn analyze(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
             findings.push(e.finding);
         }
     }
+
+    // Workspace passes over the IR.
+    lock_order_inversion(&ir, cfg, &mut findings);
+    atomics_ordering_pairing(&ctxs, cfg, &mut findings);
+    blocking_call_in_hot_path(&ir, cfg, &mut findings);
+
+    // Inline-allow filtering, last: a workspace-pass finding is
+    // attributed to a source line in some file, and that file's
+    // directives decide whether it is waived.
+    let ctx_by_path: HashMap<&str, &FileContext<'_>> =
+        ctxs.iter().map(|c| (c.file.path.as_str(), c)).collect();
+    findings.retain(|f| {
+        f.rule == "malformed-allow"
+            || ctx_by_path
+                .get(f.file.as_str())
+                .is_none_or(|c| !c.allowed(&f.rule, f.line))
+    });
 
     findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     findings.dedup();
@@ -128,6 +197,10 @@ fn applies_r6(file: &SourceFile, cfg: &Config) -> bool {
 fn applies_r7(file: &SourceFile, cfg: &Config) -> bool {
     file.class == FileClass::Library
         && (file.crate_name == "obs" || cfg.hot_path_crates.contains(&file.crate_name))
+}
+
+fn applies_r9(file: &SourceFile, cfg: &Config) -> bool {
+    file.class == FileClass::Library && cfg.hot_path_crates.contains(&file.crate_name)
 }
 
 fn finding(ctx: &FileContext<'_>, rule: &str, line: u32, message: String) -> Finding {
@@ -722,6 +795,558 @@ fn scan_alloc(
     }
 }
 
+// ---------------------------------------------------------------------
+// R8: lock-order-inversion
+// ---------------------------------------------------------------------
+
+/// A recorded acquisition-order edge's provenance.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    file: String,
+    line: u32,
+    desc: String,
+}
+
+/// Detects lock-order inversions across the whole workspace: builds the
+/// acquisition-order graph (lock A held while lock B is acquired ⇒ edge
+/// A → B), propagates acquisitions through the call graph (`a.lock();
+/// helper()` where `helper` locks `b` is an `a → b` edge too), and
+/// reports every cycle once, anchored at one witness edge with the
+/// counter-witness named in the message.
+fn lock_order_inversion(
+    ir: &[(&FileContext<'_>, Vec<FnItem>)],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "lock-order-inversion";
+
+    // Per-function lock facts, keyed by call-graph node name.
+    let mut all_facts: Vec<(&FileContext<'_>, String, FnLockFacts)> = Vec::new();
+    let mut locks_of: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for (ctx, items) in ir {
+        for item in items {
+            let node = format!("{}:{}", ctx.file.crate_name, item.qual_name());
+            let facts = lock_facts(ctx, item);
+            for acq in &facts.acquires {
+                locks_of
+                    .entry(node.clone())
+                    .or_default()
+                    .insert(acq.lock.clone());
+            }
+            all_facts.push((ctx, node, facts));
+        }
+    }
+    let graph_input: Vec<(&FileContext<'_>, &[FnItem])> = ir
+        .iter()
+        .map(|(ctx, items)| (*ctx, items.as_slice()))
+        .collect();
+    let cg = CallGraph::build(&graph_input, &cfg.crate_deps);
+
+    // Transitive lock sets, memoised per (caller crate, simple callee
+    // name): lock facts record call sites by simple name, and the
+    // caller's crate gates which nodes the name can resolve to.
+    let mut trans_cache: HashMap<(String, String), BTreeSet<String>> = HashMap::new();
+    let mut trans = |caller_crate: &str, name: &str| -> BTreeSet<String> {
+        let key = (caller_crate.to_string(), name.to_string());
+        if let Some(hit) = trans_cache.get(&key) {
+            return hit.clone();
+        }
+        let mut set = BTreeSet::new();
+        for node in cg.candidates(caller_crate, name) {
+            for f in cg.reachable(&node) {
+                if let Some(locks) = locks_of.get(&f) {
+                    set.extend(locks.iter().cloned());
+                }
+            }
+        }
+        trans_cache.insert(key, set.clone());
+        set
+    };
+
+    // The order graph: from-lock → to-lock → first witness.
+    let mut edges: BTreeMap<String, BTreeMap<String, EdgeWitness>> = BTreeMap::new();
+    let add_edge = |edges: &mut BTreeMap<String, BTreeMap<String, EdgeWitness>>,
+                    from: &str,
+                    to: &str,
+                    w: EdgeWitness| {
+        edges
+            .entry(from.to_string())
+            .or_default()
+            .entry(to.to_string())
+            .or_insert(w);
+    };
+
+    for (ctx, fn_name, facts) in &all_facts {
+        for e in &facts.edges {
+            add_edge(
+                &mut edges,
+                &e.from,
+                &e.to,
+                EdgeWitness {
+                    file: ctx.file.path.clone(),
+                    line: e.line,
+                    desc: format!(
+                        "`{}` acquired while `{}` is held in `{fn_name}`",
+                        e.to, e.from
+                    ),
+                },
+            );
+        }
+        for c in &facts.calls {
+            for to in trans(&ctx.file.crate_name, &c.callee) {
+                for from in &c.held {
+                    if *from != to {
+                        add_edge(
+                            &mut edges,
+                            from,
+                            &to,
+                            EdgeWitness {
+                                file: ctx.file.path.clone(),
+                                line: c.line,
+                                desc: format!(
+                                    "call to `{}` (which can acquire `{to}`) while `{from}` \
+                                     is held in `{fn_name}`",
+                                    c.callee
+                                ),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: an edge A → B closes a cycle when B already
+    // reaches A. Each cycle (as a node set) is reported once, at its
+    // lexicographically-first witness.
+    let reaches = |from: &str, to: &str| -> Option<Vec<String>> {
+        // BFS over the order graph, returning the path from → … → to.
+        let mut parent: HashMap<&str, &str> = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        parent.insert(from, "");
+        while let Some(n) = queue.pop_front() {
+            if let Some(next) = edges.get(n) {
+                for m in next.keys() {
+                    if parent.contains_key(m.as_str()) {
+                        continue;
+                    }
+                    parent.insert(m, n);
+                    if m == to {
+                        let mut path = vec![m.clone()];
+                        let mut cur = n;
+                        while !cur.is_empty() {
+                            path.push(cur.to_string());
+                            cur = parent[cur];
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    };
+
+    let mut reported: HashSet<BTreeSet<String>> = HashSet::new();
+    for (a, next) in &edges {
+        for (b, w) in next {
+            let Some(path) = reaches(b, a) else {
+                continue;
+            };
+            let cycle: BTreeSet<String> =
+                path.iter().cloned().chain([a.clone(), b.clone()]).collect();
+            if !reported.insert(cycle) {
+                continue;
+            }
+            // The counter-witness: the first edge on the reverse path.
+            let counter = path
+                .windows(2)
+                .next()
+                .and_then(|pair| edges.get(&pair[0]).and_then(|n| n.get(&pair[1])));
+            let counter_text = counter
+                .map(|cw| format!("{} ({}:{})", cw.desc, cw.file, cw.line))
+                .unwrap_or_else(|| format!("`{b}` precedes `{a}` elsewhere"));
+            out.push(Finding {
+                rule: RULE.into(),
+                file: w.file.clone(),
+                line: w.line,
+                message: format!(
+                    "lock-order inversion: {}, but the opposite order exists — {}; \
+                     two threads taking these locks in both orders deadlock",
+                    w.desc, counter_text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R9: atomics-ordering-hygiene
+// ---------------------------------------------------------------------
+
+/// The atomic-access methods whose ordering argument R9 inspects.
+/// Writes with `Relaxed` are publication hazards; reads are paired
+/// against writes crate-wide by [`atomics_ordering_pairing`].
+const ATOMIC_WRITE_OPS: [&str; 5] = [
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// One `Ordering::…` argument with its enclosing atomic call.
+struct AtomicSite {
+    /// Receiver field / binding name (`epoch`, `stop`, `FORCED`).
+    field: String,
+    /// Method name (`store`, `load`, `fetch_add`, …).
+    op: String,
+    /// Ordering name (`Relaxed`, `Acquire`, …).
+    ordering: String,
+    line: u32,
+}
+
+/// Scan one file for `Ordering::X` arguments and resolve the enclosing
+/// call's method + receiver.
+fn atomic_sites(ctx: &FileContext<'_>) -> Vec<AtomicSite> {
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if toks[i].kind.ident() != Some("Ordering")
+            || !toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b':'))
+            || !toks.get(i + 2).is_some_and(|t| t.kind.is_punct(b':'))
+        {
+            continue;
+        }
+        let Some(ordering) = toks.get(i + 3).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        // Walk back to the `(` opening the enclosing call.
+        let mut depth = 0isize;
+        let mut j = i;
+        let open = loop {
+            if j == 0 {
+                break None;
+            }
+            j -= 1;
+            match &toks[j].kind {
+                Tok::Punct(b')' | b']' | b'}') => depth += 1,
+                Tok::Punct(b'(') if depth == 0 => break Some(j),
+                Tok::Punct(b'(' | b'[' | b'{') => depth -= 1,
+                _ => {}
+            }
+        };
+        let Some(open) = open else { continue };
+        let Some(op) = open
+            .checked_sub(1)
+            .and_then(|k| toks[k].kind.ident())
+            .map(str::to_string)
+        else {
+            continue;
+        };
+        let field_idx = receiver_field_idx(toks, open - 1);
+        let field = toks
+            .get(field_idx)
+            .and_then(|t| t.kind.ident())
+            .unwrap_or("<expr>")
+            .to_string();
+        out.push(AtomicSite {
+            field,
+            op,
+            ordering: ordering.to_string(),
+            line: toks[i].line,
+        });
+    }
+    out
+}
+
+/// Per-file half of R9: a `Relaxed` atomic *write* is a publication
+/// hazard — another thread that observes the stored value gets no
+/// happens-before edge to anything written before it. Monotonic
+/// counters (`fetch_add`/`fetch_sub`) stay legal: their consumers read
+/// aggregate statistics, not published state.
+fn atomics_ordering_local(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "atomics-ordering-hygiene";
+    let mut seen_lines = HashSet::new();
+    for site in atomic_sites(ctx) {
+        if site.ordering == "Relaxed"
+            && ATOMIC_WRITE_OPS.contains(&site.op.as_str())
+            && seen_lines.insert(site.line)
+        {
+            out.push(finding(
+                ctx,
+                RULE,
+                site.line,
+                format!(
+                    "`{}(…, Ordering::Relaxed)` on `{}` can publish a value without a \
+                     happens-before edge; use `Release` paired with an `Acquire` load, \
+                     or add `// qrec-lint: allow(atomics) -- <why approximate is safe>`",
+                    site.op, site.field
+                ),
+            ));
+        }
+    }
+}
+
+/// Crate-wide half of R9: a `Release` write whose field is never read
+/// with `Acquire`/`AcqRel`/`SeqCst` anywhere in the crate (or an
+/// `Acquire` read never paired with a releasing write) synchronises
+/// with nothing — the ordering is either dead weight or a missing pair.
+fn atomics_ordering_pairing(ctxs: &[FileContext<'_>], cfg: &Config, out: &mut Vec<Finding>) {
+    const RULE: &str = "atomics-ordering-hygiene";
+    // crate → field → (release sites, acquire sites).
+    type Sites = Vec<(String, u32)>; // (file, line)
+    let mut rel: HashMap<(String, String), Sites> = HashMap::new();
+    let mut acq: HashMap<(String, String), Sites> = HashMap::new();
+    for ctx in ctxs {
+        if !applies_r9(ctx.file, cfg) {
+            continue;
+        }
+        for site in atomic_sites(ctx) {
+            let key = (ctx.file.crate_name.clone(), site.field.clone());
+            let at = (ctx.file.path.clone(), site.line);
+            match site.ordering.as_str() {
+                "Release" => rel.entry(key).or_default().push(at),
+                "Acquire" => acq.entry(key).or_default().push(at),
+                // AcqRel and SeqCst satisfy both sides of a pair.
+                "AcqRel" | "SeqCst" => {
+                    rel.entry(key.clone()).or_default();
+                    acq.entry(key).or_default();
+                }
+                _ => {}
+            }
+        }
+    }
+    for (key, sites) in &rel {
+        if !acq.contains_key(key) {
+            for (file, line) in sites {
+                out.push(Finding {
+                    rule: RULE.into(),
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "`Release` write to `{}` has no `Acquire` read anywhere in crate \
+                         `{}`; the release synchronises with nothing",
+                        key.1, key.0
+                    ),
+                });
+            }
+        }
+    }
+    for (key, sites) in &acq {
+        if !rel.contains_key(key) {
+            for (file, line) in sites {
+                out.push(Finding {
+                    rule: RULE.into(),
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "`Acquire` read of `{}` has no `Release` write anywhere in crate \
+                         `{}`; the acquire synchronises with nothing",
+                        key.1, key.0
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R10: blocking-call-in-hot-path
+// ---------------------------------------------------------------------
+
+/// Calls that park the calling thread on I/O or a timer.
+const BLOCKING_CALLS: [&str; 6] = [
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "sleep",
+    "park",
+    "park_timeout",
+];
+
+/// Is `name` a hot-path entry point? The decode/recommend families are
+/// the request path; `worker_loop` is the batcher's decode worker.
+fn is_hot_entry(name: &str) -> bool {
+    name.starts_with("decode") || name.starts_with("recommend") || name == "worker_loop"
+}
+
+/// Flags fsync / blocking-I/O / sleep calls reachable from a hot-path
+/// entry point through the workspace call graph. The guard rail the
+/// event-loop refactor depends on: a blocking syscall anywhere under
+/// `decode*` stalls every request sharing the worker.
+fn blocking_call_in_hot_path(
+    ir: &[(&FileContext<'_>, Vec<FnItem>)],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "blocking-call-in-hot-path";
+    let graph_input: Vec<(&FileContext<'_>, &[FnItem])> = ir
+        .iter()
+        .map(|(ctx, items)| (*ctx, items.as_slice()))
+        .collect();
+    let cg = CallGraph::build(&graph_input, &cfg.crate_deps);
+
+    // Entry points live in hot-path crates; the functions they reach
+    // may live anywhere (serve → store crosses a crate boundary).
+    let mut entries: Vec<String> = ir
+        .iter()
+        .filter(|(ctx, _)| cfg.hot_path_crates.contains(&ctx.file.crate_name))
+        .flat_map(|(ctx, items)| {
+            items
+                .iter()
+                .filter(|it| is_hot_entry(&it.name))
+                .map(|it| format!("{}:{}", ctx.file.crate_name, it.qual_name()))
+        })
+        .collect();
+    entries.sort();
+    entries.dedup();
+
+    // Call-graph node name → blocking call sites in its body.
+    let mut blocking_sites: HashMap<String, Vec<(String, String, u32)>> = HashMap::new();
+    for (ctx, items) in ir {
+        for item in items {
+            let Some((start, end)) = item.body else {
+                continue;
+            };
+            let toks = &ctx.lexed.tokens;
+            for i in start..end.min(toks.len()) {
+                if ctx.in_test(i) {
+                    continue;
+                }
+                let Tok::Ident(name) = &toks[i].kind else {
+                    continue;
+                };
+                if BLOCKING_CALLS.contains(&name.as_str())
+                    && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(b'('))
+                {
+                    let node = format!("{}:{}", ctx.file.crate_name, item.qual_name());
+                    blocking_sites.entry(node).or_default().push((
+                        ctx.file.path.clone(),
+                        name.clone(),
+                        toks[i].line,
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut seen: HashSet<(String, u32)> = HashSet::new();
+    for entry in &entries {
+        for reached in cg.reachable(entry) {
+            let Some(sites) = blocking_sites.get(&reached) else {
+                continue;
+            };
+            for (file, call, line) in sites {
+                if !seen.insert((file.clone(), *line)) {
+                    continue;
+                }
+                let via = cg
+                    .path(entry, &reached)
+                    .map(|p| p.join("` → `"))
+                    .unwrap_or_else(|| entry.clone());
+                out.push(Finding {
+                    rule: RULE.into(),
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "blocking call `{call}` is reachable from hot-path entry \
+                         `{entry}` (via `{via}`); it stalls every request sharing the \
+                         worker — move it off the decode path or add a reasoned allow"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// --explain
+// ---------------------------------------------------------------------
+
+/// One paragraph of rule documentation plus a minimal violating
+/// example, for `qrec-lint --explain <rule>`.
+pub fn explain(rule: &str) -> Option<(&'static str, &'static str)> {
+    let canonical = resolve_rule(rule)?;
+    Some(match canonical {
+        "no-panic-in-hot-path" => (
+            "Library code of the hot-path crates must not be able to panic: a \
+             panic aborts the worker thread that millions of requests share. \
+             Flags `.unwrap()`, `.expect(\"…\")`, `panic!`-family macros, and \
+             indexing by an integer literal.",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        ),
+        "no-lock-across-call" => (
+            "A lock guard held across a `decode*` / `train*` / `recommend*` \
+             call serialises the whole batcher. Liveness ends at the guard's \
+             enclosing block or an explicit `drop(guard)`.",
+            "fn f(s: &S) { let g = s.inner.read(); decode_batch(&g); }",
+        ),
+        "no-stdout-in-lib" => (
+            "Library code never writes to stdio directly; binaries own the \
+             terminal. Route output through a `Reporter`.",
+            "fn f() { println!(\"progress\"); }",
+        ),
+        "error-type-hygiene" => (
+            "Every `pub enum *Error` implements both `Display` and \
+             `std::error::Error`, so callers can `?` it and log it. Impls \
+             may live in any sibling file of the crate.",
+            "pub enum LoadError { Missing } // no Display / Error impls",
+        ),
+        "safety-comments" => (
+            "Every `unsafe` block carries a `// SAFETY:` comment within the \
+             two preceding lines explaining why it is sound.",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }",
+        ),
+        "shim-surface-drift" => (
+            "Crates standardized on `parking_lot` never regress to \
+             `std::sync::Mutex` / `RwLock`: mixing lock vocabularies \
+             reintroduces poisoning semantics the crate was designed away \
+             from.",
+            "use std::sync::Mutex; // in a parking_lot crate",
+        ),
+        "no-alloc-in-metric-path" => (
+            "Metric recording is a single fetch-add on the hot path; per-call \
+             allocation (`format!`, `.to_string()`, `Vec::new`) turns it into \
+             a malloc benchmark. Pre-register names at startup.",
+            "pub fn record(v: u64) -> usize { v.to_string().len() }",
+        ),
+        "lock-order-inversion" => (
+            "No two locks may ever be acquired in both orders, anywhere in \
+             the workspace: thread 1 holding A waiting for B while thread 2 \
+             holds B waiting for A is a deadlock. The analysis propagates \
+             acquisitions through the call graph, so `a.lock(); helper()` \
+             where `helper` locks `b` counts as `a → b`, and is cross-checked \
+             at runtime by the QREC_LOCK_ORDER_CHECK=1 sanitizer in the \
+             parking_lot shim.",
+            "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }",
+        ),
+        "atomics-ordering-hygiene" => (
+            "A `Relaxed` atomic write that publishes a value gives readers no \
+             happens-before edge to the data written before it; and a \
+             `Release` write (or `Acquire` read) whose field has no matching \
+             other half anywhere in the crate synchronises with nothing. \
+             Monotonic `fetch_add` counters stay legal; intentionally \
+             approximate sites carry `// qrec-lint: allow(atomics) -- <why>`.",
+            "pub fn publish(&self, v: u64) { self.ready.store(v, Ordering::Relaxed); }",
+        ),
+        "blocking-call-in-hot-path" => (
+            "fsync, blocking file I/O, and sleeps must not be reachable from \
+             `decode*` / `recommend*` / batcher worker paths: one blocked \
+             worker stalls every queued request. Reachability is computed \
+             over the workspace call graph.",
+            "fn recommend(&self) { self.wal.file.sync_data(); }",
+        ),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,5 +1499,150 @@ mod tests {
             "fn f(s: &S) { let t = { let g = s.inner.read(); g.tokens() }; decode_batch(&t); }",
         );
         assert!(rules_hit(&[scoped]).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_lock_inversion_is_flagged() {
+        // f takes alpha then calls g, which takes beta; h takes beta
+        // then alpha directly — the cycle only exists through the call.
+        let f = lib_file(
+            "workload",
+            "fn f(s: &S) { let _a = s.alpha.lock(); g(s); }\n\
+             fn g(s: &S) { let _b = s.beta.lock(); }\n\
+             fn h(s: &S) { let _b = s.beta.lock(); let _a = s.alpha.lock(); }",
+        );
+        assert_eq!(rules_hit(&[f]), vec!["lock-order-inversion"]);
+    }
+
+    #[test]
+    fn lock_inversion_spans_files_in_one_crate() {
+        let fwd = lib_file(
+            "workload",
+            "fn f(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }",
+        );
+        let mut bwd = lib_file(
+            "workload",
+            "fn g(s: &S) { let _b = s.beta.lock(); let _a = s.alpha.lock(); }",
+        );
+        bwd.path = "crates/workload/src/y.rs".into();
+        assert_eq!(rules_hit(&[fwd, bwd]), vec!["lock-order-inversion"]);
+    }
+
+    #[test]
+    fn consistent_order_and_test_code_are_not_inversions() {
+        let ok = lib_file(
+            "workload",
+            "fn f(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }\n\
+             fn g(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }",
+        );
+        assert!(rules_hit(&[ok]).is_empty());
+        // Inverted order inside #[cfg(test)] does not count: tests may
+        // exercise locks in controlled single-threaded order.
+        let test_only = lib_file(
+            "workload",
+            "fn f(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }\n\
+             #[cfg(test)]\nmod tests {\n\
+             fn g(s: &S) { let _b = s.beta.lock(); let _a = s.alpha.lock(); }\n}",
+        );
+        assert!(rules_hit(&[test_only]).is_empty());
+    }
+
+    #[test]
+    fn relaxed_store_flagged_and_allow_waives_it() {
+        let bad = lib_file(
+            "core",
+            "fn f(s: &S) { s.ready.store(true, Ordering::Relaxed); }",
+        );
+        assert_eq!(rules_hit(&[bad]), vec!["atomics-ordering-hygiene"]);
+        let waived = lib_file(
+            "core",
+            "fn f(s: &S) {\n\
+             // qrec-lint: allow(atomics) -- standalone flag, nothing rides behind it\n\
+             s.ready.store(true, Ordering::Relaxed);\n}",
+        );
+        assert!(rules_hit(&[waived]).is_empty());
+        // fetch_add is a counter idiom, not a publication.
+        let counter = lib_file(
+            "core",
+            "fn f(s: &S) { s.hits.fetch_add(1, Ordering::Relaxed); }",
+        );
+        assert!(rules_hit(&[counter]).is_empty());
+    }
+
+    #[test]
+    fn unpaired_release_is_flagged_and_cross_file_pairing_clears_it() {
+        let rel = lib_file(
+            "core",
+            "fn f(s: &S) { s.ready.store(true, Ordering::Release); }",
+        );
+        assert_eq!(
+            rules_hit(std::slice::from_ref(&rel)),
+            vec!["atomics-ordering-hygiene"]
+        );
+        // The matching Acquire may live in another file of the crate.
+        let mut acq = lib_file(
+            "core",
+            "fn g(s: &S) -> bool { s.ready.load(Ordering::Acquire) }",
+        );
+        acq.path = "crates/core/src/y.rs".into();
+        assert!(rules_hit(&[rel, acq]).is_empty());
+        // SeqCst satisfies both sides on its own.
+        let seqcst = lib_file(
+            "core",
+            "fn f(s: &S) { s.ready.store(true, Ordering::SeqCst); }",
+        );
+        assert!(rules_hit(&[seqcst]).is_empty());
+    }
+
+    #[test]
+    fn blocking_call_reachable_from_hot_entry_is_flagged() {
+        let f = lib_file(
+            "serve",
+            "pub fn decode_step(s: &S) { persist(s); }\n\
+             fn persist(s: &S) { s.file.sync_all(); }",
+        );
+        assert_eq!(rules_hit(&[f]), vec!["blocking-call-in-hot-path"]);
+        // The same blocking call with no hot entry reaching it is fine.
+        let cold = lib_file(
+            "serve",
+            "pub fn flush(s: &S) { persist(s); }\n\
+             fn persist(s: &S) { s.file.sync_all(); }",
+        );
+        assert!(rules_hit(&[cold]).is_empty());
+    }
+
+    #[test]
+    fn blocking_reachability_crosses_crates_with_deps() {
+        // serve:recommend → store:Wal::append → sync_data, linked only
+        // when serve declares a dependency on store.
+        let serve = lib_file("serve", "pub fn recommend(s: &S) { Wal::append(s); }");
+        let mut store = lib_file(
+            "store",
+            "impl Wal { pub fn append(s: &S) { s.file.sync_data(); } }",
+        );
+        store.path = "crates/store/src/wal.rs".into();
+        let mut cfg = Config::default();
+        cfg.crate_deps.insert("serve".into(), vec!["store".into()]);
+        cfg.crate_deps.insert("store".into(), vec![]);
+        let hits: Vec<String> = analyze(&[serve.clone(), store.clone()], &cfg)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(hits, vec!["blocking-call-in-hot-path"]);
+        // Reverse the dependency: store cannot call "up" into serve,
+        // and serve no longer depends on store, so the edge dissolves.
+        let mut cfg = Config::default();
+        cfg.crate_deps.insert("serve".into(), vec![]);
+        cfg.crate_deps.insert("store".into(), vec![]);
+        assert!(analyze(&[serve, store], &cfg).is_empty());
+    }
+
+    #[test]
+    fn explain_covers_every_rule_and_aliases() {
+        for rule in RULES {
+            assert!(explain(rule).is_some(), "explain must cover {rule}");
+        }
+        assert!(explain("atomics").is_some(), "aliases resolve");
+        assert!(explain("no-such-rule").is_none());
     }
 }

@@ -29,6 +29,12 @@ pub fn collect_workspace(root: &Path) -> io::Result<Workspace> {
     let mut config = Config::default();
     config.parking_lot_crates.clear();
 
+    // Package-name → crate-dir map from the root manifest's
+    // `[workspace.dependencies]` (`qrec-obs = { path = "crates/obs" }`
+    // → `qrec-obs` → `obs`), for resolving workspace-inherited deps.
+    let root_manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let pkg_dirs = workspace_dep_dirs(&root_manifest);
+
     // crates/<name>/…
     for crate_dir in subdirs(&root.join("crates"))? {
         let crate_name = dir_name(&crate_dir);
@@ -39,10 +45,16 @@ pub fn collect_workspace(root: &Path) -> io::Result<Workspace> {
         {
             config.parking_lot_crates.push(crate_name.clone());
         }
+        config
+            .crate_deps
+            .insert(crate_name.clone(), manifest_deps(&manifest, &pkg_dirs));
         collect_package(root, &crate_dir, &crate_name, &mut files)?;
     }
 
     // The root package (`src/`, `examples/`, `tests/`).
+    config
+        .crate_deps
+        .insert("qrec".to_string(), manifest_deps(&root_manifest, &pkg_dirs));
     collect_package(root, root, "qrec", &mut files)?;
 
     // Vendored shims: only ever checked for safety comments.
@@ -142,6 +154,52 @@ fn collect_tree(
         }
     }
     Ok(())
+}
+
+/// Package-name → crate-dir pairs from `path = "…"` dependency lines
+/// (`qrec-store = { path = "crates/store" }` → `("qrec-store",
+/// "store")`).
+fn workspace_dep_dirs(manifest: &str) -> Vec<(String, String)> {
+    manifest
+        .lines()
+        .filter_map(|l| {
+            let name = l.split('=').next()?.trim();
+            if name.is_empty() || name.starts_with('[') || name.starts_with('#') {
+                return None;
+            }
+            let (_, rest) = l.split_once("path = \"")?;
+            let (p, _) = rest.split_once('"')?;
+            let dir = Path::new(p).file_name()?.to_string_lossy().into_owned();
+            Some((name.to_string(), dir))
+        })
+        .collect()
+}
+
+/// The crate directory names a manifest depends on, resolving both
+/// direct `path = "…"` entries and workspace-inherited entries
+/// (`qrec-obs.workspace = true`) through the root manifest's map.
+/// Dev-dependencies count too — over-approximation is the right bias
+/// for the call graph's dependency-direction filter.
+fn manifest_deps(manifest: &str, pkg_dirs: &[(String, String)]) -> Vec<String> {
+    let mut deps: Vec<String> = workspace_dep_dirs(manifest)
+        .into_iter()
+        .map(|(_, dir)| dir)
+        .collect();
+    for line in manifest.lines() {
+        let Some(name) = line
+            .split_once(".workspace")
+            .or_else(|| line.split_once("= { workspace"))
+            .map(|(n, _)| n.trim())
+        else {
+            continue;
+        };
+        if let Some((_, dir)) = pkg_dirs.iter().find(|(pkg, _)| pkg == name) {
+            deps.push(dir.clone());
+        }
+    }
+    deps.sort();
+    deps.dedup();
+    deps
 }
 
 fn subdirs(dir: &Path) -> io::Result<Vec<PathBuf>> {

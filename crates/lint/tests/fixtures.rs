@@ -223,3 +223,92 @@ fn r6_does_not_apply_outside_parking_lot_crates() {
         "R6 is scoped to the parking_lot crates"
     );
 }
+
+#[test]
+fn r8_lock_order_inversion() {
+    let pos = include_str!("fixtures/r8_lockorder/pos.rs");
+    let neg = include_str!("fixtures/r8_lockorder/neg.rs");
+    check_rule("lock-order-inversion", "workload", pos, neg);
+    // One ABBA cycle is reported exactly once, not once per direction.
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/workload/src/fixture.rs".into(),
+            crate_name: "workload".into(),
+            class: FileClass::Library,
+            text: pos.into(),
+        }],
+        &Config::default(),
+    );
+    assert_eq!(findings.len(), 1, "one cycle, one finding: {findings:?}");
+    assert!(
+        findings[0].message.contains("opposite order"),
+        "message names the counter-witness: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn r9_atomics_ordering_hygiene() {
+    let pos = include_str!("fixtures/r9_atomics/pos.rs");
+    let neg = include_str!("fixtures/r9_atomics/neg.rs");
+    check_rule("atomics-ordering-hygiene", "core", pos, neg);
+    // Both halves fire: the Relaxed publication store and the
+    // unpaired Release write.
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/core/src/fixture.rs".into(),
+            crate_name: "core".into(),
+            class: FileClass::Library,
+            text: pos.into(),
+        }],
+        &Config::default(),
+    );
+    assert_eq!(
+        findings.len(),
+        2,
+        "relaxed store + unpaired release: {findings:?}"
+    );
+}
+
+#[test]
+fn r9_does_not_apply_outside_hot_path_crates() {
+    let pos = include_str!("fixtures/r9_atomics/pos.rs");
+    assert!(
+        rules_hit("workload", pos).is_empty(),
+        "R9 is scoped to the hot-path crates"
+    );
+}
+
+#[test]
+fn r10_blocking_call_in_hot_path() {
+    let pos = include_str!("fixtures/r10_blocking/pos.rs");
+    let neg = include_str!("fixtures/r10_blocking/neg.rs");
+    check_rule("blocking-call-in-hot-path", "serve", pos, neg);
+    // The finding lands on the fsync line and names the path from the
+    // entry point.
+    let findings = analyze(
+        &[SourceFile {
+            path: "crates/serve/src/fixture.rs".into(),
+            crate_name: "serve".into(),
+            class: FileClass::Library,
+            text: pos.into(),
+        }],
+        &Config::default(),
+    );
+    assert_eq!(findings.len(), 1, "one blocking site: {findings:?}");
+    assert!(
+        findings[0].message.contains("serve:decode_step")
+            && findings[0].message.contains("serve:persist"),
+        "message shows the call chain: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn r10_entries_are_scoped_to_hot_path_crates() {
+    let pos = include_str!("fixtures/r10_blocking/pos.rs");
+    assert!(
+        rules_hit("workload", pos).is_empty(),
+        "a decode fn outside the hot-path crates is not an entry point"
+    );
+}

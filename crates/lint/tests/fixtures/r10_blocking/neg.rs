@@ -1,0 +1,14 @@
+//! R10 negative fixture: the same fsync exists, but only a flush-path
+//! function reaches it — no hot-path entry point does.
+
+pub fn decode_step(state: &State) -> Step {
+    advance(state)
+}
+
+pub fn flush_manifest(state: &State) {
+    state.file.sync_all();
+}
+
+fn advance(state: &State) -> Step {
+    Step::from(state)
+}

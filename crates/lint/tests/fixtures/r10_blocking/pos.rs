@@ -1,0 +1,15 @@
+//! R10 positive fixture: a decode entry point reaching an fsync two
+//! calls deep — the WAL-on-the-request-path shape the rule exists for.
+
+pub fn decode_step(state: &State) -> Step {
+    persist(state);
+    advance(state)
+}
+
+fn persist(state: &State) {
+    state.file.sync_all();
+}
+
+fn advance(state: &State) -> Step {
+    Step::from(state)
+}

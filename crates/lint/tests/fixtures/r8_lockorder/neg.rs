@@ -1,0 +1,25 @@
+//! R8 negative fixture: both methods agree on alpha → beta, and a
+//! third method takes only one lock — a consistent global order.
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn also_forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a * *b
+    }
+
+    pub fn solo(&self) -> u32 {
+        *self.beta.lock()
+    }
+}

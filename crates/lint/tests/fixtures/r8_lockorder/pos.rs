@@ -1,0 +1,21 @@
+//! R8 positive fixture: the same two locks acquired in both orders by
+//! two methods — the canonical ABBA deadlock, one cycle to report.
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *b - *a
+    }
+}

@@ -1,0 +1,23 @@
+//! R9 negative fixture: a properly paired Release/Acquire flag, and a
+//! `Relaxed` counter increment — the one relaxed idiom that is fine,
+//! since `fetch_add` is a read-modify-write and nothing rides behind a
+//! statistics counter.
+
+pub struct Flags {
+    ready: AtomicBool,
+    hits: AtomicU64,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

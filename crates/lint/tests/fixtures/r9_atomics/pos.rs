@@ -1,0 +1,22 @@
+//! R9 positive fixture: both halves of the rule — a `Relaxed`
+//! publication store, and a `Release` write whose field is never read
+//! with `Acquire` anywhere in the crate.
+
+pub struct Flags {
+    ready: AtomicBool,
+    sealed: AtomicBool,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> bool {
+        self.sealed.load(Ordering::Relaxed)
+    }
+}

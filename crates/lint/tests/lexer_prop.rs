@@ -1,0 +1,186 @@
+//! Property tests for the lint lexer, using a self-contained xorshift
+//! generator (the build is offline, so no proptest crate): thousands of
+//! adversarial inputs — random byte soups, rust-flavoured token salads,
+//! truncated prefixes of real source — must never panic the lexer, and
+//! every token/comment line must stay within the source's line count.
+//!
+//! Plus pinned regression inputs for the constructs most likely to
+//! desync a hand-rolled lexer: nested `/* */` comments, raw strings
+//! with `#` fences, and quotes inside comments.
+
+use qrec_lint::lexer::{lex, Lexed};
+
+/// Deterministic xorshift64* PRNG: reproducible failures, no deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Every invariant the rest of the engine relies on: lines are 1-based
+/// and never beyond the last source line, comments are well-ordered.
+fn check_invariants(src: &str, lexed: &Lexed) {
+    // A byte after the last `\n` (including EOF of an unterminated
+    // construct) is on line newline-count + 1.
+    let line_count = src.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+    for t in &lexed.tokens {
+        assert!(
+            t.line >= 1 && t.line <= line_count,
+            "token line {} outside 1..={line_count} for {:?} in {src:?}",
+            t.line,
+            t.kind
+        );
+    }
+    for c in &lexed.comments {
+        assert!(
+            c.line >= 1 && c.end_line >= c.line && c.end_line <= line_count,
+            "comment lines {}..{} outside 1..={line_count} in {src:?}",
+            c.line,
+            c.end_line
+        );
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..2000 {
+        let len = rng.below(200);
+        // Arbitrary bytes, lossily decoded: covers invalid-UTF-8
+        // replacement chars, control bytes, and unpaired delimiters.
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_invariants(&src, &lex(&src));
+    }
+}
+
+#[test]
+fn random_token_salad_never_panics() {
+    // Rust-flavoured fragments, including every construct the lexer
+    // special-cases, glued in random order: much denser coverage of
+    // the tricky state transitions than uniform bytes.
+    const PIECES: &[&str] = &[
+        "fn ",
+        "impl ",
+        "self.",
+        "lock()",
+        "\"str\"",
+        "\"unterminated",
+        "r#\"raw\"#",
+        "r\"",
+        "'a",
+        "'a'",
+        "b'\\n'",
+        "b\"bytes\"",
+        "/* block */",
+        "/* nested /* deep */ still */",
+        "/*",
+        "// line\n",
+        "\n",
+        "0xff",
+        "3.14",
+        "::",
+        "=>",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        "#[cfg(test)]",
+        "'\\''",
+        "r##\"two fences\"##",
+        "\\",
+        "\u{1f980}",
+        "é",
+        "*/",
+    ];
+    let mut rng = Rng(0xdead_beef_cafe_f00d);
+    for _ in 0..2000 {
+        let n = rng.below(40);
+        let src: String = (0..n).map(|_| PIECES[rng.below(PIECES.len())]).collect();
+        check_invariants(&src, &lex(&src));
+    }
+}
+
+#[test]
+fn truncated_real_source_never_panics() {
+    // Chop this very test file at random byte boundaries (snapped to
+    // char boundaries): every prefix of real source must lex cleanly —
+    // the shape a half-written file in an editor has.
+    let real = include_str!("lexer_prop.rs");
+    let mut rng = Rng(0x0123_4567_89ab_cdef);
+    for _ in 0..300 {
+        let mut cut = rng.below(real.len() + 1);
+        while !real.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let src = &real[..cut];
+        check_invariants(src, &lex(src));
+    }
+}
+
+#[test]
+fn nested_block_comments_lex_as_one_comment() {
+    let src = "a /* outer /* inner */ tail */ b\n";
+    let lexed = lex(src);
+    let idents: Vec<_> = lexed.tokens.iter().filter_map(|t| t.kind.ident()).collect();
+    assert_eq!(idents, ["a", "b"], "nesting must not end the comment early");
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("inner"));
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_comment_markers() {
+    let src = "let x = r#\"has \"quotes\" and /* not a comment */ and \\\"#; done()\n";
+    let lexed = lex(src);
+    assert!(
+        lexed.comments.is_empty(),
+        "markers inside a raw string are not comments"
+    );
+    let idents: Vec<_> = lexed.tokens.iter().filter_map(|t| t.kind.ident()).collect();
+    assert!(
+        idents.contains(&"done"),
+        "lexing must resume after the raw string: {idents:?}"
+    );
+    assert!(
+        !idents.contains(&"quotes"),
+        "raw-string content must not leak into the token stream"
+    );
+}
+
+#[test]
+fn comment_markers_inside_strings_and_chars_are_inert() {
+    let src = "let a = \"// not a comment /* nor this\"; let b = '\"'; let c = \"it's\"; end()\n";
+    let lexed = lex(src);
+    assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+    let idents: Vec<_> = lexed.tokens.iter().filter_map(|t| t.kind.ident()).collect();
+    assert!(idents.contains(&"end"), "lexer desynced: {idents:?}");
+}
+
+#[test]
+fn multi_line_block_comment_spans_are_exact() {
+    let src = "one()\n/* spans\nthree\nlines */\ntwo()\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert_eq!(
+        (lexed.comments[0].line, lexed.comments[0].end_line),
+        (2, 4),
+        "block comment start/end lines"
+    );
+    let two = lexed
+        .tokens
+        .iter()
+        .find(|t| t.kind.ident() == Some("two"))
+        .expect("token after the comment");
+    assert_eq!(two.line, 5);
+}

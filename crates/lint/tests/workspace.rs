@@ -276,6 +276,121 @@ fn store_wal_path_is_hot_path() {
     }
 }
 
+/// R8 self-test: seed an ABBA pair into real decoder-state code and
+/// prove the inversion is caught as exactly one finding.
+#[test]
+fn injected_lock_inversion_is_caught() {
+    let root = workspace_root();
+    let rel = "crates/nn/src/incremental.rs";
+    let clean = std::fs::read_to_string(root.join(rel)).expect("read incremental.rs");
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: rel.into(),
+                crate_name: "nn".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+    assert!(
+        lint(&clean).is_empty(),
+        "shipped {rel} must be clean for the injection to be the delta"
+    );
+    let seeded = format!(
+        "fn injected_fwd(p: &InjPair) {{ let _a = p.inj_alpha.lock(); let _b = p.inj_beta.lock(); }}\n\
+         fn injected_bwd(p: &InjPair) {{ let _b = p.inj_beta.lock(); let _a = p.inj_alpha.lock(); }}\n\
+         {clean}"
+    );
+    let findings = lint(&seeded);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the injected cycle: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "lock-order-inversion");
+}
+
+/// R9 self-test: seed a `Relaxed` publication store into the real
+/// metric module and prove it is caught as exactly one finding.
+#[test]
+fn injected_relaxed_publication_store_is_caught() {
+    let root = workspace_root();
+    let rel = "crates/obs/src/metric.rs";
+    let clean = std::fs::read_to_string(root.join(rel)).expect("read metric.rs");
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: rel.into(),
+                crate_name: "obs".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+    assert!(
+        lint(&clean).is_empty(),
+        "shipped {rel} must be clean for the injection to be the delta"
+    );
+    let seeded = format!(
+        "fn injected_publish(p: &InjProbe) {{ p.inj_ready.store(true, Ordering::Relaxed); }}\n\
+         {clean}"
+    );
+    let findings = lint(&seeded);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the injected store: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "atomics-ordering-hygiene");
+}
+
+/// R10 self-test: seed a recommend-entry → fsync chain into the real
+/// batcher and prove the reachability analysis flags the fsync line.
+#[test]
+fn injected_blocking_call_under_hot_entry_is_caught() {
+    let root = workspace_root();
+    let rel = "crates/serve/src/batcher.rs";
+    let clean = std::fs::read_to_string(root.join(rel)).expect("read batcher.rs");
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: rel.into(),
+                crate_name: "serve".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+    assert!(
+        lint(&clean).is_empty(),
+        "shipped {rel} must be clean for the injection to be the delta"
+    );
+    let seeded = format!(
+        "fn recommend_injected(s: &InjState) {{ injected_persist(s); }}\n\
+         fn injected_persist(s: &InjState) {{ s.inj_file.sync_all(); }}\n\
+         {clean}"
+    );
+    let findings = lint(&seeded);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the injected fsync: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "blocking-call-in-hot-path");
+    assert!(
+        findings[0].message.contains("serve:recommend_injected"),
+        "message names the entry point: {}",
+        findings[0].message
+    );
+}
+
 /// An allow directive without the mandatory `-- <reason>` must not
 /// suppress the violation, and is itself reported.
 #[test]

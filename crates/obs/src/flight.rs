@@ -133,6 +133,7 @@ impl FlightRecorder {
         slow.truncate(self.slowest_cap);
         if slow.len() >= self.slowest_cap {
             if let Some(last) = slow.last() {
+                // qrec-lint: allow(atomics) -- the floor is an approximate admission hint; a stale read only costs one wasted reservoir comparison, no data rides behind it
                 self.slow_floor.store(last.total_us, Ordering::Relaxed);
             }
         }

@@ -70,6 +70,7 @@ pub fn enabled() -> bool {
 /// Exists so one process can measure its own instrumentation overhead
 /// (the CI obs-overhead smoke stage toggles this between rounds).
 pub fn set_enabled(on: bool) {
+    // qrec-lint: allow(atomics) -- standalone on/off flag: readers only branch on the value itself, no memory is published behind it
     FORCED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 

@@ -82,6 +82,7 @@ impl Gauge {
     /// Overwrite the value (relaxed).
     #[inline]
     pub fn set(&self, v: u64) {
+        // qrec-lint: allow(atomics) -- a gauge is a standalone sampled value scraped for display; no other memory is published with it
         self.value.store(v, Ordering::Relaxed);
     }
 

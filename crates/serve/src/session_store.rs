@@ -317,17 +317,19 @@ impl SessionStore {
     pub fn start_sweeper(self: &Arc<Self>, interval: Duration) -> std::io::Result<SweeperHandle> {
         let stop = Arc::new(AtomicBool::new(false));
         let store = Arc::clone(self);
-        let flag = Arc::clone(&stop);
         let handle = thread::Builder::new()
             .name("qrec-serve-sweeper".into())
-            .spawn(move || {
-                let tick = Duration::from_millis(25).min(interval);
-                let mut last = Instant::now();
-                while !flag.load(Ordering::Relaxed) {
-                    thread::sleep(tick);
-                    if last.elapsed() >= interval {
-                        store.sweep(Instant::now());
-                        last = Instant::now();
+            .spawn({
+                let stop = Arc::clone(&stop);
+                move || {
+                    let tick = Duration::from_millis(25).min(interval);
+                    let mut last = Instant::now();
+                    while !stop.load(Ordering::Acquire) {
+                        thread::sleep(tick);
+                        if last.elapsed() >= interval {
+                            store.sweep(Instant::now());
+                            last = Instant::now();
+                        }
                     }
                 }
             })?;
@@ -351,7 +353,7 @@ impl SweeperHandle {
     }
 
     fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

@@ -70,6 +70,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     {
         let mut f = File::create(&tmp)?;
         io::Write::write_all(&mut f, bytes)?;
+        // qrec-lint: allow(blocking) -- manifest commit happens at memtable-flush boundaries, not per request; crash safety requires the data fsync before the rename
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
@@ -91,6 +92,7 @@ fn sync_parent_dir(path: &Path) -> io::Result<()> {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => Path::new("."),
     };
+    // qrec-lint: allow(blocking) -- directory fsync seals a rename at flush boundaries only; without it the manifest swap is not crash-durable
     File::open(parent)?.sync_all()
 }
 

@@ -107,10 +107,12 @@ impl Wal {
         self.file.write_all(&self.buf)?;
         self.len += self.buf.len() as u64;
         match self.policy {
+            // qrec-lint: allow(blocking) -- this is the WAL's policy-gated group-commit point: serving deploys run EveryN/Never so the request path only pays an fsync when durability is explicitly configured
             FsyncPolicy::Always => self.file.sync_data()?,
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n.max(1) {
+                    // qrec-lint: allow(blocking) -- group commit: one fsync amortised over N appends by configuration, the bounded-loss durability contract
                     self.file.sync_data()?;
                     self.unsynced = 0;
                 }
@@ -149,6 +151,7 @@ impl Wal {
     /// Propagates filesystem errors.
     pub fn reset(&mut self) -> Result<(), StoreError> {
         self.file.set_len(0)?;
+        // qrec-lint: allow(blocking) -- runs once per memtable flush after the run is durable, never per request; the fsync seals the truncation
         self.file.sync_data()?;
         self.len = 0;
         self.unsynced = 0;

@@ -10,14 +10,25 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> qrec-lint"
-cargo run --offline -q -p qrec-lint
+echo "==> qrec-lint (with baseline staleness gate)"
+cargo run --offline -q -p qrec-lint -- --check-baseline
+
+echo "==> qrec-lint findings artifact (target/lint-findings.json)"
+cargo run --offline -q -p qrec-lint -- --json > target/lint-findings.json
+python3 -m json.tool target/lint-findings.json >/dev/null \
+    || { echo "lint-findings.json is not well-formed JSON"; exit 1; }
 
 echo "==> cargo build --release"
 cargo build --offline --release
 
 echo "==> cargo test -q"
 cargo test --offline -q
+
+echo "==> cargo test -q (workspace, QREC_LOCK_ORDER_CHECK=1)"
+# Runtime lock-order sanitizer: every blocking acquisition in the whole
+# suite is checked against the global acquisition-order graph; an ABBA
+# inversion panics with both witness stacks instead of deadlocking.
+QREC_LOCK_ORDER_CHECK=1 cargo test --offline -q --workspace
 
 echo "==> store recovery smoke (SIGKILL mid-write, torn tails, restart)"
 cargo test --offline -q -p qrec-store --test crash_recovery

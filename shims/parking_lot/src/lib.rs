@@ -5,22 +5,90 @@
 //! `Result`s. A poisoned std lock (a writer panicked) is recovered by
 //! taking the inner guard, matching parking_lot's behaviour of not
 //! propagating poison.
+//!
+//! The shim also hosts the workspace's runtime lock-order sanitizer
+//! (see [`order`]): with `QREC_LOCK_ORDER_CHECK=1` every blocking
+//! acquisition is checked against a global acquisition-order graph and
+//! the process panics — with both witness stacks — the moment two
+//! locks are ever taken in both orders, instead of deadlocking some
+//! night in production. Disabled, the guards add one relaxed atomic
+//! load per acquisition.
 
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicUsize;
 use std::sync::{self, PoisonError};
 
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+pub mod order;
+
+pub use order::force_enable;
+
+/// Guard returned by [`Mutex::lock`] / [`Mutex::try_lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    _held: Option<order::HeldToken>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Guard returned by [`RwLock::read`] / [`RwLock::try_read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _held: Option<order::HeldToken>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Guard returned by [`RwLock::write`] / [`RwLock::try_write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _held: Option<order::HeldToken>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 /// Non-poisoning mutex.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    /// Sanitizer order id, lazily assigned on first acquisition (0 =
+    /// unassigned) so `new` stays `const`.
+    order_id: AtomicUsize,
     inner: sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
         Mutex {
+            order_id: AtomicUsize::new(0),
             inner: sync::Mutex::new(value),
         }
     }
@@ -34,15 +102,30 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        let held = if order::enabled() {
+            let id = order::lock_id(&self.order_id);
+            order::check_before_blocking_acquire(id);
+            Some(id)
+        } else {
+            None
+        };
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            _held: held.map(order::push_held),
+        }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        // A try-acquisition cannot deadlock (it fails instead of
+        // blocking) so it records no order edges — but the lock is now
+        // held, and later blocking acquisitions order against it.
+        let held = order::enabled().then(|| order::push_held(order::lock_id(&self.order_id)));
+        Some(MutexGuard { inner, _held: held })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -53,12 +136,16 @@ impl<T: ?Sized> Mutex<T> {
 /// Non-poisoning reader-writer lock.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    /// Sanitizer order id, lazily assigned on first acquisition (0 =
+    /// unassigned) so `new` stays `const`.
+    order_id: AtomicUsize,
     inner: sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
         RwLock {
+            order_id: AtomicUsize::new(0),
             inner: sync::RwLock::new(value),
         }
     }
@@ -72,27 +159,51 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        let held = if order::enabled() {
+            let id = order::lock_id(&self.order_id);
+            order::check_before_blocking_acquire(id);
+            Some(id)
+        } else {
+            None
+        };
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            _held: held.map(order::push_held),
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        let held = if order::enabled() {
+            let id = order::lock_id(&self.order_id);
+            order::check_before_blocking_acquire(id);
+            Some(id)
+        } else {
+            None
+        };
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            _held: held.map(order::push_held),
+        }
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let held = order::enabled().then(|| order::push_held(order::lock_id(&self.order_id)));
+        Some(RwLockReadGuard { inner, _held: held })
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let held = order::enabled().then(|| order::push_held(order::lock_id(&self.order_id)));
+        Some(RwLockWriteGuard { inner, _held: held })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -133,5 +244,75 @@ mod tests {
         // parking_lot semantics: the lock is still usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn sanitizer_catches_deliberate_inversion() {
+        order::force_enable();
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        // Establish a → b on one thread…
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .join()
+            .unwrap();
+        }
+        // …then take b → a on another: must panic, not deadlock.
+        let result = std::thread::Builder::new()
+            .name("inverted".into())
+            .spawn(move || {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            })
+            .unwrap()
+            .join();
+        let err = result.expect_err("inverted order must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("lock-order inversion"),
+            "panic message names the inversion: {msg}"
+        );
+    }
+
+    #[test]
+    fn sanitizer_accepts_consistent_order_and_reacquisition() {
+        order::force_enable();
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(RwLock::new(0u32));
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.read();
+        }
+        // Same-lock sequential reacquisition is not an inversion.
+        drop(a.lock());
+        drop(a.lock());
+    }
+
+    #[test]
+    fn sanitizer_orders_against_try_held_locks() {
+        order::force_enable();
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        // try-hold a, then block on b: records a → b.
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.try_lock().unwrap();
+                let _gb = b.lock();
+            })
+            .join()
+            .unwrap();
+        }
+        // b → a (both blocking) must now panic.
+        let result = std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })
+        .join();
+        assert!(result.is_err(), "try-held locks participate in ordering");
     }
 }

@@ -1,0 +1,206 @@
+//! Runtime lock-order sanitizer.
+//!
+//! The static pass in `qrec-lint` (R8 `lock-order-inversion`) works on
+//! a name-based call graph and deliberately under-approximates where
+//! names are too ambiguous to resolve; this module is the dynamic
+//! backstop that closes the gap. Every `Mutex`/`RwLock` in the shim
+//! gets a process-unique order id, every thread keeps a stack of the
+//! lock ids it currently holds, and every *blocking* acquisition
+//! records held→acquired edges into a global acquisition-order graph.
+//! When an acquisition would close a cycle — this thread wants B while
+//! holding A, but some earlier acquisition took A while holding B (or
+//! any path B ⇝ A exists) — the process panics immediately with both
+//! witness stacks, turning a once-a-month production deadlock into a
+//! deterministic test failure.
+//!
+//! The checker is off unless `QREC_LOCK_ORDER_CHECK=1` is set in the
+//! environment (CI runs the whole test suite under it) or
+//! [`force_enable`] is called (the shim's own tests do). Disabled cost
+//! is one relaxed atomic load per acquisition.
+//!
+//! `try_lock`-family acquisitions never *record or check* edges — a
+//! call that fails instead of blocking cannot participate in a
+//! deadlock cycle — but a successfully try-acquired lock still counts
+//! as *held*, so blocking acquisitions made while it is held are
+//! ordered against it.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide toggle set by [`force_enable`].
+static FORCED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic order-id source. Ids start at 1; 0 means "not yet
+/// assigned". Ids are never reused, so a lock freed and another
+/// allocated at the same address cannot alias in the order graph.
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Is the sanitizer active?
+pub(crate) fn enabled() -> bool {
+    if FORCED.load(Ordering::Relaxed) {
+        return true;
+    }
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var("QREC_LOCK_ORDER_CHECK").as_deref() == Ok("1"))
+}
+
+/// Turn the sanitizer on for the rest of the process, regardless of
+/// the environment. Intended for tests.
+pub fn force_enable() {
+    FORCED.store(true, Ordering::Relaxed);
+}
+
+/// Lazily assign (first caller wins) and return the lock's order id.
+pub(crate) fn lock_id(slot: &AtomicUsize) -> usize {
+    let id = slot.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(winner) => winner,
+    }
+}
+
+thread_local! {
+    /// Order ids of the locks this thread currently holds, in
+    /// acquisition order.
+    static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How one acquisition-order edge was first observed.
+struct Witness {
+    thread: String,
+    held: Vec<usize>,
+    backtrace: String,
+}
+
+/// The global acquisition-order graph: `from` held while `to`
+/// acquired, with the first witness per edge.
+fn graph() -> &'static Mutex<HashMap<usize, HashMap<usize, Witness>>> {
+    static GRAPH: OnceLock<Mutex<HashMap<usize, HashMap<usize, Witness>>>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Is `to` reachable from `from` in the order graph? Returns the path
+/// when it is.
+fn find_path(
+    edges: &HashMap<usize, HashMap<usize, Witness>>,
+    from: usize,
+    to: usize,
+) -> Option<Vec<usize>> {
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    parent.insert(from, from);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while parent[&cur] != cur {
+                cur = parent[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for m in edges.get(&n).map(|e| e.keys()).into_iter().flatten() {
+            parent.entry(*m).or_insert_with(|| {
+                queue.push_back(*m);
+                n
+            });
+        }
+    }
+    None
+}
+
+/// Check a blocking acquisition of `acquiring` against the order
+/// graph, then record the edges it implies. Called *before* the
+/// underlying lock call, so the panic fires instead of the deadlock.
+///
+/// Panics with both witness stacks when the acquisition closes a
+/// cycle.
+pub(crate) fn check_before_blocking_acquire(acquiring: usize) {
+    let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    let mut edges = graph().lock().unwrap_or_else(|p| p.into_inner());
+    for &h in &held {
+        // Re-acquiring the same id (sharded collections, recursive
+        // reads) is not an ordering fact.
+        if h == acquiring {
+            continue;
+        }
+        if let Some(path) = find_path(&edges, acquiring, h) {
+            let first_hop = edges
+                .get(&path[0])
+                .and_then(|e| e.get(&path[1]))
+                .expect("path edges exist");
+            let thread = std::thread::current();
+            panic!(
+                "lock-order inversion: thread '{}' (holding {:?}) wants lock #{}, but the \
+                 opposite order #{} ⇝ #{} (path {:?}) was established by thread '{}' \
+                 (holding {:?}) at:\n{}\nset QREC_LOCK_ORDER_CHECK=0 only if you have \
+                 proven both orders can never run concurrently",
+                thread.name().unwrap_or("<unnamed>"),
+                held,
+                acquiring,
+                acquiring,
+                h,
+                path,
+                first_hop.thread,
+                first_hop.held,
+                first_hop.backtrace,
+            );
+        }
+    }
+    for &h in &held {
+        if h == acquiring {
+            continue;
+        }
+        edges
+            .entry(h)
+            .or_default()
+            .entry(acquiring)
+            .or_insert_with(|| Witness {
+                thread: std::thread::current()
+                    .name()
+                    .unwrap_or("<unnamed>")
+                    .to_string(),
+                held: held.clone(),
+                backtrace: Backtrace::force_capture().to_string(),
+            });
+    }
+}
+
+/// Record that this thread now holds `id`. Returns a token whose drop
+/// un-holds it; callers skip this entirely when the sanitizer is
+/// disabled (zero-cost guards).
+pub(crate) fn push_held(id: usize) -> HeldToken {
+    HELD.with(|h| h.borrow_mut().push(id));
+    HeldToken { id }
+}
+
+/// RAII token: removing it pops the lock from the thread's held stack.
+#[derive(Debug)]
+pub(crate) struct HeldToken {
+    id: usize,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        // `try_with`: thread-local storage may already be torn down
+        // when guards drop during thread exit.
+        let _ = HELD.try_with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&x| x == self.id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
