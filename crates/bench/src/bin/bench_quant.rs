@@ -1,0 +1,504 @@
+//! `bench_quant` — wall-clock and memory comparison of the int8
+//! weight-quantized decode path against the f32 reference (DESIGN.md
+//! §15).
+//!
+//! ```text
+//! bench_quant [--smoke] [--out PATH]
+//! ```
+//!
+//! Both paths run the *same* strategies on the *same* untrained model —
+//! one store carrying the int8 sidecar, one without — so the timings
+//! isolate the quantized projection GEMMs and quantized KV cache.
+//! Unlike `bench_decode`, the two paths are *not* bitwise-equal; each
+//! scenario instead reports the per-step top-5 agreement (the
+//! `quant_equivalence` suite's gate, ≥ 0.98) measured teacher-forced
+//! along the f32 decode's best hypothesis. `mem_ratio` is the combined
+//! model + KV-cache resident footprint of the f32 representation over
+//! the quantized one. Beam-8 at the serving length cap is the headline
+//! speedup. Results go to `BENCH_quant.json` at the repo root (or
+//! `target/BENCH_quant_smoke.json` under `--smoke`).
+//!
+//! Each (scenario, path) timing runs in its **own child process**
+//! (`--time-one`): once a process has decoded with the int8 sidecar,
+//! later f32 decodes in that process measure up to ~4× slower (heap
+//! placement shifts, not algorithmic cost), so in-process A/B numbers
+//! are contaminated in whichever order the candidates run. Per-process
+//! isolation also mirrors serving reality: `QuantMode` is fixed at
+//! boot, a server never interleaves the two representations.
+
+use qrec_bench::timing::{time_stats, RepStats};
+use qrec_nn::decode::{decode, Strategy, SOS};
+use qrec_nn::params::{forward_eval, Params};
+use qrec_nn::transformer::{Transformer, TransformerConfig};
+use qrec_nn::Seq2Seq;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const SRC: [usize; 7] = [SOS, 4, 9, 5, 7, 3, 2];
+const TOP_K: usize = 5;
+
+/// An untrained model with near-uniform output distributions: decodes
+/// run to the length cap, which is what a throughput benchmark needs.
+/// The shape mirrors the serving configuration's decode load (the
+/// vocab-sized output head and the d_model projections dominate).
+fn bench_model(smoke: bool) -> (Params, Transformer) {
+    let cfg = if smoke {
+        TransformerConfig::test(30)
+    } else {
+        TransformerConfig {
+            vocab: 4000,
+            d_model: 160,
+            heads: 4,
+            layers: 2,
+            d_ff: 320,
+            dropout: 0.0,
+            max_len: 96,
+        }
+    };
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = Transformer::new(&mut params, cfg, &mut rng);
+    (params, model)
+}
+
+struct Scenario {
+    label: &'static str,
+    strategy: Strategy,
+    max_len: usize,
+    /// Decode-state batch the scenario sustains (for KV accounting).
+    batch: usize,
+}
+
+fn scenarios(smoke: bool) -> Vec<Scenario> {
+    if smoke {
+        return vec![
+            Scenario {
+                label: "smoke greedy",
+                strategy: Strategy::Greedy,
+                max_len: 4,
+                batch: 1,
+            },
+            Scenario {
+                label: "smoke beam-4",
+                strategy: Strategy::Beam { width: 4 },
+                max_len: 6,
+                batch: 4,
+            },
+        ];
+    }
+    vec![
+        Scenario {
+            label: "greedy len 16",
+            strategy: Strategy::Greedy,
+            max_len: 16,
+            batch: 1,
+        },
+        Scenario {
+            label: "greedy len 64",
+            strategy: Strategy::Greedy,
+            max_len: 64,
+            batch: 1,
+        },
+        Scenario {
+            label: "beam-8 len 64",
+            strategy: Strategy::Beam { width: 8 },
+            max_len: 64,
+            batch: 8,
+        },
+    ]
+}
+
+/// Indices of the k largest logits (ties by index).
+fn top_k(row: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Teacher-forced walk collecting one logits row per fed token.
+fn step_rows(model: &Transformer, params: &Params, prefix: &[usize]) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let enc = forward_eval(params, &mut rng, |fwd| {
+        let e = model.encode(fwd, &SRC);
+        fwd.graph.value_shared(e)
+    });
+    let mut state = forward_eval(params, &mut rng, |fwd| model.begin_decode(fwd, &enc, 1));
+    let mut rows = Vec::with_capacity(prefix.len());
+    for &tok in prefix {
+        let t = forward_eval(params, &mut rng, |fwd| {
+            model.step_logits(fwd, &mut state, &[tok])
+        });
+        rows.push(t.row(0).to_vec());
+    }
+    rows
+}
+
+/// Mean per-step tie-aware top-5 agreement along the f32 decode's best
+/// hypothesis: the fraction of the quantized top-5 whose **f32** logit
+/// reaches the f32 rank-5 boundary less 1% of the f32 top-5 spread —
+/// the `quant_equivalence` suite's definition (DESIGN.md §15).
+fn topk_agreement(model: &Transformer, fp: &Params, qp: &Params, best_ids: &[usize]) -> f64 {
+    let prefix: Vec<usize> = std::iter::once(SOS)
+        .chain(best_ids.iter().copied())
+        .collect();
+    let f_rows = step_rows(model, fp, &prefix);
+    let q_rows = step_rows(model, qp, &prefix);
+    let total: f64 = f_rows
+        .iter()
+        .zip(&q_rows)
+        .map(|(a, b)| {
+            let ta = top_k(a, TOP_K);
+            let tb = top_k(b, TOP_K);
+            let boundary = a[ta[TOP_K - 1]];
+            let tau = 0.01 * (a[ta[0]] - boundary).abs() + 1e-6;
+            tb.iter().filter(|&&i| a[i] >= boundary - tau).count() as f64 / TOP_K as f64
+        })
+        .sum();
+    total / f_rows.len().max(1) as f64
+}
+
+/// Resident KV-cache bytes after `steps` decode steps at `batch` rows.
+fn kv_resident_bytes(model: &Transformer, params: &Params, batch: usize, steps: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(0);
+    let enc = forward_eval(params, &mut rng, |fwd| {
+        let e = model.encode(fwd, &SRC);
+        fwd.graph.value_shared(e)
+    });
+    let mut state = forward_eval(params, &mut rng, |fwd| model.begin_decode(fwd, &enc, batch));
+    let feed = vec![3usize; batch];
+    for _ in 0..steps {
+        forward_eval(params, &mut rng, |fwd| {
+            model.step_logits(fwd, &mut state, &feed)
+        });
+    }
+    state.resident_cache_bytes()
+}
+
+/// Resident bytes of the model's weight representation: all-f32, or
+/// packed int8 panels + scales with the unquantized tensors in f32.
+fn model_resident_bytes(params: &Params) -> usize {
+    let all_f32 = params.scalar_count() * 4;
+    match params.quant() {
+        None => all_f32,
+        Some(sidecar) => {
+            let quantized_scalars: usize = sidecar
+                .export()
+                .iter()
+                .map(|(_, rows, cols, _, _)| rows * cols)
+                .sum();
+            all_f32 - quantized_scalars * 4 + sidecar.packed_bytes()
+        }
+    }
+}
+
+struct Row {
+    label: &'static str,
+    strategy: String,
+    max_len: usize,
+    tokens: usize,
+    f32_time: RepStats,
+    quant_time: RepStats,
+    topk_agreement: f64,
+    f32_bytes: usize,
+    quant_bytes: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.f32_time.best_s / self.quant_time.best_s
+    }
+
+    fn mem_ratio(&self) -> f64 {
+        self.f32_bytes as f64 / self.quant_bytes as f64
+    }
+
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "label": self.label,
+            "strategy": self.strategy,
+            "max_len": self.max_len,
+            "tokens": self.tokens,
+            "f32_s": self.f32_time.best_s,
+            "quant_s": self.quant_time.best_s,
+            "f32_percentiles": self.f32_time.to_json(),
+            "quant_percentiles": self.quant_time.to_json(),
+            "speedup": self.speedup(),
+            "topk_agreement": self.topk_agreement,
+            "f32_resident_bytes": self.f32_bytes,
+            "quant_resident_bytes": self.quant_bytes,
+            "mem_ratio": self.mem_ratio(),
+        })
+    }
+}
+
+/// Child-process entry: time one (scenario, path) pair and print the
+/// `RepStats` JSON fragment on stdout.
+fn time_one(smoke: bool, scenario_idx: usize, quantized: bool) -> Result<(), String> {
+    let (fp, model) = bench_model(smoke);
+    let params = if quantized {
+        let mut qp = fp.clone();
+        qp.quantize();
+        qp
+    } else {
+        fp
+    };
+    let all = scenarios(smoke);
+    let s = all
+        .get(scenario_idx)
+        .ok_or_else(|| format!("scenario index {scenario_idx} out of range"))?;
+    let budget = if smoke { 0.1 } else { 3.0 };
+    let reps = if smoke { 4 } else { 40 };
+    let stats = time_stats(
+        &mut [&mut || {
+            black_box(decode(
+                &model,
+                &params,
+                &SRC,
+                s.strategy,
+                s.max_len,
+                &mut StdRng::seed_from_u64(17),
+            ));
+        }],
+        budget,
+        reps,
+    )[0];
+    let line = serde_json::to_string(&stats.to_json()).map_err(|e| format!("serialise: {e}"))?;
+    println!("{line}");
+    Ok(())
+}
+
+/// Run one (scenario, path) timing in a fresh child process and parse
+/// the `RepStats` it prints.
+fn child_time(smoke: bool, scenario_idx: usize, quantized: bool) -> Result<RepStats, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--time-one")
+        .arg(scenario_idx.to_string())
+        .arg(if quantized { "int8" } else { "f32" });
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let out = cmd.output().map_err(|e| format!("spawn child: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "child timing failed ({}): {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).map_err(|e| format!("parse child stats: {e}"))?;
+    let f = |key: &str| {
+        v.as_object()
+            .and_then(|o| o.get(key))
+            .and_then(serde_json::Value::as_f64)
+    };
+    match (f("best_s"), f("p50_s"), f("p95_s"), f("p99_s"), f("reps")) {
+        (Some(best_s), Some(p50_s), Some(p95_s), Some(p99_s), Some(reps)) => Ok(RepStats {
+            best_s,
+            p50_s,
+            p95_s,
+            p99_s,
+            reps: reps as u64,
+        }),
+        _ => Err("child stats missing fields".into()),
+    }
+}
+
+fn bench_scenario(
+    s: &Scenario,
+    s_idx: usize,
+    fp: &Params,
+    qp: &Params,
+    model: &Transformer,
+    smoke: bool,
+) -> Result<Row, String> {
+    let seed = 17u64;
+    let f_hyps = decode(
+        model,
+        fp,
+        &SRC,
+        s.strategy,
+        s.max_len,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let q_hyps = decode(
+        model,
+        qp,
+        &SRC,
+        s.strategy,
+        s.max_len,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    assert_eq!(
+        f_hyps.len(),
+        q_hyps.len(),
+        "{}: hypothesis counts diverged",
+        s.label
+    );
+    let tokens = f_hyps.iter().map(|h| h.ids.len()).max().unwrap_or(0);
+    let agreement = topk_agreement(model, fp, qp, &f_hyps[0].ids);
+
+    // Combined model + sustained KV footprint per representation.
+    let steps = tokens.max(1);
+    let f32_bytes = model_resident_bytes(fp) + kv_resident_bytes(model, fp, s.batch, steps);
+    let quant_bytes = model_resident_bytes(qp) + kv_resident_bytes(model, qp, s.batch, steps);
+
+    // Each path times in its own child process (see module docs): once
+    // int8 has run in a process, later f32 decodes there measure far
+    // slower than a pure-f32 process would, so in-process A/B minima
+    // are not comparable.
+    let f32_time = child_time(smoke, s_idx, false)?;
+    let quant_time = child_time(smoke, s_idx, true)?;
+    Ok(Row {
+        label: s.label,
+        strategy: format!("{:?}", s.strategy),
+        max_len: s.max_len,
+        tokens,
+        f32_time,
+        quant_time,
+        topk_agreement: agreement,
+        f32_bytes,
+        quant_bytes,
+    })
+}
+
+fn run(smoke: bool, out: Option<PathBuf>) -> Result<(), String> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = out.unwrap_or_else(|| {
+        if smoke {
+            root.join("target/BENCH_quant_smoke.json")
+        } else {
+            root.join("BENCH_quant.json")
+        }
+    });
+
+    eprintln!("bench_quant: mode={}", if smoke { "smoke" } else { "full" });
+    let (fp, model) = bench_model(smoke);
+    let mut qp = fp.clone();
+    qp.quantize();
+
+    let mut rows = Vec::new();
+    for (s_idx, s) in scenarios(smoke).iter().enumerate() {
+        eprintln!("  timing {} ...", s.label);
+        rows.push(bench_scenario(s, s_idx, &fp, &qp, &model, smoke)?);
+    }
+
+    // Headline numbers the acceptance gate reads: beam-8 speedup and
+    // memory ratio at the serving length cap, and the worst per-row
+    // top-5 agreement (must clear the 0.98 gate the equivalence suite
+    // enforces on the test shapes).
+    let beam8 = rows.iter().find(|r| r.label.starts_with("beam-8"));
+    let beam8_speedup = beam8.map_or(f64::NAN, Row::speedup);
+    let beam8_mem_ratio = beam8.map_or(f64::NAN, Row::mem_ratio);
+    let min_agreement = rows
+        .iter()
+        .map(|r| r.topk_agreement)
+        .fold(f64::INFINITY, f64::min);
+
+    let report = json!({
+        "benchmark": "qrec-nn int8 weight-quantized decode vs f32",
+        "mode": if smoke { "smoke" } else { "full" },
+        "rows": rows.iter().map(Row::to_json).collect::<Vec<_>>(),
+        "beam8_speedup_vs_f32": if smoke { json!(null) } else { json!(beam8_speedup) },
+        "beam8_mem_ratio": if smoke { json!(null) } else { json!(beam8_mem_ratio) },
+        "min_topk_agreement": min_agreement,
+    });
+
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let bytes = serde_json::to_vec_pretty(&report).map_err(|e| format!("serialise: {e}"))?;
+    std::fs::write(&out, bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+
+    // Re-read and parse: the file on disk must be well-formed JSON with
+    // at least one scenario row.
+    let text = std::fs::read_to_string(&out).map_err(|e| format!("read back: {e}"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("round-trip parse: {e}"))?;
+    let row_count = parsed
+        .as_object()
+        .and_then(|o| o.get("rows"))
+        .and_then(|s| s.as_array())
+        .map_or(0, <[serde_json::Value]>::len);
+    if row_count == 0 {
+        return Err("no scenario rows in the written report".into());
+    }
+
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>9} {:>8} {:>9}",
+        "scenario", "tokens", "f32 (s)", "int8 (s)", "speedup", "top5", "mem"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>12.6} {:>12.6} {:>8.2}x {:>8.4} {:>8.2}x",
+            r.label,
+            r.tokens,
+            r.f32_time.best_s,
+            r.quant_time.best_s,
+            r.speedup(),
+            r.topk_agreement,
+            r.mem_ratio(),
+        );
+    }
+    if !smoke {
+        println!("beam-8 speedup vs f32: {beam8_speedup:.2}x");
+        println!("beam-8 model+KV memory ratio: {beam8_mem_ratio:.2}x");
+    }
+    println!("min top-5 agreement: {min_agreement:.4}");
+    println!("[results written to {}]", out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = None;
+    let mut time_one_args: Option<(usize, bool)> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("missing value for --out");
+                    return ExitCode::FAILURE;
+                }
+            },
+            // Internal child-process mode: time one (scenario, path).
+            "--time-one" => match (it.next().map(|s| s.parse::<usize>()), it.next()) {
+                (Some(Ok(idx)), Some(path)) if path == "f32" || path == "int8" => {
+                    time_one_args = Some((idx, path == "int8"));
+                }
+                _ => {
+                    eprintln!("usage: bench_quant --time-one IDX f32|int8 [--smoke]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_quant [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let result = match time_one_args {
+        Some((idx, quantized)) => time_one(smoke, idx, quantized),
+        None => run(smoke, out),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_quant failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

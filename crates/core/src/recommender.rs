@@ -180,6 +180,30 @@ impl Recommender {
         self.params.scalar_count()
     }
 
+    /// Build the int8 quantization sidecar on the parameter store (the
+    /// serving layer's `QuantMode::Int8` boot/swap hook): decoding
+    /// thereafter runs its projections through the int8 GEMM and keeps
+    /// resident KV caches quantized. Deterministic and idempotent.
+    pub fn quantize(&mut self) {
+        self.params.quantize();
+    }
+
+    /// Drop the int8 sidecar, restoring the bitwise f32 path.
+    pub fn dequantize(&mut self) {
+        self.params.dequantize();
+    }
+
+    /// True when the parameter store carries an int8 sidecar.
+    pub fn is_quantized(&self) -> bool {
+        self.params.is_quantized()
+    }
+
+    /// Mutable access to the parameter store (the zoo's int8-section
+    /// load path installs a rebuilt sidecar through this).
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
     /// Decode candidate next-query token sequences.
     #[must_use]
     pub fn decode_candidates(&mut self, q: &QueryRecord, strategy: Strategy) -> Vec<Hypothesis> {

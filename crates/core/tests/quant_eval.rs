@@ -1,0 +1,71 @@
+//! End-to-end eval-metric delta of the int8-quantized recommender on
+//! the workload simulator (the decode-equivalence top-k gate's
+//! task-level counterpart): quantizing a trained model must not move
+//! the paper's fragment-set F1 by more than a small delta, and
+//! dequantizing must restore the f32 metrics bitwise.
+
+use qrec_core::prelude::*;
+use qrec_workload::gen::{generate, WorkloadProfile};
+use qrec_workload::Split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Max |ΔF1| per fragment kind between the f32 and int8 paths. The
+/// tiny simulator test split is small enough that one pair flipping a
+/// near-tied fragment across the set threshold moves F1 by ~0.1, so the
+/// bound is sized to that granularity; a broken quantization scheme
+/// collapses F1 toward zero and still trips it.
+const MAX_F1_DELTA: f64 = 0.2;
+
+#[test]
+fn quantized_eval_metrics_stay_close_to_f32() {
+    let (w, _) = generate(&WorkloadProfile::tiny(), 21);
+    let mut rng = StdRng::seed_from_u64(2);
+    let split = Split::paper(w.pairs(), &mut rng);
+    let cfg = RecommenderConfig::test(Arch::Transformer, SeqMode::Aware);
+    let (mut rec, _) = Recommender::train(&split, &w, cfg);
+
+    let f32_m = eval_fragment_set(&mut rec, &split.test);
+
+    rec.quantize();
+    assert!(
+        rec.is_quantized(),
+        "sidecar must install on a trained model"
+    );
+    let q_m = eval_fragment_set(&mut rec, &split.test);
+
+    for (kind, a, b) in [
+        ("table", f32_m.table.f1(), q_m.table.f1()),
+        ("column", f32_m.column.f1(), q_m.column.f1()),
+        ("function", f32_m.function.f1(), q_m.function.f1()),
+        ("literal", f32_m.literal.f1(), q_m.literal.f1()),
+    ] {
+        println!("{kind}: f32 F1 {a:.4} vs int8 F1 {b:.4}");
+        assert!(
+            (a - b).abs() <= MAX_F1_DELTA,
+            "{kind}: quantized F1 drifted: f32 {a:.4} vs int8 {b:.4}"
+        );
+    }
+
+    // Dropping the sidecar must restore the f32 metrics exactly — the
+    // reference path is bitwise-stable, so F1 is too.
+    rec.dequantize();
+    assert!(!rec.is_quantized());
+    let back = eval_fragment_set(&mut rec, &split.test);
+    assert_eq!(
+        f32_m.table, back.table,
+        "table metrics must restore bitwise"
+    );
+    assert_eq!(
+        f32_m.column, back.column,
+        "column metrics must restore bitwise"
+    );
+    assert_eq!(
+        f32_m.function, back.function,
+        "function metrics must restore bitwise"
+    );
+    assert_eq!(
+        f32_m.literal, back.literal,
+        "literal metrics must restore bitwise"
+    );
+}

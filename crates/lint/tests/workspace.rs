@@ -276,6 +276,101 @@ fn store_wal_path_is_hot_path() {
     }
 }
 
+/// The int8 quantization layer — the qi8 kernels in `tensor` and the
+/// sidecar plumbing in `nn` — is decode-hot-path library code: the
+/// shipped modules are clean, and an injected panic in each is caught
+/// as exactly one R1 finding.
+#[test]
+fn quantized_decode_modules_are_hot_path() {
+    let root = workspace_root();
+    let ws = qrec_lint::collect_workspace(&root).expect("walk workspace");
+    for (rel, crate_name) in [
+        ("crates/tensor/src/qi8.rs", "tensor"),
+        ("crates/nn/src/quant.rs", "nn"),
+        ("crates/nn/src/decode.rs", "nn"),
+    ] {
+        assert!(
+            ws.config.hot_path_crates.iter().any(|c| c == crate_name),
+            "{crate_name} must be a hot-path crate: {:?}",
+            ws.config.hot_path_crates
+        );
+        let file = ws
+            .files
+            .iter()
+            .find(|f| f.path == rel)
+            .unwrap_or_else(|| panic!("walker must see {rel}"));
+        assert_eq!(file.class, FileClass::Library, "{rel} is library code");
+        assert_eq!(file.crate_name, crate_name);
+
+        let lint = |text: &str| {
+            analyze(
+                &[SourceFile {
+                    path: rel.into(),
+                    crate_name: crate_name.into(),
+                    class: FileClass::Library,
+                    text: text.into(),
+                }],
+                &Config::default(),
+            )
+        };
+        assert!(
+            lint(&file.text).is_empty(),
+            "shipped {rel} must be clean for the injection to be the delta"
+        );
+        let seeded = format!(
+            "fn injected(x: Option<u32>) -> u32 {{ x.unwrap() }}\n{}",
+            file.text
+        );
+        let findings = lint(&seeded);
+        assert_eq!(findings.len(), 1, "exactly the injected line: {findings:?}");
+        assert_eq!(findings[0].rule, "no-panic-in-hot-path");
+    }
+}
+
+/// R10 reaches through the quantized kernel module: a decode-named
+/// entry seeded into `qi8.rs` whose callee blocks on fsync is flagged,
+/// proving the int8 GEMM participates in the hot-entry reachability
+/// analysis like any other decode-path code.
+#[test]
+fn injected_blocking_call_in_qi8_under_decode_entry_is_caught() {
+    let root = workspace_root();
+    let rel = "crates/tensor/src/qi8.rs";
+    let clean = std::fs::read_to_string(root.join(rel)).expect("read qi8.rs");
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: rel.into(),
+                crate_name: "tensor".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+    assert!(
+        lint(&clean).is_empty(),
+        "shipped {rel} must be clean for the injection to be the delta"
+    );
+    let seeded = format!(
+        "fn decode_quant_injected(s: &InjState) {{ injected_flush(s); }}\n\
+         fn injected_flush(s: &InjState) {{ s.inj_file.sync_all(); }}\n\
+         {clean}"
+    );
+    let findings = lint(&seeded);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the injected fsync: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "blocking-call-in-hot-path");
+    assert!(
+        findings[0].message.contains("tensor:decode_quant_injected"),
+        "message names the decode entry: {}",
+        findings[0].message
+    );
+}
+
 /// R8 self-test: seed an ABBA pair into real decoder-state code and
 /// prove the inversion is caught as exactly one finding.
 #[test]

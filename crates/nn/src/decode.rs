@@ -162,6 +162,75 @@ fn suppress_specials(probs: &mut [f32]) {
     }
 }
 
+/// Select one group's `group_width` beam slots for a single step.
+///
+/// `rows` holds, per live hypothesis, its suppressed next-token
+/// distribution and accumulated log-prob. Returns the winning
+/// `(score, live idx, token)` triples in slot order.
+///
+/// Rather than scoring all `live × vocab` candidates, each row is first
+/// pruned to a shortlist by raw probability, which within a row orders
+/// candidates exactly like the log-score: a candidate outside its own
+/// row's top `group_width` is beaten by `group_width` same-row
+/// candidates and can never win a slot. Under a diversity penalty the
+/// shortlist is widened by the number of distinct penalized tokens
+/// `P`: a candidate below its row's unpenalized top `group_width + P`
+/// still has `group_width` unpenalized same-row candidates above it
+/// after penalties are applied (penalties only lower scores, and only
+/// `P` tokens carry one). `ln` and the sorts therefore touch only the
+/// shortlist. Ties break by (probability desc, token asc) while
+/// pruning and (score desc, token asc, then row order) when ranking.
+/// Both decoders route their beam steps through this function, so
+/// incremental and reference selections stay identical.
+fn select_beam_slots(
+    rows: &[(&[f32], f32)],
+    group_width: usize,
+    penalty: f32,
+    chosen_counts: &HashMap<usize, usize>,
+) -> Vec<(f32, usize, usize)> {
+    let shortlist = group_width
+        + if penalty > 0.0 {
+            chosen_counts.len()
+        } else {
+            0
+        };
+    let mut merged: Vec<(f32, usize, usize)> = Vec::with_capacity(rows.len() * group_width);
+    let mut idx: Vec<usize> = Vec::new();
+    let mut scored: Vec<(f32, usize)> = Vec::new();
+    for (li, &(probs, base)) in rows.iter().enumerate() {
+        idx.clear();
+        idx.extend((0..probs.len()).filter(|&t| probs[t] > 0.0));
+        if idx.len() > shortlist {
+            idx.select_nth_unstable_by(shortlist - 1, |&a, &b| {
+                probs[b]
+                    .partial_cmp(&probs[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(shortlist);
+        }
+        scored.clear();
+        scored.extend(idx.iter().map(|&tok| {
+            let mut score = base + probs[tok].max(1e-12).ln();
+            if penalty > 0.0 {
+                let count = chosen_counts.get(&tok).copied().unwrap_or(0);
+                score -= penalty * count as f32;
+            }
+            (score, tok)
+        }));
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.truncate(group_width);
+        merged.extend(scored.iter().map(|&(s, tok)| (s, li, tok)));
+    }
+    merged.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    merged.truncate(group_width);
+    merged
+}
+
 /// One decoded candidate sequence.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hypothesis {
@@ -416,9 +485,9 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
     /// out group by group, so every step is a single batched forward;
     /// after pruning, [`DecodeState::reorder`] gathers the survivors'
     /// cache rows (a parent spawning several children duplicates its
-    /// rows). Candidate enumeration, scoring, sorting, and retirement
-    /// mirror the reference path statement for statement, so selections
-    /// are identical.
+    /// rows). Slot selection and retirement go through
+    /// [`select_beam_slots`], the same routine the reference path uses,
+    /// so selections are identical.
     fn beam(
         &mut self,
         src: &[usize],
@@ -444,11 +513,11 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
 
         for _step in 0..max_len {
             let probs = self.step_probs(&mut state, &pending);
-            let mut row_probs: Vec<Vec<f32>> = Vec::with_capacity(probs.rows());
-            for r in 0..probs.rows() {
-                let mut p = probs.row(r).to_vec();
-                suppress_specials(&mut p);
-                row_probs.push(p);
+            let vocab = probs.cols();
+            let total_rows = probs.rows();
+            let mut flat = probs.into_data();
+            for r in 0..total_rows {
+                suppress_specials(&mut flat[r * vocab..(r + 1) * vocab]);
             }
             // Hamming diversity bookkeeping: token → times chosen this
             // step by earlier groups (and earlier slots of this group).
@@ -462,27 +531,20 @@ impl<'m, M: Seq2Seq + ?Sized> Decoder<'m, M> {
                     next_group_hyps.push(Vec::new());
                     continue;
                 }
-                let mut candidates: Vec<(f32, usize, usize)> = Vec::new(); // (score, live idx, token)
-                for (li, hyp) in hyps.iter().enumerate() {
-                    for (tok, &p) in row_probs[row_base + li].iter().enumerate() {
-                        if p <= 0.0 {
-                            continue;
-                        }
-                        let mut score = hyp.log_prob + p.max(1e-12).ln();
-                        if penalty > 0.0 {
-                            let count = chosen_counts.get(&tok).copied().unwrap_or(0);
-                            score -= penalty * count as f32;
-                        }
-                        candidates.push((score, li, tok));
-                    }
-                }
-                candidates
-                    .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                let rows: Vec<(&[f32], f32)> = hyps
+                    .iter()
+                    .enumerate()
+                    .map(|(li, hyp)| {
+                        let r = row_base + li;
+                        (&flat[r * vocab..(r + 1) * vocab], hyp.log_prob)
+                    })
+                    .collect();
+                let winners = select_beam_slots(&rows, group_width, penalty, &chosen_counts);
                 // Standard beam step: the top `group_width` candidates each
                 // take one slot; an EOS candidate retires its hypothesis.
                 let mut next: Vec<Hypothesis> = Vec::with_capacity(group_width);
-                for (_score, li, tok) in candidates.into_iter().take(group_width) {
-                    let p = row_probs[row_base + li][tok];
+                for (_score, li, tok) in winners {
+                    let p = rows[li].0[tok];
                     let mut hyp = hyps[li].clone();
                     hyp.log_prob += p.max(1e-12).ln();
                     if tok == EOS {
@@ -684,35 +746,29 @@ impl<'m, M: Seq2Seq + ?Sized> ReferenceDecoder<'m, M> {
         let mut done: Vec<Hypothesis> = Vec::new();
 
         for _step in 0..max_len {
-            let mut chosen_this_step: Vec<usize> = Vec::new();
+            // Hamming diversity bookkeeping: token → times chosen this
+            // step by earlier groups (and earlier slots of this group).
+            let mut chosen_counts: HashMap<usize, usize> = HashMap::new();
             for beam in beams.iter_mut() {
                 if beam.is_empty() {
                     continue;
                 }
-                let mut candidates: Vec<(f32, usize, usize)> = Vec::new(); // (score, live idx, token)
                 let mut probs_cache: Vec<Vec<f32>> = Vec::with_capacity(beam.len());
-                for (li, live) in beam.iter().enumerate() {
+                for live in beam.iter() {
                     let mut probs = self.next_probs(src, &live.prefix);
                     suppress_specials(&mut probs);
-                    for (tok, &p) in probs.iter().enumerate() {
-                        if p <= 0.0 {
-                            continue;
-                        }
-                        let mut score = live.hyp.log_prob + p.max(1e-12).ln();
-                        if penalty > 0.0 {
-                            let count = chosen_this_step.iter().filter(|&&t| t == tok).count();
-                            score -= penalty * count as f32;
-                        }
-                        candidates.push((score, li, tok));
-                    }
                     probs_cache.push(probs);
                 }
-                candidates
-                    .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                let rows: Vec<(&[f32], f32)> = probs_cache
+                    .iter()
+                    .zip(beam.iter())
+                    .map(|(probs, live)| (probs.as_slice(), live.hyp.log_prob))
+                    .collect();
+                let winners = select_beam_slots(&rows, group_width, penalty, &chosen_counts);
                 // Standard beam step: the top `group_width` candidates each
                 // take one slot; an EOS candidate retires its hypothesis.
                 let mut next: Vec<Live> = Vec::with_capacity(group_width);
-                for (_score, li, tok) in candidates.into_iter().take(group_width) {
+                for (_score, li, tok) in winners {
                     let live = &beam[li];
                     let p = probs_cache[li][tok];
                     let mut hyp = live.hyp.clone();
@@ -726,7 +782,7 @@ impl<'m, M: Seq2Seq + ?Sized> ReferenceDecoder<'m, M> {
                     hyp.token_probs.push(p);
                     let mut prefix = live.prefix.clone();
                     prefix.push(tok);
-                    chosen_this_step.push(tok);
+                    *chosen_counts.entry(tok).or_insert(0) += 1;
                     next.push(Live { prefix, hyp });
                 }
                 *beam = next;

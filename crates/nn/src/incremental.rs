@@ -97,15 +97,109 @@ pub(crate) struct TransformerState {
 pub(crate) struct TransformerLayerState {
     /// Self-attention keys per hypothesis: `t × d_model`, full width
     /// (head slicing happens by columns, exactly as in the full path).
-    pub(crate) self_k: Vec<Arc<Tensor>>,
+    pub(crate) self_k: KvCache,
     /// Self-attention values per hypothesis: `t × d_model`.
-    pub(crate) self_v: Vec<Arc<Tensor>>,
+    pub(crate) self_v: KvCache,
     /// Cross-attention keys of the source (`m × d_model`), projected
     /// once per source in `begin_decode` and shared by every step and
     /// every hypothesis.
     pub(crate) cross_k: Arc<Tensor>,
     /// Cross-attention values of the source (`m × d_model`).
     pub(crate) cross_v: Arc<Tensor>,
+}
+
+/// Per-hypothesis self-attention K/V rows in one of two resident forms.
+///
+/// `F32` is the bitwise-reference representation: full-precision rows,
+/// appended copy-on-write behind `Arc`s, exactly what the full-prefix
+/// path recomputes. `Quant` stores each row as int8 plus a per-row scale
+/// ([`qrec_tensor::qi8::QRows`]) — ~4× smaller resident state — and
+/// dequantizes on attention read. A state is built quantized when the
+/// parameter store carries an int8 sidecar at `begin_decode` time, so
+/// the whole decode takes one representation; the f32 form is bitwise
+/// untouched by the quantized one's existence.
+#[derive(Debug, Clone)]
+pub(crate) enum KvCache {
+    /// Full-precision rows, one growing `t × d_model` tensor per
+    /// hypothesis.
+    F32(Vec<Arc<Tensor>>),
+    /// Int8 rows with per-row scales, one growing store per hypothesis.
+    Quant(Vec<Arc<qrec_tensor::qi8::QRows>>),
+}
+
+impl KvCache {
+    /// An empty cache of `batch` hypotheses with `d`-wide rows, in the
+    /// representation `quantized` selects.
+    pub(crate) fn empty(batch: usize, d: usize, quantized: bool) -> KvCache {
+        if quantized {
+            KvCache::Quant(
+                (0..batch)
+                    .map(|_| Arc::new(qrec_tensor::qi8::QRows::new(d)))
+                    .collect(),
+            )
+        } else {
+            KvCache::F32((0..batch).map(|_| Arc::new(Tensor::zeros(0, d))).collect())
+        }
+    }
+
+    /// Number of hypothesis rows tracked.
+    pub(crate) fn batch(&self) -> usize {
+        match self {
+            KvCache::F32(rows) => rows.len(),
+            KvCache::Quant(rows) => rows.len(),
+        }
+    }
+
+    /// Append row `i` of `rows` (`B × d`) to hypothesis `i`'s cache,
+    /// copy-on-write. Quantized caches calibrate each row on append.
+    pub(crate) fn append_rows(&mut self, rows: &Tensor) {
+        match self {
+            KvCache::F32(caches) => {
+                for (i, cache) in caches.iter_mut().enumerate() {
+                    Arc::make_mut(cache).append_row(rows.row(i));
+                }
+            }
+            KvCache::Quant(caches) => {
+                for (i, cache) in caches.iter_mut().enumerate() {
+                    Arc::make_mut(cache).push_row(rows.row(i));
+                }
+            }
+        }
+    }
+
+    /// Hypothesis `i`'s cached rows as a graph constant: shared without
+    /// copy for f32, dequantized into a fresh `t × d` tensor for int8.
+    pub(crate) fn node(&self, fwd: &mut Fwd<'_>, i: usize) -> qrec_tensor::NodeId {
+        match self {
+            KvCache::F32(caches) => fwd.constant_shared(Arc::clone(&caches[i])),
+            KvCache::Quant(caches) => {
+                let qr = &caches[i];
+                fwd.constant(Tensor::from_vec(qr.rows(), qr.cols(), qr.dequant()))
+            }
+        }
+    }
+
+    /// Gather hypothesis caches by `parents` (beam pruning): refcount
+    /// bumps only, in either representation.
+    pub(crate) fn gather(&mut self, parents: &[usize]) {
+        match self {
+            KvCache::F32(caches) => {
+                *caches = parents.iter().map(|&p| Arc::clone(&caches[p])).collect();
+            }
+            KvCache::Quant(caches) => {
+                *caches = parents.iter().map(|&p| Arc::clone(&caches[p])).collect();
+            }
+        }
+    }
+
+    /// Resident bytes across all hypotheses (tensor data or int8 rows
+    /// plus scales), for memory accounting.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        match self {
+            KvCache::F32(caches) => caches.iter().map(|t| t.len() * 4).sum(),
+            KvCache::Quant(caches) => caches.iter().map(|q| q.resident_bytes()).sum(),
+        }
+    }
 }
 
 /// Per-layer ConvS2S rolling windows.
@@ -210,6 +304,24 @@ impl DecodeState {
         logits
     }
 
+    /// Resident bytes of the architecture's decode caches — the
+    /// transformer's per-hypothesis KV rows (f32 or int8 depending on
+    /// the representation chosen at `begin_decode`), the ConvS2S
+    /// windows, or the GRU carry. Cross-attention K/V and the encoder
+    /// output are shared per source and excluded.
+    pub fn resident_cache_bytes(&self) -> usize {
+        match &self.kind {
+            StateKind::FullPrefix => 0,
+            StateKind::Transformer(ts) => ts
+                .layers
+                .iter()
+                .map(|l| l.self_k.resident_bytes() + l.self_v.resident_bytes())
+                .sum(),
+            StateKind::ConvS2S(cs) => cs.windows.iter().map(|w| w.len() * 4).sum(),
+            StateKind::Gru(gs) => gs.h.len() * 4,
+        }
+    }
+
     /// Keep the state rows listed in `parents`, in that order: row `i`
     /// of the reordered state is row `parents[i]` of the current state.
     /// Indices may repeat (one parent spawning several children) and the
@@ -232,14 +344,8 @@ impl DecodeState {
             StateKind::FullPrefix => {}
             StateKind::Transformer(ts) => {
                 for layer in &mut ts.layers {
-                    layer.self_k = parents
-                        .iter()
-                        .map(|&p| Arc::clone(&layer.self_k[p]))
-                        .collect();
-                    layer.self_v = parents
-                        .iter()
-                        .map(|&p| Arc::clone(&layer.self_v[p]))
-                        .collect();
+                    layer.self_k.gather(parents);
+                    layer.self_v.gather(parents);
                 }
             }
             StateKind::ConvS2S(cs) => {

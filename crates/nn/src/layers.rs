@@ -55,9 +55,33 @@ impl Linear {
     }
 
     /// Apply to `x` of shape `n × d_in`.
+    ///
+    /// When the parameter store carries an int8 sidecar
+    /// ([`Params::quantize`]) and the pass is not training, the
+    /// projection runs through the quantized GEMM
+    /// ([`qrec_tensor::qi8::qgemm`]): the weight's pre-packed int8
+    /// panels against dynamically per-row-quantized activations, with
+    /// the dequantized f32 result entering the graph as a constant
+    /// (inference builds no gradients, so a leaf is sufficient). Stores
+    /// without a sidecar — and every training pass — take the f32
+    /// matmul path bitwise unchanged.
     pub fn forward(&self, fwd: &mut Fwd<'_>, x: NodeId) -> NodeId {
-        let w = fwd.param(self.w);
-        let y = fwd.graph.matmul(x, w);
+        let y = match (
+            fwd.training,
+            fwd.params.quant().and_then(|q| q.weight(self.w)),
+        ) {
+            (false, Some(qw)) => {
+                let packed = std::sync::Arc::clone(&qw.packed);
+                let xv = fwd.graph.value(x);
+                let n = xv.rows();
+                let data = qrec_tensor::qi8::qgemm(xv.data(), &packed, n);
+                fwd.constant(Tensor::from_vec(n, self.d_out, data))
+            }
+            _ => {
+                let w = fwd.param(self.w);
+                fwd.graph.matmul(x, w)
+            }
+        };
         match self.b {
             Some(b) => {
                 let b = fwd.param(b);
@@ -92,9 +116,27 @@ impl Embedding {
     }
 
     /// Look up a sequence of token ids: returns `len(ids) × dim`.
+    ///
+    /// When the parameter store carries an int8 sidecar and the pass is
+    /// not training, the looked-up rows are gathered straight from the
+    /// int8 table ([`crate::quant::QEmbed::gather`]) — only the
+    /// requested rows are dequantized, and the f32 table never
+    /// materialises. Training passes and stores without a sidecar take
+    /// the f32 gather bitwise unchanged.
     pub fn forward(&self, fwd: &mut Fwd<'_>, ids: &[usize]) -> NodeId {
-        let w = fwd.param(self.weight);
-        fwd.graph.embedding(w, ids)
+        match (
+            fwd.training,
+            fwd.params.quant().and_then(|q| q.embed(self.weight)),
+        ) {
+            (false, Some(qe)) => {
+                let rows = qe.gather(ids);
+                fwd.constant(Tensor::from_vec(ids.len(), self.dim, rows))
+            }
+            _ => {
+                let w = fwd.param(self.weight);
+                fwd.graph.embedding(w, ids)
+            }
+        }
     }
 }
 

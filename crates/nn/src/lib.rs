@@ -33,6 +33,7 @@ pub mod gru;
 pub mod incremental;
 pub mod layers;
 pub mod params;
+pub mod quant;
 pub mod schedule;
 pub mod seq2seq;
 pub mod trainer;
@@ -45,6 +46,7 @@ pub use decode::{decode, Hypothesis, Strategy};
 pub use gru::{GruConfig, GruSeq2Seq};
 pub use incremental::DecodeState;
 pub use params::{Binding, Fwd, ParamId, Params};
+pub use quant::QuantParams;
 pub use schedule::LrSchedule;
 pub use seq2seq::Seq2Seq;
 pub use trainer::{

@@ -20,11 +20,20 @@ use serde::{Deserialize, Serialize};
 pub struct ParamId(pub(crate) usize);
 
 /// A named collection of parameter tensors with gradient buffers.
+///
+/// A store may additionally carry an int8 quantization sidecar
+/// ([`crate::quant::QuantParams`], built by [`Params::quantize`]):
+/// inference-time layers consult it to run their projections through the
+/// int8 GEMM. The sidecar is runtime-only — it serialises as `null` and
+/// is rebuilt (from f32 weights or from the zoo's explicit int8
+/// sections) rather than round-tripped.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Params {
     data: Vec<Tensor>,
     grad: Vec<Tensor>,
     names: Vec<String>,
+    #[serde(default)]
+    quant: Option<crate::quant::QuantParams>,
 }
 
 impl Params {
@@ -118,6 +127,38 @@ impl Params {
             params.add(name, value);
         }
         params
+    }
+
+    /// Build (or rebuild) the int8 quantization sidecar from the current
+    /// f32 weights: every `*.w` matmul weight is calibrated per-tensor,
+    /// quantized, and packed for the int8 GEMM. Inference-time layers
+    /// take the quantized path whenever the sidecar is present; training
+    /// passes and stores without a sidecar are bitwise unaffected.
+    ///
+    /// Deterministic: the same weights always produce the same sidecar.
+    pub fn quantize(&mut self) {
+        self.quant = Some(crate::quant::QuantParams::build(self.named_tensors()));
+    }
+
+    /// Drop the quantization sidecar, restoring the pure-f32 path.
+    pub fn dequantize(&mut self) {
+        self.quant = None;
+    }
+
+    /// The quantization sidecar, if [`Params::quantize`] built one.
+    pub fn quant(&self) -> Option<&crate::quant::QuantParams> {
+        self.quant.as_ref()
+    }
+
+    /// True when an int8 sidecar is active.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Install an externally built sidecar (the zoo's int8-section load
+    /// path). The sidecar must have been built for this store's id space.
+    pub fn set_quant(&mut self, quant: crate::quant::QuantParams) {
+        self.quant = Some(quant);
     }
 
     /// Global L2 norm of all gradients (for clipping).

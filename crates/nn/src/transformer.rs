@@ -3,7 +3,8 @@
 
 use crate::attention::MultiHeadAttention;
 use crate::incremental::{
-    full_prefix_step, repeat_row, DecodeState, StateKind, TransformerLayerState, TransformerState,
+    full_prefix_step, repeat_row, DecodeState, KvCache, StateKind, TransformerLayerState,
+    TransformerState,
 };
 use crate::layers::{
     causal_mask, positional_encoding, positional_encoding_row, Dropout, Embedding, FeedForward,
@@ -175,17 +176,13 @@ impl DecoderLayer {
         let v_new = self.self_attn.project_v(fwd, x);
         let k_rows = fwd.graph.value_shared(k_new);
         let v_rows = fwd.graph.value_shared(v_new);
-        for (i, cache) in ls.self_k.iter_mut().enumerate() {
-            Arc::make_mut(cache).append_row(k_rows.row(i));
-        }
-        for (i, cache) in ls.self_v.iter_mut().enumerate() {
-            Arc::make_mut(cache).append_row(v_rows.row(i));
-        }
-        let batch = ls.self_k.len();
+        ls.self_k.append_rows(&k_rows);
+        ls.self_v.append_rows(&v_rows);
+        let batch = ls.self_k.batch();
         let row_ctx = |fwd: &mut Fwd<'_>, i: usize| {
             let qi = fwd.graph.slice_rows(q, i, i + 1);
-            let ki = fwd.constant_shared(Arc::clone(&ls.self_k[i]));
-            let vi = fwd.constant_shared(Arc::clone(&ls.self_v[i]));
+            let ki = ls.self_k.node(fwd, i);
+            let vi = ls.self_v.node(fwd, i);
             self.self_attn.attend(fwd, qi, ki, vi, None)
         };
         let mut ctx = row_ctx(fwd, 0);
@@ -297,6 +294,9 @@ impl Seq2Seq for Transformer {
 
     fn begin_decode(&self, fwd: &mut Fwd<'_>, enc: &Arc<Tensor>, batch: usize) -> DecodeState {
         let enc_node = fwd.constant_shared(Arc::clone(enc));
+        // A quantized parameter store also quantizes the resident KV
+        // rows: the whole decode picks one cache representation here.
+        let quantized = fwd.params.is_quantized();
         let layers = self
             .dec_layers
             .iter()
@@ -305,11 +305,9 @@ impl Seq2Seq for Transformer {
                 // them once here instead of once per decode step.
                 let k = layer.cross_attn.project_k(fwd, enc_node);
                 let v = layer.cross_attn.project_v(fwd, enc_node);
-                let empty_rows =
-                    |n: usize| (0..n).map(|_| Arc::new(Tensor::zeros(0, self.cfg.d_model)));
                 TransformerLayerState {
-                    self_k: empty_rows(batch).collect(),
-                    self_v: empty_rows(batch).collect(),
+                    self_k: KvCache::empty(batch, self.cfg.d_model, quantized),
+                    self_v: KvCache::empty(batch, self.cfg.d_model, quantized),
                     cross_k: fwd.graph.value_shared(k),
                     cross_v: fwd.graph.value_shared(v),
                 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! qrec-serve [--addr HOST:PORT] [--seed N] [--profile tiny|sqlshare|sdss]
-//!            [--data-dir PATH]
+//!            [--data-dir PATH] [--quant f32|int8]
 //! ```
 //!
 //! Generates a synthetic workload, trains a small transformer
@@ -15,7 +15,7 @@
 //! instead of training a fresh one.
 
 use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
-use qrec_serve::{Server, ServerConfig};
+use qrec_serve::{QuantMode, Server, ServerConfig};
 use qrec_workload::gen::{generate, WorkloadProfile};
 use qrec_workload::Split;
 use rand::rngs::StdRng;
@@ -27,6 +27,7 @@ struct Args {
     seed: u64,
     profile: String,
     data_dir: Option<std::path::PathBuf>,
+    quant: QuantMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         profile: "tiny".into(),
         data_dir: None,
+        quant: QuantMode::F32,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,9 +50,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--profile" => args.profile = value("--profile")?,
             "--data-dir" => args.data_dir = Some(value("--data-dir")?.into()),
+            "--quant" => args.quant = QuantMode::parse(&value("--quant")?)?,
             "--help" | "-h" => {
                 return Err("usage: qrec-serve [--addr HOST:PORT] [--seed N] \
-                     [--profile tiny|sqlshare|sdss] [--data-dir PATH]"
+                     [--profile tiny|sqlshare|sdss] [--data-dir PATH] \
+                     [--quant f32|int8]"
                     .into());
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -109,6 +113,7 @@ fn main() -> ExitCode {
 
     let server_cfg = ServerConfig {
         data_dir: args.data_dir.clone(),
+        quant: args.quant,
         ..ServerConfig::default()
     };
     let mut server = match Server::start(model, args.addr.as_str(), server_cfg) {
@@ -119,6 +124,9 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("serving on {}", server.local_addr());
+    if args.quant == QuantMode::Int8 {
+        eprintln!("int8 weight quantization on (quantized KV cache, top-5 agreement gated)");
+    }
     if let Some(dir) = &args.data_dir {
         eprintln!(
             "durable store at {} (epoch {})",

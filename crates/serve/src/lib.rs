@@ -57,6 +57,6 @@ pub use error::ServeError;
 pub use metrics::{ComputeSnapshot, Metrics, MetricsSnapshot};
 pub use protocol::{Request, Response, StatsReply};
 pub use registry::ModelRegistry;
-pub use server::{Server, ServerConfig};
+pub use server::{QuantMode, Server, ServerConfig};
 pub use session_store::{SessionStore, SweeperHandle};
 pub use zoo::ModelZoo;

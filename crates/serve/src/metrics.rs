@@ -175,6 +175,7 @@ impl Metrics {
             compute: ComputeSnapshot::current(),
             decode: DecodeSnapshot::current(),
             store: qrec_store::StoreStats::default(),
+            quant: QuantSnapshot::current(),
         }
     }
 }
@@ -242,6 +243,30 @@ impl DecodeSnapshot {
     }
 }
 
+/// Snapshot of the int8 quantized-GEMM dispatch counters: how many
+/// projection GEMMs ran on the quantized serial (1×d decode) versus
+/// blocked (batched) kernels since process start (see
+/// `qrec_tensor::qi8::counters`). Both zero when the serving model
+/// carries no int8 sidecar — the f32 path never touches them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantSnapshot {
+    /// Quantized GEMM calls on the serial per-row kernel.
+    pub qi8_serial: u64,
+    /// Quantized GEMM calls on the blocked register-tiled kernel.
+    pub qi8_blocked: u64,
+}
+
+impl QuantSnapshot {
+    /// Read the current process-wide quantized dispatch counters.
+    pub fn current() -> Self {
+        let c = qrec_tensor::qi8::counters();
+        QuantSnapshot {
+            qi8_serial: c.serial,
+            qi8_blocked: c.blocked,
+        }
+    }
+}
+
 /// Serialisable view of [`Metrics`], returned by the `STATS` verb.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -281,6 +306,10 @@ pub struct MetricsSnapshot {
     /// snapshots from older servers (the serde default fills it in).
     #[serde(default)]
     pub store: qrec_store::StoreStats,
+    /// Int8 quantized-GEMM dispatch counters (absent in snapshots from
+    /// servers that predate weight quantization).
+    #[serde(default)]
+    pub quant: QuantSnapshot,
 }
 
 #[cfg(test)]
@@ -424,6 +453,33 @@ mod tests {
         );
         let back = MetricsSnapshot::from_value(&stripped).unwrap();
         assert_eq!(back.store, qrec_store::StoreStats::default());
+    }
+
+    #[test]
+    fn snapshot_without_quant_field_deserialises_with_default() {
+        // Pre-quantization snapshots have no `quant` section; they must
+        // keep parsing with an all-zero default.
+        let v = MetricsSnapshot::default().to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "quant")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let back = MetricsSnapshot::from_value(&stripped).unwrap();
+        assert_eq!(back.quant, QuantSnapshot::default());
+    }
+
+    #[test]
+    fn quant_snapshot_tracks_qi8_dispatch() {
+        let before = QuantSnapshot::current();
+        // A 1-row quantized GEMM takes the serial kernel.
+        let qb = qrec_tensor::qi8::QPackedB::from_f32(&[0.5f32; 8], 4, 2);
+        let _ = qrec_tensor::qi8::qgemm(&[1.0, 2.0, 3.0, 4.0], &qb, 1);
+        let after = QuantSnapshot::current();
+        assert!(after.qi8_serial > before.qi8_serial);
     }
 
     #[test]

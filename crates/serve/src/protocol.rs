@@ -163,6 +163,10 @@ pub struct StatsReply {
     pub cache_entries: u64,
     /// Current model epoch.
     pub model_epoch: u64,
+    /// True when the serving model carries an int8 quantization sidecar
+    /// (absent in replies from older servers — defaults to false).
+    #[serde(default)]
+    pub model_quantized: bool,
 }
 
 /// Payload of a `TRACE` response.

@@ -32,6 +32,34 @@ use crate::session_store::{SessionStore, SweeperHandle};
 use crate::zoo::ModelZoo;
 use qrec_store::Store;
 
+/// Numeric mode for the serving model's decode hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Full-precision weights and KV caches: the bitwise-deterministic
+    /// reference path.
+    #[default]
+    F32,
+    /// Int8 weight-quantized projections and quantized KV caches
+    /// (DESIGN.md §15): ~4× smaller resident model + cache, ≥2× decode
+    /// throughput, top-5 agreement ≥ 0.98 against [`QuantMode::F32`].
+    Int8,
+}
+
+impl QuantMode {
+    /// Parse a CLI value (`"f32"` or `"int8"`).
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message for any other spelling.
+    pub fn parse(s: &str) -> Result<QuantMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" => Ok(QuantMode::F32),
+            "int8" => Ok(QuantMode::Int8),
+            other => Err(format!("unknown quant mode {other:?} (use f32 or int8)")),
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -60,6 +88,11 @@ pub struct ServerConfig {
     /// Tuning for the durable store (fsync policy, memtable budget).
     /// Ignored without `data_dir`.
     pub store: qrec_store::StoreConfig,
+    /// Numeric mode for decoding. [`QuantMode::Int8`] quantizes the
+    /// boot model and every hot-swapped model at install time; the
+    /// sidecar also persists to the zoo, so a restart serves int8
+    /// without re-calibrating.
+    pub quant: QuantMode,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +107,7 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             data_dir: None,
             store: qrec_store::StoreConfig::default(),
+            quant: QuantMode::F32,
         }
     }
 }
@@ -95,6 +129,8 @@ struct Shared {
     durable: Option<Arc<Store>>,
     /// Persistent model zoo, when configured.
     zoo: Option<ModelZoo>,
+    /// Numeric mode applied to every installed model.
+    quant: QuantMode,
     shutdown: AtomicBool,
     /// Signalled when a client issues the SHUTDOWN verb; see
     /// [`ShutdownMutex`].
@@ -151,6 +187,11 @@ impl Server {
         let mut zoo: Option<ModelZoo> = None;
         let mut boot_model = model;
         let mut boot_epoch = 1u64;
+        // The config's quant mode is authoritative over whatever state
+        // the caller's or the zoo's model arrives in: Int8 installs the
+        // sidecar (idempotent if a v2 blob already carried one), F32
+        // strips it so the bitwise reference path serves.
+        apply_quant_mode(&mut boot_model, cfg.quant);
         if let Some(dir) = &cfg.data_dir {
             let sessions = Store::open(&dir.join("sessions"), cfg.store).map_err(store_err)?;
             durable = Some(Arc::new(sessions));
@@ -161,10 +202,12 @@ impl Server {
                     // served; it outranks the caller's boot model.
                     boot_model = recovered;
                     boot_epoch = epoch;
+                    apply_quant_mode(&mut boot_model, cfg.quant);
                 }
                 None => {
                     // First boot with persistence: seed the zoo so a
-                    // crash before the first swap still recovers.
+                    // crash before the first swap still recovers (with
+                    // its int8 sections when quantization is on).
                     z.save(boot_epoch, &boot_model).map_err(store_err)?;
                 }
             }
@@ -199,6 +242,7 @@ impl Server {
             engine: Arc::clone(&engine),
             durable,
             zoo,
+            quant: cfg.quant,
             shutdown: AtomicBool::new(false),
             shutdown_requested: ShutdownMutex::new(false),
             shutdown_cv: std::sync::Condvar::new(),
@@ -286,7 +330,8 @@ impl Server {
     /// # Errors
     ///
     /// [`ServeError::Store`] when the zoo write fails.
-    pub fn try_swap_model(&self, model: Recommender) -> Result<u64, ServeError> {
+    pub fn try_swap_model(&self, mut model: Recommender) -> Result<u64, ServeError> {
+        apply_quant_mode(&mut model, self.shared.quant);
         let epoch = self.shared.registry.swap(model);
         Metrics::bump(&self.shared.metrics.swaps);
         if let Some(zoo) = &self.shared.zoo {
@@ -358,6 +403,14 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Make a model match the server's configured numeric mode.
+fn apply_quant_mode(model: &mut Recommender, mode: QuantMode) {
+    match mode {
+        QuantMode::Int8 => model.quantize(),
+        QuantMode::F32 => model.dequantize(),
     }
 }
 
@@ -539,6 +592,11 @@ fn dump() -> Response {
     let _ = writeln!(text, "qrec_tensor_gemm_serial {}", k.serial);
     let _ = writeln!(text, "# TYPE qrec_tensor_gemm_parallel counter");
     let _ = writeln!(text, "qrec_tensor_gemm_parallel {}", k.parallel);
+    let q = qrec_tensor::qi8::counters();
+    let _ = writeln!(text, "# TYPE qrec_tensor_gemm_qi8_serial counter");
+    let _ = writeln!(text, "qrec_tensor_gemm_qi8_serial {}", q.serial);
+    let _ = writeln!(text, "# TYPE qrec_tensor_gemm_qi8_blocked counter");
+    let _ = writeln!(text, "qrec_tensor_gemm_qi8_blocked {}", q.blocked);
     let _ = writeln!(text, "# TYPE qrec_tensor_pool_threads gauge");
     let _ = writeln!(
         text,
@@ -564,6 +622,7 @@ fn stats(shared: &Shared) -> Response {
             sessions: shared.store.len() as u64,
             cache_entries: shared.cache.len() as u64,
             model_epoch: shared.registry.epoch(),
+            model_quantized: shared.registry.current().1.is_quantized(),
         }),
         ..Response::default()
     }

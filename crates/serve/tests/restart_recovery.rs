@@ -224,6 +224,99 @@ fn zoo_round_trip_is_bitwise() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Re-write a saved blob with its JSON header transformed; the sections
+/// are carried over untouched (the blob layer re-CRCs them).
+fn rewrite_header(blob_path: &Path, f: impl FnOnce(&mut serde::Map)) {
+    let b = qrec_store::blob::read_blob(blob_path).expect("read blob");
+    let v: serde::Value = serde_json::from_str(&b.header).expect("parse header");
+    let mut map = v.as_object().expect("header is an object").clone();
+    f(&mut map);
+    let doctored = serde_json::to_string(&serde::Value::Object(map)).expect("serialise header");
+    let refs: Vec<&[u8]> = b.sections.iter().map(Vec::as_slice).collect();
+    qrec_store::blob::write_blob(blob_path, &doctored, &refs).expect("rewrite blob");
+}
+
+/// A quantized model's int8 sidecar persists to the zoo (v2 sections)
+/// and is rebuilt on load without re-calibrating: the exported packed
+/// weights match entry for entry, and the f32 weights stay bitwise.
+#[test]
+fn quantized_zoo_round_trip_restores_sidecar() {
+    let dir = std::env::temp_dir().join(format!("qrec-zoo-quant-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let zoo = ModelZoo::open(&dir).expect("open zoo");
+    let mut model = train_tiny(5);
+    model.quantize();
+    zoo.save(3, &model).expect("save quantized");
+
+    let (epoch, restored) = zoo.load_current().expect("load").expect("model present");
+    assert_eq!(epoch, 3);
+    assert!(restored.is_quantized(), "sidecar must survive the zoo");
+    assert_weights_bitwise_equal(&restored, &model);
+    let want = model.params().quant().expect("sidecar").export();
+    let got = restored.params().quant().expect("sidecar").export();
+    assert_eq!(want.len(), got.len(), "quantized weight count");
+    for ((wi, wr, wc, ws, wq), (gi, gr, gc, gs, gq)) in want.iter().zip(&got) {
+        assert_eq!(wi, gi, "param index");
+        assert_eq!((wr, wc), (gr, gc), "param {wi}: shape");
+        let bits = |s: &[f32]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(ws), bits(gs), "param {wi}: scale bits");
+        assert_eq!(wq, gq, "param {wi}: int8 values");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An f32-only (v1-era) blob — no `quant` header field — still loads,
+/// and comes back unquantized.
+#[test]
+fn v1_blob_without_quant_field_still_loads() {
+    let dir = std::env::temp_dir().join(format!("qrec-zoo-v1-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let zoo = ModelZoo::open(&dir).expect("open zoo");
+    let model = train_tiny(4);
+    zoo.save(1, &model).expect("save");
+
+    // Rewrite the header exactly as a v1 writer would have produced it.
+    rewrite_header(&dir.join(ModelZoo::blob_name(1)), |map| {
+        map.insert("format_version", serde::Value::Int(1));
+        *map = map
+            .iter()
+            .filter(|(k, _)| k.as_str() != "quant")
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+    });
+
+    let (epoch, restored) = zoo.load_current().expect("v1 blob loads").expect("present");
+    assert_eq!(epoch, 1);
+    assert!(!restored.is_quantized(), "v1 blobs carry no sidecar");
+    assert_weights_bitwise_equal(&restored, &model);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A blob written by a *future* zoo version is refused with a typed
+/// corruption error — never a panic or a misparse of unknown sections.
+#[test]
+fn future_format_version_blob_is_refused_typed() {
+    let dir = std::env::temp_dir().join(format!("qrec-zoo-future-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let zoo = ModelZoo::open(&dir).expect("open zoo");
+    zoo.save(1, &train_tiny(6)).expect("save");
+
+    rewrite_header(&dir.join(ModelZoo::blob_name(1)), |map| {
+        map.insert("format_version", serde::Value::Int(99));
+    });
+
+    let err = match zoo.load_current() {
+        Err(e) => e,
+        Ok(_) => panic!("future version must be refused"),
+    };
+    assert!(err.is_corrupt(), "wrong error class: {err}");
+    assert!(
+        err.to_string().contains("format version"),
+        "error should name the version mismatch: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A flipped bit anywhere in a persisted weight blob is a typed
 /// corruption error on load — never a silently different model.
 #[test]

@@ -33,6 +33,7 @@ pub mod graph;
 pub mod init;
 pub mod kernel;
 pub mod pool;
+pub mod qi8;
 pub mod tensor;
 
 pub use graph::{Graph, NodeId};

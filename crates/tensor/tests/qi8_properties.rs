@@ -1,0 +1,75 @@
+//! Property tests for the int8 quantization scale calibration
+//! (DESIGN.md §15): degenerate inputs (all-zero, single-element),
+//! outlier saturation (clamp, never wrap), and the round-trip error
+//! bound of half a quantization step.
+
+use proptest::prelude::*;
+use qrec_tensor::qi8::{calibrate, dequantize, quantize, quantize_one};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An all-zero (or empty) slice calibrates to scale 0 and
+    /// round-trips to exactly zero — nothing divides by the zero scale.
+    #[test]
+    fn all_zero_slices_calibrate_to_zero(len in 0usize..64) {
+        let xs = vec![0.0f32; len];
+        let s = calibrate(&xs);
+        prop_assert_eq!(s, 0.0);
+        let q = quantize(&xs, s);
+        prop_assert!(q.iter().all(|&v| v == 0));
+        let dq = dequantize(&q, s);
+        prop_assert!(dq.iter().all(|&v| v == 0.0));
+    }
+
+    /// A single finite value is its own calibration max: the scale is
+    /// |x|/127 and the value quantizes to exactly ±127, so one-element
+    /// tensors lose only the 1/127 rounding, never more.
+    #[test]
+    fn single_element_calibration_is_exact(x in -1e6f32..1e6) {
+        let s = calibrate(&[x]);
+        if x == 0.0 {
+            prop_assert_eq!(s, 0.0);
+        } else {
+            prop_assert_eq!(s, x.abs() / 127.0);
+            let q = quantize_one(x, s);
+            prop_assert_eq!(i32::from(q).abs(), 127);
+            prop_assert_eq!(q > 0, x > 0.0);
+        }
+    }
+
+    /// Values far outside the calibrated range saturate at ±127 with
+    /// the sign preserved — an outlier clips, it never wraps into a
+    /// huge opposite-sign weight.
+    #[test]
+    fn outliers_clamp_and_never_wrap(
+        base in 0.1f32..10.0,
+        factor in 2.0f32..1e6,
+        sign in 0u8..2,
+    ) {
+        let scale = calibrate(&[base]);
+        let outlier = if sign == 0 { base * factor } else { -base * factor };
+        let q = quantize_one(outlier, scale);
+        prop_assert_eq!(i32::from(q), if sign == 0 { 127 } else { -127 });
+    }
+
+    /// Quantize→dequantize under the slice's own calibrated scale is
+    /// within half a step (plus float fuzz) of the original everywhere:
+    /// round-to-nearest, and calibration guarantees no interior value
+    /// saturates.
+    #[test]
+    fn round_trip_error_is_bounded_by_half_step(
+        xs in proptest::collection::vec(-100.0f32..100.0, 1..128),
+    ) {
+        let s = calibrate(&xs);
+        let q = quantize(&xs, s);
+        let dq = dequantize(&q, s);
+        for (a, b) in xs.iter().zip(&dq) {
+            prop_assert!(
+                (a - b).abs() <= s * 0.5 + 1e-6,
+                "{} round-tripped to {} (scale {})",
+                a, b, s
+            );
+        }
+    }
+}

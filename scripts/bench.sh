@@ -3,8 +3,8 @@
 # and "Durability").
 #
 #   scripts/bench.sh              full run, writes BENCH_tensor.json,
-#                                 BENCH_decode.json and BENCH_store.json
-#                                 at the repo root
+#                                 BENCH_decode.json, BENCH_store.json and
+#                                 BENCH_quant.json at the repo root
 #   scripts/bench.sh --smoke      tiny shapes, writes target/BENCH_*_smoke.json
 #   QREC_THREADS=4 scripts/bench.sh   size the serving pool (bench pools stay 1 and 8)
 #
@@ -13,10 +13,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --offline --release -q -p qrec-bench \
-    --bin bench_tensor --bin bench_decode --bin bench_store
+    --bin bench_tensor --bin bench_decode --bin bench_store --bin bench_quant
 ./target/release/bench_tensor "$@"
 ./target/release/bench_decode "$@"
 ./target/release/bench_store "$@"
+./target/release/bench_quant "$@"
 
 # In smoke mode, validate the extended report schema: every row must
 # carry the per-rep latency distribution (best/p50/p95/p99/reps)
@@ -70,8 +71,27 @@ for row in store["recovery"]:
     if row.get("recovered_records") != row["records"]:
         sys.exit(f"store recovery dropped records: {row}")
 
+quant = json.load(open("target/BENCH_quant_smoke.json"))
+QUANT_ROW_KEYS = {"speedup", "topk_agreement", "mem_ratio"}
+if not quant["rows"]:
+    sys.exit("quant report has no rows")
+for row in quant["rows"]:
+    missing = QUANT_ROW_KEYS - set(row)
+    if missing:
+        sys.exit(f"quant row {row.get('label')}: missing keys {sorted(missing)}")
+    if not 0.0 <= row["topk_agreement"] <= 1.0:
+        sys.exit(f"quant row {row['label']}: agreement out of range: {row['topk_agreement']}")
+    if row["speedup"] <= 0 or row["mem_ratio"] <= 0:
+        sys.exit(f"quant row {row['label']}: non-positive ratio: {row}")
+    for key in ("f32_percentiles", "quant_percentiles"):
+        obj = row.get(key)
+        if obj is None:
+            sys.exit(f"quant row {row.get('label')}: no {key!r} object")
+        check_pct(obj, f"quant row {row.get('label')} {key}")
+
 print("bench.sh: extended schema OK "
       f"({len(tensor['shapes'])} tensor shapes, {len(decode['rows'])} decode rows, "
-      f"{len(store['append'])}+{len(store['recovery'])} store rows)")
+      f"{len(store['append'])}+{len(store['recovery'])} store rows, "
+      f"{len(quant['rows'])} quant rows)")
 PYEOF
 fi

@@ -34,6 +34,9 @@ echo "==> store recovery smoke (SIGKILL mid-write, torn tails, restart)"
 cargo test --offline -q -p qrec-store --test crash_recovery
 cargo test --offline -q -p qrec-serve --test restart_recovery
 
+echo "==> int8 quant equivalence smoke (agreement gate + QREC_THREADS 1/2/8 reruns)"
+cargo test --offline -q -p qrec-nn --test quant_equivalence
+
 echo "==> bench --smoke"
 ./scripts/bench.sh --smoke >/dev/null
 python3 -m json.tool target/BENCH_tensor_smoke.json >/dev/null \
@@ -42,6 +45,8 @@ python3 -m json.tool target/BENCH_decode_smoke.json >/dev/null \
     || { echo "BENCH_decode_smoke.json is not well-formed JSON"; exit 1; }
 python3 -m json.tool target/BENCH_store_smoke.json >/dev/null \
     || { echo "BENCH_store_smoke.json is not well-formed JSON"; exit 1; }
+python3 -m json.tool target/BENCH_quant_smoke.json >/dev/null \
+    || { echo "BENCH_quant_smoke.json is not well-formed JSON"; exit 1; }
 if [ -f BENCH_tensor.json ]; then
     python3 -m json.tool BENCH_tensor.json >/dev/null \
         || { echo "BENCH_tensor.json is not well-formed JSON"; exit 1; }
@@ -53,6 +58,10 @@ fi
 if [ -f BENCH_store.json ]; then
     python3 -m json.tool BENCH_store.json >/dev/null \
         || { echo "BENCH_store.json is not well-formed JSON"; exit 1; }
+fi
+if [ -f BENCH_quant.json ]; then
+    python3 -m json.tool BENCH_quant.json >/dev/null \
+        || { echo "BENCH_quant.json is not well-formed JSON"; exit 1; }
 fi
 
 echo "==> obs overhead gate (bench_obs, budget ${QREC_OBS_OVERHEAD_MAX:-0.03})"
