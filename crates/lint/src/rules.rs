@@ -78,9 +78,11 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            hot_path_crates: ["serve", "core", "nn", "sql", "tensor", "obs", "store"]
-                .map(String::from)
-                .to_vec(),
+            hot_path_crates: [
+                "serve", "core", "nn", "sql", "tensor", "obs", "store", "polling",
+            ]
+            .map(String::from)
+            .to_vec(),
             lock_call_crates: vec!["serve".to_string(), "store".to_string()],
             parking_lot_crates: vec!["serve".to_string()],
             crate_deps: HashMap::new(),
@@ -1171,9 +1173,14 @@ const BLOCKING_CALLS: [&str; 6] = [
 ];
 
 /// Is `name` a hot-path entry point? The decode/recommend families are
-/// the request path; `worker_loop` is the batcher's decode worker.
+/// the request path; `worker_loop` is the batcher's decode worker; the
+/// `tick*` family is the serve event loop, where one blocked tick
+/// stalls every connection on the process.
 fn is_hot_entry(name: &str) -> bool {
-    name.starts_with("decode") || name.starts_with("recommend") || name == "worker_loop"
+    name.starts_with("decode")
+        || name.starts_with("recommend")
+        || name.starts_with("tick")
+        || name == "worker_loop"
 }
 
 /// Flags fsync / blocking-I/O / sleep calls reachable from a hot-path

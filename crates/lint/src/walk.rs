@@ -57,16 +57,18 @@ pub fn collect_workspace(root: &Path) -> io::Result<Workspace> {
         .insert("qrec".to_string(), manifest_deps(&root_manifest, &pkg_dirs));
     collect_package(root, root, "qrec", &mut files)?;
 
-    // Vendored shims: only ever checked for safety comments.
+    // Vendored shims: only ever checked for safety comments — except
+    // `polling`, which sits on the serve hot path (the event loop calls
+    // it on every tick) and is held to the same bar as first-party
+    // library code (R1/R9/R10 via `hot_path_crates`).
     for shim_dir in subdirs(&root.join("shims"))? {
-        let crate_name = format!("shim:{}", dir_name(&shim_dir));
-        collect_tree(
-            root,
-            &shim_dir.join("src"),
-            &crate_name,
-            FileClass::Shim,
-            &mut files,
-        )?;
+        let dir = dir_name(&shim_dir);
+        let (crate_name, class) = if dir == "polling" {
+            (dir, FileClass::Library)
+        } else {
+            (format!("shim:{dir}"), FileClass::Shim)
+        };
+        collect_tree(root, &shim_dir.join("src"), &crate_name, class, &mut files)?;
     }
 
     files.sort_by(|a, b| a.path.cmp(&b.path));
@@ -270,9 +272,23 @@ mod tests {
         let shim = ws
             .files
             .iter()
-            .find(|f| f.path.starts_with("shims/"))
+            .find(|f| f.path.starts_with("shims/") && !f.path.starts_with("shims/polling/"))
             .expect("shims present");
         assert_eq!(shim.class, FileClass::Shim);
         assert!(shim.crate_name.starts_with("shim:"));
+    }
+
+    #[test]
+    fn polling_shim_is_linted_as_hot_path_library_code() {
+        // The event loop calls the polling shim on every tick, so it is
+        // promoted out of the safety-comments-only Shim class.
+        let ws = collect_workspace(&workspace_root()).unwrap();
+        let polling = ws
+            .files
+            .iter()
+            .find(|f| f.path.starts_with("shims/polling/"))
+            .expect("polling shim present");
+        assert_eq!(polling.class, FileClass::Library);
+        assert_eq!(polling.crate_name, "polling");
     }
 }

@@ -486,6 +486,100 @@ fn injected_blocking_call_under_hot_entry_is_caught() {
     );
 }
 
+/// The serve event loop and the vendored `polling` shim it runs on are
+/// both hot-path library code: the walker promotes the shim out of the
+/// safety-comments-only class, and R1 fires on a panic seeded into
+/// either file.
+#[test]
+fn eventloop_and_polling_shim_are_hot_path() {
+    let root = workspace_root();
+    let ws = qrec_lint::collect_workspace(&root).expect("walk workspace");
+    assert!(
+        ws.config.hot_path_crates.iter().any(|c| c == "polling"),
+        "polling must be a hot-path crate: {:?}",
+        ws.config.hot_path_crates
+    );
+    for (rel, crate_name) in [
+        ("crates/serve/src/eventloop.rs", "serve"),
+        ("shims/polling/src/lib.rs", "polling"),
+    ] {
+        let file = ws
+            .files
+            .iter()
+            .find(|f| f.path == rel)
+            .unwrap_or_else(|| panic!("walker must see {rel}"));
+        assert_eq!(file.class, FileClass::Library, "{rel} is library code");
+        assert_eq!(file.crate_name, crate_name);
+
+        let lint = |text: &str| {
+            analyze(
+                &[SourceFile {
+                    path: rel.into(),
+                    crate_name: crate_name.into(),
+                    class: FileClass::Library,
+                    text: text.into(),
+                }],
+                &Config::default(),
+            )
+        };
+        assert!(
+            lint(&file.text).is_empty(),
+            "shipped {rel} must be clean for the injection to be the delta"
+        );
+        let seeded = format!(
+            "fn injected(x: Option<u32>) -> u32 {{ x.unwrap() }}\n{}",
+            file.text
+        );
+        let findings = lint(&seeded);
+        assert_eq!(findings.len(), 1, "exactly the injected line: {findings:?}");
+        assert_eq!(findings[0].rule, "no-panic-in-hot-path");
+    }
+}
+
+/// R10 treats the `tick*` family as hot entries: a tick-named function
+/// seeded into the real event-loop module whose callee blocks on fsync
+/// is flagged — one stalled tick stalls every connection, so blocking
+/// calls must never be reachable from the loop.
+#[test]
+fn injected_blocking_call_under_tick_entry_is_caught() {
+    let root = workspace_root();
+    let rel = "crates/serve/src/eventloop.rs";
+    let clean = std::fs::read_to_string(root.join(rel)).expect("read eventloop.rs");
+
+    let lint = |text: &str| {
+        analyze(
+            &[SourceFile {
+                path: rel.into(),
+                crate_name: "serve".into(),
+                class: FileClass::Library,
+                text: text.into(),
+            }],
+            &Config::default(),
+        )
+    };
+    assert!(
+        lint(&clean).is_empty(),
+        "shipped {rel} must be clean for the injection to be the delta"
+    );
+    let seeded = format!(
+        "fn tick_injected(s: &InjState) {{ injected_flush(s); }}\n\
+         fn injected_flush(s: &InjState) {{ s.inj_file.sync_all(); }}\n\
+         {clean}"
+    );
+    let findings = lint(&seeded);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the injected fsync: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "blocking-call-in-hot-path");
+    assert!(
+        findings[0].message.contains("serve:tick_injected"),
+        "message names the tick entry: {}",
+        findings[0].message
+    );
+}
+
 /// An allow directive without the mandatory `-- <reason>` must not
 /// suppress the violation, and is itself reported.
 #[test]

@@ -54,9 +54,44 @@ pub struct Recommendation {
     pub trace: Option<Box<TraceContext>>,
 }
 
+/// Session-preparation step run on the worker just before decoding:
+/// returns the model input tokens (typically from a durable
+/// [`SessionStore::push_sql`](crate::session_store::SessionStore::push_sql),
+/// which may block on a WAL fsync — exactly why it runs here and not on
+/// the event-loop thread).
+pub type PrepareFn = Box<dyn FnOnce() -> Result<Vec<String>, ServeError> + Send>;
+
+/// Completion callback for [`DecodeEngine::submit_callback`]: invoked
+/// once on a worker thread with the job's result.
+pub type ReplyFn = Box<dyn FnOnce(Result<Recommendation, ServeError>) + Send>;
+
+/// How a job's result gets back to its submitter.
+enum Reply {
+    /// Blocking submitters wait on a channel ([`DecodeEngine::submit`]).
+    Channel(Sender<Result<Recommendation, ServeError>>),
+    /// The event loop supplies a callback that posts a completion
+    /// message and wakes the poller — no thread ever blocks.
+    Callback(ReplyFn),
+}
+
+impl Reply {
+    fn deliver(self, result: Result<Recommendation, ServeError>) {
+        match self {
+            // A dropped receiver (client gone) is fine; ignore the error.
+            Reply::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Reply::Callback(f) => f(result),
+        }
+    }
+}
+
 struct Job {
     req: DecodeRequest,
-    reply: Sender<Result<Recommendation, ServeError>>,
+    /// Deferred session step; `None` when the submitter already
+    /// resolved the tokens (the blocking-client path).
+    prepare: Option<PrepareFn>,
+    reply: Reply,
     enqueued: Instant,
 }
 
@@ -162,11 +197,44 @@ impl DecodeEngine {
         let (reply_tx, reply_rx) = bounded(1);
         let job = Job {
             req,
-            reply: reply_tx,
+            prepare: None,
+            reply: Reply::Channel(reply_tx),
             enqueued: Instant::now(),
         };
         match tx.try_send(job) {
             Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submit a job without blocking and without waiting: `reply` runs
+    /// on a worker thread with the result. When `prepare` is given, it
+    /// resolves the input tokens on the worker first (and its error, if
+    /// any, is what `reply` receives) — the event loop uses this to keep
+    /// durable session writes off the poll thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full;
+    /// [`ServeError::ShuttingDown`] when the engine has shut down. On
+    /// error `reply` is *not* invoked — the submitter still owns the
+    /// failure.
+    pub fn submit_callback(
+        &self,
+        req: DecodeRequest,
+        prepare: Option<PrepareFn>,
+        reply: ReplyFn,
+    ) -> Result<(), ServeError> {
+        let tx = self.tx.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let job = Job {
+            req,
+            prepare,
+            reply: Reply::Callback(reply),
+            enqueued: Instant::now(),
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
             Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
         }
@@ -253,6 +321,18 @@ fn worker_loop(
             if let Some(ctx) = job.req.trace.take() {
                 trace::install(ctx);
             }
+            // Deferred session step (event-loop jobs): resolve the input
+            // tokens here, where blocking on a WAL fsync is allowed.
+            if let Some(prepare) = job.prepare.take() {
+                match Span::in_span_with("session", &metrics.stage_session, prepare) {
+                    Ok(tokens) => job.req.tokens = tokens,
+                    Err(e) => {
+                        trace::uninstall();
+                        job.reply.deliver(Err(e));
+                        continue;
+                    }
+                }
+            }
             let wait = job.enqueued.elapsed();
             metrics.stage_batch_wait.record_duration(wait);
             trace::record_stage("batch_wait", job.enqueued, wait);
@@ -284,8 +364,7 @@ fn worker_loop(
                 ranked.map(|_, r| r.iter().take(job.req.n).cloned().collect())
             });
             metrics.latency.record(job.enqueued.elapsed());
-            // A dropped receiver (client gone) is fine; ignore the error.
-            let _ = job.reply.send(Ok(Recommendation {
+            job.reply.deliver(Ok(Recommendation {
                 fragments,
                 epoch,
                 cached,

@@ -3,6 +3,7 @@
 //! ```text
 //! qrec-serve [--addr HOST:PORT] [--seed N] [--profile tiny|sqlshare|sdss]
 //!            [--data-dir PATH] [--quant f32|int8]
+//!            [--frontend eventloop|threadpool] [--max-conns N]
 //! ```
 //!
 //! Generates a synthetic workload, trains a small transformer
@@ -15,7 +16,7 @@
 //! instead of training a fresh one.
 
 use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
-use qrec_serve::{QuantMode, Server, ServerConfig};
+use qrec_serve::{Frontend, QuantMode, Server, ServerConfig};
 use qrec_workload::gen::{generate, WorkloadProfile};
 use qrec_workload::Split;
 use rand::rngs::StdRng;
@@ -28,6 +29,8 @@ struct Args {
     profile: String,
     data_dir: Option<std::path::PathBuf>,
     quant: QuantMode,
+    frontend: Frontend,
+    max_conns: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
         profile: "tiny".into(),
         data_dir: None,
         quant: QuantMode::F32,
+        frontend: Frontend::EventLoop,
+        max_conns: ServerConfig::default().max_connections,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,10 +56,17 @@ fn parse_args() -> Result<Args, String> {
             "--profile" => args.profile = value("--profile")?,
             "--data-dir" => args.data_dir = Some(value("--data-dir")?.into()),
             "--quant" => args.quant = QuantMode::parse(&value("--quant")?)?,
+            "--frontend" => args.frontend = Frontend::parse(&value("--frontend")?)?,
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-conns: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: qrec-serve [--addr HOST:PORT] [--seed N] \
                      [--profile tiny|sqlshare|sdss] [--data-dir PATH] \
-                     [--quant f32|int8]"
+                     [--quant f32|int8] [--frontend eventloop|threadpool] \
+                     [--max-conns N]"
                     .into());
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -114,6 +126,8 @@ fn main() -> ExitCode {
     let server_cfg = ServerConfig {
         data_dir: args.data_dir.clone(),
         quant: args.quant,
+        frontend: args.frontend,
+        max_connections: args.max_conns,
         ..ServerConfig::default()
     };
     let mut server = match Server::start(model, args.addr.as_str(), server_cfg) {

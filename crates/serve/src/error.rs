@@ -27,6 +27,10 @@ pub enum ServeError {
     /// acknowledging a session update the WAL did not accept would break
     /// the durability guarantee.
     Store(String),
+    /// The client is not draining its socket: the per-connection outbox
+    /// hit its hard cap. The server sends this once and disconnects —
+    /// buffering without bound or blocking a worker are both worse.
+    SlowConsumer,
     /// A transport-level failure (connection dropped, malformed reply).
     Io(String),
 }
@@ -41,6 +45,7 @@ impl ServeError {
             ServeError::Sql(_) => "sql_error",
             ServeError::EmptySession => "empty_session",
             ServeError::Store(_) => "store_error",
+            ServeError::SlowConsumer => "slow_consumer",
             ServeError::Io(_) => "io_error",
         }
     }
@@ -54,6 +59,7 @@ impl ServeError {
             "sql_error" => ServeError::Sql(message),
             "empty_session" => ServeError::EmptySession,
             "store_error" => ServeError::Store(message),
+            "slow_consumer" => ServeError::SlowConsumer,
             _ => ServeError::Io(message),
         }
     }
@@ -68,6 +74,9 @@ impl fmt::Display for ServeError {
             ServeError::Sql(m) => write!(f, "invalid SQL: {m}"),
             ServeError::EmptySession => write!(f, "session has no queries yet"),
             ServeError::Store(m) => write!(f, "durable store error: {m}"),
+            ServeError::SlowConsumer => {
+                write!(f, "client not draining responses; disconnecting")
+            }
             ServeError::Io(m) => write!(f, "transport error: {m}"),
         }
     }
@@ -94,6 +103,7 @@ mod tests {
             ServeError::Sql("y".into()),
             ServeError::EmptySession,
             ServeError::Store("w".into()),
+            ServeError::SlowConsumer,
             ServeError::Io("z".into()),
         ] {
             let back = ServeError::from_wire(e.code(), e.to_string());

@@ -16,8 +16,14 @@
 //! * [`registry`] — atomic hot-swap of the serving model; in-flight
 //!   requests finish on the model they started with.
 //! * [`server`] / [`client`] / [`protocol`] — the TCP front end
-//!   (`RECOMMEND` / `STATS` / `PING` / `SHUTDOWN`), a connection thread
-//!   pool, graceful shutdown, and an in-process client.
+//!   (`RECOMMEND` / `STATS` / `PING` / `SHUTDOWN`), graceful shutdown,
+//!   and an in-process client. Two interchangeable front ends serve the
+//!   same protocol: a readiness-based event loop (the default — one
+//!   thread, thousands of connections; see `eventloop` and DESIGN.md
+//!   §16) and the original connection thread pool (`threaded`).
+//! * [`framing`] — incremental JSONL frame reassembly for non-blocking
+//!   reads: partial lines accumulate across reads, oversized lines are
+//!   typed errors instead of unbounded buffers.
 //! * [`metrics`] — atomic counters and fixed-bucket latency histograms
 //!   behind the `STATS` verb.
 //! * [`zoo`] — versioned on-disk model persistence: each hot-swap writes
@@ -43,20 +49,25 @@ pub mod batcher;
 pub mod cache;
 pub mod client;
 pub mod error;
+mod eventloop;
+pub mod framing;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session_store;
+mod threaded;
+mod timer;
 pub mod zoo;
 
 pub use batcher::{DecodeEngine, DecodeRequest, EngineConfig, Recommendation};
 pub use cache::{CacheKey, RecCache};
 pub use client::Client;
 pub use error::ServeError;
-pub use metrics::{ComputeSnapshot, Metrics, MetricsSnapshot};
+pub use framing::{FrameBuf, FrameError};
+pub use metrics::{ComputeSnapshot, FrontendSnapshot, Metrics, MetricsSnapshot};
 pub use protocol::{Request, Response, StatsReply};
 pub use registry::ModelRegistry;
-pub use server::{QuantMode, Server, ServerConfig};
+pub use server::{Frontend, QuantMode, Server, ServerConfig};
 pub use session_store::{SessionStore, SweeperHandle};
 pub use zoo::ModelZoo;

@@ -8,7 +8,7 @@
 //! path, and the [`MetricsSnapshot`] wire shape is unchanged — snapshots
 //! from older servers still parse.
 
-use qrec_obs::{Counter, Histogram};
+use qrec_obs::{Counter, Gauge, Histogram};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -127,6 +127,93 @@ pub struct Metrics {
     pub stage_decode: Arc<Histogram>,
     /// Ranked-fragment truncation time (`"rank"` span).
     pub stage_rank: Arc<Histogram>,
+    /// TCP front-end instruments (event loop or thread pool).
+    pub frontend: FrontendMetrics,
+}
+
+/// Instruments for the TCP front end, registered under `serve.front.*`.
+///
+/// The event loop owns most of them single-threadedly; `conns_open` and
+/// `outbox_high_water` are gauges the loop re-publishes each tick.
+#[derive(Debug)]
+pub struct FrontendMetrics {
+    /// Connections currently open (accepted, not yet closed).
+    pub conns_open: Arc<Gauge>,
+    /// Connections accepted since start.
+    pub accepted: Arc<Counter>,
+    /// Connections refused because the connection cap was reached.
+    pub rejected_cap: Arc<Counter>,
+    /// Times the poller returned with at least one event.
+    pub poll_wakeups: Arc<Counter>,
+    /// Largest per-connection outbox observed, in bytes.
+    pub outbox_high_water: Arc<Gauge>,
+    /// Connections dropped by the idle timeout.
+    pub idle_disconnects: Arc<Counter>,
+    /// Connections dropped for not draining their responses
+    /// ([`crate::ServeError::SlowConsumer`]).
+    pub slow_disconnects: Arc<Counter>,
+    /// Accept backoffs taken after transient accept errors
+    /// (EMFILE/ENFILE/ECONNABORTED).
+    pub accept_backoffs: Arc<Counter>,
+}
+
+impl FrontendMetrics {
+    /// Fresh zeroed instruments, registered in the global obs registry.
+    pub fn new() -> Self {
+        let reg = qrec_obs::global();
+        FrontendMetrics {
+            conns_open: reg.gauge("serve.front.conns_open"),
+            accepted: reg.counter("serve.front.accepted"),
+            rejected_cap: reg.counter("serve.front.rejected_cap"),
+            poll_wakeups: reg.counter("serve.front.poll_wakeups"),
+            outbox_high_water: reg.gauge("serve.front.outbox_high_water_bytes"),
+            idle_disconnects: reg.counter("serve.front.idle_disconnects"),
+            slow_disconnects: reg.counter("serve.front.slow_disconnects"),
+            accept_backoffs: reg.counter("serve.front.accept_backoffs"),
+        }
+    }
+
+    /// Copy every instrument into a serialisable snapshot.
+    pub fn snapshot(&self) -> FrontendSnapshot {
+        FrontendSnapshot {
+            conns_open: self.conns_open.get(),
+            accepted: self.accepted.get(),
+            rejected_cap: self.rejected_cap.get(),
+            poll_wakeups: self.poll_wakeups.get(),
+            outbox_high_water: self.outbox_high_water.get(),
+            idle_disconnects: self.idle_disconnects.get(),
+            slow_disconnects: self.slow_disconnects.get(),
+            accept_backoffs: self.accept_backoffs.get(),
+        }
+    }
+}
+
+impl Default for FrontendMetrics {
+    fn default() -> Self {
+        FrontendMetrics::new()
+    }
+}
+
+/// Serialisable view of [`FrontendMetrics`], nested in
+/// [`MetricsSnapshot::frontend`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrontendSnapshot {
+    /// See [`FrontendMetrics::conns_open`].
+    pub conns_open: u64,
+    /// See [`FrontendMetrics::accepted`].
+    pub accepted: u64,
+    /// See [`FrontendMetrics::rejected_cap`].
+    pub rejected_cap: u64,
+    /// See [`FrontendMetrics::poll_wakeups`].
+    pub poll_wakeups: u64,
+    /// See [`FrontendMetrics::outbox_high_water`].
+    pub outbox_high_water: u64,
+    /// See [`FrontendMetrics::idle_disconnects`].
+    pub idle_disconnects: u64,
+    /// See [`FrontendMetrics::slow_disconnects`].
+    pub slow_disconnects: u64,
+    /// See [`FrontendMetrics::accept_backoffs`].
+    pub accept_backoffs: u64,
 }
 
 impl Metrics {
@@ -150,6 +237,7 @@ impl Metrics {
             stage_cache: reg.histogram_log2("serve.stage.cache_us"),
             stage_decode: reg.histogram_log2("serve.stage.decode_us"),
             stage_rank: reg.histogram_log2("serve.stage.rank_us"),
+            frontend: FrontendMetrics::new(),
         }
     }
 
@@ -176,6 +264,7 @@ impl Metrics {
             decode: DecodeSnapshot::current(),
             store: qrec_store::StoreStats::default(),
             quant: QuantSnapshot::current(),
+            frontend: self.frontend.snapshot(),
         }
     }
 }
@@ -310,6 +399,10 @@ pub struct MetricsSnapshot {
     /// servers that predate weight quantization).
     #[serde(default)]
     pub quant: QuantSnapshot,
+    /// TCP front-end counters and gauges (absent in snapshots from
+    /// servers that predate the event-loop front end).
+    #[serde(default)]
+    pub frontend: FrontendSnapshot,
 }
 
 #[cfg(test)]
@@ -470,6 +563,39 @@ mod tests {
         );
         let back = MetricsSnapshot::from_value(&stripped).unwrap();
         assert_eq!(back.quant, QuantSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_without_frontend_field_deserialises_with_default() {
+        // Pre-event-loop snapshots have no `frontend` section; they must
+        // keep parsing with an all-zero default.
+        let v = MetricsSnapshot::default().to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "frontend")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let back = MetricsSnapshot::from_value(&stripped).unwrap();
+        assert_eq!(back.frontend, FrontendSnapshot::default());
+    }
+
+    #[test]
+    fn frontend_metrics_snapshot_copies_instruments() {
+        let f = FrontendMetrics::new();
+        f.conns_open.set(12);
+        f.accepted.inc();
+        f.accepted.inc();
+        f.rejected_cap.inc();
+        f.outbox_high_water.set(4096);
+        let s = f.snapshot();
+        assert_eq!(s.conns_open, 12);
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.rejected_cap, 1);
+        assert_eq!(s.outbox_high_water, 4096);
+        assert_eq!(s.idle_disconnects, 0);
     }
 
     #[test]

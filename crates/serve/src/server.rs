@@ -1,21 +1,25 @@
-//! The TCP front end: accept loop, connection thread pool, dispatch,
-//! and graceful shutdown.
+//! Server lifecycle, configuration, and request dispatch.
 //!
-//! One thread accepts connections (non-blocking poll so shutdown never
-//! hangs in `accept`) and feeds them to a fixed pool of connection
-//! handlers over an unbounded channel. Handlers speak the JSON-lines
-//! protocol of [`crate::protocol`] and read with a short timeout so
-//! they observe the shutdown flag even while a client is idle.
+//! Two TCP front ends share everything below the socket layer:
 //!
-//! Shutdown is graceful and race-free: the flag stops the accept loop,
-//! dropping the stream channel drains the pool, and only then is the
-//! decode engine disconnected — every request accepted before the flag
-//! flipped still gets its response.
+//! * [`Frontend::EventLoop`] (the default) — one thread multiplexes
+//!   every connection over readiness polling; see [`crate::eventloop`].
+//! * [`Frontend::ThreadPool`] — the original blocking design: an accept
+//!   thread feeds a fixed pool of connection handlers; see
+//!   [`crate::threaded`].
+//!
+//! Both speak the JSON-lines protocol of [`crate::protocol`] through
+//! the same [`dispatch_parsed`] routing, record into the same
+//! [`Metrics`], and execute RECOMMENDs on the same batcher, so `STATS`,
+//! `TRACE`, and `DUMP` are byte-compatible across front ends.
+//!
+//! Shutdown is graceful and race-free in both modes: the flag stops
+//! accepting, every request accepted before the flag flipped still gets
+//! its response, and only then is the decode engine disconnected.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::unbounded;
 use qrec_core::Recommender;
 use qrec_obs::{flight, trace, Span, TraceContext};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -25,6 +29,7 @@ use std::time::{Duration, Instant};
 use crate::batcher::{DecodeEngine, DecodeRequest, EngineConfig};
 use crate::cache::RecCache;
 use crate::error::ServeError;
+use crate::eventloop::{EventLoop, LoopLimits};
 use crate::metrics::Metrics;
 use crate::protocol::{Request, Response, StatsReply, DEFAULT_N, DEFAULT_TRACE_N};
 use crate::registry::ModelRegistry;
@@ -60,11 +65,63 @@ impl QuantMode {
     }
 }
 
+/// Which TCP front end serves connections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Frontend {
+    /// One thread multiplexes every connection over readiness polling
+    /// (DESIGN.md §16). Connection count is bounded by
+    /// [`ServerConfig::max_connections`], not by threads.
+    #[default]
+    EventLoop,
+    /// The original blocking design: [`ServerConfig::conn_threads`]
+    /// handler threads, each serving one connection at a time.
+    ThreadPool,
+}
+
+impl Frontend {
+    /// Parse a CLI value (`"eventloop"` or `"threadpool"`).
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message for any other spelling.
+    pub fn parse(s: &str) -> Result<Frontend, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "eventloop" | "event-loop" => Ok(Frontend::EventLoop),
+            "threadpool" | "thread-pool" => Ok(Frontend::ThreadPool),
+            other => Err(format!(
+                "unknown frontend {other:?} (use eventloop or threadpool)"
+            )),
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connection handler threads (each serves one connection at a time).
+    /// Which TCP front end serves connections.
+    pub frontend: Frontend,
+    /// Connection handler threads ([`Frontend::ThreadPool`] only; each
+    /// serves one connection at a time).
     pub conn_threads: usize,
+    /// Open-connection cap ([`Frontend::EventLoop`] only). Connections
+    /// beyond it get a best-effort `overloaded` line and are dropped.
+    pub max_connections: usize,
+    /// Longest accepted request line in bytes ([`Frontend::EventLoop`]
+    /// only); longer lines get a typed `bad_request` and a disconnect.
+    pub max_line_bytes: usize,
+    /// Outbox size above which the loop stops reading from a connection
+    /// ([`Frontend::EventLoop`] only): backpressure rung 1.
+    pub outbox_soft_bytes: usize,
+    /// Outbox size at which a client is disconnected with
+    /// [`ServeError::SlowConsumer`] ([`Frontend::EventLoop`] only):
+    /// backpressure rung 2.
+    pub outbox_hard_bytes: usize,
+    /// Idle time after which a connection is closed
+    /// ([`Frontend::EventLoop`] only).
+    pub idle_timeout: Duration,
+    /// How long shutdown waits for in-flight requests to finish and
+    /// flush ([`Frontend::EventLoop`] only).
+    pub drain_timeout: Duration,
     /// Decode engine settings.
     pub engine: EngineConfig,
     /// Queries of context fed to the model per session (1 = paper's
@@ -98,7 +155,14 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            frontend: Frontend::EventLoop,
             conn_threads: 4,
+            max_connections: 8192,
+            max_line_bytes: 256 * 1024,
+            outbox_soft_bytes: 64 * 1024,
+            outbox_hard_bytes: 1024 * 1024,
+            idle_timeout: Duration::from_secs(15 * 60),
+            drain_timeout: Duration::from_secs(5),
             engine: EngineConfig::default(),
             session_window: 1,
             session_shards: 8,
@@ -118,20 +182,24 @@ impl Default for ServerConfig {
 // qrec-lint: allow(shim-surface-drift) -- parking_lot shim has no Condvar; std Mutex+Condvar is the only wait/notify pair available offline
 type ShutdownMutex = std::sync::Mutex<bool>;
 
-/// State shared by every connection handler.
-struct Shared {
-    registry: Arc<ModelRegistry>,
-    store: Arc<SessionStore>,
-    cache: Arc<RecCache>,
-    metrics: Arc<Metrics>,
-    engine: Arc<DecodeEngine>,
+/// State shared by every connection handler (pool thread or event
+/// loop).
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) store: Arc<SessionStore>,
+    pub(crate) cache: Arc<RecCache>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) engine: Arc<DecodeEngine>,
     /// Durable tier behind the session store, when configured.
     durable: Option<Arc<Store>>,
     /// Persistent model zoo, when configured.
     zoo: Option<ModelZoo>,
     /// Numeric mode applied to every installed model.
     quant: QuantMode,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
+    /// Open connections in the thread-pool front end (the event loop
+    /// tracks its own slab count); feeds the `conns_open` gauge.
+    pub(crate) pool_open: std::sync::atomic::AtomicU64,
     /// Signalled when a client issues the SHUTDOWN verb; see
     /// [`ShutdownMutex`].
     shutdown_requested: ShutdownMutex,
@@ -156,8 +224,12 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Thread-pool front end: accept thread + handler pool.
     accept_handle: Option<thread::JoinHandle<()>>,
     conn_handles: Vec<thread::JoinHandle<()>>,
+    /// Event-loop front end: the loop thread and its wakeup handle.
+    loop_handle: Option<thread::JoinHandle<()>>,
+    loop_waker: Option<Arc<polling::Waker>>,
     sweeper: Option<SweeperHandle>,
     engine: Option<Arc<DecodeEngine>>,
 }
@@ -244,37 +316,69 @@ impl Server {
             zoo,
             quant: cfg.quant,
             shutdown: AtomicBool::new(false),
+            pool_open: std::sync::atomic::AtomicU64::new(0),
             shutdown_requested: ShutdownMutex::new(false),
             shutdown_cv: std::sync::Condvar::new(),
         });
 
-        let (conn_tx, conn_rx) = unbounded::<TcpStream>();
-        let conn_handles = (0..cfg.conn_threads.max(1))
-            .map(|i| {
-                let rx: Receiver<TcpStream> = conn_rx.clone();
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("qrec-serve-conn-{i}"))
-                    .spawn(move || {
-                        while let Ok(stream) = rx.recv() {
-                            handle_connection(stream, &shared);
-                        }
+        let mut accept_handle = None;
+        let mut conn_handles = Vec::new();
+        let mut loop_handle = None;
+        let mut loop_waker = None;
+        match cfg.frontend {
+            Frontend::EventLoop => {
+                let limits = LoopLimits {
+                    max_connections: cfg.max_connections.max(1),
+                    max_line_bytes: cfg.max_line_bytes.max(1024),
+                    outbox_soft_bytes: cfg.outbox_soft_bytes.max(1024),
+                    outbox_hard_bytes: cfg.outbox_hard_bytes.max(cfg.outbox_soft_bytes.max(1024)),
+                    idle_timeout: cfg.idle_timeout,
+                    drain_timeout: cfg.drain_timeout,
+                };
+                let (mut lp, waker) = EventLoop::new(listener, Arc::clone(&shared), limits)?;
+                loop_waker = Some(waker);
+                loop_handle = Some(
+                    thread::Builder::new()
+                        .name("qrec-serve-loop".into())
+                        .spawn(move || lp.run())?,
+                );
+            }
+            Frontend::ThreadPool => {
+                let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+                conn_handles = (0..cfg.conn_threads.max(1))
+                    .map(|i| {
+                        let rx = conn_rx.clone();
+                        let shared = Arc::clone(&shared);
+                        thread::Builder::new()
+                            .name(format!("qrec-serve-conn-{i}"))
+                            .spawn(move || {
+                                while let Ok(stream) = rx.recv() {
+                                    crate::threaded::handle_connection(stream, &shared);
+                                }
+                            })
                     })
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
+                    .collect::<std::io::Result<Vec<_>>>()?;
 
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("qrec-serve-accept".into())
-                .spawn(move || accept_loop(listener, conn_tx, &shared))?
-        };
+                accept_handle = {
+                    let shared = Arc::clone(&shared);
+                    Some(
+                        thread::Builder::new()
+                            .name("qrec-serve-accept".into())
+                            .spawn(move || {
+                                crate::threaded::accept_loop(listener, conn_tx, &shared)
+                            })?,
+                    )
+                };
+            }
+        }
 
         Ok(Server {
             addr: local,
             shared,
-            accept_handle: Some(accept_handle),
+            accept_handle,
             conn_handles,
+            loop_handle,
+            loop_waker,
             sweeper: Some(sweeper),
             engine: Some(engine),
         })
@@ -383,6 +487,15 @@ impl Server {
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.request_shutdown();
+        // Event loop: the waker interrupts the poll so the loop sees the
+        // flag now rather than on its next timeout; it then drains
+        // in-flight requests and exits.
+        if let Some(w) = &self.loop_waker {
+            let _ = w.wake();
+        }
+        if let Some(h) = self.loop_handle.take() {
+            let _ = h.join();
+        }
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
@@ -414,98 +527,67 @@ fn apply_quant_mode(model: &mut Recommender, mode: QuantMode) {
     }
 }
 
-fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shared: &Shared) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // Handlers use blocking reads with a poll timeout.
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-                if conn_tx.send(stream).is_err() {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(20)),
-        }
-    }
+/// Where a parsed request line goes next.
+///
+/// Control verbs resolve inline (they only read atomics, registries,
+/// and snapshots), so both front ends answer them on the spot.
+/// RECOMMEND is the one verb that runs a model: the thread pool blocks
+/// its handler thread on it, the event loop hands it to the batcher and
+/// keeps polling.
+pub(crate) enum Dispatch {
+    /// The response is ready (boxed: a STATS snapshot dwarfs a
+    /// `Request`); the bool asks the caller to close the connection
+    /// after flushing it (SHUTDOWN acknowledgement).
+    Done(Box<Response>, bool),
+    /// A well-formed RECOMMEND for the caller to execute its own way.
+    Recommend(Request),
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock
-                    || e.kind() == ErrorKind::TimedOut
-                    || e.kind() == ErrorKind::Interrupted =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, close_after) = dispatch(line.trim(), shared);
-        let mut payload = match serde_json::to_string(&response) {
-            Ok(p) => p,
-            Err(_) => r#"{"ok":false,"code":"io_error","error":"serialize"}"#.to_string(),
-        };
-        payload.push('\n');
-        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if close_after {
-            return;
-        }
-    }
-}
-
-/// Handle one request line; returns the response and whether the
-/// connection should close afterwards.
-fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
+/// Parse and route one request line. Every verb but RECOMMEND is fully
+/// handled here.
+pub(crate) fn dispatch_parsed(line: &str, shared: &Shared) -> Dispatch {
     Metrics::bump(&shared.metrics.requests);
     let req: Request = match serde_json::from_str(line) {
         Ok(r) => r,
         Err(e) => {
             Metrics::bump(&shared.metrics.errors);
-            return (
-                Response::err(&ServeError::BadRequest(format!("invalid JSON: {e}"))),
+            return Dispatch::Done(
+                Box::new(Response::err(&ServeError::BadRequest(format!(
+                    "invalid JSON: {e}"
+                )))),
                 false,
             );
         }
     };
     match req.verb.to_ascii_uppercase().as_str() {
-        "PING" => (Response::ok(), false),
-        "RECOMMEND" => (recommend(&req, shared), false),
-        "STATS" => (stats(shared), false),
-        "TRACE" => (traces(&req), false),
-        "DUMP" => (dump(), false),
+        "PING" => Dispatch::Done(Box::new(Response::ok()), false),
+        "RECOMMEND" => Dispatch::Recommend(req),
+        "STATS" => Dispatch::Done(Box::new(stats(shared)), false),
+        "TRACE" => Dispatch::Done(Box::new(traces(&req)), false),
+        "DUMP" => Dispatch::Done(Box::new(dump()), false),
         "SHUTDOWN" => {
             shared.request_shutdown();
-            (Response::ok(), true)
+            Dispatch::Done(Box::new(Response::ok()), true)
         }
         other => {
             Metrics::bump(&shared.metrics.errors);
-            (
-                Response::err(&ServeError::BadRequest(format!("unknown verb {other:?}"))),
+            Dispatch::Done(
+                Box::new(Response::err(&ServeError::BadRequest(format!(
+                    "unknown verb {other:?}"
+                )))),
                 false,
             )
         }
+    }
+}
+
+/// Handle one request line synchronously (thread-pool front end);
+/// returns the response and whether the connection should close
+/// afterwards.
+pub(crate) fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
+    match dispatch_parsed(line, shared) {
+        Dispatch::Done(resp, close_after) => (*resp, close_after),
+        Dispatch::Recommend(req) => (recommend(&req, shared), false),
     }
 }
 

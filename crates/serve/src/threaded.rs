@@ -1,0 +1,116 @@
+//! The original thread-per-connection front end
+//! ([`crate::server::Frontend::ThreadPool`]).
+//!
+//! One accept thread (non-blocking poll so shutdown never hangs in
+//! `accept`) feeds connections to a fixed pool of handlers over an
+//! unbounded channel. Handlers read with a short timeout so they
+//! observe the shutdown flag even while a client is idle.
+//!
+//! Kept as the baseline the event loop is benchmarked against
+//! (`BENCH_serve.json`), and as the conservative fallback
+//! (`qrec-serve --frontend threadpool`).
+
+use crossbeam::channel::Sender;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::Duration;
+
+use crate::eventloop::{accept_error_action, AcceptAction, ACCEPT_BACKOFF};
+use crate::metrics::Metrics;
+use crate::server::Shared;
+
+/// How long the accept thread naps when the accept queue is empty.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+pub(crate) fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Handlers use blocking reads with a poll timeout.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                Metrics::bump(&shared.metrics.frontend.accepted);
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            // Transient errors share the event loop's classification:
+            // an aborted connection is consumed (keep draining), fd
+            // exhaustion backs off — retrying EMFILE in a tight loop
+            // would peg a core without ever accepting anything.
+            Err(e) => match accept_error_action(&e) {
+                AcceptAction::Retry => continue,
+                AcceptAction::Backoff => {
+                    Metrics::bump(&shared.metrics.frontend.accept_backoffs);
+                    thread::sleep(ACCEPT_BACKOFF);
+                }
+            },
+        }
+    }
+}
+
+/// Keeps the per-server open count and the `conns_open` gauge honest
+/// across every exit path of [`handle_connection`].
+struct OpenGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> OpenGuard<'a> {
+    fn enter(shared: &'a Shared) -> OpenGuard<'a> {
+        let open = shared.pool_open.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.metrics.frontend.conns_open.set(open);
+        OpenGuard { shared }
+    }
+}
+
+impl Drop for OpenGuard<'_> {
+    fn drop(&mut self) {
+        let open = self.shared.pool_open.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.shared.metrics.frontend.conns_open.set(open);
+    }
+}
+
+pub(crate) fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _open = OpenGuard::enter(shared);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, close_after) = crate::server::dispatch(line.trim(), shared);
+        let mut payload = response.to_json_line();
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if close_after {
+            return;
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Hashed timer wheel for the event loop's idle-timeout bookkeeping.
+//!
+//! The loop needs thousands of coarse timers (one idle deadline per
+//! connection) with O(1) insertion and O(slots) scans — a heap would
+//! pay O(log n) per reschedule on every request. A classic hashed wheel
+//! fits: deadlines hash into `slots` buckets of `tick` width, entries
+//! further than one revolution away carry a `rounds` countdown, and
+//! [`TimerWheel::advance`] drains every bucket the clock has passed.
+//!
+//! Expiry is a *candidate* signal, not a verdict: the wheel never
+//! cancels. A connection that saw traffic since its timer was scheduled
+//! simply gets re-examined by the caller (lazy revalidation against its
+//! `last_activity`) and rescheduled — cheaper than tombstone management
+//! at this granularity.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    /// Opaque caller key (the loop packs a slab slot + generation).
+    key: u64,
+    /// Full wheel revolutions left before this entry fires.
+    rounds: u32,
+}
+
+/// A fixed-size hashed timer wheel.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    tick: Duration,
+    /// Bucket the cursor points at.
+    cursor: usize,
+    /// Wall time of the cursor's bucket boundary.
+    cursor_time: Instant,
+    /// Live entries across all buckets.
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `tick` wide, starting at `now`.
+    pub fn new(tick: Duration, slots: usize, now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            tick: if tick.is_zero() {
+                Duration::from_millis(1)
+            } else {
+                tick
+            },
+            cursor: 0,
+            cursor_time: now,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled (not yet fired) entries.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is scheduled.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `key` to fire no earlier than `deadline`. Deadlines in
+    /// the past fire on the next [`TimerWheel::advance`].
+    pub fn schedule(&mut self, deadline: Instant, key: u64) {
+        let ahead = deadline.saturating_duration_since(self.cursor_time);
+        // Round up and land at least one tick ahead: the cursor's own
+        // bucket has already been drained for this revolution.
+        let ticks = (ahead.as_nanos().div_ceil(self.tick.as_nanos().max(1)) as u64).max(1);
+        let n = self.slots.len() as u64;
+        let slot = (self.cursor as u64 + ticks % n) as usize % self.slots.len();
+        let rounds = (ticks / n) as u32;
+        self.slots[slot].push(TimerEntry { key, rounds });
+        self.len += 1;
+    }
+
+    /// Advance the wheel to `now`, appending every fired key to
+    /// `expired`. Keys fire in bucket order; the caller revalidates each
+    /// against current state before acting.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<u64>) {
+        while now.saturating_duration_since(self.cursor_time) >= self.tick {
+            self.cursor_time += self.tick;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            let bucket = &mut self.slots[self.cursor];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].rounds == 0 {
+                    expired.push(bucket.swap_remove(i).key);
+                    self.len -= 1;
+                } else {
+                    bucket[i].rounds -= 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Time until the nearest bucket holding any entry fires, measured
+    /// from `now`. `None` when the wheel is empty. The bound is
+    /// conservative (bucket granularity): sleeping this long never
+    /// overshoots a deadline by more than one tick.
+    pub fn next_wakeup(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.slots.len();
+        // Entries with rounds > 0 in a near bucket fire revolutions
+        // later, but waking early is only a cheap no-op scan; the scan
+        // finds the nearest *bucket* with anything in it.
+        let ahead = (1..=n)
+            .find(|d| !self.slots[(self.cursor + d) % n].is_empty())
+            .unwrap_or(n) as u32;
+        let fire_at = self.cursor_time + self.tick * ahead;
+        Some(fire_at.saturating_duration_since(now).max(Duration::ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn fires_after_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(10), 16, t0);
+        w.schedule(t0 + ms(35), 7);
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(30), &mut fired);
+        assert!(fired.is_empty(), "30ms < 35ms deadline");
+        w.advance(t0 + ms(50), &mut fired);
+        assert_eq!(fired, vec![7], "fired within one tick of the deadline");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(10), 16, t0);
+        w.schedule(t0, 1); // already due
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(10), &mut fired);
+        assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_wait_their_rounds() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(10), 4, t0); // revolution = 40ms
+        w.schedule(t0 + ms(95), 42);
+        let mut fired = Vec::new();
+        // Two full revolutions pass without firing it early.
+        w.advance(t0 + ms(80), &mut fired);
+        assert!(fired.is_empty(), "95ms deadline survives 80ms of spinning");
+        w.advance(t0 + ms(100), &mut fired);
+        assert_eq!(fired, vec![42]);
+    }
+
+    #[test]
+    fn many_timers_fire_exactly_once_each() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(5), 8, t0);
+        for k in 0..1000u64 {
+            w.schedule(t0 + ms(1 + k % 200), k);
+        }
+        assert_eq!(w.len(), 1000);
+        let mut fired = Vec::new();
+        // Advance in uneven strides past every deadline.
+        for step in [37u64, 91, 140, 500] {
+            w.advance(t0 + ms(step), &mut fired);
+        }
+        fired.sort_unstable();
+        assert_eq!(fired.len(), 1000, "every timer fired");
+        assert!(w.is_empty());
+        fired.dedup();
+        assert_eq!(fired.len(), 1000, "no timer fired twice");
+    }
+
+    #[test]
+    fn next_wakeup_bounds_the_sleep() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(10), 16, t0);
+        assert_eq!(w.next_wakeup(t0), None, "empty wheel needs no wakeup");
+        w.schedule(t0 + ms(55), 9);
+        let sleep = w.next_wakeup(t0).expect("an entry is scheduled");
+        assert!(
+            sleep <= ms(70),
+            "sleep covers the deadline within a tick, got {sleep:?}"
+        );
+        assert!(sleep >= ms(40), "does not fire ticks early, got {sleep:?}");
+        // After the deadline has passed the wakeup clamps to zero.
+        assert_eq!(w.next_wakeup(t0 + ms(200)), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn rescheduling_pattern_survives_reuse() {
+        // The loop's idiom: a fired key is revalidated and rescheduled.
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(10), 8, t0);
+        w.schedule(t0 + ms(20), 5);
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(30), &mut fired);
+        assert_eq!(fired, vec![5]);
+        fired.clear();
+        w.schedule(t0 + ms(60), 5);
+        w.advance(t0 + ms(45), &mut fired);
+        assert!(fired.is_empty(), "rescheduled entry respects new deadline");
+        w.advance(t0 + ms(75), &mut fired);
+        assert_eq!(fired, vec![5]);
+    }
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Reproducible GEMM + decode + durability baselines (README "Performance"
-# and "Durability").
+# Reproducible GEMM + decode + durability + serving baselines (README
+# "Performance", "Durability" and "Serving").
 #
 #   scripts/bench.sh              full run, writes BENCH_tensor.json,
-#                                 BENCH_decode.json, BENCH_store.json and
-#                                 BENCH_quant.json at the repo root
+#                                 BENCH_decode.json, BENCH_store.json,
+#                                 BENCH_quant.json and BENCH_serve.json
+#                                 at the repo root
 #   scripts/bench.sh --smoke      tiny shapes, writes target/BENCH_*_smoke.json
 #   QREC_THREADS=4 scripts/bench.sh   size the serving pool (bench pools stay 1 and 8)
 #
@@ -13,11 +14,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --offline --release -q -p qrec-bench \
-    --bin bench_tensor --bin bench_decode --bin bench_store --bin bench_quant
+    --bin bench_tensor --bin bench_decode --bin bench_store --bin bench_quant \
+    --bin bench_serve
 ./target/release/bench_tensor "$@"
 ./target/release/bench_decode "$@"
 ./target/release/bench_store "$@"
 ./target/release/bench_quant "$@"
+./target/release/bench_serve "$@"
 
 # In smoke mode, validate the extended report schema: every row must
 # carry the per-rep latency distribution (best/p50/p95/p99/reps)
@@ -89,9 +92,37 @@ for row in quant["rows"]:
             sys.exit(f"quant row {row.get('label')}: no {key!r} object")
         check_pct(obj, f"quant row {row.get('label')} {key}")
 
+serve = json.load(open("target/BENCH_serve_smoke.json"))
+SERVE_ROW_KEYS = {"frontend", "mode", "conns", "throughput_rps",
+                  "p50_us", "p95_us", "p99_us", "server_threads",
+                  "sent", "received", "errors"}
+if not serve["rows"]:
+    sys.exit("serve report has no rows")
+frontends = set()
+for row in serve["rows"]:
+    missing = SERVE_ROW_KEYS - set(row)
+    if missing:
+        sys.exit(f"serve row {row.get('frontend')}/{row.get('conns')}: "
+                 f"missing keys {sorted(missing)}")
+    if not 0 <= row["p50_us"] <= row["p95_us"] <= row["p99_us"]:
+        sys.exit(f"serve row {row['frontend']}/{row['conns']}: "
+                 f"quantiles not monotone: {row}")
+    if row["mode"] == "closed" and row["received"] == 0:
+        sys.exit(f"serve row {row['frontend']}/{row['conns']}: no responses")
+    frontends.add(row["frontend"])
+if frontends != {"eventloop", "threadpool"}:
+    sys.exit(f"serve rows must cover both front ends, got {sorted(frontends)}")
+idle = serve["idle"]
+if idle["held"] < idle["conns"]:
+    sys.exit(f"serve idle herd dropped connections: {idle}")
+if idle["server_threads_held"] > idle["server_threads_before"] + 2:
+    sys.exit(f"serve idle herd grew the thread count: {idle}")
+if not serve["slow_client"]["disconnected"]:
+    sys.exit(f"serve slow client was not disconnected: {serve['slow_client']}")
+
 print("bench.sh: extended schema OK "
       f"({len(tensor['shapes'])} tensor shapes, {len(decode['rows'])} decode rows, "
       f"{len(store['append'])}+{len(store['recovery'])} store rows, "
-      f"{len(quant['rows'])} quant rows)")
+      f"{len(quant['rows'])} quant rows, {len(serve['rows'])} serve rows)")
 PYEOF
 fi

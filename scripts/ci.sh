@@ -37,6 +37,16 @@ cargo test --offline -q -p qrec-serve --test restart_recovery
 echo "==> int8 quant equivalence smoke (agreement gate + QREC_THREADS 1/2/8 reruns)"
 cargo test --offline -q -p qrec-nn --test quant_equivalence
 
+echo "==> serve front-end suites vs the event loop (incl. lock-order sanitizer)"
+# The event loop is the default front end, so these suites exercise it
+# end-to-end: protocol integration, framing robustness (partial frames,
+# pipelining, slowloris, slow consumers), tracing, and crash recovery.
+cargo test --offline -q -p qrec-serve --test serve_integration
+cargo test --offline -q -p qrec-serve --test frontend_robustness
+QREC_LOCK_ORDER_CHECK=1 cargo test --offline -q -p qrec-serve \
+    --test serve_integration --test frontend_robustness \
+    --test trace_e2e --test restart_recovery
+
 echo "==> bench --smoke"
 ./scripts/bench.sh --smoke >/dev/null
 python3 -m json.tool target/BENCH_tensor_smoke.json >/dev/null \
@@ -47,6 +57,8 @@ python3 -m json.tool target/BENCH_store_smoke.json >/dev/null \
     || { echo "BENCH_store_smoke.json is not well-formed JSON"; exit 1; }
 python3 -m json.tool target/BENCH_quant_smoke.json >/dev/null \
     || { echo "BENCH_quant_smoke.json is not well-formed JSON"; exit 1; }
+python3 -m json.tool target/BENCH_serve_smoke.json >/dev/null \
+    || { echo "BENCH_serve_smoke.json is not well-formed JSON"; exit 1; }
 if [ -f BENCH_tensor.json ]; then
     python3 -m json.tool BENCH_tensor.json >/dev/null \
         || { echo "BENCH_tensor.json is not well-formed JSON"; exit 1; }
@@ -62,6 +74,10 @@ fi
 if [ -f BENCH_quant.json ]; then
     python3 -m json.tool BENCH_quant.json >/dev/null \
         || { echo "BENCH_quant.json is not well-formed JSON"; exit 1; }
+fi
+if [ -f BENCH_serve.json ]; then
+    python3 -m json.tool BENCH_serve.json >/dev/null \
+        || { echo "BENCH_serve.json is not well-formed JSON"; exit 1; }
 fi
 
 echo "==> obs overhead gate (bench_obs, budget ${QREC_OBS_OVERHEAD_MAX:-0.03})"
