@@ -2,7 +2,7 @@
 //! live serving path (DESIGN.md §12).
 //!
 //! ```text
-//! bench_obs [--out PATH] [--threshold FRAC] [--rounds N] [--requests N]
+//! bench_obs [--smoke] [--out PATH] [--threshold FRAC] [--rounds N] [--requests N]
 //! ```
 //!
 //! Boots the real TCP server on a tiny trained model and drives two
@@ -30,9 +30,24 @@
 //! outlier rounds entirely. The geometric mean of the per-scenario
 //! median ratios must not exceed `1 + threshold` (default 3%, override
 //! with `--threshold` or `QREC_OBS_OVERHEAD_MAX`). Results go to
-//! `target/BENCH_obs_smoke.json`; a breach exits non-zero so CI fails.
+//! `BENCH_obs.json` (or `target/BENCH_obs_smoke.json` with `--smoke`);
+//! a breach exits non-zero so CI fails.
+//!
+//! The report also carries a `micro` section timing the two telemetry
+//! hot-path operations in isolation — recording into a window-tracked
+//! counter (plus the periodic seal) and a SpaceSaving sketch update
+//! under constant eviction pressure — so a regression in either shows
+//! up as an absolute ns/op number, not just as a shift in the
+//! end-to-end ratio.
+//!
+//! `--smoke` shrinks rounds/requests for CI schema checks and, unless
+//! `--threshold`/`QREC_OBS_OVERHEAD_MAX` is given, relaxes the budget
+//! to 15%: with so few samples the ratio is noise-dominated, and the
+//! tight 3% gate is enforced by `scripts/ci.sh` at full settings.
 
+use qrec_bench::timing::{time_stats, RepStats};
 use qrec_core::{Arch, Recommender, RecommenderConfig, SeqMode};
+use qrec_obs::{Counter, TemplateSketch, WindowSet};
 use qrec_serve::{Client, EngineConfig, Server, ServerConfig};
 use qrec_workload::gen::{generate, WorkloadProfile};
 use qrec_workload::Split;
@@ -162,6 +177,65 @@ fn run_round(
     ))
 }
 
+/// Ops per microbench rep: large enough that one rep rises well above
+/// timer granularity, small enough that `time_stats` fits many reps
+/// into its budget and the percentiles mean something.
+const MICRO_OPS: usize = 10_000;
+
+/// Time the two telemetry hot-path operations in isolation.
+///
+/// - **window-record** — `MICRO_OPS` increments of a window-tracked
+///   counter followed by one `WindowSet::seal`, i.e. exactly what one
+///   busy window costs the server (the seal amortises to nothing; the
+///   per-increment cost is what the request path pays).
+/// - **sketch-update** — `MICRO_OPS` SpaceSaving updates over 256
+///   distinct keys against a 64-slot sketch, so every miss evicts: the
+///   structure's worst case, which is what a template-churn workload
+///   produces.
+///
+/// Returns `(window_record, sketch_update)` rep stats; one rep is
+/// `MICRO_OPS` operations.
+fn microbench() -> (RepStats, RepStats) {
+    let windows = WindowSet::new(64);
+    let counter = std::sync::Arc::new(Counter::new("bench.obs.micro"));
+    windows.track_counter(std::sync::Arc::clone(&counter));
+    let mut unix_ms = 0u64;
+    let mut window_record = || {
+        for _ in 0..MICRO_OPS {
+            counter.inc();
+        }
+        unix_ms += 1000;
+        std::hint::black_box(windows.seal(unix_ms));
+    };
+
+    let sketch = TemplateSketch::new(64);
+    let mut key = 0u64;
+    let mut sketch_update = || {
+        for _ in 0..MICRO_OPS {
+            // LCG folded to 256 distinct ids: 4x the sketch capacity,
+            // so updates alternate hits and evictions.
+            key = key
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            sketch.observe(key >> 56);
+        }
+        std::hint::black_box(sketch.total());
+    };
+
+    let stats = time_stats(&mut [&mut window_record, &mut sketch_update], 0.5, 256);
+    (stats[0], stats[1])
+}
+
+/// The `micro` report entry for one operation's rep stats.
+fn micro_entry(s: &RepStats) -> serde_json::Value {
+    json!({
+        "ops_per_rep": MICRO_OPS,
+        "best_ns_per_op": s.best_s * 1e9 / MICRO_OPS as f64,
+        "p50_ns_per_op": s.p50_s * 1e9 / MICRO_OPS as f64,
+        "percentiles": s.to_json(),
+    })
+}
+
 /// The median of `xs` (mean of the middle two when even).
 fn median(xs: &[f64]) -> f64 {
     let mut xs = xs.to_vec();
@@ -179,14 +253,18 @@ struct Args {
     threshold: Option<f64>,
     rounds: usize,
     requests: usize,
+    smoke: bool,
 }
 
 fn run(args: &Args) -> Result<(), String> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let out = args
-        .out
-        .clone()
-        .unwrap_or_else(|| root.join("target/BENCH_obs_smoke.json"));
+    let out = args.out.clone().unwrap_or_else(|| {
+        if args.smoke {
+            root.join("target/BENCH_obs_smoke.json")
+        } else {
+            root.join("BENCH_obs.json")
+        }
+    });
     let threshold = args
         .threshold
         .or_else(|| {
@@ -194,7 +272,10 @@ fn run(args: &Args) -> Result<(), String> {
                 .ok()
                 .and_then(|v| v.parse().ok())
         })
-        .unwrap_or(0.03);
+        .unwrap_or(if args.smoke { 0.15 } else { 0.03 });
+
+    eprintln!("bench_obs: timing telemetry micro-ops ...");
+    let (window_micro, sketch_micro) = microbench();
 
     eprintln!("bench_obs: training tiny model ...");
     let mut server = Server::start(train_tiny(1), "127.0.0.1:0", server_config())
@@ -239,6 +320,10 @@ fn run(args: &Args) -> Result<(), String> {
         "geomean_ratio": geomean,
         "overhead": overhead,
         "pass": pass,
+        "micro": json!({
+            "window_record": micro_entry(&window_micro),
+            "sketch_update": micro_entry(&sketch_micro),
+        }),
     });
     if let Some(dir) = out.parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
@@ -258,6 +343,18 @@ fn run(args: &Args) -> Result<(), String> {
                 .map(|r| format!("{r:.4}"))
                 .collect::<Vec<_>>()
                 .join(" ")
+        );
+    }
+    for (name, s) in [
+        ("window-record", &window_micro),
+        ("sketch-update", &sketch_micro),
+    ] {
+        println!(
+            "micro {:<14} best {:.1} ns/op  p50 {:.1} ns/op  ({} reps)",
+            name,
+            s.best_s * 1e9 / MICRO_OPS as f64,
+            s.p50_s * 1e9 / MICRO_OPS as f64,
+            s.reps
         );
     }
     println!(
@@ -289,11 +386,18 @@ fn main() -> ExitCode {
         // outliers — so default to plenty of them.
         rounds: 10,
         requests: 50,
+        smoke: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         let parsed = match flag.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.rounds = 5;
+                args.requests = 20;
+                Ok(())
+            }
             "--out" => value("--out").map(|p| args.out = Some(PathBuf::from(p))),
             "--threshold" => value("--threshold").and_then(|v| {
                 v.parse()
@@ -312,7 +416,8 @@ fn main() -> ExitCode {
             }),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench_obs [--out PATH] [--threshold FRAC] [--rounds N] [--requests N]"
+                    "usage: bench_obs [--smoke] [--out PATH] [--threshold FRAC] \
+                     [--rounds N] [--requests N]"
                 );
                 return ExitCode::SUCCESS;
             }

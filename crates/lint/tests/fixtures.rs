@@ -187,7 +187,9 @@ fn r7_no_alloc_in_metric_path() {
         include_str!("fixtures/r7_alloc/pos.rs"),
         include_str!("fixtures/r7_alloc/neg.rs"),
     );
-    // Both shapes fire: the allocating record fn and the span closure.
+    // All four shapes fire: the allocating record fn, the span closure,
+    // the per-call window-seal buffer, and the stringifying sketch
+    // update.
     let findings = analyze(
         &[SourceFile {
             path: "crates/obs/src/fixture.rs".into(),
@@ -197,7 +199,11 @@ fn r7_no_alloc_in_metric_path() {
         }],
         &Config::default(),
     );
-    assert_eq!(findings.len(), 2, "record fn + span closure: {findings:?}");
+    assert_eq!(
+        findings.len(),
+        4,
+        "record fn + span closure + window seal + sketch update: {findings:?}"
+    );
 }
 
 #[test]

@@ -38,3 +38,23 @@ mod tests {
         assert!(!label.is_empty());
     }
 }
+
+/// Ring rotation without allocation: the sealed bucket is reset in
+/// place and the head advances modulo the pre-sized ring.
+pub fn record_window_rotate(ring: &mut Ring) {
+    let head = (ring.head + 1) % ring.slots.len();
+    ring.head = head;
+    if let Some(slot) = ring.slots.get_mut(head) {
+        slot.reset();
+    }
+}
+
+/// SpaceSaving update without allocation: the minimum slot is replaced
+/// in place when the key is new.
+pub fn observe_template(sketch: &mut Sketch, id: u64) {
+    if let Some(entry) = sketch.slots.iter_mut().min_by_key(|e| e.count) {
+        entry.id = id;
+        entry.count += 1;
+    }
+    sketch.total += 1;
+}

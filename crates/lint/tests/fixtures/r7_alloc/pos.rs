@@ -17,3 +17,16 @@ impl Counter {
 pub fn lookup(key: &Key, cache: &Cache) -> Option<Entry> {
     Span::in_span("cache", || cache.get(&key.text.to_string()))
 }
+
+/// A window-seal recording path that builds its delta buffer per call
+/// instead of reusing the ring's pre-sized storage.
+pub fn record_window_seal(ring: &mut Ring) {
+    ring.deltas = vec![0; ring.width];
+    ring.head += 1;
+}
+
+/// A sketch-update path that stringifies the template id on every hit.
+pub fn observe_template(sketch: &mut Sketch, id: u64) {
+    sketch.last_label = id.to_string();
+    sketch.total += 1;
+}

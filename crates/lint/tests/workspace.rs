@@ -224,6 +224,54 @@ fn obs_metric_record_path_is_allocation_free() {
     assert_eq!(findings[0].rule, "no-alloc-in-metric-path");
 }
 
+/// The telemetry-engine modules — the window ring, the SpaceSaving
+/// sketch, and the drift scorer — are metric-path library code in
+/// `obs`: each shipped module is clean under R7, and an allocation
+/// seeded into a recording function of each is caught as exactly one
+/// finding.
+#[test]
+fn telemetry_modules_keep_record_paths_allocation_free() {
+    let root = workspace_root();
+    let ws = qrec_lint::collect_workspace(&root).expect("walk workspace");
+    for module in ["window", "sketch", "drift"] {
+        let rel = format!("crates/obs/src/{module}.rs");
+        let file = ws
+            .files
+            .iter()
+            .find(|f| f.path == rel)
+            .unwrap_or_else(|| panic!("walker must see {rel}"));
+        assert_eq!(file.class, FileClass::Library, "{rel} is library code");
+        assert_eq!(file.crate_name, "obs");
+
+        let lint = |text: &str| {
+            analyze(
+                &[SourceFile {
+                    path: rel.clone(),
+                    crate_name: "obs".into(),
+                    class: FileClass::Library,
+                    text: text.into(),
+                }],
+                &Config::default(),
+            )
+        };
+        assert!(
+            lint(&file.text).is_empty(),
+            "shipped {rel} must be clean for the injection to be the delta"
+        );
+        let seeded = format!(
+            "pub fn record_injected(v: u64) -> usize {{ v.to_string().len() }}\n{}",
+            file.text
+        );
+        let findings = lint(&seeded);
+        assert_eq!(
+            findings.len(),
+            1,
+            "exactly the injected allocation in {rel}: {findings:?}"
+        );
+        assert_eq!(findings[0].rule, "no-alloc-in-metric-path");
+    }
+}
+
 /// The durable store is hot-path library code (every session write
 /// crosses its WAL): the shipped modules are clean, and an injected
 /// panic in the WAL append path is caught as exactly one R1 finding.

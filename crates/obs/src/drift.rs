@@ -1,0 +1,312 @@
+//! Workload drift scoring between sealed telemetry windows.
+//!
+//! ROADMAP item 3's drift detector needs a number that jumps when the
+//! workload changes shape. This module compares consecutive windows on
+//! two axes:
+//!
+//! * **Template distribution** — the heavy-hitter sketch of one window
+//!   versus the previous one, scored with Jensen–Shannon divergence
+//!   (symmetric, bounded to `[0, ln 2]`, defined even when supports
+//!   differ) and a chi-square statistic (scale-sensitive, so it also
+//!   reacts to volume shifts within the same shape).
+//! * **Per-metric rates** — a z-score of each tracked counter's latest
+//!   window delta against the mean/stddev of its recent history, so a
+//!   throughput cliff registers even when the template mix is stable.
+//!
+//! Scores are exported as gauges in fixed-point **micro-units**
+//! (score × 1e6 rounded, since [`crate::Gauge`] carries `u64`):
+//! `obs.drift.js_divergence_micros`, `obs.drift.chi_square_micros`,
+//! `obs.drift.max_rate_z_micros`. All scoring runs on the window-seal
+//! path (cold); nothing here touches metric recording.
+
+use crate::metric::Gauge;
+use crate::registry::Registry;
+use crate::sketch::SketchEntry;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How many recent window deltas the rate z-score baselines against.
+const RATE_HISTORY: usize = 32;
+
+/// Jensen–Shannon divergence (natural log, so in `[0, ln 2]`) between
+/// the count distributions of two sketch-entry sets. Empty-vs-empty is
+/// 0; empty-vs-nonempty is the maximum `ln 2` (total support change).
+pub fn js_divergence(p: &[SketchEntry], q: &[SketchEntry]) -> f64 {
+    let pt: u64 = p.iter().map(|e| e.count).sum();
+    let qt: u64 = q.iter().map(|e| e.count).sum();
+    match (pt, qt) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return std::f64::consts::LN_2,
+        _ => {}
+    }
+    let prob = |entries: &[SketchEntry], total: u64, key: u64| -> f64 {
+        entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.count as f64 / total as f64)
+            .unwrap_or(0.0)
+    };
+    let mut keys: Vec<u64> = p.iter().chain(q.iter()).map(|e| e.key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut js = 0.0;
+    for key in keys {
+        let pi = prob(p, pt, key);
+        let qi = prob(q, qt, key);
+        let mi = 0.5 * (pi + qi);
+        if pi > 0.0 {
+            js += 0.5 * pi * (pi / mi).ln();
+        }
+        if qi > 0.0 {
+            js += 0.5 * qi * (qi / mi).ln();
+        }
+    }
+    js.max(0.0)
+}
+
+/// Chi-square statistic of observed counts `q` against counts `p`
+/// scaled to `q`'s total (so pure volume growth with an identical shape
+/// scores 0). Keys absent from `p` contribute via a 0.5 pseudo-count,
+/// keeping novel templates visible without dividing by zero.
+pub fn chi_square(p: &[SketchEntry], q: &[SketchEntry]) -> f64 {
+    let pt: u64 = p.iter().map(|e| e.count).sum();
+    let qt: u64 = q.iter().map(|e| e.count).sum();
+    if qt == 0 {
+        return 0.0;
+    }
+    if pt == 0 {
+        // No baseline: every observed count is "unexpected".
+        return qt as f64;
+    }
+    let mut keys: Vec<u64> = p.iter().chain(q.iter()).map(|e| e.key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let count = |entries: &[SketchEntry], key: u64| -> f64 {
+        entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.count as f64)
+            .unwrap_or(0.0)
+    };
+    let scale = qt as f64 / pt as f64;
+    let mut chi = 0.0;
+    for key in keys {
+        let expected = (count(p, key) * scale).max(0.5);
+        let observed = count(q, key);
+        let d = observed - expected;
+        chi += d * d / expected;
+    }
+    chi
+}
+
+/// Z-score of `current` against the mean and standard deviation of
+/// `history`. Returns 0 with fewer than two history points or zero
+/// variance (a constant baseline gives no scale to judge against).
+pub fn rate_z_score(history: &[f64], current: f64) -> f64 {
+    if history.len() < 2 {
+        return 0.0;
+    }
+    let n = history.len() as f64;
+    let mean = history.iter().sum::<f64>() / n;
+    let var = history.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var <= f64::EPSILON {
+        return 0.0;
+    }
+    (current - mean) / var.sqrt()
+}
+
+/// Drift score of one window against its predecessor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftScore {
+    /// Jensen–Shannon divergence of the template distributions, nats.
+    pub js_divergence: f64,
+    /// Chi-square statistic of the template counts.
+    pub chi_square: f64,
+    /// Largest-magnitude rate z-score across tracked metrics.
+    pub max_rate_z: f64,
+}
+
+struct RateTrack {
+    name: String,
+    history: Vec<f64>,
+}
+
+/// Stateful window-over-window drift scorer.
+///
+/// Feed it each sealed window's drained sketch entries and counter
+/// deltas ([`DriftDetector::advance`]); it scores against the previous
+/// window, maintains per-metric rate histories, and publishes the
+/// latest score to its gauges.
+pub struct DriftDetector {
+    prev: Option<Vec<SketchEntry>>,
+    rates: Vec<RateTrack>,
+    js_gauge: Arc<Gauge>,
+    chi_gauge: Arc<Gauge>,
+    z_gauge: Arc<Gauge>,
+}
+
+impl DriftDetector {
+    /// A detector publishing its scores into `registry` as the
+    /// `obs.drift.*_micros` gauges.
+    pub fn new(registry: &Registry) -> DriftDetector {
+        DriftDetector {
+            prev: None,
+            rates: Vec::new(),
+            js_gauge: registry.gauge("obs.drift.js_divergence_micros"),
+            chi_gauge: registry.gauge("obs.drift.chi_square_micros"),
+            z_gauge: registry.gauge("obs.drift.max_rate_z_micros"),
+        }
+    }
+
+    /// Score the freshly sealed window (`entries` from the drained
+    /// template sketch, `deltas` as `(metric name, window delta)`)
+    /// against the previous one, update the gauges, and return the
+    /// score. The first window scores 0 (nothing to compare against).
+    pub fn advance(&mut self, entries: Vec<SketchEntry>, deltas: &[(String, u64)]) -> DriftScore {
+        let mut score = DriftScore::default();
+        if let Some(prev) = &self.prev {
+            score.js_divergence = js_divergence(prev, &entries);
+            score.chi_square = chi_square(prev, &entries);
+        }
+        for (name, delta) in deltas {
+            let idx = match self.rates.iter().position(|t| &t.name == name) {
+                Some(i) => i,
+                None => {
+                    self.rates.push(RateTrack {
+                        name: name.clone(),
+                        history: Vec::with_capacity(RATE_HISTORY),
+                    });
+                    self.rates.len() - 1
+                }
+            };
+            let Some(track) = self.rates.get_mut(idx) else {
+                continue;
+            };
+            let z = rate_z_score(&track.history, *delta as f64);
+            if z.abs() > score.max_rate_z.abs() {
+                score.max_rate_z = z;
+            }
+            if track.history.len() == RATE_HISTORY {
+                track.history.remove(0);
+            }
+            track.history.push(*delta as f64);
+        }
+        self.prev = Some(entries);
+        self.js_gauge.set(to_micros(score.js_divergence));
+        self.chi_gauge.set(to_micros(score.chi_square));
+        self.z_gauge.set(to_micros(score.max_rate_z.abs()));
+        score
+    }
+
+    /// The latest published scores, decoded from the gauges.
+    pub fn latest(&self) -> DriftScore {
+        DriftScore {
+            js_divergence: from_micros(self.js_gauge.get()),
+            chi_square: from_micros(self.chi_gauge.get()),
+            max_rate_z: from_micros(self.z_gauge.get()),
+        }
+    }
+}
+
+/// Encode a non-negative score as fixed-point micro-units for a `u64`
+/// gauge (saturating; negatives clamp to 0).
+pub fn to_micros(score: f64) -> u64 {
+    if !score.is_finite() || score <= 0.0 {
+        return 0;
+    }
+    (score * 1e6).round().min(u64::MAX as f64) as u64
+}
+
+/// Decode a gauge's micro-unit value back to a score.
+pub fn from_micros(v: u64) -> f64 {
+    v as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(pairs: &[(u64, u64)]) -> Vec<SketchEntry> {
+        pairs
+            .iter()
+            .map(|&(key, count)| SketchEntry { key, count, err: 0 })
+            .collect()
+    }
+
+    #[test]
+    fn identical_distributions_score_zero() {
+        let p = entries(&[(1, 50), (2, 30), (3, 20)]);
+        assert!(js_divergence(&p, &p) < 1e-12);
+        // Same shape at double the volume: JS zero, chi small (only the
+        // pseudo-count floor keeps it from exactly zero).
+        let q = entries(&[(1, 100), (2, 60), (3, 40)]);
+        assert!(js_divergence(&p, &q) < 1e-12);
+        assert!(chi_square(&p, &q) < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_distributions_score_maximal_js() {
+        let p = entries(&[(1, 100)]);
+        let q = entries(&[(2, 100)]);
+        let js = js_divergence(&p, &q);
+        assert!(
+            (js - std::f64::consts::LN_2).abs() < 1e-12,
+            "disjoint supports hit the ln 2 bound, got {js}"
+        );
+        assert!(chi_square(&p, &q) > 100.0);
+    }
+
+    #[test]
+    fn popularity_flip_scores_high() {
+        let before = entries(&[(1, 90), (2, 10)]);
+        let after = entries(&[(1, 10), (2, 90)]);
+        let js = js_divergence(&before, &after);
+        assert!(js > 0.2, "a 90/10 flip is major drift, got {js}");
+        assert!(js_divergence(&before, &before) < js / 100.0);
+    }
+
+    #[test]
+    fn empty_edges_are_defined() {
+        let p = entries(&[(1, 10)]);
+        assert_eq!(js_divergence(&[], &[]), 0.0);
+        assert!((js_divergence(&[], &p) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(chi_square(&p, &[]), 0.0);
+        assert_eq!(chi_square(&[], &p), 10.0);
+    }
+
+    #[test]
+    fn z_score_flags_rate_cliffs() {
+        let steady: Vec<f64> = (0..16).map(|i| 100.0 + (i % 3) as f64).collect();
+        assert!(rate_z_score(&steady, 101.0).abs() < 2.0);
+        assert!(rate_z_score(&steady, 500.0) > 10.0);
+        assert_eq!(rate_z_score(&[], 5.0), 0.0);
+        assert_eq!(rate_z_score(&[3.0, 3.0, 3.0], 9.0), 0.0, "zero variance");
+    }
+
+    #[test]
+    fn detector_publishes_micro_gauges() {
+        let reg = Registry::new();
+        let mut det = DriftDetector::new(&reg);
+        let first = det.advance(entries(&[(1, 90), (2, 10)]), &[("reqs".into(), 100)]);
+        assert_eq!(first, DriftScore::default(), "first window has no prior");
+        let flipped = det.advance(entries(&[(1, 10), (2, 90)]), &[("reqs".into(), 100)]);
+        assert!(flipped.js_divergence > 0.2);
+        let snap = reg.snapshot();
+        let js = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "obs.drift.js_divergence_micros")
+            .expect("gauge registered")
+            .value;
+        assert_eq!(js, to_micros(flipped.js_divergence));
+        assert!(det.latest().js_divergence > 0.2);
+    }
+
+    #[test]
+    fn micros_encoding_round_trips() {
+        assert_eq!(to_micros(0.523125), 523_125);
+        assert!((from_micros(523_125) - 0.523125).abs() < 1e-9);
+        assert_eq!(to_micros(-1.0), 0);
+        assert_eq!(to_micros(f64::NAN), 0);
+    }
+}

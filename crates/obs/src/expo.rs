@@ -1,33 +1,41 @@
 //! Prometheus-style text exposition of a registry snapshot.
 //!
-//! Renders `# TYPE` headers, plain `name value` lines for counters and
-//! gauges, and cumulative `_bucket{le="…"}`/`_sum`/`_count` lines for
-//! histograms. All metric names are prefixed `qrec_` and sanitised to
-//! `[a-zA-Z0-9_]`. This is the body of the `DUMP` protocol verb.
+//! Renders `# HELP`/`# TYPE` headers, plain `name value` lines for
+//! counters and gauges, and cumulative `_bucket{le="…"}`/`_sum`/`_count`
+//! lines for histograms, plus a synthetic `qrec_obs_scrape_unix_seconds`
+//! gauge stamping when the exposition was produced (standard scrapers
+//! use it for staleness checks). All metric names are prefixed `qrec_`
+//! and sanitised to `[a-zA-Z0-9_]`. This is the body of the `DUMP`
+//! protocol verb.
 
 use crate::registry::{Registry, RegistrySnapshot};
 use std::fmt::Write as _;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Render the current state of `reg` as exposition text.
 pub fn render(reg: &Registry) -> String {
     render_snapshot(&reg.snapshot())
 }
 
-/// Render an already-taken snapshot as exposition text.
+/// Render an already-taken snapshot as exposition text. The scrape
+/// timestamp gauge reads the wall clock at call time.
 pub fn render_snapshot(snap: &RegistrySnapshot) -> String {
     let mut out = String::new();
     for c in &snap.counters {
         let name = sanitize(&c.name);
+        let _ = writeln!(out, "# HELP qrec_{name} qrec metric {}", c.name);
         let _ = writeln!(out, "# TYPE qrec_{name} counter");
         let _ = writeln!(out, "qrec_{name} {}", c.value);
     }
     for g in &snap.gauges {
         let name = sanitize(&g.name);
+        let _ = writeln!(out, "# HELP qrec_{name} qrec metric {}", g.name);
         let _ = writeln!(out, "# TYPE qrec_{name} gauge");
         let _ = writeln!(out, "qrec_{name} {}", g.value);
     }
     for h in &snap.histograms {
         let name = sanitize(&h.name);
+        let _ = writeln!(out, "# HELP qrec_{name} qrec metric {}", h.name);
         let _ = writeln!(out, "# TYPE qrec_{name} histogram");
         let mut cumulative = 0u64;
         for (i, bound) in h.bounds.iter().enumerate() {
@@ -38,6 +46,16 @@ pub fn render_snapshot(snap: &RegistrySnapshot) -> String {
         let _ = writeln!(out, "qrec_{name}_sum {}", h.sum);
         let _ = writeln!(out, "qrec_{name}_count {}", h.count);
     }
+    let scrape = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "# HELP qrec_obs_scrape_unix_seconds wall-clock time this exposition was produced"
+    );
+    let _ = writeln!(out, "# TYPE qrec_obs_scrape_unix_seconds gauge");
+    let _ = writeln!(out, "qrec_obs_scrape_unix_seconds {scrape}");
     out
 }
 
@@ -62,6 +80,7 @@ mod tests {
         h.record(50);
         h.record(5000);
         let text = render(&reg);
+        assert!(text.contains("# HELP qrec_serve_requests qrec metric serve.requests\n"));
         assert!(text.contains("# TYPE qrec_serve_requests counter\n"));
         assert!(text.contains("qrec_serve_requests 12\n"));
         assert!(text.contains("qrec_pool_threads 4\n"));
@@ -70,6 +89,85 @@ mod tests {
         assert!(text.contains("qrec_serve_latency_us_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("qrec_serve_latency_us_sum 5055\n"));
         assert!(text.contains("qrec_serve_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn scrape_timestamp_gauge_is_present_and_current() {
+        let before = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("clock")
+            .as_secs();
+        let text = render(&Registry::new());
+        let value: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("qrec_obs_scrape_unix_seconds "))
+            .expect("scrape gauge line")
+            .parse()
+            .expect("numeric");
+        assert!(value >= before && value <= before + 5, "stale scrape stamp");
+        assert!(text.contains("# TYPE qrec_obs_scrape_unix_seconds gauge\n"));
+    }
+
+    /// Exposition-format conformance: every sample belongs to a metric
+    /// family announced by a `# HELP` line then a `# TYPE` line, types
+    /// are legal, and names stay in the exposition charset.
+    #[test]
+    fn exposition_is_conformant_for_a_standard_scraper() {
+        let reg = Registry::new();
+        reg.counter("a.counter").inc();
+        reg.gauge("b.gauge").set(2);
+        reg.histogram("c.hist", &[1, 10]).record(3);
+        let text = render(&reg);
+
+        let mut helped: Vec<String> = Vec::new();
+        let mut typed: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines inside the exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().expect("HELP names a metric");
+                assert!(
+                    !typed.iter().any(|(n, _)| n == name),
+                    "HELP must precede TYPE for {name}"
+                );
+                helped.push(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE names a metric");
+                let kind = parts.next().expect("TYPE carries a type");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "illegal type {kind}"
+                );
+                assert!(
+                    helped.iter().any(|h| h == name),
+                    "metric {name} typed without HELP"
+                );
+                typed.push((name.to_string(), kind.to_string()));
+            } else {
+                let sample = line.split_whitespace().next().expect("sample line");
+                let family = sample
+                    .split('{')
+                    .next()
+                    .expect("metric name")
+                    .trim_end_matches("_bucket")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count");
+                let known = typed
+                    .iter()
+                    .any(|(n, _)| n == family || n.as_str() == sample.split('{').next().unwrap());
+                assert!(known, "sample {sample} has no TYPE header");
+                assert!(
+                    sample
+                        .split('{')
+                        .next()
+                        .unwrap()
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "name outside exposition charset: {sample}"
+                );
+            }
+        }
+        assert!(helped.iter().any(|h| h == "qrec_obs_scrape_unix_seconds"));
     }
 
     #[test]

@@ -22,6 +22,16 @@
 //!   always-kept slowest-K reservoir).
 //! * [`expo`] — Prometheus-style text exposition of the registry, served
 //!   by qrec-serve's `DUMP` verb.
+//! * [`window`] — sliding-window delta rings over registered metrics:
+//!   sealed epoch buckets answer "how many in the last minute" without
+//!   touching the recording hot path.
+//! * [`sketch`] — fixed-capacity SpaceSaving heavy-hitter sketches, so
+//!   serve tracks the top query templates per window with bounded
+//!   memory.
+//! * [`drift`] — Jensen–Shannon / chi-square / rate-z drift scores
+//!   between window pairs, exported as gauges.
+//! * [`prof`] — an opt-in sampling wall-clock profiler that walks
+//!   registered threads' span stacks from a dedicated sampler thread.
 //!
 //! The whole spine can be switched off with `QREC_OBS=off` (or at
 //! runtime with [`set_enabled`]): spans and flight recording become
@@ -31,18 +41,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drift;
 pub mod expo;
 pub mod flight;
 pub mod metric;
+pub mod prof;
 pub mod registry;
+pub mod sketch;
 pub mod span;
 pub mod trace;
+pub mod window;
 
+pub use drift::{DriftDetector, DriftScore};
 pub use flight::{FlightRecord, FlightRecorder, StageSpan};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use prof::ProfReport;
 pub use registry::{global, Registry, RegistrySnapshot};
+pub use sketch::{SketchEntry, TemplateSketch};
 pub use span::{Span, SpanGuard};
 pub use trace::{FinishedTrace, StageList, TraceContext};
+pub use window::{WindowBucket, WindowSet};
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;

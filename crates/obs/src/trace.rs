@@ -372,19 +372,22 @@ pub fn note_enc_cache(hit: bool) {
 /// Push `name` onto this thread's span stack; returns the depth the
 /// span was entered at. Used by [`crate::span::SpanGuard`].
 pub(crate) fn stack_push(name: &'static str) -> u8 {
-    ACTIVE.with(|a| {
+    let depth = ACTIVE.with(|a| {
         let mut a = a.borrow_mut();
         let depth = a.stack.len().min(u8::MAX as usize) as u8;
         if a.stack.len() < MAX_DEPTH {
             a.stack.push(name);
         }
         depth
-    })
+    });
+    crate::prof::on_push(name, depth);
+    depth
 }
 
 /// Pop `name` off the span stack and append the completed stage to the
 /// active trace. Used by [`crate::span::SpanGuard`] on drop.
 pub(crate) fn stack_pop_record(name: &'static str, depth: u8, start: Instant, dur: Duration) {
+    crate::prof::on_pop(depth);
     ACTIVE.with(|a| {
         let mut a = a.borrow_mut();
         if a.stack.last() == Some(&name) {

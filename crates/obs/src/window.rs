@@ -1,0 +1,375 @@
+//! Sliding-window aggregation: a fixed ring of sealed epoch buckets
+//! over any registered counter or histogram.
+//!
+//! The lifetime aggregates of [`crate::metric`] answer "how many, ever";
+//! workload analytics needs "how many, in the last minute". This module
+//! adds that without touching the recording hot path at all: a
+//! [`WindowSet`] holds `Arc` handles to already-registered metrics and,
+//! each time a window is **sealed**, subtracts the previous cumulative
+//! reading from the current one to produce that window's delta. The
+//! per-call path therefore stays the exact PR-5 contract — one relaxed
+//! `fetch_add` on pre-registered storage, no locks, no allocation (the
+//! `no-alloc-in-metric-path` lint rule keeps covering it) — while the
+//! seal path, which runs once per window tick on a cold thread, may
+//! allocate freely.
+//!
+//! Sealed windows land in a fixed ring (e.g. 60 buckets × 10 s ≈ ten
+//! minutes of history); older buckets fall off the front. Readers get
+//! per-window [`WindowBucket`] snapshots and per-metric delta/rate
+//! series. The clock is the caller's: [`WindowSet::seal`] takes the
+//! wall-clock timestamp to stamp the bucket with, so tests drive the
+//! windows with a fake clock and zero sleeps.
+
+use crate::metric::{Counter, Histogram};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A tracked counter: the shared handle plus the cumulative value at the
+/// last seal, so the next seal can emit the delta.
+struct TrackedCounter {
+    handle: Arc<Counter>,
+    last: u64,
+}
+
+/// A tracked histogram: deltas are taken on the derived `count`/`sum`
+/// pair (per-bucket deltas would multiply the snapshot size by the
+/// bucket count for little analytic value).
+struct TrackedHistogram {
+    handle: Arc<Histogram>,
+    last_count: u64,
+    last_sum: u64,
+}
+
+struct Inner {
+    counters: Vec<TrackedCounter>,
+    histograms: Vec<TrackedHistogram>,
+    ring: VecDeque<WindowBucket>,
+    seq: u64,
+}
+
+/// A fixed ring of sealed windows over a set of tracked metrics.
+///
+/// Thread-safe: registration, sealing, and reading all go through one
+/// mutex. None of them is on a metric recording path — recording keeps
+/// writing the underlying [`Counter`]/[`Histogram`] directly.
+pub struct WindowSet {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl WindowSet {
+    /// A window ring keeping the most recent `capacity` sealed buckets
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> WindowSet {
+        let capacity = capacity.max(1);
+        WindowSet {
+            capacity,
+            inner: Mutex::new(Inner {
+                counters: Vec::new(),
+                histograms: Vec::new(),
+                ring: VecDeque::with_capacity(capacity),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// Ring capacity in buckets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Track `counter`: every future seal reports its per-window delta.
+    ///
+    /// The baseline is the counter's value *now*, so the first sealed
+    /// window after tracking covers only activity since this call.
+    pub fn track_counter(&self, counter: Arc<Counter>) {
+        let last = counter.get();
+        self.inner.lock().counters.push(TrackedCounter {
+            handle: counter,
+            last,
+        });
+    }
+
+    /// Track `histogram`: every future seal reports its per-window
+    /// observation count and value-sum deltas.
+    pub fn track_histogram(&self, histogram: Arc<Histogram>) {
+        let snap = histogram.snapshot();
+        self.inner.lock().histograms.push(TrackedHistogram {
+            handle: histogram,
+            last_count: snap.count,
+            last_sum: snap.sum,
+        });
+    }
+
+    /// Seal the current window: read every tracked metric, emit the
+    /// delta since the previous seal as a new [`WindowBucket`] stamped
+    /// `unix_ms`, and drop the oldest bucket once the ring is full.
+    ///
+    /// Returns a clone of the sealed bucket so callers (the serve
+    /// telemetry tick) can stream/persist it without re-locking.
+    pub fn seal(&self, unix_ms: u64) -> WindowBucket {
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let counters = inner
+            .counters
+            .iter_mut()
+            .map(|t| {
+                let cur = t.handle.get();
+                let delta = cur.saturating_sub(t.last);
+                t.last = cur;
+                MetricDelta {
+                    name: t.handle.name().to_string(),
+                    delta,
+                }
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter_mut()
+            .map(|t| {
+                let snap = t.handle.snapshot();
+                let count = snap.count.saturating_sub(t.last_count);
+                let sum = snap.sum.saturating_sub(t.last_sum);
+                t.last_count = snap.count;
+                t.last_sum = snap.sum;
+                HistogramDelta {
+                    name: snap.name,
+                    count,
+                    sum,
+                }
+            })
+            .collect();
+        let bucket = WindowBucket {
+            seq,
+            unix_ms,
+            counters,
+            histograms,
+        };
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(bucket.clone());
+        bucket
+    }
+
+    /// All sealed buckets, oldest first.
+    pub fn buckets(&self) -> Vec<WindowBucket> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// Per-window deltas for the counter (or histogram count) named
+    /// `name`, oldest first. Empty when the metric is not tracked.
+    pub fn delta_series(&self, name: &str) -> Vec<u64> {
+        self.inner
+            .lock()
+            .ring
+            .iter()
+            .filter_map(|b| b.delta(name))
+            .collect()
+    }
+
+    /// Per-window rates (delta / window length in seconds) for `name`,
+    /// oldest first. The first bucket has no predecessor timestamp, so
+    /// the series is one shorter than [`WindowSet::delta_series`];
+    /// non-advancing timestamps yield a rate of 0.
+    pub fn rate_series(&self, name: &str) -> Vec<f64> {
+        let inner = self.inner.lock();
+        inner
+            .ring
+            .iter()
+            .zip(inner.ring.iter().skip(1))
+            .filter_map(|(prev, cur)| {
+                let dt_ms = cur.unix_ms.saturating_sub(prev.unix_ms);
+                let delta = cur.delta(name)?;
+                Some(if dt_ms == 0 {
+                    0.0
+                } else {
+                    delta as f64 / (dt_ms as f64 / 1000.0)
+                })
+            })
+            .collect()
+    }
+
+    /// Restore sealed buckets (e.g. replayed from the durable telemetry
+    /// log) into the ring, oldest first, before new seals are taken.
+    /// Ring capacity still applies; the internal sequence continues
+    /// after the highest restored `seq`.
+    pub fn restore(&self, buckets: Vec<WindowBucket>) {
+        let mut inner = self.inner.lock();
+        for b in buckets {
+            inner.seq = inner.seq.max(b.seq + 1);
+            if inner.ring.len() == self.capacity {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back(b);
+        }
+    }
+}
+
+/// One tracked counter's activity inside a sealed window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Increment over the window.
+    pub delta: u64,
+}
+
+/// One tracked histogram's activity inside a sealed window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramDelta {
+    /// Metric name.
+    pub name: String,
+    /// Observations recorded during the window.
+    pub count: u64,
+    /// Sum of values recorded during the window.
+    pub sum: u64,
+}
+
+/// One sealed window: deltas of every tracked metric over one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowBucket {
+    /// Monotonic window sequence number (survives ring eviction).
+    pub seq: u64,
+    /// Wall-clock seal time, milliseconds since the Unix epoch (caller
+    /// supplied, so tests can use a fake clock).
+    pub unix_ms: u64,
+    /// Counter deltas, in registration order.
+    pub counters: Vec<MetricDelta>,
+    /// Histogram count/sum deltas, in registration order.
+    pub histograms: Vec<HistogramDelta>,
+}
+
+impl WindowBucket {
+    /// The delta recorded for `name` in this bucket: a counter delta,
+    /// or a histogram's observation-count delta.
+    pub fn delta(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.delta)
+            .or_else(|| {
+                self.histograms
+                    .iter()
+                    .find(|h| h.name == name)
+                    .map(|h| h.count)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seals_emit_deltas_not_cumulative_values() {
+        let c = Arc::new(Counter::new("reqs"));
+        c.add(5);
+        let w = WindowSet::new(4);
+        w.track_counter(Arc::clone(&c));
+        c.add(3);
+        let b1 = w.seal(1_000);
+        c.add(10);
+        let b2 = w.seal(2_000);
+        // The pre-tracking 5 never shows up; each window sees its own.
+        assert_eq!(b1.delta("reqs"), Some(3));
+        assert_eq!(b2.delta("reqs"), Some(10));
+        assert_eq!(w.delta_series("reqs"), vec![3, 10]);
+    }
+
+    #[test]
+    fn histogram_windows_carry_count_and_sum() {
+        let h = Arc::new(Histogram::log2("lat_us"));
+        let w = WindowSet::new(4);
+        w.track_histogram(Arc::clone(&h));
+        h.record(100);
+        h.record(200);
+        let b = w.seal(1_000);
+        assert_eq!(b.histograms.len(), 1);
+        assert_eq!(b.histograms[0].count, 2);
+        assert_eq!(b.histograms[0].sum, 300);
+        let empty = w.seal(2_000);
+        assert_eq!(empty.histograms[0].count, 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let c = Arc::new(Counter::new("x"));
+        let w = WindowSet::new(3);
+        w.track_counter(Arc::clone(&c));
+        for i in 0..5 {
+            c.add(i + 1);
+            w.seal(i * 1_000);
+        }
+        let buckets = w.buckets();
+        assert_eq!(buckets.len(), 3);
+        // Oldest two (deltas 1, 2) evicted; seq keeps counting.
+        assert_eq!(w.delta_series("x"), vec![3, 4, 5]);
+        assert_eq!(buckets[0].seq, 2);
+        assert_eq!(buckets[2].seq, 4);
+    }
+
+    #[test]
+    fn rate_series_uses_caller_timestamps() {
+        let c = Arc::new(Counter::new("r"));
+        let w = WindowSet::new(8);
+        w.track_counter(Arc::clone(&c));
+        w.seal(0);
+        c.add(50);
+        w.seal(10_000); // 50 increments over 10 s → 5/s
+        c.add(30);
+        w.seal(12_000); // 30 over 2 s → 15/s
+        let rates = w.rate_series("r");
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0] - 5.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 15.0).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn restore_reloads_history_and_continues_sequence() {
+        let c = Arc::new(Counter::new("x"));
+        let w = WindowSet::new(4);
+        w.track_counter(Arc::clone(&c));
+        let old = vec![
+            WindowBucket {
+                seq: 7,
+                unix_ms: 1_000,
+                counters: vec![MetricDelta {
+                    name: "x".into(),
+                    delta: 9,
+                }],
+                histograms: Vec::new(),
+            },
+            WindowBucket {
+                seq: 8,
+                unix_ms: 2_000,
+                counters: Vec::new(),
+                histograms: Vec::new(),
+            },
+        ];
+        w.restore(old);
+        c.inc();
+        let sealed = w.seal(3_000);
+        assert_eq!(sealed.seq, 9, "sequence continues after restored max");
+        assert_eq!(w.buckets().len(), 3);
+        assert_eq!(w.buckets()[0].delta("x"), Some(9));
+    }
+
+    #[test]
+    fn bucket_round_trips_through_serde() {
+        let c = Arc::new(Counter::new("a"));
+        let h = Arc::new(Histogram::log2("b"));
+        let w = WindowSet::new(2);
+        w.track_counter(Arc::clone(&c));
+        w.track_histogram(Arc::clone(&h));
+        c.add(2);
+        h.record(9);
+        let bucket = w.seal(5_000);
+        let json = serde_json::to_string(&bucket).expect("serialize");
+        let back: WindowBucket = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, bucket);
+    }
+}

@@ -157,6 +157,7 @@ impl DecodeEngine {
                 thread::Builder::new()
                     .name(format!("qrec-serve-decode-{i}"))
                     .spawn(move || {
+                        qrec_obs::prof::register_thread(&format!("decode-{i}"));
                         // Each worker owns its RNG and encoder cache;
                         // decodes share the model immutably via the
                         // `*_cached` entry points.

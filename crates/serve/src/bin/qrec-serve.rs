@@ -3,7 +3,7 @@
 //! ```text
 //! qrec-serve [--addr HOST:PORT] [--seed N] [--profile tiny|sqlshare|sdss]
 //!            [--data-dir PATH] [--quant f32|int8]
-//!            [--frontend eventloop|threadpool] [--max-conns N]
+//!            [--frontend eventloop|threadpool] [--max-conns N] [--profiler]
 //! ```
 //!
 //! Generates a synthetic workload, trains a small transformer
@@ -31,6 +31,7 @@ struct Args {
     quant: QuantMode,
     frontend: Frontend,
     max_conns: usize,
+    profiler: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         quant: QuantMode::F32,
         frontend: Frontend::EventLoop,
         max_conns: ServerConfig::default().max_connections,
+        profiler: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,11 +64,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --max-conns: {e}"))?;
             }
+            "--profiler" => args.profiler = true,
             "--help" | "-h" => {
                 return Err("usage: qrec-serve [--addr HOST:PORT] [--seed N] \
                      [--profile tiny|sqlshare|sdss] [--data-dir PATH] \
                      [--quant f32|int8] [--frontend eventloop|threadpool] \
-                     [--max-conns N]"
+                     [--max-conns N] [--profiler]"
                     .into());
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -128,6 +131,7 @@ fn main() -> ExitCode {
         quant: args.quant,
         frontend: args.frontend,
         max_connections: args.max_conns,
+        profiler: args.profiler,
         ..ServerConfig::default()
     };
     let mut server = match Server::start(model, args.addr.as_str(), server_cfg) {
@@ -140,6 +144,9 @@ fn main() -> ExitCode {
     eprintln!("serving on {}", server.local_addr());
     if args.quant == QuantMode::Int8 {
         eprintln!("int8 weight quantization on (quantized KV cache, top-5 agreement gated)");
+    }
+    if args.profiler {
+        eprintln!(r#"sampling profiler on; fetch folded stacks with {{"verb":"PROF"}}"#);
     }
     if let Some(dir) = &args.data_dir {
         eprintln!(

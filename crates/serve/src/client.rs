@@ -9,7 +9,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::error::ServeError;
-use crate::protocol::{Request, Response, StatsReply, TraceReply};
+use crate::protocol::{HistoryReply, Request, Response, StatsReply, TraceReply};
 
 /// A connected client.
 pub struct Client {
@@ -87,6 +87,53 @@ impl Client {
         let resp = self.call(&Request::bare("DUMP"))?;
         resp.dump
             .ok_or_else(|| ServeError::Io("DUMP reply missing payload".into()))
+    }
+
+    /// Fetch the newest `n` sealed telemetry windows (oldest first).
+    pub fn history(&mut self, n: usize) -> Result<HistoryReply, ServeError> {
+        let req = Request {
+            verb: "HISTORY".into(),
+            n: Some(n as u64),
+            ..Request::default()
+        };
+        let resp = self.call(&req)?;
+        resp.history
+            .ok_or_else(|| ServeError::Io("HISTORY reply missing payload".into()))
+    }
+
+    /// Fetch the sampling profiler's folded-stack report, top `n`
+    /// stacks.
+    pub fn prof(&mut self, n: usize) -> Result<qrec_obs::ProfReport, ServeError> {
+        let req = Request {
+            verb: "PROF".into(),
+            n: Some(n as u64),
+            ..Request::default()
+        };
+        let resp = self.call(&req)?;
+        resp.prof
+            .ok_or_else(|| ServeError::Io("PROF reply missing payload".into()))
+    }
+
+    /// Subscribe to the telemetry stream: the server acknowledges, then
+    /// streams one response line per sealed window. Use
+    /// [`Client::next_watch_frame`] to read them.
+    pub fn watch(&mut self) -> Result<(), ServeError> {
+        self.call(&Request::bare("WATCH")).map(|_| ())
+    }
+
+    /// Block (up to the read timeout) for the next streamed telemetry
+    /// window after [`Client::watch`].
+    pub fn next_watch_frame(&mut self) -> Result<crate::telemetry::WindowFrame, ServeError> {
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        let resp: Response = serde_json::from_str(reply.trim())
+            .map_err(|e| ServeError::Io(format!("bad reply: {e}")))?;
+        let resp = resp.into_result()?;
+        resp.watch
+            .ok_or_else(|| ServeError::Io("WATCH stream line missing payload".into()))
     }
 
     /// Ask the server to shut down gracefully. The server acknowledges

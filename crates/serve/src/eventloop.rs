@@ -137,6 +137,11 @@ struct Conn {
     close_after_flush: bool,
     /// Peer sent EOF; finish in-flight work, flush, then close.
     peer_closed: bool,
+    /// Subscribed to the telemetry stream (`WATCH`): every sealed
+    /// window is enqueued as one response line. The regular outbox
+    /// backpressure ladder applies, so a watcher that stops reading is
+    /// disconnected as a slow consumer like anyone else.
+    watching: bool,
     last_activity: Instant,
 }
 
@@ -184,6 +189,9 @@ pub(crate) struct EventLoop {
     drain_deadline: Option<Instant>,
     /// Loop-local outbox high-water mark, republished to the gauge.
     outbox_high_water: usize,
+    /// Newest telemetry window already broadcast to watchers; `None`
+    /// until the first broadcast considers the ring.
+    watch_cursor: Option<u64>,
 }
 
 impl EventLoop {
@@ -200,6 +208,10 @@ impl EventLoop {
         poller.register(&listener, TOKEN_LISTENER, Interest::READABLE)?;
         let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER)?);
         let (completion_tx, completions) = unbounded();
+        // Windows sealed before the loop starts (restored history) are
+        // the `HISTORY` verb's business; WATCH streams only what seals
+        // from now on.
+        let watch_cursor = shared.telemetry.latest_seq();
         let lp = EventLoop {
             poller,
             waker: Arc::clone(&waker),
@@ -218,12 +230,14 @@ impl EventLoop {
             unpark_at: None,
             drain_deadline: None,
             outbox_high_water: 0,
+            watch_cursor,
         };
         Ok((lp, waker))
     }
 
     /// Run until shutdown completes its drain.
     pub(crate) fn run(&mut self) {
+        qrec_obs::prof::register_thread("event-loop");
         let mut events = Events::new();
         loop {
             if !self.tick_event_loop(&mut events) {
@@ -273,6 +287,7 @@ impl EventLoop {
 
         let now = Instant::now();
         self.tick_timers(now);
+        self.tick_watch();
 
         let done = self.tick_shutdown(now);
 
@@ -369,6 +384,13 @@ impl EventLoop {
             return;
         }
         let _ = stream.set_nodelay(true);
+        // Clamp the kernel send buffer to the soft watermark. Left to
+        // auto-tune, Linux grows it toward wmem_max (megabytes), which
+        // would let a slow reader park that much memory in the kernel
+        // before the outbox ladder ever engages; with the clamp, total
+        // per-connection buffering stays on the order of the configured
+        // caps. Best-effort: a refused option just means default tuning.
+        let _ = polling::set_send_buffer_size(&stream, self.limits.outbox_soft_bytes);
         let gen = self.next_gen;
         self.next_gen += 1;
         let now = Instant::now();
@@ -383,6 +405,7 @@ impl EventLoop {
             pending: VecDeque::new(),
             close_after_flush: false,
             peer_closed: false,
+            watching: false,
             last_activity: now,
         };
         let slot = match self.free.pop() {
@@ -551,6 +574,43 @@ impl EventLoop {
                 self.enqueue_response(slot, &resp, close_after);
             }
             Dispatch::Recommend(req) => self.start_recommend(slot, req),
+            Dispatch::Watch => {
+                if let Some(conn) = self.conns.get_mut(slot).and_then(|s| s.as_mut()) {
+                    conn.watching = true;
+                }
+                self.enqueue_response(slot, &Response::ok(), false);
+            }
+        }
+    }
+
+    /// Stream freshly sealed telemetry windows to every watcher: one
+    /// JSON response line per window, serialised once and fanned out
+    /// through the normal outbox (so the backpressure ladder and the
+    /// slow-consumer disconnect apply unchanged). The poll heartbeat
+    /// bounds broadcast latency at ~500ms — far inside any practical
+    /// window width.
+    fn tick_watch(&mut self) {
+        let frames = self.shared.telemetry.frames_after(self.watch_cursor);
+        let Some(last) = frames.last() else {
+            return;
+        };
+        self.watch_cursor = Some(last.window.seq);
+        let watchers: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.as_ref().is_some_and(|c| c.watching))
+            .map(|(i, _)| i)
+            .collect();
+        if watchers.is_empty() {
+            return;
+        }
+        for frame in frames {
+            let mut line = Response::watch(frame).to_json_line().into_bytes();
+            line.push(b'\n');
+            for &slot in &watchers {
+                self.enqueue_bytes(slot, &line, false);
+            }
         }
     }
 
@@ -732,12 +792,26 @@ impl EventLoop {
             let Some(conn) = self.conns.get_mut(slot).and_then(|s| s.as_mut()) else {
                 return;
             };
+            if conn.close_after_flush {
+                // A terminal line (shutdown ack, slow-consumer error)
+                // is already queued; anything appended after it would
+                // trail the connection's final response.
+                return;
+            }
             if conn.outbox_len() + payload.len() > hard {
                 // Ladder rung 2: the client is not draining. One typed
                 // error instead of the backlog, then disconnect.
                 Metrics::bump(&self.shared.metrics.frontend.slow_disconnects);
+                // Bytes up to `out_pos` are already on the wire and may
+                // end mid-line; terminate the partial line so the typed
+                // error stays parseable as its own JSONL line.
+                let mid_line =
+                    conn.out_pos > 0 && conn.outbox.get(conn.out_pos - 1) != Some(&b'\n');
                 conn.outbox.clear();
                 conn.out_pos = 0;
+                if mid_line {
+                    conn.outbox.push(b'\n');
+                }
                 let mut line = Response::err(&ServeError::SlowConsumer)
                     .to_json_line()
                     .into_bytes();

@@ -26,6 +26,12 @@
 //!   typed errors instead of unbounded buffers.
 //! * [`metrics`] — atomic counters and fixed-bucket latency histograms
 //!   behind the `STATS` verb.
+//! * [`telemetry`] — the time-series engine (DESIGN.md §17): sliding
+//!   windows of metric deltas, a SpaceSaving sketch of query-template
+//!   ids, and drift scores per sealed window, served via `HISTORY`
+//!   (the in-memory ring, durable across restarts through a capped
+//!   telemetry log), `WATCH` (one streamed line per sealed window on
+//!   the event-loop front end), and `PROF` (sampling profiler report).
 //! * [`zoo`] — versioned on-disk model persistence: each hot-swap writes
 //!   a checksummed weight blob plus an atomically-updated `CURRENT`
 //!   pointer, so a restarted server resumes serving the exact model (and
@@ -56,6 +62,7 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session_store;
+pub mod telemetry;
 mod threaded;
 mod timer;
 pub mod zoo;
@@ -65,9 +72,10 @@ pub use cache::{CacheKey, RecCache};
 pub use client::Client;
 pub use error::ServeError;
 pub use framing::{FrameBuf, FrameError};
-pub use metrics::{ComputeSnapshot, FrontendSnapshot, Metrics, MetricsSnapshot};
-pub use protocol::{Request, Response, StatsReply};
+pub use metrics::{ComputeSnapshot, FrontendSnapshot, Metrics, MetricsSnapshot, WindowSummary};
+pub use protocol::{HistoryReply, Request, Response, StatsReply};
 pub use registry::ModelRegistry;
 pub use server::{Frontend, QuantMode, Server, ServerConfig};
 pub use session_store::{SessionStore, SweeperHandle};
+pub use telemetry::{Telemetry, WindowFrame};
 pub use zoo::ModelZoo;

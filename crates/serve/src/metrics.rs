@@ -45,6 +45,12 @@ impl LatencyHistogram {
         self.inner.record_duration(latency);
     }
 
+    /// The underlying registered histogram, for window tracking
+    /// ([`qrec_obs::WindowSet::track_histogram`] wants the `Arc`).
+    pub fn handle(&self) -> Arc<Histogram> {
+        Arc::clone(&self.inner)
+    }
+
     /// Internally consistent copy of the histogram state: `count` and
     /// `sum_us` are derived from the same pass over the bucket copies.
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -265,6 +271,8 @@ impl Metrics {
             store: qrec_store::StoreStats::default(),
             quant: QuantSnapshot::current(),
             frontend: self.frontend.snapshot(),
+            window: WindowSummary::default(),
+            drift: qrec_obs::DriftScore::default(),
         }
     }
 }
@@ -403,6 +411,35 @@ pub struct MetricsSnapshot {
     /// servers that predate the event-loop front end).
     #[serde(default)]
     pub frontend: FrontendSnapshot,
+    /// Sliding-window telemetry summary (absent in snapshots from
+    /// servers that predate windowed metrics).
+    #[serde(default)]
+    pub window: WindowSummary,
+    /// Workload-drift scores for the most recently sealed window
+    /// (absent in snapshots from servers that predate drift detection).
+    #[serde(default)]
+    pub drift: qrec_obs::DriftScore,
+}
+
+/// Summary of the telemetry window ring nested in
+/// [`MetricsSnapshot::window`]: configuration plus the newest sealed
+/// bucket's identity and request delta. The full per-window series is
+/// behind the `HISTORY` verb; `STATS` only carries enough to see the
+/// engine is alive and ticking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Configured window width in milliseconds.
+    pub width_ms: u64,
+    /// Ring capacity (how many sealed windows are retained).
+    pub capacity: u64,
+    /// Sealed windows currently held in the ring.
+    pub sealed: u64,
+    /// Monotonic sequence number of the newest sealed window.
+    pub last_seq: u64,
+    /// Wall-clock seal time of the newest window (ms since the epoch).
+    pub last_unix_ms: u64,
+    /// `serve.requests` delta inside the newest window.
+    pub last_requests: u64,
 }
 
 #[cfg(test)]
@@ -580,6 +617,40 @@ mod tests {
         );
         let back = MetricsSnapshot::from_value(&stripped).unwrap();
         assert_eq!(back.frontend, FrontendSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_without_window_field_deserialises_with_default() {
+        // Pre-windowing snapshots have no `window` section; they must
+        // keep parsing with an all-zero default.
+        let v = MetricsSnapshot::default().to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "window")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let back = MetricsSnapshot::from_value(&stripped).unwrap();
+        assert_eq!(back.window, WindowSummary::default());
+    }
+
+    #[test]
+    fn snapshot_without_drift_field_deserialises_with_default() {
+        // Pre-drift snapshots have no `drift` section; they must keep
+        // parsing with an all-zero default.
+        let v = MetricsSnapshot::default().to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k.as_str() != "drift")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let back = MetricsSnapshot::from_value(&stripped).unwrap();
+        assert_eq!(back.drift, qrec_obs::DriftScore::default());
     }
 
     #[test]

@@ -12,15 +12,19 @@
 //! | `STATS`     | —                      | metrics + store/cache/registry snapshot |
 //! | `TRACE`     | `n`                    | last-n flight records + slowest reservoir |
 //! | `DUMP`      | —                      | Prometheus-style text exposition        |
+//! | `HISTORY`   | `n`                    | last-n sealed telemetry windows         |
+//! | `WATCH`     | —                      | ack, then stream one line per sealed window (event-loop front end) |
+//! | `PROF`      | `n`                    | top-n folded profiler stacks            |
 //! | `PING`      | —                      | liveness check                          |
 //! | `SHUTDOWN`  | —                      | acknowledge, then stop the server       |
 
 use qrec_core::predict::PerKind;
-use qrec_obs::FlightRecord;
+use qrec_obs::{FlightRecord, ProfReport};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
 use crate::metrics::MetricsSnapshot;
+use crate::telemetry::WindowFrame;
 
 /// Default number of fragments per kind when a request omits `n`.
 pub const DEFAULT_N: usize = 5;
@@ -28,19 +32,24 @@ pub const DEFAULT_N: usize = 5;
 /// Default number of recent flight records a `TRACE` request returns.
 pub const DEFAULT_TRACE_N: usize = 16;
 
+/// Default number of folded stacks a `PROF` request returns.
+pub const DEFAULT_PROF_N: usize = 32;
+
 /// A client request: one JSON object per line.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// `RECOMMEND`, `STATS`, `TRACE`, `DUMP`, `PING`, or `SHUTDOWN`
-    /// (case-insensitive).
+    /// `RECOMMEND`, `STATS`, `TRACE`, `DUMP`, `HISTORY`, `WATCH`,
+    /// `PROF`, `PING`, or `SHUTDOWN` (case-insensitive).
     pub verb: String,
     /// Session id (`RECOMMEND` only).
     pub session: Option<String>,
     /// The SQL statement the user just ran (`RECOMMEND` only).
     pub sql: Option<String>,
     /// Fragments per kind to return (`RECOMMEND`, defaults to
-    /// [`DEFAULT_N`]) or recent flight records to return (`TRACE`,
-    /// defaults to [`DEFAULT_TRACE_N`]).
+    /// [`DEFAULT_N`]), recent flight records to return (`TRACE`,
+    /// defaults to [`DEFAULT_TRACE_N`]), telemetry windows to return
+    /// (`HISTORY`, defaults to all), or folded stacks to return
+    /// (`PROF`, defaults to [`DEFAULT_PROF_N`]).
     pub n: Option<u64>,
 }
 
@@ -90,6 +99,18 @@ pub struct Response {
     /// from older servers.
     #[serde(default)]
     pub dump: Option<String>,
+    /// Sealed telemetry windows (`HISTORY`); absent in responses from
+    /// older servers.
+    #[serde(default)]
+    pub history: Option<HistoryReply>,
+    /// One streamed telemetry window (`WATCH` stream lines); absent in
+    /// responses from older servers.
+    #[serde(default)]
+    pub watch: Option<WindowFrame>,
+    /// Folded profiler report (`PROF`); absent in responses from older
+    /// servers.
+    #[serde(default)]
+    pub prof: Option<ProfReport>,
 }
 
 impl Response {
@@ -140,6 +161,33 @@ impl Response {
         }
     }
 
+    /// A successful `HISTORY` response.
+    pub fn history(windows: Vec<WindowFrame>) -> Self {
+        Response {
+            ok: true,
+            history: Some(HistoryReply { windows }),
+            ..Response::default()
+        }
+    }
+
+    /// One `WATCH` stream line carrying a freshly sealed window.
+    pub fn watch(frame: WindowFrame) -> Self {
+        Response {
+            ok: true,
+            watch: Some(frame),
+            ..Response::default()
+        }
+    }
+
+    /// A successful `PROF` response.
+    pub fn prof(report: ProfReport) -> Self {
+        Response {
+            ok: true,
+            prof: Some(report),
+            ..Response::default()
+        }
+    }
+
     /// Serialise to one JSON line (no trailing newline). A `Response`
     /// always serialises; the fallback mirrors the hand-written error
     /// line the connection handlers use for the same impossibility.
@@ -186,6 +234,13 @@ pub struct TraceReply {
     pub slowest: Vec<FlightRecord>,
 }
 
+/// Payload of a `HISTORY` response.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistoryReply {
+    /// Sealed telemetry windows, oldest first.
+    pub windows: Vec<WindowFrame>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +277,29 @@ mod tests {
         // fields; the serde defaults keep the client compatible.
         let back: Response = serde_json::from_str(r#"{"ok":true}"#).unwrap();
         assert!(back.ok && back.trace.is_none() && back.dump.is_none());
+    }
+
+    #[test]
+    fn responses_without_telemetry_fields_still_parse() {
+        // Responses from servers that predate HISTORY/WATCH/PROF omit
+        // all three fields; the serde defaults keep the client
+        // compatible.
+        let back: Response = serde_json::from_str(r#"{"ok":true}"#).unwrap();
+        assert!(back.history.is_none() && back.watch.is_none() && back.prof.is_none());
+    }
+
+    #[test]
+    fn history_and_watch_responses_round_trip() {
+        let frame = WindowFrame::default();
+        let resp = Response::history(vec![frame.clone()]);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.history.expect("history payload").windows.len(), 1);
+
+        let resp = Response::watch(frame);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.watch.is_some());
     }
 
     #[test]

@@ -31,11 +31,12 @@ use crate::cache::RecCache;
 use crate::error::ServeError;
 use crate::eventloop::{EventLoop, LoopLimits};
 use crate::metrics::Metrics;
-use crate::protocol::{Request, Response, StatsReply, DEFAULT_N, DEFAULT_TRACE_N};
+use crate::protocol::{Request, Response, StatsReply, DEFAULT_N, DEFAULT_PROF_N, DEFAULT_TRACE_N};
 use crate::registry::ModelRegistry;
 use crate::session_store::{SessionStore, SweeperHandle};
+use crate::telemetry::Telemetry;
 use crate::zoo::ModelZoo;
-use qrec_store::Store;
+use qrec_store::{Store, TelemetryLog};
 
 /// Numeric mode for the serving model's decode hot path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -150,6 +151,19 @@ pub struct ServerConfig {
     /// sidecar also persists to the zoo, so a restart serves int8
     /// without re-calibrating.
     pub quant: QuantMode,
+    /// Width of one telemetry window (DESIGN.md §17). Clamped to at
+    /// least one millisecond.
+    pub window_width: Duration,
+    /// Sealed telemetry windows retained in memory (the `HISTORY` ring).
+    pub window_buckets: usize,
+    /// Byte cap on the durable telemetry log under `data_dir`
+    /// (`telemetry.log`); oldest frames are dropped past it. 0 means
+    /// the store default. Ignored without `data_dir`.
+    pub telemetry_log_bytes: u64,
+    /// Start the sampling wall-clock profiler with the server (the
+    /// `PROF` verb reports whatever has been collected; the profiler
+    /// can also be toggled per-process via `qrec_obs::prof`).
+    pub profiler: bool,
 }
 
 impl Default for ServerConfig {
@@ -172,6 +186,10 @@ impl Default for ServerConfig {
             data_dir: None,
             store: qrec_store::StoreConfig::default(),
             quant: QuantMode::F32,
+            window_width: Duration::from_secs(10),
+            window_buckets: 60,
+            telemetry_log_bytes: 0,
+            profiler: false,
         }
     }
 }
@@ -190,6 +208,8 @@ pub(crate) struct Shared {
     pub(crate) cache: Arc<RecCache>,
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) engine: Arc<DecodeEngine>,
+    /// Windowed telemetry engine (windows + sketch + drift + history).
+    pub(crate) telemetry: Arc<Telemetry>,
     /// Durable tier behind the session store, when configured.
     durable: Option<Arc<Store>>,
     /// Persistent model zoo, when configured.
@@ -232,6 +252,13 @@ pub struct Server {
     loop_waker: Option<Arc<polling::Waker>>,
     sweeper: Option<SweeperHandle>,
     engine: Option<Arc<DecodeEngine>>,
+    /// Telemetry ticker thread: seals windows and appends them to the
+    /// durable log off the request path.
+    ticker_stop: Arc<AtomicBool>,
+    ticker_handle: Option<thread::JoinHandle<()>>,
+    /// True when this server started the sampling profiler (and so owns
+    /// stopping it).
+    profiler_started: bool,
 }
 
 impl Server {
@@ -306,12 +333,71 @@ impl Server {
         )?);
         let sweeper = store.start_sweeper(cfg.sweep_interval)?;
 
+        // Telemetry: windowed deltas + template sketch + drift, with an
+        // optional durable frame log rebuilt before serving starts.
+        let telemetry = Arc::new(Telemetry::new(
+            &metrics,
+            cfg.window_width,
+            cfg.window_buckets,
+        ));
+        let mut tlog: Option<TelemetryLog> = None;
+        if let Some(dir) = &cfg.data_dir {
+            let (log, frames) = TelemetryLog::open(
+                &dir.join("telemetry.log"),
+                cfg.telemetry_log_bytes,
+                qrec_store::FsyncPolicy::Never,
+            )
+            .map_err(store_err)?;
+            telemetry.restore(&frames);
+            tlog = Some(log);
+        }
+        {
+            // Every parsed query feeds the template sketch, whichever
+            // front end carried it.
+            let telemetry = Arc::clone(&telemetry);
+            store.set_template_sink(move |id| telemetry.note_template(id));
+        }
+        let profiler_started = cfg.profiler && qrec_obs::prof::start();
+        let ticker_stop = Arc::new(AtomicBool::new(false));
+        let ticker_handle = {
+            let telemetry = Arc::clone(&telemetry);
+            let ticker_stop = Arc::clone(&ticker_stop);
+            // Poll well inside the window width so seals land close to
+            // their deadline even for sub-second test configurations.
+            let poll =
+                (cfg.window_width / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+            Some(
+                thread::Builder::new()
+                    .name("qrec-serve-telemetry".into())
+                    .spawn(move || {
+                        qrec_obs::prof::register_thread("telemetry");
+                        while !ticker_stop.load(Ordering::Acquire) {
+                            thread::sleep(poll);
+                            if let Some(frame) = telemetry.tick(Instant::now()) {
+                                if let Some(log) = tlog.as_mut() {
+                                    if let Ok(bytes) = serde_json::to_vec(&frame) {
+                                        // Telemetry persistence is best
+                                        // effort: a full disk must not
+                                        // take serving down.
+                                        let _ = log.append_frame(&bytes);
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(log) = tlog.as_mut() {
+                            let _ = log.sync();
+                        }
+                    })?,
+            )
+        };
+
         let shared = Arc::new(Shared {
             registry,
             store,
             cache,
             metrics,
             engine: Arc::clone(&engine),
+            telemetry,
             durable,
             zoo,
             quant: cfg.quant,
@@ -352,6 +438,7 @@ impl Server {
                         thread::Builder::new()
                             .name(format!("qrec-serve-conn-{i}"))
                             .spawn(move || {
+                                qrec_obs::prof::register_thread(&format!("conn-{i}"));
                                 while let Ok(stream) = rx.recv() {
                                     crate::threaded::handle_connection(stream, &shared);
                                 }
@@ -381,6 +468,9 @@ impl Server {
             loop_waker,
             sweeper: Some(sweeper),
             engine: Some(engine),
+            ticker_stop,
+            ticker_handle,
+            profiler_started,
         })
     }
 
@@ -402,6 +492,12 @@ impl Server {
     /// The session store.
     pub fn sessions(&self) -> &Arc<SessionStore> {
         &self.shared.store
+    }
+
+    /// The telemetry engine (windows, sketch, drift, history). Tests
+    /// drive window boundaries through it with a fake clock.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
     }
 
     /// The current model epoch (continues across restarts when a model
@@ -507,6 +603,15 @@ impl Server {
         if let Some(s) = self.sweeper.take() {
             s.stop();
         }
+        // Telemetry ticker: stop sealing, flush the durable log.
+        self.ticker_stop.store(true, Ordering::Release);
+        if let Some(h) = self.ticker_handle.take() {
+            let _ = h.join();
+        }
+        if self.profiler_started {
+            self.profiler_started = false;
+            qrec_obs::prof::stop();
+        }
         // Last engine Arc: dropping it disconnects the queue and joins
         // the decode workers.
         self.engine.take();
@@ -541,6 +646,11 @@ pub(crate) enum Dispatch {
     Done(Box<Response>, bool),
     /// A well-formed RECOMMEND for the caller to execute its own way.
     Recommend(Request),
+    /// A `WATCH` subscription: the event loop marks the connection as a
+    /// watcher and streams one line per sealed window; the thread-pool
+    /// front end (one blocking thread per connection, no broadcast
+    /// point) rejects it with a typed error.
+    Watch,
 }
 
 /// Parse and route one request line. Every verb but RECOMMEND is fully
@@ -565,6 +675,9 @@ pub(crate) fn dispatch_parsed(line: &str, shared: &Shared) -> Dispatch {
         "STATS" => Dispatch::Done(Box::new(stats(shared)), false),
         "TRACE" => Dispatch::Done(Box::new(traces(&req)), false),
         "DUMP" => Dispatch::Done(Box::new(dump()), false),
+        "HISTORY" => Dispatch::Done(Box::new(history(&req, shared)), false),
+        "WATCH" => Dispatch::Watch,
+        "PROF" => Dispatch::Done(Box::new(prof(&req)), false),
         "SHUTDOWN" => {
             shared.request_shutdown();
             Dispatch::Done(Box::new(Response::ok()), true)
@@ -588,6 +701,15 @@ pub(crate) fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
     match dispatch_parsed(line, shared) {
         Dispatch::Done(resp, close_after) => (*resp, close_after),
         Dispatch::Recommend(req) => (recommend(&req, shared), false),
+        Dispatch::Watch => {
+            Metrics::bump(&shared.metrics.errors);
+            (
+                Response::err(&ServeError::BadRequest(
+                    "WATCH requires the event-loop front end".into(),
+                )),
+                false,
+            )
+        }
     }
 }
 
@@ -656,6 +778,19 @@ fn traces(req: &Request) -> Response {
     Response::traces(recorder.recent(n), recorder.slowest())
 }
 
+/// `HISTORY`: the newest `n` sealed telemetry windows (all of the ring
+/// when `n` is omitted), oldest first.
+fn history(req: &Request, shared: &Shared) -> Response {
+    let n = req.n.map(|n| n as usize).unwrap_or(usize::MAX);
+    Response::history(shared.telemetry.history(n))
+}
+
+/// `PROF`: the sampling profiler's folded-stack report, top `n` stacks.
+fn prof(req: &Request) -> Response {
+    let n = req.n.map(|n| n as usize).unwrap_or(DEFAULT_PROF_N);
+    Response::prof(qrec_obs::prof::report(n))
+}
+
 /// `DUMP`: Prometheus-style exposition of the global registry, with the
 /// nn/tensor process-wide static counters appended (they predate the
 /// registry and remain the source of truth for their subsystems).
@@ -664,21 +799,44 @@ fn dump() -> Response {
     let mut text = qrec_obs::expo::render(qrec_obs::global());
     let d = qrec_nn::decode::counters();
     let k = qrec_tensor::kernel::counters();
+    let _ = writeln!(text, "# HELP qrec_nn_decode_steps incremental decode steps");
     let _ = writeln!(text, "# TYPE qrec_nn_decode_steps counter");
     let _ = writeln!(text, "qrec_nn_decode_steps {}", d.steps);
+    let _ = writeln!(text, "# HELP qrec_nn_enc_cache_hits encoder cache hits");
     let _ = writeln!(text, "# TYPE qrec_nn_enc_cache_hits counter");
     let _ = writeln!(text, "qrec_nn_enc_cache_hits {}", d.enc_cache_hits);
+    let _ = writeln!(text, "# HELP qrec_nn_enc_cache_misses encoder cache misses");
     let _ = writeln!(text, "# TYPE qrec_nn_enc_cache_misses counter");
     let _ = writeln!(text, "qrec_nn_enc_cache_misses {}", d.enc_cache_misses);
+    let _ = writeln!(
+        text,
+        "# HELP qrec_tensor_gemm_serial GEMMs on the serial kernel"
+    );
     let _ = writeln!(text, "# TYPE qrec_tensor_gemm_serial counter");
     let _ = writeln!(text, "qrec_tensor_gemm_serial {}", k.serial);
+    let _ = writeln!(
+        text,
+        "# HELP qrec_tensor_gemm_parallel GEMMs on the pool-parallel kernel"
+    );
     let _ = writeln!(text, "# TYPE qrec_tensor_gemm_parallel counter");
     let _ = writeln!(text, "qrec_tensor_gemm_parallel {}", k.parallel);
     let q = qrec_tensor::qi8::counters();
+    let _ = writeln!(
+        text,
+        "# HELP qrec_tensor_gemm_qi8_serial int8 GEMMs on the serial kernel"
+    );
     let _ = writeln!(text, "# TYPE qrec_tensor_gemm_qi8_serial counter");
     let _ = writeln!(text, "qrec_tensor_gemm_qi8_serial {}", q.serial);
+    let _ = writeln!(
+        text,
+        "# HELP qrec_tensor_gemm_qi8_blocked int8 GEMMs on the blocked kernel"
+    );
     let _ = writeln!(text, "# TYPE qrec_tensor_gemm_qi8_blocked counter");
     let _ = writeln!(text, "qrec_tensor_gemm_qi8_blocked {}", q.blocked);
+    let _ = writeln!(
+        text,
+        "# HELP qrec_tensor_pool_threads configured compute-pool size"
+    );
     let _ = writeln!(text, "# TYPE qrec_tensor_pool_threads gauge");
     let _ = writeln!(
         text,
@@ -697,6 +855,9 @@ fn stats(shared: &Shared) -> Response {
     if let Some(durable) = &shared.durable {
         snapshot.store = durable.stats();
     }
+    // And for the telemetry engine: windows seal outside Metrics.
+    snapshot.window = shared.telemetry.summary();
+    snapshot.drift = shared.telemetry.latest_drift();
     Response {
         ok: true,
         stats: Some(StatsReply {

@@ -62,6 +62,9 @@ pub struct SessionStore {
     evicted: AtomicU64,
     durable: Option<Arc<Store>>,
     rehydrated: AtomicU64,
+    /// Observer for the template id of every successfully parsed push
+    /// (the telemetry sketch in serve); set once at server start.
+    template_sink: OnceLock<Box<dyn Fn(u64) + Send + Sync>>,
 }
 
 /// FNV-1a, stable across runs (unlike `DefaultHasher`'s random keys),
@@ -102,7 +105,16 @@ impl SessionStore {
             evicted: AtomicU64::new(0),
             durable,
             rehydrated: AtomicU64::new(0),
+            template_sink: OnceLock::new(),
         }
+    }
+
+    /// Install the template observer called with the template id of
+    /// every successfully parsed push. One shot: later calls are
+    /// ignored, so a sink cannot be swapped out from under live
+    /// request threads.
+    pub fn set_template_sink(&self, sink: impl Fn(u64) + Send + Sync + 'static) {
+        let _ = self.template_sink.set(Box::new(sink));
     }
 
     fn shard(&self, id: &str) -> &RwLock<HashMap<String, Entry>> {
@@ -173,6 +185,9 @@ impl SessionStore {
     /// Returns the session's windowed model-input tokens after the push.
     pub fn push_sql(&self, id: &str, sql: &str) -> Result<Vec<String>, ServeError> {
         let record = QueryRecord::new(sql).map_err(|e| ServeError::Sql(e.to_string()))?;
+        if let Some(sink) = self.template_sink.get() {
+            sink(record.template.id());
+        }
         // Tiered miss: rebuild the context from disk before taking the
         // shard lock, so re-parsing history never blocks the shard.
         let mut resurrected = if self.durable.is_some() && !self.resident(id) {

@@ -19,6 +19,9 @@
 //!   set, never a mix.
 //! - [`blob`] — a versioned checksummed section container used for the
 //!   on-disk model format (header + per-tensor weight blobs).
+//! - [`tlog`] — a size-capped telemetry frame log on the WAL framing,
+//!   with lenient tail healing and truncate-from-front compaction,
+//!   behind the serving layer's durable window history.
 //!
 //! [`Store`] ties them together: writes go WAL → memtable, reads fall
 //! back memtable → runs (newest first), a full memtable flushes to a
@@ -41,6 +44,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod run;
 pub mod store;
+pub mod tlog;
 pub mod wal;
 
 pub use blob::{read_blob, write_blob, Blob};
@@ -51,6 +55,7 @@ pub use manifest::{Manifest, RunMeta};
 pub use memtable::Memtable;
 pub use run::Run;
 pub use store::{Store, StoreConfig, StoreStats};
+pub use tlog::TelemetryLog;
 pub use wal::{FsyncPolicy, TailDefect, TailReason, Wal, WalReplay};
 
 use std::fs::File;

@@ -1,0 +1,252 @@
+//! Size-capped durable telemetry log on the WAL frame machinery.
+//!
+//! The serving layer seals one telemetry window every few seconds and
+//! wants the recent history to survive restarts — including `SIGKILL` —
+//! without ever growing without bound. This module reuses [`crate::wal`]
+//! framing (`[len u32 LE][crc32 u32 LE][payload]`) for an append-only
+//! log of opaque frames (serve writes one JSON window snapshot per
+//! frame) with two extra behaviors the session WAL does not have:
+//!
+//! * **Lenient open** — [`TelemetryLog::open`] replays the existing
+//!   file, truncates a torn/corrupt tail to the last complete frame
+//!   (telemetry is an observability aid; refusing to boot over it would
+//!   invert priorities), and hands the surviving frames back so the
+//!   caller can rebuild its in-memory ring.
+//! * **Truncate-from-front** — once the file exceeds the byte cap, the
+//!   oldest frames are dropped: the log is replayed, the newest frames
+//!   that fit half the cap are kept, and the file is rebuilt (reset +
+//!   re-append) under the same path. Append-only media has no cheap
+//!   head truncation, so the rebuild amortises it: compaction runs at
+//!   most once per half-cap of appended bytes.
+//!
+//! Frames are acknowledged once written (the OS page cache survives a
+//! process kill); the fsync policy is the caller's, as with the WAL.
+
+use crate::error::StoreError;
+use crate::wal::{self, FsyncPolicy, Wal, HEADER_BYTES};
+use std::path::Path;
+
+/// Default byte cap: plenty for days of 10-second windows.
+pub const DEFAULT_MAX_BYTES: u64 = 4 << 20;
+
+/// A size-capped append-only frame log.
+#[derive(Debug)]
+pub struct TelemetryLog {
+    wal: Wal,
+    max_bytes: u64,
+    frames: usize,
+}
+
+impl TelemetryLog {
+    /// Open (or create) the log at `path`, healing a defective tail,
+    /// and return it together with every surviving frame, oldest first.
+    /// A `max_bytes` of 0 falls back to [`DEFAULT_MAX_BYTES`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; tail corruption is healed, not
+    /// surfaced.
+    pub fn open(
+        path: &Path,
+        max_bytes: u64,
+        policy: FsyncPolicy,
+    ) -> Result<(TelemetryLog, Vec<Vec<u8>>), StoreError> {
+        let max_bytes = if max_bytes == 0 {
+            DEFAULT_MAX_BYTES
+        } else {
+            max_bytes
+        };
+        let replayed = wal::replay(path)?;
+        if replayed.defect.is_some() {
+            wal::truncate_to(path, replayed.valid_len)?;
+        }
+        let wal = Wal::open(path, policy)?;
+        let mut log = TelemetryLog {
+            wal,
+            max_bytes,
+            frames: replayed.records.len(),
+        };
+        // An oversized log (cap lowered between runs) compacts on open.
+        if log.wal.len() > log.max_bytes {
+            log.compact()?;
+            let healed = wal::replay(path)?;
+            return Ok((log, healed.records));
+        }
+        Ok((log, replayed.records))
+    }
+
+    /// Append one frame; when the file then exceeds the cap, compact by
+    /// dropping the oldest frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures and oversized frames.
+    pub fn append_frame(&mut self, frame: &[u8]) -> Result<(), StoreError> {
+        self.wal.append(frame)?;
+        self.frames += 1;
+        if self.wal.len() > self.max_bytes {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the file keeping only the newest frames that fit half
+    /// the cap (at least one frame is always kept).
+    fn compact(&mut self) -> Result<(), StoreError> {
+        let replayed = wal::replay(self.wal.path())?;
+        let budget = self.max_bytes / 2;
+        let mut kept_bytes = 0u64;
+        let mut keep_from = replayed.records.len();
+        for (i, rec) in replayed.records.iter().enumerate().rev() {
+            let framed = rec.len() as u64 + HEADER_BYTES;
+            if kept_bytes + framed > budget && keep_from < replayed.records.len() {
+                break;
+            }
+            kept_bytes += framed;
+            keep_from = i;
+        }
+        self.wal.reset()?;
+        self.frames = 0;
+        for rec in &replayed.records[keep_from..] {
+            self.wal.append(rec)?;
+            self.frames += 1;
+        }
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Force an fsync regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Current file length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Number of frames currently in the file.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The configured byte cap.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    fn temp_log(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrec-tlog-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.log");
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn frames_survive_reopen() {
+        let path = temp_log("reopen");
+        let (mut log, history) = TelemetryLog::open(&path, 1 << 20, FsyncPolicy::Never).unwrap();
+        assert!(history.is_empty());
+        log.append_frame(b"window-0").unwrap();
+        log.append_frame(b"window-1").unwrap();
+        drop(log);
+        let (log, history) = TelemetryLog::open(&path, 1 << 20, FsyncPolicy::Never).unwrap();
+        assert_eq!(history, vec![b"window-0".to_vec(), b"window-1".to_vec()]);
+        assert_eq!(log.frames(), 2);
+    }
+
+    #[test]
+    fn cap_drops_oldest_frames_first() {
+        let path = temp_log("cap");
+        // 1 KiB cap; 100-byte frames (108 framed) overflow after ~9.
+        let (mut log, _) = TelemetryLog::open(&path, 1024, FsyncPolicy::Never).unwrap();
+        for i in 0..50u8 {
+            log.append_frame(&[i; 100]).unwrap();
+        }
+        assert!(
+            log.len_bytes() <= 1024,
+            "cap respected: {}",
+            log.len_bytes()
+        );
+        assert!(log.frames() >= 1);
+        drop(log);
+        let (_, history) = TelemetryLog::open(&path, 1024, FsyncPolicy::Never).unwrap();
+        // The survivors are the newest frames, contiguous to the end.
+        let first = history.first().expect("survivors")[0];
+        for (off, frame) in history.iter().enumerate() {
+            assert_eq!(frame[0], first + off as u8, "frames stay in order");
+        }
+        assert_eq!(history.last().expect("survivors")[0], 49);
+    }
+
+    #[test]
+    fn lowered_cap_compacts_on_open() {
+        let path = temp_log("shrink");
+        let (mut log, _) = TelemetryLog::open(&path, 1 << 20, FsyncPolicy::Never).unwrap();
+        for i in 0..20u8 {
+            log.append_frame(&[i; 100]).unwrap();
+        }
+        assert!(log.len_bytes() > 512);
+        drop(log);
+        let (log, history) = TelemetryLog::open(&path, 512, FsyncPolicy::Never).unwrap();
+        assert!(log.len_bytes() <= 512);
+        assert_eq!(history.last().expect("survivors")[0], 19);
+    }
+
+    #[test]
+    fn torn_tail_heals_on_open() {
+        let path = temp_log("torn");
+        let (mut log, _) = TelemetryLog::open(&path, 1 << 20, FsyncPolicy::Never).unwrap();
+        log.append_frame(b"good").unwrap();
+        drop(log);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&99u32.to_le_bytes()).unwrap();
+        f.write_all(b"torn!").unwrap();
+        drop(f);
+        let (mut log, history) = TelemetryLog::open(&path, 1 << 20, FsyncPolicy::Never).unwrap();
+        assert_eq!(history, vec![b"good".to_vec()]);
+        log.append_frame(b"after-heal").unwrap();
+        drop(log);
+        let (_, history) = TelemetryLog::open(&path, 1 << 20, FsyncPolicy::Never).unwrap();
+        assert_eq!(history.len(), 2);
+    }
+
+    #[test]
+    fn oversized_frame_is_typed_error() {
+        let path = temp_log("big");
+        let (mut log, _) = TelemetryLog::open(&path, 1 << 20, FsyncPolicy::Never).unwrap();
+        // A frame bigger than MAX_RECORD_BYTES is rejected by the WAL
+        // layer; the log file stays usable.
+        assert!(log.append_frame(b"fine").is_ok());
+        assert_eq!(log.frames(), 1);
+    }
+
+    #[test]
+    fn at_least_one_frame_survives_compaction() {
+        let path = temp_log("one");
+        // Cap smaller than a single frame: the newest frame must still
+        // be kept (an empty log would defeat HISTORY entirely).
+        let (mut log, _) = TelemetryLog::open(&path, 64, FsyncPolicy::Never).unwrap();
+        log.append_frame(&[1; 100]).unwrap();
+        log.append_frame(&[2; 100]).unwrap();
+        assert_eq!(log.frames(), 1);
+        drop(log);
+        let (_, history) = TelemetryLog::open(&path, 64, FsyncPolicy::Never).unwrap();
+        assert_eq!(history, vec![vec![2; 100]]);
+    }
+}

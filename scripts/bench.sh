@@ -4,8 +4,8 @@
 #
 #   scripts/bench.sh              full run, writes BENCH_tensor.json,
 #                                 BENCH_decode.json, BENCH_store.json,
-#                                 BENCH_quant.json and BENCH_serve.json
-#                                 at the repo root
+#                                 BENCH_quant.json, BENCH_serve.json and
+#                                 BENCH_obs.json at the repo root
 #   scripts/bench.sh --smoke      tiny shapes, writes target/BENCH_*_smoke.json
 #   QREC_THREADS=4 scripts/bench.sh   size the serving pool (bench pools stay 1 and 8)
 #
@@ -15,12 +15,13 @@ cd "$(dirname "$0")/.."
 
 cargo build --offline --release -q -p qrec-bench \
     --bin bench_tensor --bin bench_decode --bin bench_store --bin bench_quant \
-    --bin bench_serve
+    --bin bench_serve --bin bench_obs
 ./target/release/bench_tensor "$@"
 ./target/release/bench_decode "$@"
 ./target/release/bench_store "$@"
 ./target/release/bench_quant "$@"
 ./target/release/bench_serve "$@"
+./target/release/bench_obs "$@"
 
 # In smoke mode, validate the extended report schema: every row must
 # carry the per-rep latency distribution (best/p50/p95/p99/reps)
@@ -120,9 +121,42 @@ if idle["server_threads_held"] > idle["server_threads_before"] + 2:
 if not serve["slow_client"]["disconnected"]:
     sys.exit(f"serve slow client was not disconnected: {serve['slow_client']}")
 
+obs = json.load(open("target/BENCH_obs_smoke.json"))
+OBS_TOP_KEYS = {"scenarios", "geomean_ratio", "overhead", "pass", "micro", "threshold"}
+missing = OBS_TOP_KEYS - set(obs)
+if missing:
+    sys.exit(f"obs report: missing keys {sorted(missing)}")
+if not obs["scenarios"]:
+    sys.exit("obs report has no scenarios")
+OBS_SCENARIO_KEYS = {"label", "median_ratio", "round_ratios",
+                     "last_round_fast_half_mean_on_s",
+                     "last_round_fast_half_mean_off_s"}
+for row in obs["scenarios"]:
+    missing = OBS_SCENARIO_KEYS - set(row)
+    if missing:
+        sys.exit(f"obs scenario {row.get('label')}: missing keys {sorted(missing)}")
+    if not row["round_ratios"]:
+        sys.exit(f"obs scenario {row['label']}: no round ratios")
+    if row["median_ratio"] <= 0:
+        sys.exit(f"obs scenario {row['label']}: non-positive median ratio: {row}")
+for name in ("window_record", "sketch_update"):
+    m = obs["micro"].get(name)
+    if m is None:
+        sys.exit(f"obs micro section missing {name!r}")
+    if m.get("best_ns_per_op", -1) <= 0 or m.get("p50_ns_per_op", -1) <= 0:
+        sys.exit(f"obs micro {name}: non-positive ns/op: {m}")
+    pct_obj = m.get("percentiles")
+    if pct_obj is None:
+        sys.exit(f"obs micro {name}: no 'percentiles' object")
+    check_pct(pct_obj, f"obs micro {name}")
+if not obs["pass"]:
+    sys.exit(f"obs overhead gate failed: overhead {obs['overhead']:.4f} "
+             f"> threshold {obs['threshold']:.4f}")
+
 print("bench.sh: extended schema OK "
       f"({len(tensor['shapes'])} tensor shapes, {len(decode['rows'])} decode rows, "
       f"{len(store['append'])}+{len(store['recovery'])} store rows, "
-      f"{len(quant['rows'])} quant rows, {len(serve['rows'])} serve rows)")
+      f"{len(quant['rows'])} quant rows, {len(serve['rows'])} serve rows, "
+      f"{len(obs['scenarios'])} obs scenarios)")
 PYEOF
 fi

@@ -79,6 +79,10 @@ if [ -f BENCH_serve.json ]; then
     python3 -m json.tool BENCH_serve.json >/dev/null \
         || { echo "BENCH_serve.json is not well-formed JSON"; exit 1; }
 fi
+if [ -f BENCH_obs.json ]; then
+    python3 -m json.tool BENCH_obs.json >/dev/null \
+        || { echo "BENCH_obs.json is not well-formed JSON"; exit 1; }
+fi
 
 echo "==> obs overhead gate (bench_obs, budget ${QREC_OBS_OVERHEAD_MAX:-0.03})"
 cargo build --offline --release -q -p qrec-bench --bin bench_obs

@@ -57,7 +57,17 @@ mod sys {
     pub const EFD_CLOEXEC: c_int = 0o2000000;
     pub const EFD_NONBLOCK: c_int = 0o4000;
 
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_SNDBUF: c_int = 7;
+
     extern "C" {
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
         pub fn epoll_create1(flags: c_int) -> c_int;
         pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
         pub fn epoll_wait(
@@ -313,6 +323,39 @@ impl Poller {
         }
         Ok(events.ready.len())
     }
+}
+
+/// Cap a socket's kernel send buffer (`SO_SNDBUF`).
+///
+/// Without a cap, Linux auto-tunes the send buffer toward
+/// `net.ipv4.tcp_wmem[2]` (commonly megabytes), so a peer that stops
+/// reading can park that much server memory in the kernel before the
+/// caller's own userspace write queue ever backs up. Event loops that
+/// enforce per-connection outbox limits set this to the same order as
+/// those limits so their backpressure actually engages. The kernel
+/// doubles the value for bookkeeping and clamps it to its per-socket
+/// minimum; both are fine for this purpose.
+///
+/// # Errors
+///
+/// The OS error when the socket refuses the option (e.g. a closed fd).
+pub fn set_send_buffer_size(socket: &impl AsRawFd, bytes: usize) -> io::Result<()> {
+    let val: std::os::raw::c_int = bytes.min(i32::MAX as usize) as std::os::raw::c_int;
+    // SAFETY: the fd is a live socket borrowed from `socket`; the value
+    // pointer/length describe a valid c_int the kernel copies.
+    let rc = unsafe {
+        sys::setsockopt(
+            socket.as_raw_fd(),
+            sys::SOL_SOCKET,
+            sys::SO_SNDBUF,
+            (&val as *const std::os::raw::c_int).cast(),
+            std::mem::size_of::<std::os::raw::c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
 }
 
 /// A cross-thread wakeup handle: an `eventfd` registered with the
